@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench renders its reproduced table/figure to
+``results/<name>.txt`` (next to this directory) and prints it, so the
+artifacts survive without ``pytest -s``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Write a rendered artifact and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[artifact: {path}]")

@@ -1,0 +1,105 @@
+"""Ablation — fixed vs dynamic Connection Attempt Delay.
+
+HEv2 permits deriving the CAD from RTT history (min 10 ms / rec 100 ms
+/ max 2 s) instead of the fixed 250 ms.  The trade-off the bounds
+encode, measured over a destination population:
+
+* an aggressive fixed CAD (100 ms) falls back fast when IPv6 is broken
+  but kicks slow-yet-healthy IPv6 destinations over to IPv4;
+* the recommended 250 ms keeps moderately slow IPv6 alive;
+* a conservative CAD (2 s — Safari's no-history fallback) never leaves
+  IPv6 but stalls the full 2 s when IPv6 is actually dead;
+* a history-informed dynamic CAD (2×SRTT, clamped) falls back almost
+  immediately on dead IPv6 *and* retains every healthy destination.
+"""
+
+import pytest
+
+from repro.core import HistoryStore, rfc8305_params
+from repro.core.engine import HappyEyeballsEngine
+from repro.dns.stub import StubResolver
+from repro.simnet import Family, parse_address
+from repro.testbed.topology import LocalTestbed, SERVER_V4, SERVER_V6
+
+from _util import emit
+
+DEAD_V6 = "2001:db8:dead::99"
+
+#: Destinations: (label, ipv6 delay in ms; None = blackholed IPv6).
+POPULATION = [("fast", 10), ("ok", 40), ("slowish", 120),
+              ("broken", None)]
+
+
+def run_destination(policy: str, label: str, delay_ms, seed: int):
+    testbed = LocalTestbed(seed=seed)
+    if delay_ms is None:
+        hostname = testbed.add_domain(f"dyn-{label}",
+                                      [DEAD_V6, SERVER_V4])
+        effective_rtt = 0.010  # the host knows its v4 RTT history
+    else:
+        testbed.delay_ipv6_tcp(delay_ms / 1000.0)
+        hostname = f"dyn-{label}.{testbed.test_domain}"
+        effective_rtt = max(0.002, delay_ms / 1000.0)
+
+    history = HistoryStore()
+    if policy == "dynamic":
+        params = rfc8305_params().with_overrides(dynamic_cad=True)
+        for address in (SERVER_V6, DEAD_V6, SERVER_V4):
+            history.record_success(parse_address(address),
+                                   rtt=effective_rtt, now=0.0)
+    else:
+        params = rfc8305_params().with_overrides(
+            connection_attempt_delay=float(policy) / 1000.0)
+    stub = StubResolver(testbed.client, testbed.resolver_addresses[:1],
+                        timeout=3600.0, retries=0)
+    engine = HappyEyeballsEngine(testbed.client, stub, params,
+                                 history=history)
+    result = testbed.sim.run_until(engine.connect(hostname))
+    return result.time_to_connect, result.winning_family
+
+
+def build_ablation():
+    policies = ["100", "250", "2000", "dynamic"]
+    stats = {}
+    for policy in policies:
+        rows = {}
+        for label, delay_ms in POPULATION:
+            seed = hash((policy, label)) & 0xFFFF
+            rows[label] = run_destination(policy, label, delay_ms, seed)
+        healthy = [name for name, delay in POPULATION if delay is not None]
+        stats[policy] = {
+            "rows": rows,
+            "v6_retention": sum(
+                1 for name in healthy
+                if rows[name][1] is Family.V6) / len(healthy),
+            "broken_ttc": rows["broken"][0],
+        }
+    return stats
+
+
+def test_ablation_dynamic_cad(benchmark):
+    stats = benchmark.pedantic(build_ablation, rounds=1, iterations=1)
+
+    # Aggressive CAD loses the slow-but-healthy IPv6 destination.
+    assert stats["100"]["v6_retention"] < 1.0
+    # Recommended and conservative CADs retain all healthy IPv6.
+    assert stats["250"]["v6_retention"] == 1.0
+    assert stats["2000"]["v6_retention"] == 1.0
+    # But the conservative CAD stalls 2 s on actually-broken IPv6.
+    assert stats["2000"]["broken_ttc"] == pytest.approx(2.0, abs=0.05)
+    assert stats["250"]["broken_ttc"] == pytest.approx(0.25, abs=0.05)
+    # Dynamic with history: full retention AND the fastest fallback.
+    assert stats["dynamic"]["v6_retention"] == 1.0
+    assert stats["dynamic"]["broken_ttc"] < stats["100"]["broken_ttc"]
+
+    lines = ["Ablation: fixed vs dynamic CAD",
+             f"{'policy':>10}  {'healthy-IPv6 retention':>23}  "
+             f"{'TTC, broken IPv6':>17}"]
+    for policy, values in stats.items():
+        label = f"{policy} ms" if policy != "dynamic" else "dynamic"
+        lines.append(
+            f"{label:>10}  {values['v6_retention'] * 100:>21.0f} %"
+            f"  {values['broken_ttc'] * 1000:>14.1f} ms")
+    lines.append("dynamic CAD = 2 x SRTT clamped to [10 ms, 2 s] "
+                 "(RFC 8305 §5)")
+    emit("ablation_dynamic_cad", "\n".join(lines))

@@ -1,0 +1,56 @@
+"""Figure 4 — the web-based testing tool's CAD and RD views.
+
+Walks the 18-step ladder with Safari and Chrome (Fig. 4a: the CAD
+ladder with its interval inference, e.g. Safari's CAD ∈ (200, 250] in
+the paper's screenshot) and runs the RD page probe (Fig. 4b) against
+Safari, whose web sessions exercise the dynamic CAD.
+"""
+
+import pytest
+
+from repro.analysis import figure4_sessions
+from repro.clients import get_profile
+from repro.simnet import Family
+from repro.webtool import (NetworkConditions, WebToolDeployment,
+                           WebToolSession)
+
+from _util import emit
+
+
+def build_sessions():
+    deployment = WebToolDeployment(seed=41)
+    chrome = WebToolSession(deployment, get_profile("Chrome", "130.0"),
+                            conditions=NetworkConditions.lab_like()).run()
+    safari_sessions = [
+        WebToolSession(deployment, get_profile("Safari", "17.6"),
+                       repetition=rep).run()
+        for rep in range(8)]
+    return chrome, safari_sessions
+
+
+def test_figure4_webtool_ladders(benchmark):
+    chrome, safari_sessions = benchmark.pedantic(build_sessions,
+                                                 rounds=1, iterations=1)
+
+    # Chrome: a sharp interval bracketing its 300 ms CAD.
+    low, high = chrome.cad_interval()
+    assert low in (250, 300)
+    assert high in (300, 350)
+    assert chrome.is_monotonic()
+
+    # Safari: intervals wander across the ladder between repetitions
+    # (dynamic CAD), often non-monotonic within a run.
+    intervals = {session.cad_interval() for session in safari_sessions}
+    assert len(intervals) >= 3
+    spread = [high for _, high in intervals if high is not None]
+    assert spread and max(spread) - min(spread) >= 150
+
+    # The tool's per-step outcome uses the echoed source address:
+    # delay 0 must be IPv6, the 5 s rung IPv4 for any HE client.
+    zero = [o for o in chrome.outcomes if o.delay_ms == 0][0]
+    top = [o for o in chrome.outcomes if o.delay_ms == 5000][0]
+    assert zero.used_family is Family.V6
+    assert top.used_family is Family.V4
+
+    emit("figure4_webtool",
+         figure4_sessions([chrome] + safari_sessions))

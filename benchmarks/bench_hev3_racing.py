@@ -1,0 +1,95 @@
+"""Extension — HEv3 protocol racing (SVCB/HTTPS + QUIC).
+
+The paper motivates HEv3: SVCB/HTTPS records enable protocol discovery,
+and "the HEv3 address selection should favor IP addresses with
+available TLS Encrypted ClientHello (ECH) over QUIC over TCP" (§2).
+This bench exercises the full HEv3 pipeline on the engine:
+
+* with an HTTPS record advertising h3, the first attempt is QUIC/IPv6;
+* with QUIC blackholed (UDP dropped), the race falls back to TCP within
+  one CAD — connectivity is preserved;
+* without SVCB records, HEv3 behaves exactly like HEv2.
+"""
+
+import pytest
+
+from repro.core import hev3_draft_params
+from repro.core.engine import HappyEyeballsEngine
+from repro.dns import DNSName, HTTPS
+from repro.dns.stub import StubResolver
+from repro.simnet import Family, NetemFilter, NetemRule, NetemSpec, Protocol
+from repro.testbed.topology import LocalTestbed, SERVER_V4, SERVER_V6
+
+from _util import emit
+
+
+def build_testbed(seed: int, quic_enabled: bool, advertise: bool):
+    testbed = LocalTestbed(seed=seed)
+    if advertise:
+        testbed.zone.add("www", HTTPS.service(
+            1, DNSName.from_text(f"www.{testbed.test_domain}"),
+            alpn=("h3", "h2"), ech=True))
+    if quic_enabled:
+        testbed.server.quic.listen(80)
+    else:
+        # Blackhole QUIC: drop all QUIC packets toward the server.
+        testbed.server_iface.ingress.add_rule(NetemRule(
+            spec=NetemSpec(loss=1.0),
+            filter=NetemFilter(protocol=Protocol.QUIC),
+            name="drop-quic"))
+    stub = StubResolver(testbed.client, testbed.resolver_addresses[:1],
+                        timeout=3600.0, retries=0)
+    engine = HappyEyeballsEngine(testbed.client, stub,
+                                 hev3_draft_params())
+    return testbed, engine
+
+
+def run_case(seed: int, quic_enabled: bool, advertise: bool = True):
+    testbed, engine = build_testbed(seed, quic_enabled, advertise)
+    capture = testbed.start_client_capture()
+    result = testbed.sim.run_until(
+        engine.connect(f"www.{testbed.test_domain}"))
+    return result, capture
+
+
+def build_results():
+    quic_ok, quic_ok_capture = run_case(seed=95, quic_enabled=True)
+    quic_dead, quic_dead_capture = run_case(seed=96, quic_enabled=False)
+    no_svcb, _ = run_case(seed=97, quic_enabled=True, advertise=False)
+    return (quic_ok, quic_ok_capture, quic_dead, quic_dead_capture,
+            no_svcb)
+
+
+def test_hev3_protocol_racing(benchmark):
+    (quic_ok, quic_ok_capture, quic_dead, quic_dead_capture,
+     no_svcb) = benchmark.pedantic(build_results, rounds=1, iterations=1)
+
+    # Healthy QUIC: the winner is a QUIC connection over IPv6.
+    assert quic_ok.race.winning_attempt.protocol is Protocol.QUIC
+    assert quic_ok.winning_family is Family.V6
+    first = quic_ok_capture.connection_attempts()[0]
+    assert first.packet.protocol is Protocol.QUIC
+
+    # Dead QUIC: TCP fallback wins within ~one CAD.
+    assert quic_dead.race.winning_attempt.protocol is Protocol.TCP
+    assert quic_dead.time_to_connect <= 0.600
+    protocols = [f.packet.protocol for f
+                 in quic_dead_capture.connection_attempts()]
+    assert Protocol.QUIC in protocols and Protocol.TCP in protocols
+
+    # No SVCB record: plain HEv2 behaviour (TCP, IPv6).
+    assert no_svcb.race.winning_attempt.protocol is Protocol.TCP
+    assert no_svcb.winning_family is Family.V6
+
+    lines = ["HEv3 protocol racing (SVCB advertising h3 + ECH)",
+             f"{'scenario':<22} {'winner':>12}  {'TTC':>9}",
+             f"{'QUIC healthy':<22} "
+             f"{quic_ok.race.winning_attempt.protocol.value + '/v6':>12}  "
+             f"{quic_ok.time_to_connect * 1000:>6.1f} ms",
+             f"{'QUIC blackholed':<22} "
+             f"{quic_dead.race.winning_attempt.protocol.value + '/v6':>12}  "
+             f"{quic_dead.time_to_connect * 1000:>6.1f} ms",
+             f"{'no SVCB published':<22} "
+             f"{no_svcb.race.winning_attempt.protocol.value + '/v6':>12}  "
+             f"{no_svcb.time_to_connect * 1000:>6.1f} ms"]
+    emit("hev3_protocol_racing", "\n".join(lines))

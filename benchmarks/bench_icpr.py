@@ -1,0 +1,68 @@
+"""§5.1/§5.2 — Safari behind iCloud Private Relay.
+
+Connections via iCPR expose the *egress operator's* connection policy,
+not Safari's: Akamai egress uses a 150 ms CAD and a 400 ms DNS timeout,
+Cloudflare 200 ms and 1.75 s, and neither implements Safari's RD or
+address selection — "Safari users lose RD and address selection
+features" (§6).
+"""
+
+import pytest
+
+from repro.clients import AKAMAI_EGRESS, CLOUDFLARE_EGRESS
+from repro.clients.icpr import (measure_egress_cad,
+                                measure_egress_dns_timeout)
+from repro.dns import RdataType
+
+from _util import emit
+
+CAD_GRID = [0, 100, 140, 160, 190, 210, 300]
+
+
+def build_icpr_results():
+    akamai_cad = measure_egress_cad(AKAMAI_EGRESS, CAD_GRID, seed=61)
+    cloudflare_cad = measure_egress_cad(CLOUDFLARE_EGRESS, CAD_GRID,
+                                        seed=62)
+    akamai_stall = {
+        "AAAA": measure_egress_dns_timeout(AKAMAI_EGRESS, RdataType.AAAA),
+        "A": measure_egress_dns_timeout(AKAMAI_EGRESS, RdataType.A),
+    }
+    cloudflare_stall = {
+        "AAAA": measure_egress_dns_timeout(CLOUDFLARE_EGRESS,
+                                           RdataType.AAAA),
+        "A": measure_egress_dns_timeout(CLOUDFLARE_EGRESS, RdataType.A),
+    }
+    return akamai_cad, cloudflare_cad, akamai_stall, cloudflare_stall
+
+
+def test_icpr_egress_operators(benchmark):
+    (akamai_cad, cloudflare_cad,
+     akamai_stall, cloudflare_stall) = benchmark.pedantic(
+        build_icpr_results, rounds=1, iterations=1)
+
+    # Akamai: CAD 150 ms -> IPv6 up to 140 ms, IPv4 from 160 ms.
+    assert akamai_cad[140] == "IPv6"
+    assert akamai_cad[160] == "IPv4"
+    # Cloudflare: CAD 200 ms.
+    assert cloudflare_cad[190] == "IPv6"
+    assert cloudflare_cad[210] == "IPv4"
+
+    # Same DNS timeout for A and AAAA per operator (§5.2).
+    assert akamai_stall["AAAA"] == pytest.approx(0.400, abs=0.020)
+    assert akamai_stall["A"] == pytest.approx(0.400, abs=0.020)
+    assert cloudflare_stall["AAAA"] == pytest.approx(1.750, abs=0.050)
+    assert cloudflare_stall["A"] == pytest.approx(1.750, abs=0.050)
+
+    lines = ["iCPR egress operator behaviour",
+             "==============================",
+             f"{'delay':>8}  Akamai    Cloudflare"]
+    for delay in CAD_GRID:
+        lines.append(f"{delay:>5} ms  {akamai_cad[delay]:8}  "
+                     f"{cloudflare_cad[delay]}")
+    lines.append("")
+    lines.append("DNS record delay stall (record delayed 3 s):")
+    lines.append(f"  Akamai:     AAAA {akamai_stall['AAAA']*1000:.0f} ms, "
+                 f"A {akamai_stall['A']*1000:.0f} ms")
+    lines.append(f"  Cloudflare: AAAA {cloudflare_stall['AAAA']*1000:.0f} ms,"
+                 f" A {cloudflare_stall['A']*1000:.0f} ms")
+    emit("icpr_egress", "\n".join(lines))

@@ -1,0 +1,30 @@
+"""Table 1 — HE parameter comparison across versions.
+
+Regenerates the parameter table from the RFC presets in
+:mod:`repro.core.params` and validates the values the paper lists.
+"""
+
+from repro.analysis import render_table, table1_parameters
+
+from _util import emit
+
+
+def test_table1_parameters(benchmark):
+    headers, rows = benchmark(table1_parameters)
+
+    by_name = {row[0]: row[1:] for row in rows}
+    # HEv1 has no DNS handling, no RD; HEv2 introduces 50 ms RD.
+    assert by_name["DNS Records"][0] == "-"
+    assert by_name["DNS Records"][1] == "AAAA, A"
+    assert "SVCB" in by_name["DNS Records"][2]
+    assert by_name["Resolution Delay"][0] == "-"
+    assert by_name["Resolution Delay"][1] == "50 ms"
+    assert by_name["Resolution Delay"][2] == "50 ms"
+    assert by_name["Fixed Conn. Attempt Delay"][0] == "150-250 ms"
+    assert by_name["Fixed Conn. Attempt Delay"][1] == "250 ms"
+    assert by_name["Min/Rec./Max when dynamic"][1] == "10 ms / 100 ms / 2 s"
+    assert "QUIC" in by_name["Considered protocols"][2]
+
+    emit("table1_parameters",
+         render_table(headers, rows,
+                      title="Table 1: HE parameters across versions"))

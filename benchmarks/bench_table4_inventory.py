@@ -1,0 +1,39 @@
+"""Table 4 — tested recursive resolvers and the IPv6-only probe.
+
+Lists the 17 open resolver services with their address inventory and
+runs the capability probe (resolving a zone whose name servers only
+have AAAA records) that excluded four services from the evaluation.
+"""
+
+from repro.analysis import render_table4, table4_inventory
+from repro.resolvers import evaluated_services, excluded_services
+
+from _util import emit
+
+
+def build_table4():
+    return table4_inventory(seed=5, probe=True)
+
+
+def test_table4_inventory(benchmark):
+    rows = benchmark.pedantic(build_table4, rounds=1, iterations=1)
+    by_service = {row.service: row for row in rows}
+
+    assert len(rows) == 17
+    # The paper's four excluded services fail the IPv6-only probe.
+    for name in ("Hurricane Electric", "Lumen (Level3)", "DYN", "G-Core"):
+        assert not by_service[name].ipv6_only_capable, name
+    # All thirteen evaluated services pass it.
+    for service in evaluated_services():
+        assert by_service[service.service].ipv6_only_capable
+
+    # Inventory spot checks against the paper's address counts.
+    assert (by_service["OpenDNS"].v4_addresses,
+            by_service["OpenDNS"].v6_addresses) == (6, 6)
+    assert (by_service["Quad9 DNS"].v4_addresses,
+            by_service["Quad9 DNS"].v6_addresses) == (6, 6)
+    assert by_service["114DNS"].v6_addresses == 0
+    assert by_service["Lumen (Level3)"].v6_addresses == 0
+
+    assert len(excluded_services()) == 4
+    emit("table4_inventory", render_table4(rows))

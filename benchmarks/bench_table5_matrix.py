@@ -1,0 +1,35 @@
+"""Table 5 — browsers and OSes covered by the web campaign.
+
+Replays the paper's campaign structure: 33 OS/browser combinations
+(nine browsers, seven operating systems) with repetitions, yielding at
+least the paper's 161 collected results.
+"""
+
+from repro.analysis import render_table, table5_matrix
+from repro.webtool import TABLE5_MATRIX, WebCampaign
+
+from _util import emit
+
+
+def build_campaign():
+    campaign = WebCampaign(seed=55, repetitions=5)
+    return campaign.run(entries=TABLE5_MATRIX)
+
+
+def test_table5_matrix(benchmark):
+    result = benchmark.pedantic(build_campaign, rounds=1, iterations=1)
+
+    assert len(result) == 33 * 5  # half of the ladder of 10; ≥161 runs
+    assert len(result) >= 161
+    assert result.combinations() == 33
+    browsers = {session.browser.rsplit(" ", 1)[0]
+                for session in result.sessions}
+    assert len(browsers) == 9
+    os_families = {session.os_name.split(" ")[0]
+                   for session in result.sessions}
+    assert len(os_families) == 7
+
+    headers, rows = table5_matrix(result)
+    emit("table5_matrix",
+         render_table(headers, rows,
+                      title="Table 5: web-measured OS/browser matrix"))

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The §5.2 pathology: a slow DNS A record stalls (or kills) IPv6.
+
+Demonstrates the paper's most surprising finding.  The AAAA answer is
+on the table immediately, the IPv6 path is perfect — yet Chrome-like
+clients do not connect until the *A* lookup resolves, because they
+implement no DNS timeout of their own:
+
+1. A record delayed 2 s  -> page stalls 2 s despite healthy IPv6;
+2. A record delayed past the resolver's timeout -> connection still
+   only proceeds after the resolver gives up (SERVFAIL);
+3. Safari (real HEv2) is immune;
+4. Chromium's HEv3 feature flag fixes it.
+
+Run:  python examples/dns_failure_impact.py
+"""
+
+from repro.clients import Client, get_profile
+from repro.dns import RdataType
+from repro.testbed.topology import LocalTestbed
+
+
+def fetch_with(profile_name, version, a_delay_s, resolver_timeout=5.0,
+               hev3_flag=False, seed=7):
+    testbed = LocalTestbed(seed=seed, resolver_timeout=resolver_timeout)
+    testbed.set_dns_delay(RdataType.A, a_delay_s)
+    client = Client(testbed.client, get_profile(profile_name, version),
+                    testbed.resolver_addresses[:1], hev3_flag=hev3_flag)
+    process = client.fetch("www.he-test.example")
+    process.defused = True
+    testbed.sim.run(until=30.0)
+    if process.ok:
+        fetch = process.value
+        return fetch.he.time_to_connect, fetch.used_family.label
+    return None, "FAILED"
+
+
+def main() -> None:
+    print("Scenario: IPv6 fully functional, AAAA answers instantly,")
+    print("only the DNS *A* record is slow.\n")
+
+    print(f"{'client':<24}{'A delay':>9}  {'time to connect':>16}  family")
+    print("-" * 62)
+    for a_delay in (0.5, 2.0):
+        for name, version, flag in (("Chrome", "130.0", False),
+                                    ("Firefox", "132.0", False),
+                                    ("Safari", "17.6", False),
+                                    ("Chrome", "130.0", True)):
+            ttc, family = fetch_with(name, version, a_delay,
+                                     hev3_flag=flag)
+            label = f"{name} {version}" + (" +HEv3 flag" if flag else "")
+            print(f"{label:<24}{a_delay * 1000:>6.0f} ms  "
+                  f"{ttc * 1000:>13.1f} ms  {family}")
+        print()
+
+    print("With a resolver timeout of 2 s and an A delay beyond it, the")
+    print("browser waits for the resolver's SERVFAIL before connecting:")
+    ttc, family = fetch_with("Chrome", "130.0", a_delay_s=10.0,
+                             resolver_timeout=2.0)
+    print(f"  Chrome 130.0: connected after {ttc * 1000:.0f} ms "
+          f"via {family} (the resolver's timeout, not the network's)")
+    print()
+    print('Paper, §6: "slow A queries also slow down IPv6, even if it '
+          'is not at fault."')
+
+
+if __name__ == "__main__":
+    main()

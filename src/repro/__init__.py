@@ -1,0 +1,22 @@
+"""Lazy Eye Inspection — a Happy Eyeballs measurement framework.
+
+Reproduction of Sattler et al., "Lazy Eye Inspection: Capturing the
+State of Happy Eyeballs Implementations" (ACM IMC 2025) as a complete
+Python library:
+
+* :mod:`repro.core` — the HE algorithms (RFC 6555, RFC 8305, HEv3 draft),
+* :mod:`repro.simnet` / :mod:`repro.transport` / :mod:`repro.dns` — the
+  simulated substrate (network, TCP/UDP/QUIC, full DNS),
+* :mod:`repro.clients` / :mod:`repro.resolvers` — behavioral models of
+  every measured client and resolver,
+* :mod:`repro.testbed` / :mod:`repro.webtool` — the paper's two
+  measurement setups,
+* :mod:`repro.analysis` — table/figure regeneration.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis", "clients", "core", "dns", "resolvers", "simnet",
+    "testbed", "transport", "webtool",
+]

@@ -1,0 +1,161 @@
+"""Builders for the paper's figures (data series + text rendering).
+
+* Figure 2 — address family of the established connection per
+  configured IPv6 delay, one strip per client version;
+* Figure 4 — the web tool's CAD/RD ladder views (per session);
+* Figure 5 — address family at the n-th connection attempt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..clients.profile import ClientProfile
+from ..clients.registry import figure2_clients
+from ..simnet.addr import Family
+from ..testbed.config import (SweepSpec, TestCaseConfig, TestCaseKind,
+                              address_selection_case)
+from ..testbed.runner import ResultSet, TestRunner
+from ..webtool.session import SessionResult
+from .render import render_family_strip
+
+# --------------------------------------------------------------------------
+# Figure 2 — established family vs configured IPv6 delay
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Figure2Series:
+    """One client's row in Figure 2."""
+
+    client: str
+    label: str
+    outcomes: List[Tuple[int, Optional[Family]]] = field(
+        default_factory=list)
+
+    @property
+    def crossover_ms(self) -> Optional[int]:
+        """Largest delay still established via IPv6."""
+        v6 = [delay for delay, family in self.outcomes
+              if family is Family.V6]
+        return max(v6) if v6 else None
+
+    @property
+    def first_v4_ms(self) -> Optional[int]:
+        v4 = sorted(delay for delay, family in self.outcomes
+                    if family is Family.V4)
+        return v4[0] if v4 else None
+
+
+def figure2_sweep(clients: Optional[Sequence[ClientProfile]] = None,
+                  step_ms: int = 5, stop_ms: int = 400,
+                  seed: int = 0) -> List[Figure2Series]:
+    """Run the Figure 2 campaign: delay sweep per client version.
+
+    The paper sweeps 0–400 ms in 5 ms steps; coarser steps give the
+    same crossovers faster (pass ``step_ms=25`` for a quick run).
+    """
+    profiles = list(clients) if clients is not None else figure2_clients()
+    case = TestCaseConfig(name="figure2",
+                          kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
+                          sweep=SweepSpec.range(0, stop_ms, step_ms))
+    runner = TestRunner(profiles, [case], seed=seed)
+    results = runner.run()
+    series: List[Figure2Series] = []
+    for profile in profiles:
+        entry = Figure2Series(client=profile.full_name,
+                              label=profile.label)
+        for record in results.for_client(profile.full_name):
+            entry.outcomes.append((record.value_ms, record.winning_family))
+        entry.outcomes.sort()
+        series.append(entry)
+    return series
+
+
+def render_figure2(series: List[Figure2Series]) -> str:
+    """Figure 2 as text: one strip per client ('#' IPv6, '.' IPv4)."""
+    if not series:
+        return "(no series)"
+    delays = [delay for delay, _ in series[0].outcomes]
+    width = max(len(entry.label) for entry in series)
+    lines = ["Figure 2: established address family vs configured "
+             "IPv6 delay",
+             f"{'':{width}}  {delays[0]} ms {'-' * 20}> {delays[-1]} ms"]
+    for entry in series:
+        strip = render_family_strip(
+            [None if family is None else family is Family.V6
+             for _, family in entry.outcomes])
+        crossover = entry.crossover_ms
+        suffix = (f"  (IPv6 up to {crossover} ms)"
+                  if entry.first_v4_ms is not None else "  (never IPv4)")
+        lines.append(f"{entry.label:{width}}  {strip}{suffix}")
+    lines.append("legend: '#' = IPv6 established, '.' = IPv4 established")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Figure 5 — address family at the n-th connection attempt
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Figure5Series:
+    """One client's attempt-family sequence."""
+
+    client: str
+    families: List[Family] = field(default_factory=list)
+
+    @property
+    def pattern(self) -> str:
+        return "".join("6" if family is Family.V6 else "4"
+                       for family in self.families)
+
+
+def figure5_attempts(clients: Sequence[ClientProfile],
+                     addresses_per_family: int = 10,
+                     seed: int = 0) -> List[Figure5Series]:
+    """Run the address-selection case and extract attempt sequences."""
+    case = address_selection_case(addresses_per_family)
+    runner = TestRunner(list(clients), [case], seed=seed)
+    results = runner.run()
+    series = []
+    for profile in clients:
+        record = results.for_client(profile.full_name)[0]
+        series.append(Figure5Series(
+            client=profile.full_name,
+            families=[family for _, family in record.attempts]))
+    return series
+
+
+def render_figure5(series: List[Figure5Series],
+                   slots: int = 20) -> str:
+    width = max((len(entry.client) for entry in series), default=10)
+    header = " ".join(f"{n:>2}" for n in range(1, slots + 1))
+    lines = ["Figure 5: address family used at the n-th connection "
+             "attempt",
+             f"{'':{width}}  {header}"]
+    for entry in series:
+        cells = []
+        for index in range(slots):
+            if index < len(entry.families):
+                cells.append("v6" if entry.families[index] is Family.V6
+                             else "v4")
+            else:
+                cells.append(" .")
+        lines.append(f"{entry.client:{width}}  {' '.join(cells)}")
+    lines.append("legend: v6/v4 = attempt via that family, . = no attempt")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Figure 4 — web tool ladders (rendering lives with the web tool)
+# --------------------------------------------------------------------------
+
+
+def figure4_sessions(sessions: Sequence[SessionResult]) -> str:
+    """Concatenated ladder views for a set of sessions."""
+    from ..webtool.report import render_session_ladder
+
+    return "\n\n".join(render_session_ladder(session)
+                       for session in sessions)

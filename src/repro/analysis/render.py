@@ -1,0 +1,73 @@
+"""Plain-text rendering of tables and figure series.
+
+Benches and examples print through these helpers so every reproduced
+table/figure has a consistent, diff-able textual form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Align columns; None renders as '-'."""
+    normalized: List[List[str]] = []
+    for row in rows:
+        normalized.append(["-" if cell is None else str(cell)
+                           for cell in row])
+    widths = [len(h) for h in headers]
+    for row in normalized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(h.ljust(widths[i])
+                            for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in normalized:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_family_strip(outcomes: Sequence[Optional[bool]],
+                        v6_char: str = "#", v4_char: str = ".",
+                        unknown_char: str = " ") -> str:
+    """A Figure 2-style strip: one character per sweep point.
+
+    ``True`` = IPv6 established, ``False`` = IPv4, ``None`` = no data.
+    """
+    out = []
+    for used_ipv6 in outcomes:
+        if used_ipv6 is None:
+            out.append(unknown_char)
+        elif used_ipv6:
+            out.append(v6_char)
+        else:
+            out.append(v4_char)
+    return "".join(out)
+
+
+def render_mark(value: Optional[bool], deviation: bool = False) -> str:
+    """Table 2 style marks: ● observed, ○ not observed, ◐ deviation."""
+    if value is None:
+        return "-"
+    if deviation:
+        return "◐"
+    return "●" if value else "○"
+
+
+def format_ms(seconds: Optional[float], digits: int = 0) -> Optional[str]:
+    if seconds is None:
+        return None
+    return f"{seconds * 1000:.{digits}f} ms"
+
+
+def format_percent(value: Optional[float], digits: int = 1) -> Optional[str]:
+    if value is None:
+        return None
+    return f"{value:.{digits}f} %"

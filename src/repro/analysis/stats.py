@@ -1,0 +1,95 @@
+"""Summary statistics over repeated measurement runs.
+
+The paper reports medians and notes that "the median and standard
+deviation are within a ms of the obtained value" for Firefox's CAD
+(§5.1).  These helpers compute those aggregates from
+:class:`~repro.testbed.runner.ResultSet` records.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..testbed.runner import ResultSet, RunRecord
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of one metric."""
+
+    count: int
+    minimum: float
+    median: float
+    mean: float
+    stddev: float
+    maximum: float
+
+    def within(self, target: float, tolerance: float) -> bool:
+        """Is the median within ``tolerance`` of ``target``?"""
+        return abs(self.median - target) <= tolerance
+
+    def describe(self, unit: str = "", scale: float = 1.0) -> str:
+        return (f"n={self.count} median={self.median * scale:.1f}{unit} "
+                f"mean={self.mean * scale:.1f}{unit} "
+                f"sd={self.stddev * scale:.2f}{unit} "
+                f"range=[{self.minimum * scale:.1f}, "
+                f"{self.maximum * scale:.1f}]{unit}")
+
+
+def summarize(values: Iterable[float]) -> Optional[Summary]:
+    """Summary of a value sequence; None when empty."""
+    data = sorted(values)
+    if not data:
+        return None
+    count = len(data)
+    mean = sum(data) / count
+    if count % 2:
+        median = data[count // 2]
+    else:
+        median = (data[count // 2 - 1] + data[count // 2]) / 2.0
+    variance = sum((v - mean) ** 2 for v in data) / count
+    return Summary(count=count, minimum=data[0], median=median,
+                   mean=mean, stddev=math.sqrt(variance),
+                   maximum=data[-1])
+
+
+def summarize_metric(results: ResultSet, client: str,
+                     metric: Callable[[RunRecord], Optional[float]]
+                     ) -> Optional[Summary]:
+    """Summary of ``metric`` over a client's runs (None values skipped)."""
+    values = [value for record in results.for_client(client)
+              if (value := metric(record)) is not None]
+    return summarize(values)
+
+
+def cad_summary(results: ResultSet, client: str) -> Optional[Summary]:
+    return summarize_metric(results, client,
+                            lambda record: record.cad_s)
+
+
+def rd_summary(results: ResultSet, client: str) -> Optional[Summary]:
+    return summarize_metric(results, client, lambda record: record.rd_s)
+
+
+def stall_summary(results: ResultSet, client: str) -> Optional[Summary]:
+    return summarize_metric(
+        results, client, lambda record: record.time_to_first_attempt_s)
+
+
+def outlier_fraction(results: ResultSet, client: str,
+                     nominal_cad_s: float,
+                     tolerance_s: float = 0.010) -> Optional[float]:
+    """Fraction of runs whose observed CAD exceeds the nominal value.
+
+    This is the paper's Firefox observation operationalized: outliers
+    are CADs more than ``tolerance`` above the configured value.
+    """
+    values = [record.cad_s for record in results.for_client(client)
+              if record.cad_s is not None]
+    if not values:
+        return None
+    late = sum(1 for value in values
+               if value > nominal_cad_s + tolerance_s)
+    return late / len(values)

@@ -1,0 +1,197 @@
+"""Command-line interface: regenerate any table or figure.
+
+Examples::
+
+    python -m repro table1
+    python -m repro table2 --seed 1
+    python -m repro table3 --repetitions 64
+    python -m repro figure2 --step 25
+    python -m repro figure5
+    python -m repro delayed-a
+    python -m repro trace --delay-ms 400
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    from .analysis import render_table, table1_parameters
+
+    headers, rows = table1_parameters()
+    print(render_table(headers, rows,
+                       title="Table 1: HE parameters across versions"))
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    from .analysis import render_table2, table2_features
+    from .webtool import UAEntry, WebCampaign
+
+    web = None
+    if not args.no_web:
+        campaign = WebCampaign(seed=args.seed + 1,
+                               repetitions=args.repetitions)
+        web = campaign.run(entries=(
+            UAEntry("Linux", "", "Chrome", "130.0.0"),
+            UAEntry("Linux", "", "Chromium", "130.0.0"),
+            UAEntry("Windows", "10", "Edge", "130.0.0"),
+            UAEntry("Linux", "", "Firefox", "132.0"),
+            UAEntry("Mac OS X", "10.15.7", "Safari", "17.6"),
+        ))
+    rows = table2_features(seed=args.seed, web_campaign=web)
+    print(render_table2(rows))
+
+
+def _cmd_table3(args: argparse.Namespace) -> None:
+    from .analysis import render_table3, table3_resolvers
+
+    rows = table3_resolvers(seed=args.seed,
+                            share_repetitions=args.repetitions,
+                            delay_repetitions=max(3, args.repetitions // 20))
+    print(render_table3(rows))
+
+
+def _cmd_table4(args: argparse.Namespace) -> None:
+    from .analysis import render_table4, table4_inventory
+
+    print(render_table4(table4_inventory(seed=args.seed)))
+
+
+def _cmd_table5(args: argparse.Namespace) -> None:
+    from .analysis import render_table, table5_matrix
+    from .webtool import TABLE5_MATRIX, WebCampaign
+
+    campaign = WebCampaign(seed=args.seed, repetitions=args.repetitions)
+    result = campaign.run(entries=TABLE5_MATRIX)
+    headers, rows = table5_matrix(result)
+    print(render_table(headers, rows,
+                       title="Table 5: web-measured OS/browser matrix"))
+    print(f"\n{len(result)} sessions, {result.combinations()} "
+          "OS/browser combinations")
+
+
+def _cmd_figure2(args: argparse.Namespace) -> None:
+    from .analysis import figure2_sweep, render_figure2
+
+    series = figure2_sweep(step_ms=args.step, stop_ms=args.stop,
+                           seed=args.seed)
+    print(render_figure2(series))
+
+
+def _cmd_figure4(args: argparse.Namespace) -> None:
+    from .clients import get_profile
+    from .webtool import (WebToolDeployment, WebToolSession,
+                          render_session_ladder)
+
+    deployment = WebToolDeployment(seed=args.seed)
+    for name, version in (("Chrome", "130.0"), ("Safari", "17.6")):
+        session = WebToolSession(deployment, get_profile(name, version))
+        print(render_session_ladder(session.run()))
+        print()
+
+
+def _cmd_figure5(args: argparse.Namespace) -> None:
+    from .analysis import figure5_attempts, render_figure5
+    from .clients import get_profile
+
+    clients = [get_profile(n, v) for n, v in (
+        ("wget", "1.21.3"), ("curl", "7.88.1"), ("Safari", "17.6"),
+        ("Firefox", "132.0"), ("Edge", "130.0"), ("Chromium", "130.0"),
+        ("Chrome", "130.0"))]
+    series = figure5_attempts(clients, seed=args.seed)
+    print(render_figure5(series))
+
+
+def _cmd_delayed_a(args: argparse.Namespace) -> None:
+    from .clients import Client, get_profile
+    from .dns import RdataType
+    from .testbed.topology import LocalTestbed
+
+    print("A record delayed 2 s; IPv6 and AAAA fully healthy:\n")
+    for name, version, flag in (("Chrome", "130.0", False),
+                                ("Firefox", "132.0", False),
+                                ("Safari", "17.6", False),
+                                ("Chrome", "130.0", True)):
+        testbed = LocalTestbed(seed=args.seed)
+        testbed.set_dns_delay(RdataType.A, 2.0)
+        client = Client(testbed.client, get_profile(name, version),
+                        testbed.resolver_addresses[:1], hev3_flag=flag)
+        result = testbed.sim.run_until(
+            client.fetch("www.he-test.example"))
+        label = f"{name} {version}" + (" +HEv3 flag" if flag else "")
+        print(f"  {label:<26} connected after "
+              f"{result.he.time_to_connect * 1000:7.1f} ms via "
+              f"{result.used_family.label}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    from .core import rfc8305_params
+    from .core.engine import HappyEyeballsEngine
+    from .dns.stub import StubResolver
+    from .testbed.topology import LocalTestbed
+
+    testbed = LocalTestbed(seed=args.seed)
+    testbed.delay_ipv6_tcp(args.delay_ms / 1000.0)
+    stub = StubResolver(testbed.client, testbed.resolver_addresses[:1],
+                        timeout=3600.0, retries=0)
+    engine = HappyEyeballsEngine(testbed.client, stub, rfc8305_params())
+    result = testbed.sim.run_until(engine.connect("www.he-test.example"))
+    print(result.trace.render())
+    print(f"\nwinner: {result.winning_family.label}, "
+          f"time to connect {result.time_to_connect * 1000:.1f} ms")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Lazy Eye Inspection: regenerate the paper's "
+                    "tables and figures from simulation.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="HE parameter comparison"
+                   ).set_defaults(fn=_cmd_table1)
+    p2 = sub.add_parser("table2", help="client HE feature matrix")
+    p2.add_argument("--repetitions", type=int, default=10)
+    p2.add_argument("--no-web", action="store_true",
+                    help="skip the web-validation campaign")
+    p2.set_defaults(fn=_cmd_table2)
+    p3 = sub.add_parser("table3", help="resolver IPv6 usage")
+    p3.add_argument("--repetitions", type=int, default=160)
+    p3.set_defaults(fn=_cmd_table3)
+    sub.add_parser("table4", help="open resolver inventory"
+                   ).set_defaults(fn=_cmd_table4)
+    p5 = sub.add_parser("table5", help="web campaign UA matrix")
+    p5.add_argument("--repetitions", type=int, default=5)
+    p5.set_defaults(fn=_cmd_table5)
+
+    pf2 = sub.add_parser("figure2", help="CAD sweep per client version")
+    pf2.add_argument("--step", type=int, default=25,
+                     help="delay step in ms (paper: 5)")
+    pf2.add_argument("--stop", type=int, default=400)
+    pf2.set_defaults(fn=_cmd_figure2)
+    sub.add_parser("figure4", help="web tool ladders"
+                   ).set_defaults(fn=_cmd_figure4)
+    sub.add_parser("figure5", help="address selection attempts"
+                   ).set_defaults(fn=_cmd_figure5)
+    sub.add_parser("delayed-a", help="the §5.2 delayed-A pathology"
+                   ).set_defaults(fn=_cmd_delayed_a)
+    pt = sub.add_parser("trace", help="one HE run's event trace")
+    pt.add_argument("--delay-ms", type=int, default=400)
+    pt.set_defaults(fn=_cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

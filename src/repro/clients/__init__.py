@@ -1,0 +1,27 @@
+"""Client models: the black boxes under test.
+
+Each measured client (browsers, curl, wget, iCPR egress operators) is a
+:class:`ClientProfile` — a parameterization of the real HE engine in
+:mod:`repro.core` — instantiated as a runnable :class:`Client` on a
+simulated host.  The registry carries every client/version from
+Figure 2 and Table 2.
+"""
+
+from .base import CLIENT_STUB_TIMEOUT, Client, FetchResult
+from .icpr import (AKAMAI_EGRESS, CLOUDFLARE_EGRESS, EGRESS_OPERATORS,
+                   EgressOperatorProfile, ICPREgressNode, ICPRRelayClient,
+                   ICPRRelayService)
+from .profile import (ClientProfile, SERIAL_CAD, chromium_params,
+                      curl_params, gecko_params, webkit_params, wget_params)
+from .registry import (all_profiles, figure2_clients, get_profile,
+                       local_testbed_clients, table2_clients)
+
+__all__ = [
+    "AKAMAI_EGRESS", "CLIENT_STUB_TIMEOUT", "CLOUDFLARE_EGRESS", "Client",
+    "ClientProfile", "EGRESS_OPERATORS", "EgressOperatorProfile",
+    "FetchResult", "ICPREgressNode", "ICPRRelayClient",
+    "ICPRRelayService", "SERIAL_CAD", "all_profiles",
+    "chromium_params", "curl_params", "figure2_clients", "gecko_params",
+    "get_profile", "local_testbed_clients", "table2_clients",
+    "webkit_params", "wget_params",
+]

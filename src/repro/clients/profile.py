@@ -1,0 +1,161 @@
+"""Client behaviour profiles.
+
+A :class:`ClientProfile` is the externally observable fingerprint of
+one client implementation + version: its Happy Eyeballs parameters
+(or lack thereof), DNS query order, attempt budget, and measurement
+quirks (Firefox's occasional late fallbacks, Safari's dynamic CAD).
+The registry in :mod:`repro.clients.registry` instantiates one profile
+per client/version measured in the paper; the testbed and web tool
+treat them as black boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..core.params import HEParams, InterlaceStrategy, ResolutionPolicy
+from ..dns.rdata import RdataType
+
+#: Marker CAD for clients that never race (no Happy Eyeballs): the next
+#: attempt starts only after the previous one fails.
+SERIAL_CAD = 2.0e5
+
+
+@dataclass(frozen=True)
+class ClientProfile:
+    """One client implementation/version as a measurable black box."""
+
+    name: str
+    version: str
+    released: str  # "YYYY-MM" as shown on the Figure 2 axis
+    engine_family: str  # chromium | gecko | webkit | curl | wget
+    kind: str  # browser | mobile-browser | cli
+    params: HEParams
+    query_first: RdataType = RdataType.AAAA
+    implements_happy_eyeballs: bool = True
+    outlier_probability: float = 0.0  # Firefox: rare late IPv4 fallback
+    outlier_extra_cad: float = 0.0
+    hev3_flag_available: bool = False
+    supports_local_tests: bool = True
+    supports_web_tests: bool = True
+    os_hint: str = "Linux"
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.engine_family not in ("chromium", "gecko", "webkit",
+                                      "curl", "wget"):
+            raise ValueError(f"unknown engine family {self.engine_family!r}")
+        if not 0.0 <= self.outlier_probability <= 1.0:
+            raise ValueError("outlier_probability must be a probability")
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.name} {self.version}"
+
+    @property
+    def label(self) -> str:
+        """Figure 2 row label, e.g. ``"Chrome (130.0 10-2024)"``."""
+        return f"{self.name} ({self.version} {self.released})"
+
+    @property
+    def nominal_cad(self) -> Optional[float]:
+        """The fixed CAD in seconds, or None when dynamic / absent."""
+        if not self.implements_happy_eyeballs:
+            return None
+        if self.params.dynamic_cad:
+            return None
+        return self.params.connection_attempt_delay
+
+    @property
+    def implements_resolution_delay(self) -> bool:
+        return (self.params.resolution_policy is ResolutionPolicy.HE_V2
+                and self.params.resolution_delay is not None)
+
+    def with_hev3_flag(self) -> "ClientProfile":
+        """The profile with Chromium's HEv3 feature flag enabled.
+
+        Since April 2024 Chromium offers a flag that "adds RD and gets
+        rid of" the delayed-A stall (§5.2).
+        """
+        if not self.hev3_flag_available:
+            raise ValueError(
+                f"{self.full_name} has no HEv3 feature flag")
+        flagged = self.params.with_overrides(
+            resolution_policy=ResolutionPolicy.HE_V2,
+            resolution_delay=0.050)
+        return replace(self, params=flagged,
+                       notes=(self.notes + " [HEv3 flag]").strip())
+
+
+def chromium_params(cad: float = 0.300) -> HEParams:
+    """Chromium-family behaviour: fixed 300 ms CAD, no RD, HEv1-style.
+
+    The 300 ms constant is in the Chromium source; the delayed-A stall
+    comes from waiting for both DNS answers with no own timeout.
+    """
+    return HEParams(
+        connection_attempt_delay=cad,
+        resolution_delay=None,
+        resolution_policy=ResolutionPolicy.WAIT_BOTH,
+        interlace=InterlaceStrategy.SEQUENTIAL,
+        max_attempts_per_family=1,
+    )
+
+
+def gecko_params(cad: float = 0.250) -> HEParams:
+    """Firefox: the RFC-recommended 250 ms CAD, otherwise HEv1-style."""
+    return HEParams(
+        connection_attempt_delay=cad,
+        resolution_delay=None,
+        resolution_policy=ResolutionPolicy.WAIT_BOTH,
+        interlace=InterlaceStrategy.SEQUENTIAL,
+        max_attempts_per_family=1,
+    )
+
+
+def webkit_params(maximum_cad: float = 2.0) -> HEParams:
+    """Safari: full HEv2 — dynamic CAD, 50 ms RD, FAFC 2, interlacing.
+
+    With no connection history (the pristine local testbed) the dynamic
+    CAD falls back to its maximum — which is why Safari's local CAD
+    measures a constant 2 s (§5.1).  ``maximum_cad=1.0`` models the
+    observed iOS preference for lower values.
+    """
+    return HEParams(
+        dynamic_cad=True,
+        connection_attempt_delay=0.250,  # unused while dynamic
+        minimum_cad=0.010,
+        recommended_cad=0.100,
+        maximum_cad=maximum_cad,
+        resolution_delay=0.050,
+        resolution_policy=ResolutionPolicy.HE_V2,
+        interlace=InterlaceStrategy.FIRST_FAMILY_BURST,
+        first_address_family_count=2,
+    )
+
+
+def curl_params() -> HEParams:
+    """curl: the smallest fixed CAD observed, 200 ms (a curl default)."""
+    return HEParams(
+        connection_attempt_delay=0.200,
+        resolution_delay=None,
+        resolution_policy=ResolutionPolicy.WAIT_BOTH,
+        interlace=InterlaceStrategy.SEQUENTIAL,
+        max_attempts_per_family=1,
+    )
+
+
+def wget_params() -> HEParams:
+    """wget: no Happy Eyeballs at all — strictly serial attempts.
+
+    It resolves both families, prefers IPv6, and only ever moves to the
+    next address when the current attempt fails outright; with impaired
+    IPv6 it "fails without using the provided IPv4 addresses".
+    """
+    return HEParams(
+        connection_attempt_delay=SERIAL_CAD,
+        resolution_delay=None,
+        resolution_policy=ResolutionPolicy.WAIT_BOTH,
+        interlace=InterlaceStrategy.SEQUENTIAL,
+    )

@@ -1,0 +1,147 @@
+"""Catalog of every client + version the paper measures.
+
+Figure 2 sweeps 17 client versions on the local testbed; Table 2
+evaluates nine clients; Table 5 lists the browser/OS combinations seen
+by the web tool.  This registry is the single source of truth for all
+of them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..dns.rdata import RdataType
+from .profile import (ClientProfile, chromium_params, curl_params,
+                      gecko_params, webkit_params, wget_params)
+
+
+def _chromium(name: str, version: str, released: str,
+              hev3_flag: bool = False, kind: str = "browser",
+              os_hint: str = "Linux") -> ClientProfile:
+    return ClientProfile(
+        name=name, version=version, released=released,
+        engine_family="chromium", kind=kind, params=chromium_params(),
+        query_first=RdataType.AAAA, hev3_flag_available=hev3_flag,
+        supports_local_tests=kind != "mobile-browser",
+        os_hint=os_hint,
+        notes="CAD 300 ms (constant in the Chromium source); no RD")
+
+
+def _firefox(version: str, released: str,
+             os_hint: str = "Linux") -> ClientProfile:
+    return ClientProfile(
+        name="Firefox", version=version, released=released,
+        engine_family="gecko", kind="browser", params=gecko_params(),
+        # Table 2 marks Firefox's AAAA-first as "not observed": its
+        # query order follows the OS stub resolver, observed A-first.
+        query_first=RdataType.A,
+        outlier_probability=0.15, outlier_extra_cad=0.200,
+        os_hint=os_hint,
+        notes="CAD 250 ms per RFC recommendation; occasional late outliers")
+
+
+def _safari(version: str, released: str, mobile: bool = False
+            ) -> ClientProfile:
+    return ClientProfile(
+        name="Mobile Safari" if mobile else "Safari",
+        version=version, released=released,
+        engine_family="webkit",
+        kind="mobile-browser" if mobile else "browser",
+        params=webkit_params(maximum_cad=1.0 if mobile else 2.0),
+        query_first=RdataType.AAAA,
+        supports_local_tests=not mobile,
+        os_hint="iOS" if mobile else "Mac OS X 10.15.7",
+        notes="full HEv2: dynamic CAD, 50 ms RD, FAFC 2, interlacing")
+
+
+_PROFILES: List[ClientProfile] = [
+    # -- Chromium family, Figure 2 versions ------------------------------
+    _chromium("Chrome", "88.0", "01-2021"),
+    _chromium("Chrome", "96.0", "11-2021"),
+    _chromium("Chrome", "108.0", "11-2022"),
+    _chromium("Chrome", "120.0", "11-2023"),
+    _chromium("Chrome", "130.0", "10-2024", hev3_flag=True),
+    _chromium("Chromium", "130.0", "10-2024", hev3_flag=True),
+    _chromium("Edge", "90.0", "04-2021"),
+    _chromium("Edge", "96.0", "11-2021"),
+    _chromium("Edge", "108.0", "12-2022"),
+    _chromium("Edge", "120.0", "12-2023"),
+    _chromium("Edge", "130.0", "10-2024", hev3_flag=True),
+    _chromium("Chrome Mobile", "130.0", "10-2024", kind="mobile-browser",
+              os_hint="Android 10"),
+    # -- Gecko family -------------------------------------------------------
+    _firefox("96.0", "01-2022"),
+    _firefox("109.0", "01-2023"),
+    _firefox("122.0", "01-2024"),
+    _firefox("132.0", "10-2024"),
+    # -- WebKit family -------------------------------------------------------
+    _safari("17.5", "05-2024"),
+    _safari("17.6", "07-2024"),
+    _safari("17.6", "07-2024", mobile=True),
+    # -- command-line tools ---------------------------------------------------
+    ClientProfile(
+        name="curl", version="7.88.1", released="02-2023",
+        engine_family="curl", kind="cli", params=curl_params(),
+        query_first=RdataType.AAAA, supports_web_tests=False,
+        notes="CAD 200 ms (--happy-eyeballs-timeout-ms default)"),
+    ClientProfile(
+        name="wget", version="1.21.3", released="02-2022",
+        engine_family="wget", kind="cli", params=wget_params(),
+        query_first=RdataType.A, implements_happy_eyeballs=False,
+        supports_web_tests=False,
+        notes="no HE: serial attempts, no IPv4 fallback under delay"),
+]
+
+_BY_KEY: Dict[str, ClientProfile] = {
+    f"{p.name} {p.version}".lower(): p for p in _PROFILES}
+
+
+def all_profiles() -> List[ClientProfile]:
+    return list(_PROFILES)
+
+
+def get_profile(name: str, version: Optional[str] = None) -> ClientProfile:
+    """Look up a profile by "Name version" or by name (latest version)."""
+    if version is not None:
+        key = f"{name} {version}".lower()
+        if key in _BY_KEY:
+            return _BY_KEY[key]
+        raise KeyError(f"no profile for {name} {version}")
+    matches = [p for p in _PROFILES if p.name.lower() == name.lower()]
+    if not matches:
+        raise KeyError(f"no profile named {name!r}")
+    return matches[-1]
+
+
+def figure2_clients() -> List[ClientProfile]:
+    """The 17 rows of Figure 2, bottom-up order as plotted.
+
+    Safari is excluded from the figure (its 2 s CAD would compress the
+    axis), exactly as the paper does.
+    """
+    order = [
+        ("wget", "1.21.3"), ("curl", "7.88.1"),
+        ("Firefox", "96.0"), ("Firefox", "109.0"), ("Firefox", "122.0"),
+        ("Firefox", "132.0"),
+        ("Edge", "90.0"), ("Edge", "96.0"), ("Edge", "108.0"),
+        ("Edge", "120.0"), ("Edge", "130.0"),
+        ("Chromium", "130.0"),
+        ("Chrome", "88.0"), ("Chrome", "96.0"), ("Chrome", "108.0"),
+        ("Chrome", "120.0"), ("Chrome", "130.0"),
+    ]
+    return [get_profile(name, version) for name, version in order]
+
+
+def table2_clients() -> List[ClientProfile]:
+    """The nine clients of Table 2, in its row order."""
+    rows = [
+        ("Chrome", "130.0"), ("Chromium", "130.0"), ("Edge", "130.0"),
+        ("Firefox", "132.0"), ("Safari", "17.6"),
+        ("Mobile Safari", "17.6"), ("Chrome Mobile", "130.0"),
+        ("curl", "7.88.1"), ("wget", "1.21.3"),
+    ]
+    return [get_profile(name, version) for name, version in rows]
+
+
+def local_testbed_clients() -> List[ClientProfile]:
+    return [p for p in _PROFILES if p.supports_local_tests]

@@ -1,0 +1,38 @@
+"""Happy Eyeballs core: RFC 6555 / RFC 8305 / draft-HEv3 algorithms.
+
+The paper's subject matter.  :class:`HappyEyeballsEngine` composes the
+phase implementations — resolution-delay state machine, address
+sorting + interlacing, staggered connection racing, outcome caching,
+SVCB-driven protocol selection — into a configurable client, and every
+client model in :mod:`repro.clients` is a parameterization of it.
+"""
+
+from .cache import CachedOutcome, OutcomeCache
+from .engine import HEResult, HappyEyeballsEngine, HappyEyeballsError
+from .events import HEEvent, HEEventKind, HETrace
+from .interlace import (apply_interlace, interlace_first_family_burst,
+                        interlace_rfc8305, interlace_sequential)
+from .params import (HEParams, HEVersion, InterlaceStrategy,
+                     RFC_PARAMETER_SETS, ResolutionPolicy, hev3_draft_params,
+                     rfc6555_params, rfc8305_params)
+from .racing import (AllAttemptsFailed, AttemptOutcome, AttemptRecord,
+                     ConnectionRacer, NEVER_CAD, RaceDeadlineExceeded,
+                     RaceResult)
+from .resolution import ResolutionOutcome, resolve_addresses
+from .sortlist import AddressHistory, HistoryStore, order_addresses
+from .svcb import (ServiceCandidate, candidates_from_addresses,
+                   candidates_from_svcb, order_candidates)
+
+__all__ = [
+    "AddressHistory", "AllAttemptsFailed", "AttemptOutcome", "AttemptRecord",
+    "CachedOutcome", "ConnectionRacer", "HEEvent", "HEEventKind", "HEParams",
+    "HEResult", "HETrace", "HEVersion", "HappyEyeballsEngine",
+    "HappyEyeballsError", "HistoryStore", "InterlaceStrategy", "NEVER_CAD",
+    "OutcomeCache", "RFC_PARAMETER_SETS", "RaceDeadlineExceeded",
+    "RaceResult", "ResolutionOutcome", "ResolutionPolicy",
+    "ServiceCandidate", "apply_interlace", "candidates_from_addresses",
+    "candidates_from_svcb", "hev3_draft_params",
+    "interlace_first_family_burst", "interlace_rfc8305",
+    "interlace_sequential", "order_addresses", "order_candidates",
+    "resolve_addresses", "rfc6555_params", "rfc8305_params",
+]

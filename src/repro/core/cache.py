@@ -1,0 +1,97 @@
+"""Connection outcome cache (RFC 6555 §4.1).
+
+"Once one connection attempt succeeds, the client discards the others
+and should cache the outcome for the order of 10 minutes."  The cache
+biases subsequent resolutions of the same destination toward the
+address (family) that last worked, so a host behind broken IPv6 does
+not pay the CAD on every single connection.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..simnet.addr import Family, IPAddress, family_of, parse_address
+
+DEFAULT_CACHE_TTL = 600.0
+DEFAULT_CAPACITY = 1024
+
+
+@dataclass(frozen=True)
+class CachedOutcome:
+    """The remembered winner for one destination name."""
+
+    hostname: str
+    address: IPAddress
+    family: Family
+    recorded_at: float
+    ttl: float
+
+    def expired(self, now: float) -> bool:
+        return now - self.recorded_at >= self.ttl
+
+
+class OutcomeCache:
+    """LRU cache of winning addresses keyed by destination hostname."""
+
+    def __init__(self, ttl: float = DEFAULT_CACHE_TTL,
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive: {ttl}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.ttl = ttl
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, CachedOutcome]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def record(self, hostname: str, address: Union[str, IPAddress],
+               now: float) -> CachedOutcome:
+        """Remember that ``address`` won the race for ``hostname``."""
+        parsed = parse_address(address)
+        outcome = CachedOutcome(hostname=hostname.lower(), address=parsed,
+                                family=family_of(parsed), recorded_at=now,
+                                ttl=self.ttl)
+        key = hostname.lower()
+        if key in self._entries:
+            del self._entries[key]
+        self._entries[key] = outcome
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return outcome
+
+    def lookup(self, hostname: str, now: float) -> Optional[CachedOutcome]:
+        key = hostname.lower()
+        outcome = self._entries.get(key)
+        if outcome is None:
+            self.misses += 1
+            return None
+        if outcome.expired(now):
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return outcome
+
+    def invalidate(self, hostname: str) -> None:
+        self._entries.pop(hostname.lower(), None)
+
+    def purge_expired(self, now: float) -> int:
+        stale = [key for key, outcome in self._entries.items()
+                 if outcome.expired(now)]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, hostname: str) -> bool:
+        return hostname.lower() in self._entries

@@ -1,0 +1,269 @@
+"""The Happy Eyeballs engine: resolution → selection → racing.
+
+:class:`HappyEyeballsEngine` glues the phase implementations together
+exactly as Figure 1 depicts: issue the AAAA/A (and, for HEv3, HTTPS)
+queries, run the resolution policy, order and interlace the addresses,
+then race connection attempts one CAD apart.  Every observable the
+paper measures — query order, RD behaviour, attempt schedule, winner —
+comes out in the :class:`~repro.core.events.HETrace` and the
+:class:`HEResult`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..simnet.addr import Family, IPAddress
+from ..simnet.host import Host
+from ..simnet.packet import Protocol
+from ..simnet.process import Process
+from ..dns.rdata import RdataType, SVCB
+from ..dns.stub import DualLookup, StubResolver
+from .cache import OutcomeCache
+from .events import HEEventKind, HETrace
+from .interlace import apply_interlace
+from .params import HEParams, ResolutionPolicy
+from .racing import (AllAttemptsFailed, AttemptRecord, ConnectionRacer,
+                     NEVER_CAD, RaceResult)
+from .resolution import ResolutionOutcome, resolve_addresses
+from .sortlist import HistoryStore, order_addresses
+from .svcb import (ServiceCandidate, candidates_from_addresses,
+                   candidates_from_svcb, order_candidates)
+
+class HappyEyeballsError(Exception):
+    """Engine-level failure (no addresses, all attempts failed)."""
+
+    def __init__(self, message: str, result: "HEResult") -> None:
+        super().__init__(message)
+        self.result = result
+
+
+@dataclass
+class HEResult:
+    """Everything observable about one ``connect()`` call."""
+
+    hostname: str
+    port: int
+    started_at: float
+    finished_at: Optional[float] = None
+    connection: Optional[object] = None
+    resolution: Optional[ResolutionOutcome] = None
+    race: Optional[RaceResult] = None
+    trace: HETrace = field(default_factory=HETrace)
+    error: Optional[str] = None
+
+    @property
+    def success(self) -> bool:
+        return self.connection is not None
+
+    @property
+    def winning_family(self) -> Optional[Family]:
+        if self.race is None:
+            return None
+        return self.race.winning_family
+
+    @property
+    def time_to_connect(self) -> Optional[float]:
+        if self.finished_at is None or not self.success:
+            return None
+        return self.finished_at - self.started_at
+
+    @property
+    def attempts(self) -> List[AttemptRecord]:
+        return self.race.attempts if self.race is not None else []
+
+
+class HappyEyeballsEngine:
+    """A configurable Happy Eyeballs implementation on one host."""
+
+    def __init__(self, host: Host, stub: StubResolver, params: HEParams,
+                 cache: Optional[OutcomeCache] = None,
+                 history: Optional[HistoryStore] = None,
+                 query_first: RdataType = RdataType.AAAA,
+                 attempt_timeout: Optional[float] = None,
+                 overall_deadline: Optional[float] = None) -> None:
+        self.host = host
+        self.stub = stub
+        self.params = params
+        self.cache = cache if cache is not None else OutcomeCache(
+            ttl=params.outcome_cache_ttl)
+        self.history = history
+        self.query_first = query_first
+        self.attempt_timeout = attempt_timeout
+        self.overall_deadline = overall_deadline
+
+    # -- public API ---------------------------------------------------------
+
+    def connect(self, hostname: str, port: int = 80,
+                trace: Optional[HETrace] = None) -> Process:
+        """Spawn the connection process; its value is an :class:`HEResult`.
+
+        The process raises :class:`HappyEyeballsError` (carrying the
+        partial result) when no connection could be established.
+        """
+        # Note: `trace or HETrace()` would be wrong — an empty HETrace
+        # is falsy (len 0) and the caller's trace would be dropped.
+        return self.host.sim.process(
+            self._connect_body(hostname, port,
+                               trace if trace is not None else HETrace()),
+            name=f"he-connect:{hostname}")
+
+    # -- the run -------------------------------------------------------------
+
+    def _connect_body(self, hostname: str, port: int, trace: HETrace):
+        sim = self.host.sim
+        params = self.params
+        result = HEResult(hostname=hostname, port=port, started_at=sim.now,
+                          trace=trace)
+        trace.record(sim.now, HEEventKind.CONNECT_REQUESTED,
+                     hostname=hostname, port=port,
+                     version=params.version.short)
+
+        preferred = params.preferred_family
+        cached = self.cache.lookup(hostname, sim.now)
+        if cached is not None:
+            # RFC 6555 §4.1: bias toward the family that last won.
+            preferred = cached.family
+            trace.record(sim.now, HEEventKind.CACHE_HIT,
+                         address=str(cached.address),
+                         family=cached.family.label)
+
+        # -- resolution phase ------------------------------------------------
+        dual = self.stub.lookup_dual(hostname, first=self.query_first)
+        trace.record(sim.now, HEEventKind.QUERY_SENT,
+                     first=self.query_first.name,
+                     order="AAAA,A" if self.query_first is RdataType.AAAA
+                     else "A,AAAA")
+        https_process = None
+        if params.use_svcb:
+            https_process = self.stub.query(hostname, RdataType.HTTPS)
+
+        resolution = yield from resolve_addresses(sim, dual, params, trace)
+        result.resolution = resolution
+        if not resolution.has_addresses:
+            result.finished_at = sim.now
+            result.error = "no usable addresses"
+            trace.record(sim.now, HEEventKind.CONNECT_FAILED,
+                         reason=result.error)
+            raise HappyEyeballsError(
+                f"resolution of {hostname!r} yielded no addresses", result)
+
+        # -- selection phase ---------------------------------------------------
+        svcb_records: List[SVCB] = []
+        if https_process is not None and https_process.triggered:
+            try:
+                https_response = https_process.value
+            except Exception:  # noqa: BLE001 - HTTPS lookup is best-effort
+                https_response = None
+            if https_response is not None:
+                svcb_records = [
+                    rr.rdata for rr in https_response.answers
+                    if rr.rtype in (RdataType.HTTPS, RdataType.SVCB)]
+        candidates = self._build_candidates(
+            resolution.addresses, svcb_records, port, preferred)
+        trace.record(sim.now, HEEventKind.ADDRESSES_SELECTED,
+                     count=len(candidates),
+                     order=",".join(c.family.label[3] + ":" + str(c.address)
+                                    for c in candidates[:12]))
+
+        # -- racing phase -----------------------------------------------------------
+        racer = ConnectionRacer(self.host, params, trace=trace,
+                                history=self.history,
+                                attempt_timeout=self.attempt_timeout)
+        self._arm_late_answers(racer, resolution, port, preferred, trace)
+        try:
+            race = yield from racer.run(candidates,
+                                        deadline=self.overall_deadline)
+        except Exception as exc:  # noqa: BLE001 - attach partial result
+            result.race = getattr(exc, "race_result", None)
+            result.finished_at = sim.now
+            result.error = str(exc)
+            raise HappyEyeballsError(
+                f"connection to {hostname!r} failed: {exc}", result) from exc
+
+        result.race = race
+        result.connection = race.winner
+        result.finished_at = sim.now
+        if race.winning_attempt is not None:
+            self.cache.record(hostname,
+                              race.winning_attempt.candidate.address,
+                              sim.now)
+        return result
+
+    # -- candidate construction -----------------------------------------------------
+
+    def _build_candidates(self, addresses: Sequence[IPAddress],
+                          svcb_records: Sequence[SVCB], port: int,
+                          preferred: Family) -> List[ServiceCandidate]:
+        params = self.params
+        ordered = order_addresses(addresses, preferred_family=preferred,
+                                  history=self.history, now=self.host.sim.now)
+        ordered = apply_interlace(
+            ordered, params.interlace, preferred=preferred,
+            first_count=params.first_address_family_count)
+        ordered = self._cap_per_family(ordered)
+
+        if params.use_svcb and svcb_records:
+            candidates = candidates_from_svcb(svcb_records, ordered, port)
+            if params.race_quic:
+                return order_candidates(candidates, params)
+            candidates = [c for c in candidates
+                          if c.protocol is Protocol.TCP]
+            return order_candidates(candidates, params)
+        return candidates_from_addresses(ordered, port)
+
+    def _cap_per_family(self, ordered: Sequence[IPAddress]
+                        ) -> List[IPAddress]:
+        cap = self.params.max_attempts_per_family
+        if cap is None:
+            return list(ordered)
+        kept: List[IPAddress] = []
+        counts = {Family.V4: 0, Family.V6: 0}
+        for address in ordered:
+            family = Family.V6 if address.version == 6 else Family.V4
+            if counts[family] < cap:
+                counts[family] += 1
+                kept.append(address)
+        return kept
+
+    # -- late answers ------------------------------------------------------------------
+
+    def _arm_late_answers(self, racer: ConnectionRacer,
+                          resolution: ResolutionOutcome, port: int,
+                          preferred: Family, trace: HETrace) -> None:
+        """Feed addresses that arrive mid-race into the racer.
+
+        RFC 8305 §3: when the RD expires and connecting starts with IPv4
+        only, a later AAAA answer still joins the race.
+        """
+        dual = resolution.dual
+        if dual is None:
+            return
+        known = set(resolution.addresses)
+        sim = self.host.sim
+
+        def feed(event):
+            def watcher():
+                answer = yield event
+                fresh = [addr for addr in answer.addresses
+                         if addr not in known]
+                if not answer.usable or not fresh:
+                    return
+                known.update(fresh)
+                ordered = apply_interlace(
+                    fresh, self.params.interlace, preferred=preferred,
+                    first_count=self.params.first_address_family_count)
+                ordered = self._cap_per_family(ordered)
+                if not ordered:
+                    return
+                trace.record(sim.now, HEEventKind.LATE_ADDRESSES_ADDED,
+                             rtype=answer.rtype.name, count=len(ordered))
+                racer.add_candidates(
+                    candidates_from_addresses(ordered, port))
+            sim.process(watcher(), name="late-answers")
+
+        for event in (dual.aaaa, dual.a):
+            if not event.triggered:
+                feed(event)

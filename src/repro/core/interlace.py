@@ -1,0 +1,98 @@
+"""Address family interlacing (RFC 8305 §4).
+
+After sorting, HEv2 interleaves the two address families so that a
+broken first family cannot stall the whole list.  The *First Address
+Family Count* (FAFC) controls how many preferred-family addresses lead
+the list — "1 or 2 for aggressively favoring one family" (Table 1).
+
+Three strategies are implemented because the paper observes three
+distinct behaviours (App. D / Figure 5):
+
+* strict RFC 8305 alternation,
+* Safari's burst pattern — FAFC 2, one IPv4, then *all* remaining IPv6,
+  then the remaining IPv4,
+* no interlacing at all (HEv1-era clients).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar, Union
+
+from ..simnet.addr import Family, IPAddress, family_of, parse_address
+from .params import InterlaceStrategy
+
+T = TypeVar("T")
+
+
+def _split(addresses: Sequence[Union[str, IPAddress]],
+           preferred: Family) -> "tuple[List[IPAddress], List[IPAddress]]":
+    first: List[IPAddress] = []
+    second: List[IPAddress] = []
+    for value in addresses:
+        address = parse_address(value)
+        (first if family_of(address) is preferred else second).append(address)
+    return first, second
+
+
+def interlace_rfc8305(addresses: Sequence[Union[str, IPAddress]],
+                      preferred: Family = Family.V6,
+                      first_count: int = 1) -> List[IPAddress]:
+    """Strict RFC 8305 §4 interlacing.
+
+    The list starts with ``first_count`` preferred-family addresses,
+    then alternates families one by one; leftovers of either family are
+    appended once the other runs out.
+    """
+    if first_count < 1:
+        raise ValueError(f"first_count must be >= 1, got {first_count}")
+    first, second = _split(addresses, preferred)
+    out: List[IPAddress] = []
+    out.extend(first[:first_count])
+    remaining_first = first[first_count:]
+    index = 0
+    while index < max(len(remaining_first), len(second)):
+        if index < len(second):
+            out.append(second[index])
+        if index < len(remaining_first):
+            out.append(remaining_first[index])
+        index += 1
+    return out
+
+
+def interlace_first_family_burst(addresses: Sequence[Union[str, IPAddress]],
+                                 preferred: Family = Family.V6,
+                                 first_count: int = 2) -> List[IPAddress]:
+    """Safari's observed pattern (App. D).
+
+    ``first_count`` preferred addresses, one other-family address, then
+    all remaining preferred addresses, then the remaining other-family
+    addresses.  With ten addresses per family this yields attempts
+    v6 ×2, v4 ×1, v6 ×8, v4 ×9 — exactly Figure 5's Safari row.
+    """
+    first, second = _split(addresses, preferred)
+    out: List[IPAddress] = []
+    out.extend(first[:first_count])
+    out.extend(second[:1])
+    out.extend(first[first_count:])
+    out.extend(second[1:])
+    return out
+
+
+def interlace_sequential(addresses: Sequence[Union[str, IPAddress]],
+                         preferred: Family = Family.V6) -> List[IPAddress]:
+    """No interlacing: the whole preferred family first (HEv1 style)."""
+    first, second = _split(addresses, preferred)
+    return first + second
+
+
+def apply_interlace(addresses: Sequence[Union[str, IPAddress]],
+                    strategy: InterlaceStrategy,
+                    preferred: Family = Family.V6,
+                    first_count: int = 1) -> List[IPAddress]:
+    """Dispatch to the configured interlacing strategy."""
+    if strategy is InterlaceStrategy.RFC8305:
+        return interlace_rfc8305(addresses, preferred, first_count)
+    if strategy is InterlaceStrategy.FIRST_FAMILY_BURST:
+        return interlace_first_family_burst(addresses, preferred,
+                                            max(first_count, 1))
+    return interlace_sequential(addresses, preferred)

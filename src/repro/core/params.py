@@ -1,0 +1,166 @@
+"""Happy Eyeballs configurable values (Table 1).
+
+Every knob the three HE versions define is a field of
+:class:`HEParams`; the module-level presets are the RFC-recommended
+parameter sets the paper compares implementations against:
+
+=====================  ============  ============  ===================
+Parameter              HEv1 (2012)   HEv2 (2017)   HEv3 (draft, 2025)
+=====================  ============  ============  ===================
+Considered protocols   IPv4, IPv6    + DNS         + QUIC
+DNS records            —             AAAA, A       + SVCB, HTTPS
+Resolution delay       —             50 ms         50 ms
+Address selection      v6 then v4    interlaced    + L4 protocol
+Fixed CAD              150–250 ms    250 ms        250 ms
+Dynamic CAD min/rec/max  —           10/100/2000 ms same
+=====================  ============  ============  ===================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from ..simnet.addr import Family
+
+
+class HEVersion(enum.Enum):
+    """The standardized / drafted Happy Eyeballs generations."""
+
+    V1 = "RFC 6555 (2012)"
+    V2 = "RFC 8305 (2017)"
+    V3 = "draft-ietf-happy-happyeyeballs-v3 (2025)"
+
+    @property
+    def short(self) -> str:
+        return {"V1": "HEv1", "V2": "HEv2", "V3": "HEv3"}[self.name]
+
+
+class ResolutionPolicy(enum.Enum):
+    """How a client turns DNS answers into "start connecting now".
+
+    * ``HE_V2`` — the RFC 8305 §3 Resolution Delay state machine.
+    * ``WAIT_BOTH`` — wait for *both* the AAAA and the A answer (or the
+      resolver's timeout) before any connection attempt.  This is what
+      Chromium, Firefox, curl, and wget actually do (§5.2) and the root
+      of the delayed-A pathology.
+    * ``FIRST_USABLE`` — connect as soon as any answer with addresses
+      arrives (no delay logic at all).
+    """
+
+    HE_V2 = "hev2-resolution-delay"
+    WAIT_BOTH = "wait-both-answers"
+    FIRST_USABLE = "first-usable-answer"
+
+
+class InterlaceStrategy(enum.Enum):
+    """How the ordered dual-stack address list is interleaved.
+
+    * ``RFC8305`` — strict alternation after the First Address Family
+      Count prefix (RFC 8305 §4).
+    * ``FIRST_FAMILY_BURST`` — Safari's observed pattern (App. D): two
+      IPv6, one IPv4, then all remaining IPv6, then remaining IPv4.
+    * ``SEQUENTIAL`` — no interlacing: all preferred-family addresses,
+      then the other family (HEv1's "IPv6 once, then IPv4").
+    """
+
+    RFC8305 = "rfc8305"
+    FIRST_FAMILY_BURST = "first-family-burst"
+    SEQUENTIAL = "sequential"
+
+
+@dataclass(frozen=True)
+class HEParams:
+    """All configurable values of a Happy Eyeballs implementation.
+
+    Times are in seconds.  ``resolution_delay=None`` means the client
+    implements no RD at all (most clients in Table 2).
+    """
+
+    version: HEVersion = HEVersion.V2
+    connection_attempt_delay: float = 0.250
+    dynamic_cad: bool = False
+    minimum_cad: float = 0.010
+    recommended_cad: float = 0.100
+    maximum_cad: float = 2.0
+    resolution_delay: Optional[float] = 0.050
+    first_address_family_count: int = 1
+    preferred_family: Family = Family.V6
+    interlace: InterlaceStrategy = InterlaceStrategy.RFC8305
+    resolution_policy: ResolutionPolicy = ResolutionPolicy.HE_V2
+    outcome_cache_ttl: float = 600.0  # "on the order of 10 minutes"
+    race_quic: bool = False  # HEv3: race QUIC alongside TCP
+    use_svcb: bool = False   # HEv3: consume SVCB/HTTPS records
+    max_attempts_per_family: Optional[int] = None  # None = all addresses
+
+    def __post_init__(self) -> None:
+        if self.connection_attempt_delay <= 0:
+            raise ValueError(
+                f"CAD must be positive: {self.connection_attempt_delay}")
+        if not (0 < self.minimum_cad <= self.recommended_cad
+                <= self.maximum_cad):
+            raise ValueError(
+                "dynamic CAD bounds must satisfy 0 < min <= rec <= max")
+        if self.resolution_delay is not None and self.resolution_delay < 0:
+            raise ValueError(
+                f"negative resolution delay: {self.resolution_delay}")
+        if self.first_address_family_count < 1:
+            raise ValueError("first_address_family_count must be >= 1")
+        if (self.max_attempts_per_family is not None
+                and self.max_attempts_per_family < 1):
+            raise ValueError("max_attempts_per_family must be >= 1")
+
+    def clamp_dynamic_cad(self, proposed: float) -> float:
+        """Clamp a history-derived CAD into the RFC's min/max bounds."""
+        return max(self.minimum_cad, min(self.maximum_cad, proposed))
+
+    def with_overrides(self, **changes) -> "HEParams":
+        return replace(self, **changes)
+
+
+def rfc6555_params() -> HEParams:
+    """HEv1 as recommended: 150–250 ms fixed CAD, no DNS handling.
+
+    The RFC gives a range; 250 ms (its upper recommendation, kept by
+    HEv2) is used as the fixed value.
+    """
+    return HEParams(
+        version=HEVersion.V1,
+        connection_attempt_delay=0.250,
+        resolution_delay=None,
+        interlace=InterlaceStrategy.SEQUENTIAL,
+        resolution_policy=ResolutionPolicy.WAIT_BOTH,
+        max_attempts_per_family=1,
+    )
+
+
+def rfc8305_params() -> HEParams:
+    """HEv2 as recommended: 250 ms CAD, 50 ms RD, interlacing, FAFC 1."""
+    return HEParams(
+        version=HEVersion.V2,
+        connection_attempt_delay=0.250,
+        resolution_delay=0.050,
+        first_address_family_count=1,
+        interlace=InterlaceStrategy.RFC8305,
+        resolution_policy=ResolutionPolicy.HE_V2,
+    )
+
+
+def hev3_draft_params() -> HEParams:
+    """HEv3 draft: HEv2 values plus SVCB processing and QUIC racing."""
+    return HEParams(
+        version=HEVersion.V3,
+        connection_attempt_delay=0.250,
+        resolution_delay=0.050,
+        first_address_family_count=1,
+        interlace=InterlaceStrategy.RFC8305,
+        resolution_policy=ResolutionPolicy.HE_V2,
+        race_quic=True,
+        use_svcb=True,
+    )
+
+
+#: The three parameter sets of Table 1, keyed by version.
+RFC_PARAMETER_SETS: Tuple[HEParams, ...] = (
+    rfc6555_params(), rfc8305_params(), hev3_draft_params())

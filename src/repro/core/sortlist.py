@@ -1,0 +1,123 @@
+"""Destination address ordering and connection history.
+
+RFC 8305 §4 orders resolved addresses with the host's address selection
+policy (RFC 6724) and allows clients to fold in "knowledge about
+historical TCP round-trip times and previously used addresses"; this
+module provides both pieces:
+
+* :class:`HistoryStore` — per-destination smoothed RTTs and last-used
+  addresses with expiry (also feeds dynamic CAD, Safari-style),
+* :func:`order_addresses` — family preference + history-aware ordering
+  that keeps DNS order as the tiebreaker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..simnet.addr import Family, IPAddress, family_of, parse_address
+
+SRTT_SMOOTHING = 0.25  # weight of a fresh sample, TCP-style
+
+
+@dataclass
+class AddressHistory:
+    """What a client remembers about one destination address."""
+
+    srtt: Optional[float] = None
+    successes: int = 0
+    failures: int = 0
+    last_outcome_at: float = 0.0
+
+    def record_success(self, rtt: float, now: float) -> None:
+        if self.srtt is None:
+            self.srtt = rtt
+        else:
+            self.srtt = ((1 - SRTT_SMOOTHING) * self.srtt
+                         + SRTT_SMOOTHING * rtt)
+        self.successes += 1
+        self.last_outcome_at = now
+
+    def record_failure(self, now: float) -> None:
+        self.failures += 1
+        self.last_outcome_at = now
+
+
+class HistoryStore:
+    """RTT and outcome history across destinations.
+
+    ``max_age`` bounds how long an entry influences decisions; stale
+    entries are treated as absent (the paper's clients reset state per
+    test run, so tests exercise both fresh and expired paths).
+    """
+
+    def __init__(self, max_age: float = 600.0) -> None:
+        self.max_age = max_age
+        self._entries: Dict[IPAddress, AddressHistory] = {}
+
+    def record_success(self, address: Union[str, IPAddress], rtt: float,
+                       now: float) -> None:
+        entry = self._entries.setdefault(parse_address(address),
+                                         AddressHistory())
+        entry.record_success(rtt, now)
+
+    def record_failure(self, address: Union[str, IPAddress],
+                       now: float) -> None:
+        entry = self._entries.setdefault(parse_address(address),
+                                         AddressHistory())
+        entry.record_failure(now)
+
+    def lookup(self, address: Union[str, IPAddress],
+               now: float) -> Optional[AddressHistory]:
+        entry = self._entries.get(parse_address(address))
+        if entry is None:
+            return None
+        if now - entry.last_outcome_at > self.max_age:
+            return None
+        return entry
+
+    def srtt(self, address: Union[str, IPAddress],
+             now: float) -> Optional[float]:
+        entry = self.lookup(address, now)
+        return entry.srtt if entry is not None else None
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def order_addresses(addresses: Iterable[Union[str, IPAddress]],
+                    preferred_family: Family = Family.V6,
+                    history: Optional[HistoryStore] = None,
+                    now: float = 0.0) -> List[IPAddress]:
+    """Order candidate addresses for connection attempts.
+
+    Rules, in priority order (a practical subset of RFC 6724 plus the
+    RFC 8305 §4 history extension):
+
+    1. addresses of ``preferred_family`` before the other family;
+    2. within a family, addresses with a known-good history (lower
+       smoothed RTT) first;
+    3. addresses with recent failures last within their family;
+    4. original DNS order as the final tiebreaker (stable sort).
+    """
+    parsed = [parse_address(a) for a in addresses]
+
+    def sort_key(indexed):
+        index, address = indexed
+        family_rank = 0 if family_of(address) is preferred_family else 1
+        srtt = None
+        failures = 0
+        if history is not None:
+            entry = history.lookup(address, now)
+            if entry is not None:
+                srtt = entry.srtt
+                failures = entry.failures if entry.successes == 0 else 0
+        history_rank = (1 if srtt is None else 0, srtt or 0.0)
+        return (family_rank, failures > 0, history_rank, index)
+
+    return [address for _, address in
+            sorted(enumerate(parsed), key=sort_key)]

@@ -1,0 +1,44 @@
+"""Full DNS implementation: wire format, zones, servers, resolvers.
+
+This package provides every DNS component the study needs:
+
+* RFC 1035 wire codec with compression (:mod:`repro.dns.message`),
+* the record types HE versions consume, including SVCB/HTTPS
+  (:mod:`repro.dns.rdata`),
+* zones with delegation, glue, and wildcards (:mod:`repro.dns.zone`),
+* the paper's custom authoritative server with qname-encoded test
+  parameters (:mod:`repro.dns.auth`),
+* a client stub resolver with HEv2's paired AAAA/A lookup
+  (:mod:`repro.dns.stub`),
+* a policy-driven iterative recursive resolver and a forwarding
+  resolver (:mod:`repro.dns.recursive`, :mod:`repro.dns.nsselect`).
+"""
+
+from .auth import AuthoritativeServer, QueryLogEntry, TestParams
+from .cache import CacheEntry, DNSCache
+from .errors import (DNSError, MessageError, NoAnswerError, NxDomainError,
+                     QueryTimeout, ResolutionError, ServFailError)
+from .message import (DNSMessage, Opcode, Question, Rcode, ResourceRecord)
+from .name import DNSName
+from .nsselect import (ConfigurableNSPolicy, GluePlan, ResolverBehavior,
+                       RetryAction, ServerInfo)
+from .rdata import (A, AAAA, CNAME, HTTPS, NS, OPT, PTR, Rdata, RdataClass,
+                    RdataType, SOA, SVCB, SvcParamKey, TXT, address_rdata)
+from .recursive import (ForwardingResolver, RecursiveResolver,
+                        ResolutionResult, UpstreamQuery)
+from .stub import DualLookup, StubAnswer, StubResolver
+from .zone import LookupKind, NotInZoneError, RRset, Zone, ZoneLookupResult
+
+__all__ = [
+    "A", "AAAA", "AuthoritativeServer", "CNAME", "CacheEntry",
+    "ConfigurableNSPolicy", "DNSCache",
+    "DNSError", "DNSMessage", "DNSName", "DualLookup", "ForwardingResolver",
+    "GluePlan", "HTTPS", "LookupKind", "MessageError", "NS", "NoAnswerError",
+    "NotInZoneError", "NxDomainError", "OPT", "Opcode", "PTR", "QueryLogEntry",
+    "QueryTimeout", "Question", "RRset", "Rcode", "Rdata", "RdataClass",
+    "RdataType", "RecursiveResolver", "ResolutionError", "ResolutionResult",
+    "ResolverBehavior", "ResourceRecord", "RetryAction", "SOA", "SVCB",
+    "ServFailError", "ServerInfo", "StubAnswer", "StubResolver",
+    "SvcParamKey", "TXT", "TestParams", "UpstreamQuery", "Zone",
+    "ZoneLookupResult", "address_rdata",
+]

@@ -1,0 +1,149 @@
+"""DNS response caching, including negative caching (RFC 2308).
+
+The paper's measurement design works *around* caches: nonce labels,
+unique zone apexes, unique name-server names (§4.2).  For that design
+to be meaningful the substrate needs real caching behaviour — this
+module provides it, and the tests verify both sides: repeated names
+hit the cache, nonce names never do.
+
+Negative caching matters to Happy Eyeballs specifically: Foremski et
+al. observed domains with up to 90 % empty AAAA responses cached with
+small TTLs because of HE's paired queries (§3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .message import DNSMessage, Rcode, ResourceRecord
+from .name import DNSName
+from .rdata import RdataType, SOA
+
+DEFAULT_NEGATIVE_TTL = 300
+MAX_CACHE_TTL = 86400
+
+CacheKey = Tuple[DNSName, RdataType]
+
+
+@dataclass
+class CacheEntry:
+    """One cached answer (positive or negative)."""
+
+    key: CacheKey
+    stored_at: float
+    ttl: float
+    records: List[ResourceRecord] = field(default_factory=list)
+    rcode: Rcode = Rcode.NOERROR
+
+    @property
+    def negative(self) -> bool:
+        return not self.records
+
+    def expired(self, now: float) -> bool:
+        return now - self.stored_at >= self.ttl
+
+    def remaining_ttl(self, now: float) -> int:
+        return max(0, int(self.ttl - (now - self.stored_at)))
+
+
+class DNSCache:
+    """A TTL-honoring cache of query responses."""
+
+    def __init__(self, max_entries: int = 4096,
+                 negative_ttl_cap: int = DEFAULT_NEGATIVE_TTL) -> None:
+        if max_entries < 1:
+            raise ValueError("cache needs at least one slot")
+        self._entries: Dict[CacheKey, CacheEntry] = {}
+        self.max_entries = max_entries
+        self.negative_ttl_cap = negative_ttl_cap
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- storing -----------------------------------------------------------
+
+    def store_response(self, response: DNSMessage, now: float
+                       ) -> Optional[CacheEntry]:
+        """Cache a response message (positive or negative)."""
+        if not response.questions:
+            return None
+        question = response.question
+        key: CacheKey = (question.name, question.rtype)
+        matching = [rr for rr in response.answers
+                    if rr.name == question.name or rr.rtype ==
+                    RdataType.CNAME]
+        if response.rcode is Rcode.NOERROR and matching:
+            ttl = min(rr.ttl for rr in matching)
+            entry = CacheEntry(key=key, stored_at=now,
+                               ttl=min(ttl, MAX_CACHE_TTL),
+                               records=list(response.answers))
+        elif response.rcode in (Rcode.NOERROR, Rcode.NXDOMAIN):
+            # Negative answer: TTL from the SOA minimum (RFC 2308 §5).
+            ttl = self._negative_ttl(response)
+            entry = CacheEntry(key=key, stored_at=now, ttl=ttl,
+                               rcode=response.rcode)
+        else:
+            return None  # SERVFAIL etc. are not cached
+        self._entries[key] = entry
+        self._evict_if_needed(now)
+        return entry
+
+    def _negative_ttl(self, response: DNSMessage) -> float:
+        for rr in response.authorities:
+            if rr.rtype is RdataType.SOA and isinstance(rr.rdata, SOA):
+                return float(min(rr.rdata.minimum, rr.ttl,
+                                 self.negative_ttl_cap))
+        return float(self.negative_ttl_cap)
+
+    def _evict_if_needed(self, now: float) -> None:
+        if len(self._entries) <= self.max_entries:
+            return
+        self.purge_expired(now)
+        while len(self._entries) > self.max_entries:
+            oldest = min(self._entries.values(),
+                         key=lambda entry: entry.stored_at)
+            del self._entries[oldest.key]
+
+    # -- lookups ---------------------------------------------------------------
+
+    def lookup(self, name: DNSName, rtype: RdataType,
+               now: float) -> Optional[CacheEntry]:
+        entry = self._entries.get((name, rtype))
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.expired(now):
+            del self._entries[(name, rtype)]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def answer_from_cache(self, query: DNSMessage,
+                          now: float) -> Optional[DNSMessage]:
+        """Synthesize a response for ``query``, or None on cache miss."""
+        question = query.question
+        entry = self.lookup(question.name, question.rtype, now)
+        if entry is None:
+            return None
+        response = query.make_response(rcode=entry.rcode, ra=True)
+        remaining = entry.remaining_ttl(now)
+        for rr in entry.records:
+            response.answers.append(ResourceRecord(
+                rr.name, rr.rtype, remaining, rr.rdata, rr.rclass))
+        return response
+
+    # -- maintenance ------------------------------------------------------------
+
+    def purge_expired(self, now: float) -> int:
+        stale = [key for key, entry in self._entries.items()
+                 if entry.expired(now)]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def flush(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,43 @@
+"""DNS-specific error types."""
+
+from __future__ import annotations
+
+
+class DNSError(Exception):
+    """Base class for DNS errors."""
+
+
+class NameError_(DNSError):
+    """Malformed domain name (label too long, name too long, bad text)."""
+
+
+class MessageError(DNSError):
+    """Malformed wire-format message."""
+
+
+class CompressionLoopError(MessageError):
+    """Compression pointers form a loop or point forward."""
+
+
+class QueryTimeout(DNSError):
+    """No response from the queried server within the timeout."""
+
+    def __init__(self, message: str, elapsed: float = 0.0) -> None:
+        super().__init__(message)
+        self.elapsed = elapsed
+
+
+class ResolutionError(DNSError):
+    """Recursive resolution failed (all servers exhausted, loop, ...)."""
+
+
+class NoAnswerError(ResolutionError):
+    """The name exists but has no records of the requested type."""
+
+
+class NxDomainError(ResolutionError):
+    """The name does not exist (authoritative NXDOMAIN)."""
+
+
+class ServFailError(ResolutionError):
+    """Upstream answered SERVFAIL (how resolver timeouts surface to stubs)."""

@@ -1,0 +1,241 @@
+"""Client-side stub resolver.
+
+Implements the query behaviour HEv2 §3 expects from clients: a AAAA
+query issued first, *immediately* followed by the A query, with both
+answers surfacing as separately timestamped events — the inputs to the
+Resolution Delay state machine.
+
+The stub also reproduces the §5.2 pathology knobs: its per-query
+timeout/retry policy is configurable because "Chromium-based browsers
+and Firefox depend on the resolver's timeout.  They do not apply any
+DNS resolution timeout on their own."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from ..simnet.addr import IPAddress, parse_address
+from ..simnet.events import Event
+from ..simnet.host import Host
+from ..simnet.process import Process
+from .errors import QueryTimeout
+from .message import DNSMessage, Rcode
+from .name import DNSName
+from .rdata import RdataType
+
+DEFAULT_QUERY_TIMEOUT = 5.0
+DEFAULT_RETRIES = 2
+
+_query_ids = itertools.count(0x1000)
+
+
+@dataclass
+class StubAnswer:
+    """One resolved record type, with timing, as the HE engine sees it."""
+
+    rtype: RdataType
+    qname: DNSName
+    asked_at: float
+    answered_at: Optional[float] = None
+    message: Optional[DNSMessage] = None
+    error: Optional[Exception] = None
+    addresses: List[IPAddress] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.message is not None
+
+    @property
+    def rcode(self) -> Optional[Rcode]:
+        return self.message.rcode if self.message is not None else None
+
+    @property
+    def usable(self) -> bool:
+        """True when the answer yields at least one address."""
+        return self.ok and self.rcode is Rcode.NOERROR and bool(
+            self.addresses)
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.answered_at is None:
+            return None
+        return self.answered_at - self.asked_at
+
+
+class StubResolver:
+    """Sends queries to configured recursive resolvers over UDP."""
+
+    def __init__(self, host: Host,
+                 nameservers: Sequence[Union[str, IPAddress]],
+                 timeout: float = DEFAULT_QUERY_TIMEOUT,
+                 retries: int = DEFAULT_RETRIES,
+                 port: int = 53) -> None:
+        if not nameservers:
+            raise ValueError("stub resolver needs at least one nameserver")
+        self.host = host
+        self.nameservers = [parse_address(ns) for ns in nameservers]
+        self.timeout = timeout
+        self.retries = retries
+        self.port = port
+        self.queries_sent = 0
+
+    # -- single query -----------------------------------------------------------
+
+    def query(self, name: Union[str, DNSName],
+              rtype: RdataType) -> Process:
+        """Spawn a query process; its value is the DNSMessage response.
+
+        Raises :class:`QueryTimeout` inside the process when every
+        nameserver/retry is exhausted.
+        """
+        qname = name if isinstance(name, DNSName) else DNSName.from_text(name)
+        return self.host.sim.process(
+            self._query_body(qname, rtype),
+            name=f"stub-query:{qname}:{rtype.name}")
+
+    def _query_body(self, qname: DNSName, rtype: RdataType):
+        sim = self.host.sim
+        started = sim.now
+        sock = self.host.udp.socket()
+        try:
+            for attempt in range(self.retries + 1):
+                for server in self.nameservers:
+                    query_id = next(_query_ids) & 0xFFFF
+                    message = DNSMessage.make_query(qname, rtype, query_id)
+                    sock.sendto(message.encode(), server, self.port)
+                    self.queries_sent += 1
+                    deadline = sim.timeout(self.timeout)
+                    while True:
+                        receive = sock.recv()
+                        raced = yield sim.any_of([receive, deadline])
+                        if deadline in raced and receive not in raced:
+                            sock.discard_waiter(receive)
+                            break  # this server timed out; next one
+                        datagram = receive.value
+                        try:
+                            response = DNSMessage.decode(datagram.payload)
+                        except Exception:
+                            continue  # garbage; keep waiting
+                        if response.id != query_id or not response.qr:
+                            continue  # stale or mismatched; keep waiting
+                        if response.tc:
+                            # Truncated: retry over TCP (RFC 1035 §4.2).
+                            full = yield from self._query_tcp(
+                                message, server)
+                            if full is not None:
+                                return full
+                            break  # TCP failed too; try the next server
+                        return response
+            raise QueryTimeout(
+                f"no answer for {qname} {rtype.name} after "
+                f"{self.retries + 1} tries", elapsed=sim.now - started)
+        finally:
+            sock.close()
+
+    def _query_tcp(self, message: DNSMessage, server):
+        """One length-prefixed DNS exchange over TCP."""
+        from ..transport.errors import TransportError
+
+        sim = self.host.sim
+        attempt = self.host.tcp.connect(server, self.port,
+                                        timeout=self.timeout)
+        try:
+            connection = yield attempt.established
+        except TransportError:
+            return None
+        wire = message.encode()
+        connection.send(len(wire).to_bytes(2, "big") + wire)
+        buffer = b""
+        deadline = sim.timeout(self.timeout)
+        while True:
+            receive = connection.recv()
+            raced = yield sim.any_of([receive, deadline])
+            if deadline in raced and receive not in raced:
+                connection.abort()
+                return None
+            try:
+                chunk = receive.value
+            except TransportError:
+                return None
+            if not chunk:
+                return None  # EOF before a full message
+            buffer += chunk
+            if len(buffer) >= 2:
+                length = int.from_bytes(buffer[:2], "big")
+                if len(buffer) >= 2 + length:
+                    connection.close()
+                    try:
+                        return DNSMessage.decode(buffer[2:2 + length])
+                    except Exception:
+                        return None
+
+    # -- paired dual-stack lookup -----------------------------------------------
+
+    def lookup_dual(self, name: Union[str, DNSName],
+                    first: RdataType = RdataType.AAAA,
+                    gap: float = 0.0) -> "DualLookup":
+        """Issue AAAA and A queries; returns a :class:`DualLookup`.
+
+        ``first`` selects the query order (HEv2 mandates AAAA first);
+        ``gap`` is the time between the two queries (0 = back-to-back).
+        """
+        qname = name if isinstance(name, DNSName) else DNSName.from_text(name)
+        return DualLookup(self, qname, first, gap)
+
+
+class DualLookup:
+    """The AAAA/A query pair with separately observable completions.
+
+    ``aaaa`` and ``a`` are events that *succeed* with a
+    :class:`StubAnswer` in every case — timeouts and SERVFAILs are
+    reported inside the answer, not raised — so the HE resolution-delay
+    state machine can race them without exception plumbing.
+    """
+
+    def __init__(self, stub: StubResolver, qname: DNSName,
+                 first: RdataType, gap: float) -> None:
+        if first not in (RdataType.AAAA, RdataType.A):
+            raise ValueError(f"first must be AAAA or A, got {first!r}")
+        self.stub = stub
+        self.qname = qname
+        sim = stub.host.sim
+        self.aaaa: Event = sim.event(name=f"dual-aaaa:{qname}")
+        self.a: Event = sim.event(name=f"dual-a:{qname}")
+        self.started_at = sim.now
+        second = RdataType.A if first is RdataType.AAAA else RdataType.AAAA
+        self._launch(first)
+        if gap <= 0:
+            self._launch(second)
+        else:
+            sim.schedule(gap, self._launch, second)
+
+    def event_for(self, rtype: RdataType) -> Event:
+        return self.aaaa if rtype is RdataType.AAAA else self.a
+
+    def _launch(self, rtype: RdataType) -> None:
+        sim = self.stub.host.sim
+        sim.process(self._run_one(rtype),
+                    name=f"dual:{self.qname}:{rtype.name}")
+
+    def _run_one(self, rtype: RdataType):
+        sim = self.stub.host.sim
+        answer = StubAnswer(rtype=rtype, qname=self.qname, asked_at=sim.now)
+        query = self.stub.query(self.qname, rtype)
+        try:
+            response = yield query
+        except Exception as exc:  # noqa: BLE001 - reported in the answer
+            answer.error = exc
+            answer.answered_at = sim.now
+        else:
+            answer.message = response
+            answer.answered_at = sim.now
+            wanted = rtype
+            answer.addresses = [
+                rr.rdata.address  # type: ignore[attr-defined]
+                for rr in response.answers if rr.rtype == wanted]
+        event = self.event_for(rtype)
+        if not event.triggered:
+            event.succeed(answer)

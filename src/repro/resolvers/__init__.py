@@ -1,0 +1,24 @@
+"""Resolver subjects under test: local daemons and open services (§5.3).
+
+BIND 9, Unbound, and Knot Resolver are modeled as
+:class:`~repro.dns.nsselect.ResolverBehavior` fingerprints driving the
+real iterative engine; the 17 public open-resolver services carry both
+their Table 4 inventory and their Table 3 behaviour.
+"""
+
+from .models import BIND9, KNOT, LOCAL_RESOLVERS, LOCAL_RESOLVER_BY_NAME, UNBOUND
+from .open_resolvers import (AaaaQueryMark, OPEN_RESOLVERS,
+                             OPEN_RESOLVER_BY_NAME, OpenResolverService,
+                             evaluated_services, excluded_services)
+from .testbed import (ResolverCampaignResult, ResolverRunObservation,
+                      ResolverTestbed, probe_ipv6_only_capability,
+                      run_resolver_campaign)
+
+__all__ = [
+    "AaaaQueryMark", "BIND9", "KNOT", "LOCAL_RESOLVERS",
+    "LOCAL_RESOLVER_BY_NAME", "OPEN_RESOLVERS", "OPEN_RESOLVER_BY_NAME",
+    "OpenResolverService", "ResolverCampaignResult",
+    "ResolverRunObservation", "ResolverTestbed", "UNBOUND",
+    "evaluated_services", "excluded_services",
+    "probe_ipv6_only_capability", "run_resolver_campaign",
+]

@@ -1,0 +1,201 @@
+"""Open resolver services (Tables 3 & 4).
+
+Seventeen public resolver services were probed; four cannot resolve
+zones with IPv6-only authoritative name servers and are excluded from
+the behaviour analysis (Hurricane Electric, Lumen/Level3, Dyn, G-Core).
+Each evaluated service is modeled as a :class:`ResolverBehavior`
+parameterization of the iterative engine, with the service inventory
+(address counts) carried alongside for Table 4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..dns.nsselect import GluePlan, ResolverBehavior
+
+
+class AaaaQueryMark(enum.Enum):
+    """Table 3's AAAA-query column markers."""
+
+    BEFORE_A = "sends AAAA before A"                      # "•"
+    AFTER_A = "sends AAAA after A"                        # half-filled
+    AFTER_IPV4_USE = "sends AAAA after querying IPv4 NS"  # Google-style
+    EITHER_ONE = "sends either AAAA or A, never both"     # Knot-style
+
+    @property
+    def symbol(self) -> str:
+        return {
+            AaaaQueryMark.BEFORE_A: "●",
+            AaaaQueryMark.AFTER_A: "◐",
+            AaaaQueryMark.AFTER_IPV4_USE: "◑",
+            AaaaQueryMark.EITHER_ONE: "◒",
+        }[self]
+
+
+@dataclass(frozen=True)
+class OpenResolverService:
+    """One public resolver service: inventory + behaviour model."""
+
+    service: str
+    v4_addresses: int
+    v6_addresses: int
+    supports_ipv6_only_resolution: bool = True
+    behavior: Optional[ResolverBehavior] = None
+    aaaa_mark: Optional[AaaaQueryMark] = None
+    #: Expected IPv6 share from the paper, for result validation (%).
+    paper_ipv6_share: Optional[float] = None
+    #: Expected max usable IPv6 delay from the paper (ms); None = n/a.
+    paper_max_ipv6_delay_ms: Optional[int] = None
+    #: Expected max packets to the IPv6 address; None = n/a.
+    paper_ipv6_packets: Optional[int] = None
+    notes: str = ""
+
+    @property
+    def evaluated(self) -> bool:
+        return self.supports_ipv6_only_resolution and self.behavior is not None
+
+
+def _behavior(name: str, v6_pref: float, timeout: float,
+              packets: int = 1, retry_same: float = 0.0,
+              backoff: float = 1.0, stick_to_family: bool = False,
+              glue_plan: GluePlan = GluePlan.AAAA_FIRST,
+              parallel: bool = False) -> ResolverBehavior:
+    return ResolverBehavior(
+        name=name, glue_plan=glue_plan, v6_preference=v6_pref,
+        attempt_timeout=timeout, backoff_factor=backoff,
+        retry_same_probability=retry_same,
+        max_queries_per_address=packets,
+        switch_family_on_failure=not stick_to_family,
+        parallel_families=parallel)
+
+
+OPEN_RESOLVERS: List[OpenResolverService] = [
+    OpenResolverService(
+        service="DNS.sb", v4_addresses=2, v6_addresses=2,
+        behavior=_behavior("DNS.sb", v6_pref=0.0, timeout=0.4,
+                           glue_plan=GluePlan.A_FIRST),
+        aaaa_mark=AaaaQueryMark.AFTER_A,
+        paper_ipv6_share=0.0, paper_max_ipv6_delay_ms=None,
+        notes="never uses the IPv6 name-server address"),
+    OpenResolverService(
+        service="Google P. DNS", v4_addresses=2, v6_addresses=2,
+        behavior=_behavior("Google P. DNS", v6_pref=0.0, timeout=0.4,
+                           glue_plan=GluePlan.AAAA_AFTER_USE),
+        aaaa_mark=AaaaQueryMark.AFTER_IPV4_USE,
+        paper_ipv6_share=0.0, paper_max_ipv6_delay_ms=None,
+        notes="queries AAAA only after contacting the IPv4 server"),
+    OpenResolverService(
+        service="DNS0.EU", v4_addresses=2, v6_addresses=2,
+        behavior=_behavior("DNS0.EU", v6_pref=0.095, timeout=0.4,
+                           packets=2, stick_to_family=True, parallel=True),
+        aaaa_mark=AaaaQueryMark.BEFORE_A,
+        paper_ipv6_share=9.5, paper_max_ipv6_delay_ms=None,
+        paper_ipv6_packets=2,
+        notes="sticks to the initially chosen family; parallel "
+              "IPv4/IPv6 queries make the fallback delay unmeasurable; "
+              "one address lacked reliable IPv6-only resolution"),
+    OpenResolverService(
+        service="NextDNS", v4_addresses=2, v6_addresses=2,
+        behavior=_behavior("NextDNS", v6_pref=0.089, timeout=0.200),
+        aaaa_mark=AaaaQueryMark.BEFORE_A,
+        paper_ipv6_share=8.9, paper_max_ipv6_delay_ms=200,
+        paper_ipv6_packets=1),
+    OpenResolverService(
+        service="Quad 101", v4_addresses=2, v6_addresses=2,
+        behavior=_behavior("Quad 101", v6_pref=0.10, timeout=0.400),
+        aaaa_mark=AaaaQueryMark.BEFORE_A,
+        paper_ipv6_share=10.0, paper_max_ipv6_delay_ms=400,
+        paper_ipv6_packets=1,
+        notes="only its IPv6 resolver addresses reach IPv6-only zones"),
+    OpenResolverService(
+        service="114DNS", v4_addresses=2, v6_addresses=0,
+        behavior=_behavior("114DNS", v6_pref=0.111, timeout=0.600),
+        aaaa_mark=AaaaQueryMark.BEFORE_A,
+        paper_ipv6_share=11.1, paper_max_ipv6_delay_ms=600,
+        paper_ipv6_packets=1,
+        notes="IPv4-only service addresses but IPv6-capable backend "
+              "(Akamai WhoAmI shows a different AS: likely a forwarder)"),
+    OpenResolverService(
+        service="Cloudflare", v4_addresses=2, v6_addresses=2,
+        behavior=_behavior("Cloudflare", v6_pref=0.111, timeout=0.500,
+                           packets=2, retry_same=1.0),
+        aaaa_mark=AaaaQueryMark.BEFORE_A,
+        paper_ipv6_share=11.1, paper_max_ipv6_delay_ms=500,
+        paper_ipv6_packets=2),
+    OpenResolverService(
+        service="Verisign P. DNS", v4_addresses=2, v6_addresses=2,
+        behavior=_behavior("Verisign P. DNS", v6_pref=0.153,
+                           timeout=0.250),
+        aaaa_mark=AaaaQueryMark.BEFORE_A,
+        paper_ipv6_share=15.3, paper_max_ipv6_delay_ms=250,
+        paper_ipv6_packets=1),
+    OpenResolverService(
+        service="Yandex", v4_addresses=2, v6_addresses=2,
+        behavior=_behavior("Yandex", v6_pref=0.174, timeout=0.300,
+                           packets=6, retry_same=1.0),
+        aaaa_mark=AaaaQueryMark.BEFORE_A,
+        paper_ipv6_share=17.4, paper_max_ipv6_delay_ms=300,
+        paper_ipv6_packets=6,
+        notes="no interleaving: up to six queries to the IPv6 address"),
+    OpenResolverService(
+        service="H-MSK-IX", v4_addresses=2, v6_addresses=2,
+        behavior=_behavior("H-MSK-IX", v6_pref=0.205, timeout=0.600,
+                           packets=2, retry_same=1.0),
+        aaaa_mark=AaaaQueryMark.BEFORE_A,
+        paper_ipv6_share=20.5, paper_max_ipv6_delay_ms=600,
+        paper_ipv6_packets=2),
+    OpenResolverService(
+        service="MSK-IX", v4_addresses=2, v6_addresses=2,
+        behavior=_behavior("MSK-IX", v6_pref=0.221, timeout=0.600,
+                           packets=2, retry_same=1.0),
+        aaaa_mark=AaaaQueryMark.BEFORE_A,
+        paper_ipv6_share=22.1, paper_max_ipv6_delay_ms=600,
+        paper_ipv6_packets=2),
+    OpenResolverService(
+        service="Quad9 DNS", v4_addresses=6, v6_addresses=6,
+        behavior=_behavior("Quad9 DNS", v6_pref=0.342, timeout=1.250,
+                           packets=2, retry_same=1.0),
+        aaaa_mark=AaaaQueryMark.BEFORE_A,
+        paper_ipv6_share=34.2, paper_max_ipv6_delay_ms=1250,
+        paper_ipv6_packets=2),
+    OpenResolverService(
+        service="OpenDNS", v4_addresses=6, v6_addresses=6,
+        behavior=_behavior("OpenDNS", v6_pref=1.0, timeout=0.050),
+        aaaa_mark=AaaaQueryMark.BEFORE_A,
+        paper_ipv6_share=100.0, paper_max_ipv6_delay_ms=50,
+        paper_ipv6_packets=1,
+        notes="the only service with HE-style behaviour: always IPv6 "
+              "first, 50 ms fallback"),
+    # -- excluded from the behaviour evaluation (§5.3) ----------------------
+    OpenResolverService(
+        service="Hurricane Electric", v4_addresses=4, v6_addresses=4,
+        supports_ipv6_only_resolution=False,
+        notes="cannot resolve IPv6-only delegations"),
+    OpenResolverService(
+        service="Lumen (Level3)", v4_addresses=4, v6_addresses=0,
+        supports_ipv6_only_resolution=False,
+        notes="cannot resolve IPv6-only delegations"),
+    OpenResolverService(
+        service="DYN", v4_addresses=2, v6_addresses=0,
+        supports_ipv6_only_resolution=False,
+        notes="cannot resolve IPv6-only delegations"),
+    OpenResolverService(
+        service="G-Core", v4_addresses=2, v6_addresses=2,
+        supports_ipv6_only_resolution=False,
+        notes="cannot resolve IPv6-only delegations"),
+]
+
+OPEN_RESOLVER_BY_NAME: Dict[str, OpenResolverService] = {
+    service.service: service for service in OPEN_RESOLVERS}
+
+
+def evaluated_services() -> List[OpenResolverService]:
+    """The 13 services included in the §5.3 behaviour analysis."""
+    return [s for s in OPEN_RESOLVERS if s.evaluated]
+
+
+def excluded_services() -> List[OpenResolverService]:
+    return [s for s in OPEN_RESOLVERS if not s.supports_ipv6_only_resolution]

@@ -1,0 +1,40 @@
+"""Discrete-event network simulator (the testbed substrate).
+
+The paper's local testbed is two directly connected hosts with
+``tc-netem`` traffic shaping and packet captures (§4.3, App. Fig. 3).
+This package provides the equivalent substrate in simulation:
+
+* :class:`Simulator` — deterministic event loop with SimPy-style
+  generator processes,
+* :class:`Network` / :class:`NetworkSegment` / :class:`Host` /
+  :class:`Interface` — topology with address-based forwarding where
+  unknown destinations blackhole (the paper's unresponsive addresses),
+* :class:`TrafficShaper` + :class:`NetemSpec` — tc-netem emulation,
+* :class:`PacketCapture` — the tcpdump equivalent all inference reads.
+"""
+
+from .addr import (AddressAllocator, DualStackAllocator, Family, IPAddress,
+                   family_of, is_v6, parse_address, split_by_family)
+from .capture import CapturedFrame, Direction, PacketCapture
+from .clock import SimClock
+from .events import (AllOf, AnyOf, ConditionValue, Event,
+                     EventAlreadyTriggered, SimulationError, Timeout)
+from .host import Host, NoRouteError
+from .iface import Interface
+from .netem import (NetemFilter, NetemQdisc, NetemRule, NetemSpec,
+                    TrafficShaper)
+from .network import Network, NetworkSegment
+from .packet import (Packet, Protocol, QUICPacketType, TCPFlags)
+from .process import Interrupt, Process
+from .scheduler import ScheduledCall, Simulator
+
+__all__ = [
+    "AddressAllocator", "AllOf", "AnyOf", "CapturedFrame", "ConditionValue",
+    "Direction", "DualStackAllocator", "Event", "EventAlreadyTriggered",
+    "Family", "Host", "IPAddress", "Interface", "Interrupt", "NetemFilter",
+    "NetemQdisc", "NetemRule", "NetemSpec", "Network", "NetworkSegment",
+    "NoRouteError", "Packet", "PacketCapture", "Process", "Protocol",
+    "QUICPacketType", "ScheduledCall", "SimClock", "SimulationError",
+    "Simulator", "TCPFlags", "Timeout", "TrafficShaper", "family_of",
+    "is_v6", "parse_address", "split_by_family",
+]

@@ -1,0 +1,41 @@
+"""Simulated wall clock.
+
+The simulator measures time in float seconds, starting at zero by
+default.  Keeping the clock in its own object (instead of a bare float on
+the scheduler) lets other components — packet captures, DNS servers,
+Happy Eyeballs engines — hold a reference to the clock without holding a
+reference to the whole scheduler.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic simulated clock measured in seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start before zero: {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises :class:`ValueError` if that would move time backwards;
+        the scheduler is the only component expected to call this.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"time cannot move backwards: {when!r} < {self._now!r}"
+            )
+        self._now = when
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f})"

@@ -1,0 +1,191 @@
+"""Simulated hosts.
+
+A :class:`Host` owns interfaces, performs source-address selection and
+routing (trivial in testbed topologies), hands out ephemeral ports, and
+demultiplexes received packets to protocol stacks.  The transport
+stacks themselves (TCP/UDP/QUIC state machines) live in
+:mod:`repro.transport` and attach lazily, so the client software under
+test interacts with a host the way an application interacts with an OS.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
+
+from .addr import Family, IPAddress, family_of, parse_address
+from .capture import PacketCapture
+from .iface import Interface
+from .packet import Packet, Protocol
+from .scheduler import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..transport.quic import QUICStack
+    from ..transport.tcp import TCPStack
+    from ..transport.udp import UDPStack
+
+EPHEMERAL_PORT_START = 40000
+EPHEMERAL_PORT_END = 65535
+
+PacketHandler = Callable[[Packet, Interface], None]
+
+
+class NoRouteError(Exception):
+    """Host has no address of the required family: family is unavailable.
+
+    Clients on IPv4-only or IPv6-only hosts observe this as the familiar
+    ``EHOSTUNREACH`` / no-route condition.
+    """
+
+
+class Host:
+    """A dual-stack-capable simulated machine."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.interfaces: Dict[str, Interface] = {}
+        self._next_ephemeral = EPHEMERAL_PORT_START
+        self._handlers: Dict[Protocol, PacketHandler] = {}
+        self._tcp: Optional["TCPStack"] = None
+        self._udp: Optional["UDPStack"] = None
+        self._quic: Optional["QUICStack"] = None
+        # Preferred source addresses, per family (RFC 6724's concern;
+        # configurable so tests can pin deterministic addresses).
+        self.preferred_source: Dict[Family, IPAddress] = {}
+
+    # -- interfaces / addresses ------------------------------------------
+
+    def add_interface(self, name: str) -> Interface:
+        if name in self.interfaces:
+            raise ValueError(f"interface {name!r} exists on {self.name}")
+        interface = Interface(self, name)
+        self.interfaces[name] = interface
+        return interface
+
+    def address_added(self, address: IPAddress, interface: Interface) -> None:
+        self.preferred_source.setdefault(family_of(address), address)
+
+    def address_removed(self, address: IPAddress,
+                        interface: Interface) -> None:
+        family = family_of(address)
+        if self.preferred_source.get(family) == address:
+            del self.preferred_source[family]
+            remaining = self.addresses_of(family)
+            if remaining:
+                self.preferred_source[family] = remaining[0]
+
+    @property
+    def addresses(self) -> List[IPAddress]:
+        result: List[IPAddress] = []
+        for interface in self.interfaces.values():
+            result.extend(interface.addresses)
+        return result
+
+    def addresses_of(self, family: Family) -> List[IPAddress]:
+        return [a for a in self.addresses if family_of(a) is family]
+
+    def owns_address(self, address: Union[str, IPAddress]) -> bool:
+        return parse_address(address) in self.addresses
+
+    def is_dual_stack(self) -> bool:
+        return bool(self.addresses_of(Family.V4)) and bool(
+            self.addresses_of(Family.V6))
+
+    # -- routing ------------------------------------------------------------
+
+    def route(self, dst: Union[str, IPAddress]) -> Interface:
+        """Pick the outgoing interface for ``dst``."""
+        family = family_of(dst)
+        for interface in self.interfaces.values():
+            if interface.segment is not None and interface.addresses_of(family):
+                return interface
+        raise NoRouteError(
+            f"{self.name} has no {family.label} connectivity toward {dst}")
+
+    def source_address_for(self, dst: Union[str, IPAddress]) -> IPAddress:
+        family = family_of(dst)
+        preferred = self.preferred_source.get(family)
+        if preferred is not None:
+            return preferred
+        raise NoRouteError(
+            f"{self.name} has no {family.label} source address")
+
+    def allocate_port(self) -> int:
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        if self._next_ephemeral > EPHEMERAL_PORT_END:
+            self._next_ephemeral = EPHEMERAL_PORT_START
+        return port
+
+    # -- data path ------------------------------------------------------------
+
+    def send(self, packet: Packet) -> None:
+        self.route(packet.dst).send(packet)
+
+    def receive(self, packet: Packet, interface: Interface) -> None:
+        if not self.owns_address(packet.dst):
+            return  # not for us (promiscuous frames are dropped)
+        handler = self._handlers.get(packet.protocol)
+        if handler is not None:
+            handler(packet, interface)
+            return
+        if packet.protocol is Protocol.TCP and not packet.is_rst:
+            # No TCP stack: behave like a closed port (refuse).
+            from .packet import TCPFlags
+
+            self.send(Packet(flags=TCPFlags.RST | TCPFlags.ACK,
+                             **packet.reply_template()))
+
+    def register_handler(self, protocol: Protocol,
+                         handler: PacketHandler) -> None:
+        if protocol in self._handlers:
+            raise ValueError(
+                f"{protocol} handler already registered on {self.name}")
+        self._handlers[protocol] = handler
+
+    # -- protocol stacks (lazy) -------------------------------------------
+
+    @property
+    def tcp(self) -> "TCPStack":
+        if self._tcp is None:
+            from ..transport.tcp import TCPStack
+
+            self._tcp = TCPStack(self)
+        return self._tcp
+
+    @property
+    def udp(self) -> "UDPStack":
+        if self._udp is None:
+            from ..transport.udp import UDPStack
+
+            self._udp = UDPStack(self)
+        return self._udp
+
+    @property
+    def quic(self) -> "QUICStack":
+        if self._quic is None:
+            from ..transport.quic import QUICStack
+
+            self._quic = QUICStack(self)
+        return self._quic
+
+    # -- capturing ----------------------------------------------------------
+
+    def start_capture(self, name: Optional[str] = None) -> PacketCapture:
+        """Attach a fresh capture to every interface (``tcpdump -i any``)."""
+        capture = PacketCapture(name or f"{self.name}-capture")
+        for interface in self.interfaces.values():
+            interface.attach_capture(capture)
+        return capture
+
+    def stop_capture(self, capture: PacketCapture) -> PacketCapture:
+        capture.stop()
+        for interface in self.interfaces.values():
+            try:
+                interface.detach_capture(capture)
+            except ValueError:
+                pass
+        return capture
+
+    def __repr__(self) -> str:
+        return f"<Host {self.name} addrs={[str(a) for a in self.addresses]}>"

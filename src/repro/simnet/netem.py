@@ -1,0 +1,228 @@
+"""tc-netem emulation.
+
+The paper shapes traffic with ``tc-netem`` on the server host (§4.1):
+IPv6 packets get a configured delay so the client's Connection Attempt
+Delay becomes observable, and name-server addresses get per-zone delays
+for the resolver study.  This module reproduces netem's externally
+visible behaviour:
+
+* constant delay plus optional jitter (uniform, as netem's default
+  distribution approximation) with optional correlation,
+* random loss,
+* reordering (packets that "jump the queue" with some probability),
+* rate limiting (serialization delay from packet size).
+
+A :class:`NetemRule` pairs a qdisc with a filter, mirroring how the
+paper attaches netem to specific families/addresses via ``tc filter``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Union
+
+from .addr import Family, IPAddress, parse_address
+from .packet import Packet, Protocol
+
+
+@dataclass(frozen=True)
+class NetemSpec:
+    """Parameters of one netem qdisc (times in seconds)."""
+
+    delay: float = 0.0
+    jitter: float = 0.0
+    jitter_correlation: float = 0.0
+    loss: float = 0.0
+    reorder_probability: float = 0.0
+    reorder_gap: float = 0.001
+    rate_bps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"negative delay: {self.delay!r}")
+        if self.jitter < 0:
+            raise ValueError(f"negative jitter: {self.jitter!r}")
+        if not 0.0 <= self.loss <= 1.0:
+            raise ValueError(f"loss must be a probability: {self.loss!r}")
+        if not 0.0 <= self.reorder_probability <= 1.0:
+            raise ValueError(
+                f"reorder must be a probability: {self.reorder_probability!r}")
+        if not 0.0 <= self.jitter_correlation < 1.0:
+            raise ValueError(
+                f"correlation must be in [0,1): {self.jitter_correlation!r}")
+        if self.rate_bps is not None and self.rate_bps <= 0:
+            raise ValueError(f"rate must be positive: {self.rate_bps!r}")
+
+    @classmethod
+    def delay_ms(cls, milliseconds: float, **kwargs: float) -> "NetemSpec":
+        """Convenience constructor matching ``tc netem delay <ms>ms``."""
+        return cls(delay=milliseconds / 1000.0, **kwargs)
+
+
+PacketPredicate = Callable[[Packet], bool]
+
+
+class NetemFilter:
+    """Selects which packets a qdisc applies to.
+
+    Matches any combination of family, destination addresses, source
+    addresses, and protocol; empty criteria match everything, like an
+    unfiltered qdisc on the interface root.
+    """
+
+    def __init__(self,
+                 family: Optional[Family] = None,
+                 dst_addresses: Optional[Iterable[Union[str, IPAddress]]] = None,
+                 src_addresses: Optional[Iterable[Union[str, IPAddress]]] = None,
+                 protocol: Optional[Protocol] = None,
+                 predicate: Optional[PacketPredicate] = None) -> None:
+        self.family = family
+        self.dst_addresses = (frozenset(parse_address(a) for a in dst_addresses)
+                              if dst_addresses is not None else None)
+        self.src_addresses = (frozenset(parse_address(a) for a in src_addresses)
+                              if src_addresses is not None else None)
+        self.protocol = protocol
+        self.predicate = predicate
+
+    def matches(self, packet: Packet) -> bool:
+        if self.family is not None and packet.family is not self.family:
+            return False
+        if (self.dst_addresses is not None
+                and packet.dst not in self.dst_addresses):
+            return False
+        if (self.src_addresses is not None
+                and packet.src not in self.src_addresses):
+            return False
+        if self.protocol is not None and packet.protocol is not self.protocol:
+            return False
+        if self.predicate is not None and not self.predicate(packet):
+            return False
+        return True
+
+    @classmethod
+    def match_all(cls) -> "NetemFilter":
+        return cls()
+
+    @classmethod
+    def for_family(cls, family: Family) -> "NetemFilter":
+        return cls(family=family)
+
+
+@dataclass
+class NetemRule:
+    """A (filter, qdisc) pair; first matching rule wins."""
+
+    spec: NetemSpec
+    filter: NetemFilter = field(default_factory=NetemFilter.match_all)
+    name: str = ""
+
+
+class NetemQdisc:
+    """Stateful qdisc applying a :class:`NetemSpec` to a packet stream.
+
+    :meth:`plan` returns either the departure time offset for a packet
+    handed to it "now", or ``None`` when the packet is dropped.  State
+    (previous jitter sample for correlation, serialization horizon for
+    rate, last departure for ordering) lives here, one instance per
+    attachment point and direction.
+    """
+
+    def __init__(self, spec: NetemSpec, rng: random.Random) -> None:
+        self.spec = spec
+        self._rng = rng
+        self._previous_jitter: Optional[float] = None
+        self._busy_until = 0.0
+        self._last_departure = 0.0
+        self.packets_seen = 0
+        self.packets_dropped = 0
+        self.packets_reordered = 0
+
+    def plan(self, packet: Packet, now: float) -> Optional[float]:
+        """Absolute delivery time for ``packet`` entering at ``now``.
+
+        Returns ``None`` for a dropped packet.
+        """
+        self.packets_seen += 1
+        spec = self.spec
+        if spec.loss and self._rng.random() < spec.loss:
+            self.packets_dropped += 1
+            return None
+
+        delay = spec.delay + self._sample_jitter()
+
+        departure = now + delay
+        if spec.rate_bps is not None:
+            serialization = packet.size * 8.0 / spec.rate_bps
+            start = max(now, self._busy_until)
+            self._busy_until = start + serialization
+            departure = self._busy_until + delay
+
+        if (spec.reorder_probability
+                and self._rng.random() < spec.reorder_probability):
+            # netem reordering: the packet skips the delay queue and is
+            # sent (almost) immediately, overtaking queued packets.
+            self.packets_reordered += 1
+            departure = now + min(delay, spec.reorder_gap)
+        elif spec.jitter == 0.0:
+            # Without jitter netem preserves ordering.
+            departure = max(departure, self._last_departure)
+
+        self._last_departure = max(self._last_departure, departure)
+        return departure
+
+    def _sample_jitter(self) -> float:
+        spec = self.spec
+        if spec.jitter == 0.0:
+            return 0.0
+        fresh = self._rng.uniform(-spec.jitter, spec.jitter)
+        if spec.jitter_correlation and self._previous_jitter is not None:
+            rho = spec.jitter_correlation
+            fresh = rho * self._previous_jitter + (1.0 - rho) * fresh
+        self._previous_jitter = fresh
+        # Delay can never be negative overall.
+        return max(fresh, -spec.delay)
+
+
+class TrafficShaper:
+    """An ordered rule chain attached to an interface direction.
+
+    This is the equivalent of the paper's per-host ``tc`` configuration:
+    rules are consulted in order, the first matching rule's qdisc shapes
+    the packet, and unmatched packets pass through untouched.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._rules: List[NetemRule] = []
+        self._qdiscs: List[NetemQdisc] = []
+
+    def add_rule(self, rule: NetemRule) -> NetemQdisc:
+        qdisc = NetemQdisc(rule.spec, self._rng)
+        self._rules.append(rule)
+        self._qdiscs.append(qdisc)
+        return qdisc
+
+    def clear(self) -> None:
+        """Remove all rules (``tc qdisc del``), e.g. between test runs."""
+        self._rules.clear()
+        self._qdiscs.clear()
+
+    @property
+    def rules(self) -> List[NetemRule]:
+        return list(self._rules)
+
+    def plan(self, packet: Packet, now: float) -> Optional[float]:
+        """Delivery time after shaping, or ``None`` if dropped."""
+        for rule, qdisc in zip(self._rules, self._qdiscs):
+            if rule.filter.matches(packet):
+                return qdisc.plan(packet, now)
+        return now
+
+    def delay_family(self, family: Family, delay_s: float,
+                     name: str = "") -> NetemQdisc:
+        """Shortcut for the paper's core knob: delay one address family."""
+        rule = NetemRule(spec=NetemSpec(delay=delay_s),
+                         filter=NetemFilter.for_family(family),
+                         name=name or f"delay-{family.label}")
+        return self.add_rule(rule)

@@ -1,0 +1,160 @@
+"""Packet model for the simulated network.
+
+Packets carry just enough layer-3/4 structure for the study's
+observables: source/destination addresses (hence address family), the
+transport protocol, ports, TCP control flags, and an opaque payload
+(DNS messages travel as real RFC 1035 wire bytes).
+
+Sizes are estimated from header sizes so netem rate shaping and
+byte-count statistics behave plausibly.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .addr import Family, IPAddress, family_of, parse_address
+
+_packet_ids = itertools.count(1)
+
+IPV4_HEADER = 20
+IPV6_HEADER = 40
+TCP_HEADER = 20
+UDP_HEADER = 8
+
+
+class Protocol(enum.Enum):
+    """Transport protocol of a simulated packet."""
+
+    TCP = "tcp"
+    UDP = "udp"
+    QUIC = "quic"  # carried over UDP in reality; first-class here
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class TCPFlags(enum.Flag):
+    """TCP control flags (subset used by the handshake machine)."""
+
+    NONE = 0
+    SYN = enum.auto()
+    ACK = enum.auto()
+    RST = enum.auto()
+    FIN = enum.auto()
+    PSH = enum.auto()
+
+    def short(self) -> str:
+        parts = [flag.name for flag in TCPFlags
+                 if flag is not TCPFlags.NONE and flag in self]
+        return "|".join(parts) if parts else "NONE"
+
+
+class QUICPacketType(enum.Enum):
+    """QUIC long-header packet types used by the handshake model."""
+
+    INITIAL = "initial"
+    HANDSHAKE = "handshake"
+    ONE_RTT = "1rtt"
+
+
+@dataclass
+class Packet:
+    """A simulated IP packet with transport headers.
+
+    ``payload`` is opaque bytes (or a small application object for
+    convenience in tests).  ``meta`` is scratch space for instrumentation
+    and never influences forwarding behaviour.
+    """
+
+    src: IPAddress
+    dst: IPAddress
+    protocol: Protocol
+    sport: int
+    dport: int
+    payload: bytes = b""
+    flags: TCPFlags = TCPFlags.NONE
+    seq: int = 0
+    ack: int = 0
+    quic_type: Optional[QUICPacketType] = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.src = parse_address(self.src)
+        self.dst = parse_address(self.dst)
+        if family_of(self.src) is not family_of(self.dst):
+            raise ValueError(
+                f"packet mixes families: {self.src} -> {self.dst}")
+        if not 0 <= self.sport <= 65535:
+            raise ValueError(f"bad source port {self.sport!r}")
+        if not 0 <= self.dport <= 65535:
+            raise ValueError(f"bad destination port {self.dport!r}")
+
+    @property
+    def family(self) -> Family:
+        return family_of(self.dst)
+
+    @property
+    def size(self) -> int:
+        """Estimated on-wire size in bytes."""
+        network = IPV4_HEADER if self.family is Family.V4 else IPV6_HEADER
+        transport = TCP_HEADER if self.protocol is Protocol.TCP else UDP_HEADER
+        body = len(self.payload) if isinstance(self.payload, bytes) else 0
+        return network + transport + body
+
+    @property
+    def is_syn(self) -> bool:
+        return (self.protocol is Protocol.TCP
+                and TCPFlags.SYN in self.flags
+                and TCPFlags.ACK not in self.flags)
+
+    @property
+    def is_syn_ack(self) -> bool:
+        return (self.protocol is Protocol.TCP
+                and TCPFlags.SYN in self.flags
+                and TCPFlags.ACK in self.flags)
+
+    @property
+    def is_rst(self) -> bool:
+        return self.protocol is Protocol.TCP and TCPFlags.RST in self.flags
+
+    @property
+    def is_connection_attempt(self) -> bool:
+        """True for the packet kinds that open a connection.
+
+        This is what the testbed's CAD inference looks for: the first
+        TCP SYN (or QUIC Initial) per address family in a capture.
+        """
+        if self.protocol is Protocol.TCP:
+            return self.is_syn
+        if self.protocol is Protocol.QUIC:
+            return self.quic_type is QUICPacketType.INITIAL
+        return False
+
+    def reply_template(self) -> "dict":
+        """Header fields for a reply packet (src/dst and ports swapped)."""
+        return {
+            "src": self.dst,
+            "dst": self.src,
+            "protocol": self.protocol,
+            "sport": self.dport,
+            "dport": self.sport,
+        }
+
+    def describe(self) -> str:
+        """Single-line human-readable rendering (tcpdump style)."""
+        if self.protocol is Protocol.TCP:
+            detail = f"[{self.flags.short()}]"
+        elif self.protocol is Protocol.QUIC:
+            detail = f"[{self.quic_type.value if self.quic_type else '?'}]"
+        else:
+            detail = f"len={len(self.payload)}"
+        return (f"{self.family.label} {self.src}.{self.sport} > "
+                f"{self.dst}.{self.dport} {self.protocol}: {detail}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Packet #{self.packet_id} {self.describe()}>"

@@ -1,0 +1,195 @@
+"""The discrete-event simulator core.
+
+:class:`Simulator` owns the clock and a priority queue of scheduled
+callbacks.  All higher layers — links, netem qdiscs, TCP state machines,
+DNS servers, Happy Eyeballs engines — interact with time exclusively
+through this object, which is what makes measurement runs perfectly
+reproducible: the paper's testbed relies on sub-millisecond packet
+timestamping (§4.3); simulation gives exact timestamps.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from itertools import count
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from .clock import SimClock
+from .events import AllOf, AnyOf, Event, SimulationError, Timeout
+from .process import Process, ProcessGenerator
+
+
+class ScheduledCall:
+    """Handle to a scheduled callback; supports cancellation."""
+
+    __slots__ = ("when", "fn", "args", "cancelled")
+
+    def __init__(self, when: float, fn: Callable[..., None],
+                 args: Tuple[Any, ...]) -> None:
+        self.when = when
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler with a process model.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-owned RNG.  Every stochastic component
+        (netem jitter/loss, resolver address selection, web campaign
+        noise) draws from RNGs derived from this seed, so a run is fully
+        determined by ``(seed, configuration)``.
+    start:
+        Starting value of the simulated clock, in seconds.
+    """
+
+    def __init__(self, seed: int = 0, start: float = 0.0) -> None:
+        self._clock = SimClock(start)
+        self._queue: List[Tuple[float, int, ScheduledCall]] = []
+        self._sequence = count()
+        self._rng = random.Random(seed)
+        self._seed = seed
+        self._unhandled: List[BaseException] = []
+
+    # -- time ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._clock.now
+
+    @property
+    def clock(self) -> SimClock:
+        return self._clock
+
+    @property
+    def rng(self) -> random.Random:
+        """The simulator-level RNG (use :meth:`derive_rng` per component)."""
+        return self._rng
+
+    def derive_rng(self, label: str) -> random.Random:
+        """A component-private RNG derived from the simulator seed.
+
+        Deriving by label keeps components independent: adding a new
+        random consumer does not perturb the draw sequence of others.
+        """
+        return random.Random(f"{self._seed}:{label}")
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[..., None],
+                 *args: Any) -> ScheduledCall:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past: delay={delay!r}")
+        return self.schedule_at(self._clock.now + delay, fn, *args)
+
+    def schedule_at(self, when: float, fn: Callable[..., None],
+                    *args: Any) -> ScheduledCall:
+        """Run ``fn(*args)`` at absolute simulated time ``when``."""
+        if when < self._clock.now:
+            raise ValueError(
+                f"cannot schedule in the past: {when!r} < {self._clock.now!r}")
+        call = ScheduledCall(when, fn, tuple(args))
+        heapq.heappush(self._queue, (when, next(self._sequence), call))
+        return call
+
+    def report_unhandled(self, exc: BaseException) -> None:
+        """Record a failure nobody waited on; re-raised from :meth:`run`."""
+        self._unhandled.append(exc)
+
+    # -- execution --------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._queue)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled callback, or None if idle."""
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> bool:
+        """Execute the next scheduled callback.  Returns False if idle."""
+        while self._queue:
+            when, _seq, call = heapq.heappop(self._queue)
+            if call.cancelled:
+                continue
+            self._clock.advance_to(when)
+            call.fn(*call.args)
+            self._raise_unhandled()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or the clock would pass ``until``.
+
+        Returns the simulated time when execution stopped.  If ``until``
+        is given and the queue drains early, the clock is advanced to
+        ``until`` so successive bounded runs compose predictably.
+        """
+        if until is not None and until < self._clock.now:
+            raise ValueError(
+                f"until={until!r} is in the past (now={self._clock.now!r})")
+        while True:
+            upcoming = self.peek()
+            if upcoming is None:
+                break
+            if until is not None and upcoming > until:
+                break
+            self.step()
+        if until is not None:
+            self._clock.advance_to(until)
+        return self._clock.now
+
+    def run_until(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``event`` triggers; returns its value.
+
+        Raises :class:`SimulationError` if the queue drains (or ``limit``
+        passes) without the event triggering — usually a deadlocked test.
+        """
+        while not event.processed:
+            upcoming = self.peek()
+            if upcoming is None:
+                raise SimulationError(
+                    f"simulation ran dry before {event!r} triggered")
+            if limit is not None and upcoming > limit:
+                raise SimulationError(
+                    f"{event!r} still pending at time limit {limit!r}")
+            self.step()
+        return event.value
+
+    def _raise_unhandled(self) -> None:
+        if self._unhandled:
+            exc = self._unhandled[0]
+            self._unhandled.clear()
+            raise exc
+
+    # -- process / event helpers ------------------------------------------
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Spawn a generator as a process starting at the current time."""
+        return Process(self, generator, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Simulator(now={self.now:.6f}, "
+                f"pending={self.pending_count})")

@@ -1,0 +1,34 @@
+"""The local testbed framework (§4.3(i), App. B).
+
+Two directly connected simulated hosts, server-side traffic shaping and
+DNS delay injection, client-side packet capture, and a runner that
+iterates test cases × sweep configurations × clients with full state
+isolation per run.
+"""
+
+from .config import (SweepSpec, TestCaseConfig, TestCaseKind,
+                     address_selection_case, cad_case, delayed_a_case,
+                     rd_case)
+from .inference import (aaaa_before_a, attempt_sequence,
+                        attempts_per_family, dns_observations,
+                        established_family, infer_cad,
+                        infer_resolution_delay, query_order,
+                        time_to_first_attempt)
+from .modules import (AddressSelectionModule, CaptureModule, DnsDelayModule,
+                      NetemModule, SetupModule, modules_for)
+from .runner import ResultSet, RunRecord, TestRunner
+from .spec import CampaignSpec, SpecError, run_campaign_spec
+from .topology import (EchoExchange, EchoWebServer, LocalTestbed,
+                       TEST_DOMAIN, WEB_PORT)
+
+__all__ = [
+    "AddressSelectionModule", "CampaignSpec", "CaptureModule",
+    "DnsDelayModule", "SpecError", "run_campaign_spec",
+    "EchoExchange", "EchoWebServer", "LocalTestbed", "NetemModule",
+    "ResultSet", "RunRecord", "SetupModule", "SweepSpec", "TEST_DOMAIN",
+    "TestCaseConfig", "TestCaseKind", "TestRunner", "WEB_PORT",
+    "aaaa_before_a", "address_selection_case", "attempt_sequence",
+    "attempts_per_family", "cad_case", "delayed_a_case", "dns_observations",
+    "established_family", "infer_cad", "infer_resolution_delay",
+    "modules_for", "query_order", "rd_case", "time_to_first_attempt",
+]

@@ -1,0 +1,135 @@
+"""Test case and sweep configuration (App. Figure 3).
+
+The paper's framework keeps test cases and clients *outside* the
+framework code: a configuration names the case kind, the parameter
+sweep (with coarse initial runs and fine-grained follow-ups), and the
+repetition count.  These dataclasses are that configuration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+
+class TestCaseKind(enum.Enum):
+    """The measurement targets of §4.1."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    CONNECTION_ATTEMPT_DELAY = "cad"
+    RESOLUTION_DELAY = "rd"
+    DELAYED_A = "delayed-a"
+    ADDRESS_SELECTION = "address-selection"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A sweep over the test-run configuration variable (delay in ms).
+
+    Supports the paper's two-phase strategy: "coarse initial runs and
+    fine-grained follow-ups" (§4.3(i)).
+    """
+
+    values_ms: "tuple[int, ...]"
+
+    def __post_init__(self) -> None:
+        if not self.values_ms:
+            raise ValueError("sweep needs at least one value")
+        if any(v < 0 for v in self.values_ms):
+            raise ValueError("sweep values must be non-negative")
+
+    @classmethod
+    def fixed(cls, *values_ms: int) -> "SweepSpec":
+        return cls(tuple(values_ms))
+
+    @classmethod
+    def range(cls, start_ms: int, stop_ms: int, step_ms: int) -> "SweepSpec":
+        """Inclusive range, like the paper's 0–400 ms in 5 ms steps."""
+        if step_ms <= 0:
+            raise ValueError(f"step must be positive: {step_ms}")
+        return cls(tuple(range(start_ms, stop_ms + 1, step_ms)))
+
+    @classmethod
+    def coarse_fine(cls, coarse_step_ms: int, fine_step_ms: int,
+                    stop_ms: int,
+                    fine_window_ms: int = 100,
+                    around_ms: Optional[int] = None) -> "SweepSpec":
+        """Coarse pass everywhere plus a fine pass around a region.
+
+        ``around_ms`` centers the fine window (e.g. a CAD estimate from
+        the coarse pass); without it the fine pass covers everything.
+        """
+        coarse = set(range(0, stop_ms + 1, coarse_step_ms))
+        if around_ms is None:
+            fine = set(range(0, stop_ms + 1, fine_step_ms))
+        else:
+            lo = max(0, around_ms - fine_window_ms)
+            hi = min(stop_ms, around_ms + fine_window_ms)
+            fine = set(range(lo, hi + 1, fine_step_ms))
+        return cls(tuple(sorted(coarse | fine)))
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.values_ms)
+
+    def __len__(self) -> int:
+        return len(self.values_ms)
+
+
+@dataclass(frozen=True)
+class TestCaseConfig:
+    """One test case: what to vary and how to observe it."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    name: str
+    kind: TestCaseKind
+    sweep: SweepSpec
+    repetitions: int = 1
+    #: For ADDRESS_SELECTION: how many (unresponsive) addresses per family.
+    addresses_per_family: int = 10
+    #: Observation window per run, simulated seconds.
+    run_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        if self.run_timeout <= 0:
+            raise ValueError("run_timeout must be positive")
+
+
+def cad_case(fine: bool = True, stop_ms: int = 400,
+             repetitions: int = 1) -> TestCaseConfig:
+    """The paper's CAD case: 0–400 ms in 5 ms steps (coarse: 25 ms)."""
+    sweep = (SweepSpec.range(0, stop_ms, 5) if fine
+             else SweepSpec.range(0, stop_ms, 25))
+    return TestCaseConfig(name="connection-attempt-delay",
+                          kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
+                          sweep=sweep, repetitions=repetitions)
+
+
+def rd_case(repetitions: int = 1) -> TestCaseConfig:
+    """Delay the AAAA answer; observe when IPv4 connecting starts."""
+    return TestCaseConfig(name="resolution-delay",
+                          kind=TestCaseKind.RESOLUTION_DELAY,
+                          sweep=SweepSpec.fixed(200, 500, 1000, 2000),
+                          repetitions=repetitions)
+
+
+def delayed_a_case(repetitions: int = 1) -> TestCaseConfig:
+    """Delay the *A* answer; §5.2's surprising IPv6 stall."""
+    return TestCaseConfig(name="delayed-a-record",
+                          kind=TestCaseKind.DELAYED_A,
+                          sweep=SweepSpec.fixed(200, 500, 1000, 2000),
+                          repetitions=repetitions)
+
+
+def address_selection_case(addresses_per_family: int = 10
+                           ) -> TestCaseConfig:
+    """Ten unresponsive addresses per family (Figure 5 / App. D)."""
+    return TestCaseConfig(name="address-selection",
+                          kind=TestCaseKind.ADDRESS_SELECTION,
+                          sweep=SweepSpec.fixed(0),
+                          addresses_per_family=addresses_per_family,
+                          run_timeout=60.0)

@@ -1,0 +1,169 @@
+"""Inference of HE parameters from packet captures (§4.3).
+
+"We determine the CAD by measuring the time between the first IPv6
+packet and the first IPv4 packet observed in the client's packet
+capture."  These helpers operate purely on :class:`PacketCapture`
+contents, treating the client as the black box the methodology demands
+— nothing here looks at engine internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..simnet.addr import Family
+from ..simnet.capture import Direction, PacketCapture
+from ..simnet.packet import Protocol
+from ..dns.message import DNSMessage
+from ..dns.rdata import RdataType
+
+
+def infer_cad(capture: PacketCapture) -> Optional[float]:
+    """CAD = t(first IPv4 attempt) − t(first IPv6 attempt).
+
+    ``None`` when either family never attempted (no fallback observed —
+    wget, or the delay was below the client's CAD).
+    """
+    first_v6 = capture.first_connection_attempt(Family.V6)
+    first_v4 = capture.first_connection_attempt(Family.V4)
+    if first_v6 is None or first_v4 is None:
+        return None
+    return first_v4.timestamp - first_v6.timestamp
+
+
+def established_family(capture: PacketCapture) -> Optional[Family]:
+    """Family of the first completed handshake seen in the capture."""
+    for frame in capture:
+        packet = frame.packet
+        if (frame.direction is Direction.IN and packet.is_syn_ack):
+            return packet.family
+        if (frame.direction is Direction.IN
+                and packet.protocol is Protocol.QUIC
+                and packet.quic_type is not None
+                and packet.quic_type.value == "handshake"):
+            return packet.family
+    return None
+
+
+def attempt_sequence(capture: PacketCapture) -> List[Tuple[float, Family]]:
+    """(timestamp, family) of each distinct connection attempt.
+
+    Retransmissions to the same (address, port) pair are collapsed so
+    the sequence matches Figure 5's "n-th connection attempt" axis.
+    """
+    seen = set()
+    sequence: List[Tuple[float, Family]] = []
+    for frame in capture.connection_attempts():
+        packet = frame.packet
+        key = (packet.dst, packet.dport, packet.sport)
+        if key in seen:
+            continue
+        seen.add(key)
+        sequence.append((frame.timestamp, packet.family))
+    return sequence
+
+
+def attempts_per_family(capture: PacketCapture) -> "dict[Family, int]":
+    """How many distinct addresses were attempted per family (Table 2)."""
+    counts = {Family.V4: 0, Family.V6: 0}
+    seen = set()
+    for frame in capture.connection_attempts():
+        packet = frame.packet
+        key = (packet.dst, packet.dport)
+        if key in seen:
+            continue
+        seen.add(key)
+        counts[packet.family] += 1
+    return counts
+
+
+@dataclass(frozen=True)
+class DnsObservation:
+    """Timing of one DNS query/response pair seen on the wire."""
+
+    rtype: RdataType
+    query_at: float
+    response_at: Optional[float]
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.response_at is None:
+            return None
+        return self.response_at - self.query_at
+
+
+def dns_observations(capture: PacketCapture) -> List[DnsObservation]:
+    """Decode DNS traffic in a capture into query/response timings."""
+    queries: dict = {}
+    order: List[Tuple[int, RdataType, float]] = []
+    responses: dict = {}
+    for frame in capture:
+        packet = frame.packet
+        if packet.protocol is not Protocol.UDP:
+            continue
+        try:
+            message = DNSMessage.decode(packet.payload)
+        except Exception:
+            continue
+        if not message.questions:
+            continue
+        rtype = message.question.rtype
+        if not message.qr and frame.direction is Direction.OUT:
+            key = (message.id, rtype)
+            if key not in queries:
+                queries[key] = frame.timestamp
+                order.append((message.id, rtype, frame.timestamp))
+        elif message.qr and frame.direction is Direction.IN:
+            responses.setdefault((message.id, rtype), frame.timestamp)
+    out = []
+    for message_id, rtype, sent_at in order:
+        out.append(DnsObservation(
+            rtype=rtype, query_at=sent_at,
+            response_at=responses.get((message_id, rtype))))
+    return out
+
+
+def query_order(capture: PacketCapture) -> List[RdataType]:
+    """Record types in the order their first queries were sent."""
+    return [obs.rtype for obs in dns_observations(capture)]
+
+
+def aaaa_before_a(capture: PacketCapture) -> Optional[bool]:
+    """Did the AAAA query precede the A query?  None if either absent."""
+    order = query_order(capture)
+    if RdataType.AAAA not in order or RdataType.A not in order:
+        return None
+    return order.index(RdataType.AAAA) < order.index(RdataType.A)
+
+
+def infer_resolution_delay(capture: PacketCapture) -> Optional[float]:
+    """Time from the A response to the first IPv4 connection attempt.
+
+    Meaningful in the RD test case, where the AAAA answer is delayed
+    beyond any sensible RD: a client implementing RFC 8305 §3 starts
+    its IPv4 attempt ~RD after the A answer; a client waiting for both
+    answers shows the resolver timeout here instead.
+    """
+    observations = dns_observations(capture)
+    a_response = next((obs.response_at for obs in observations
+                       if obs.rtype is RdataType.A
+                       and obs.response_at is not None), None)
+    if a_response is None:
+        return None
+    first_v4 = capture.first_connection_attempt(Family.V4)
+    if first_v4 is None or first_v4.timestamp < a_response:
+        return None
+    return first_v4.timestamp - a_response
+
+
+def time_to_first_attempt(capture: PacketCapture) -> Optional[float]:
+    """Time from the first DNS query to the first connection attempt."""
+    observations = dns_observations(capture)
+    if not observations:
+        return None
+    first_query = min(obs.query_at for obs in observations)
+    attempts = capture.connection_attempts()
+    if not attempts:
+        return None
+    return attempts[0].timestamp - first_query

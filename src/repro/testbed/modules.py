@@ -1,0 +1,121 @@
+"""Setup modules: the pluggable stages of the framework (App. Fig. 3).
+
+The paper's test runner executes per-case and per-run setup stages
+defined in configuration ("Setup stages can be executed at each test
+run configuration, or only at the start and end of a test case").
+Each module encapsulates one concern — traffic shaping, DNS delays,
+unresponsive address sets, packet capture — and the runner composes
+the modules a test-case kind requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..dns.rdata import RdataType
+from ..simnet.capture import PacketCapture
+from .config import TestCaseConfig, TestCaseKind
+from .topology import LocalTestbed
+
+
+class SetupModule:
+    """Base class: hooks called around each test case and run."""
+
+    name = "module"
+
+    def on_case_start(self, testbed: LocalTestbed,
+                      case: TestCaseConfig) -> None:
+        """Runs once when a test case begins (fresh testbed)."""
+
+    def on_run_start(self, testbed: LocalTestbed, case: TestCaseConfig,
+                     value_ms: int, run_label: str) -> None:
+        """Runs before each (configuration value, repetition)."""
+
+    def on_run_end(self, testbed: LocalTestbed, case: TestCaseConfig,
+                   value_ms: int) -> None:
+        """Runs after each run; undo per-run state."""
+
+
+class NetemModule(SetupModule):
+    """Applies the per-run IPv6 TCP delay (the CAD experiment knob)."""
+
+    name = "netem"
+
+    def on_run_start(self, testbed, case, value_ms, run_label):
+        if case.kind is TestCaseKind.CONNECTION_ATTEMPT_DELAY:
+            testbed.delay_ipv6_tcp(value_ms / 1000.0)
+
+    def on_run_end(self, testbed, case, value_ms):
+        testbed.clear_shaping()
+
+
+class DnsDelayModule(SetupModule):
+    """Delays one DNS record type at the authoritative server."""
+
+    name = "dns-delay"
+
+    def on_run_start(self, testbed, case, value_ms, run_label):
+        if case.kind is TestCaseKind.RESOLUTION_DELAY:
+            testbed.set_dns_delay(RdataType.AAAA, value_ms / 1000.0)
+        elif case.kind is TestCaseKind.DELAYED_A:
+            testbed.set_dns_delay(RdataType.A, value_ms / 1000.0)
+
+    def on_run_end(self, testbed, case, value_ms):
+        testbed.clear_dns_delays()
+
+
+class AddressSelectionModule(SetupModule):
+    """Registers N unresponsive addresses per family for a run.
+
+    The addresses come from dedicated prefixes that are never attached
+    to any interface, so every SYN toward them blackholes (§4.1(iii)).
+    """
+
+    name = "address-selection"
+    UNRESPONSIVE_V4_PREFIX = "203.0.113."
+    UNRESPONSIVE_V6_PREFIX = "2001:db8:dead::"
+
+    def __init__(self) -> None:
+        self.last_hostname: Optional[str] = None
+
+    def on_run_start(self, testbed, case, value_ms, run_label):
+        if case.kind is not TestCaseKind.ADDRESS_SELECTION:
+            return
+        count = case.addresses_per_family
+        addresses = (
+            [f"{self.UNRESPONSIVE_V6_PREFIX}{i + 1:x}"
+             for i in range(count)]
+            + [f"{self.UNRESPONSIVE_V4_PREFIX}{i + 1}"
+               for i in range(count)])
+        self.last_hostname = testbed.add_domain(
+            f"sel-{run_label}", addresses)
+
+
+class CaptureModule(SetupModule):
+    """start capture.sh / stop capture.sh on the client node."""
+
+    name = "packet-capture"
+
+    def __init__(self) -> None:
+        self.capture: Optional[PacketCapture] = None
+
+    def on_run_start(self, testbed, case, value_ms, run_label):
+        self.capture = testbed.start_client_capture()
+
+    def on_run_end(self, testbed, case, value_ms):
+        if self.capture is not None:
+            self.capture.stop()
+
+
+def modules_for(case: TestCaseConfig) -> List[SetupModule]:
+    """The module chain a test-case kind needs (capture always last)."""
+    chain: List[SetupModule] = []
+    if case.kind is TestCaseKind.CONNECTION_ATTEMPT_DELAY:
+        chain.append(NetemModule())
+    if case.kind in (TestCaseKind.RESOLUTION_DELAY, TestCaseKind.DELAYED_A):
+        chain.append(DnsDelayModule())
+    if case.kind is TestCaseKind.ADDRESS_SELECTION:
+        chain.append(AddressSelectionModule())
+    chain.append(CaptureModule())
+    return chain

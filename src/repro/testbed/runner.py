@@ -1,0 +1,197 @@
+"""The test runner: cases × configurations × clients (App. Figure 3).
+
+For every (test case, sweep value, client, repetition) the runner
+builds a *fresh* testbed and client — the simulation equivalent of the
+paper's "drop and create a new container" state reset — executes the
+run, and collects black-box observations from the packet capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..clients.base import Client
+from ..clients.profile import ClientProfile
+from ..core.sortlist import HistoryStore
+from ..simnet.addr import Family
+from ..simnet.capture import PacketCapture
+from .config import TestCaseConfig, TestCaseKind
+from .inference import (aaaa_before_a, attempt_sequence,
+                        attempts_per_family, established_family, infer_cad,
+                        infer_resolution_delay, time_to_first_attempt)
+from .modules import AddressSelectionModule, CaptureModule, modules_for
+from .topology import LocalTestbed
+
+
+@dataclass
+class RunRecord:
+    """Everything observed in one test run."""
+
+    case: str
+    kind: TestCaseKind
+    client: str
+    value_ms: int
+    repetition: int
+    completed: bool
+    error: Optional[str] = None
+    winning_family: Optional[Family] = None
+    cad_s: Optional[float] = None
+    rd_s: Optional[float] = None
+    time_to_first_attempt_s: Optional[float] = None
+    aaaa_first: Optional[bool] = None
+    attempts: List[Tuple[float, Family]] = field(default_factory=list)
+    attempts_v4: int = 0
+    attempts_v6: int = 0
+    duration_s: Optional[float] = None
+
+
+@dataclass
+class ResultSet:
+    """All runs of a campaign, with the aggregations the paper reports."""
+
+    records: List[RunRecord] = field(default_factory=list)
+
+    def add(self, record: RunRecord) -> None:
+        self.records.append(record)
+
+    def for_client(self, client: str) -> List[RunRecord]:
+        return [r for r in self.records if r.client == client]
+
+    def for_case(self, case: str) -> List[RunRecord]:
+        return [r for r in self.records if r.case == case]
+
+    def median_cad(self, client: str) -> Optional[float]:
+        values = [r.cad_s for r in self.for_client(client)
+                  if r.cad_s is not None]
+        return median(values) if values else None
+
+    def family_by_delay(self, client: str, case: str
+                        ) -> Dict[int, Family]:
+        """delay_ms -> established family (the Figure 2 series)."""
+        out: Dict[int, Family] = {}
+        for record in self.records:
+            if (record.client == client and record.case == case
+                    and record.winning_family is not None):
+                out[record.value_ms] = record.winning_family
+        return out
+
+    def observed_cad_crossover(self, client: str, case: str
+                               ) -> Optional[int]:
+        """Largest delay (ms) still established via IPv6."""
+        series = self.family_by_delay(client, case)
+        v6_delays = [delay for delay, family in series.items()
+                     if family is Family.V6]
+        return max(v6_delays) if v6_delays else None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class TestRunner:
+    """Drives a measurement campaign over client profiles."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    def __init__(self, clients: Sequence[ClientProfile],
+                 cases: Sequence[TestCaseConfig], seed: int = 0,
+                 resolver_timeout: float = 5.0,
+                 hev3_flag: bool = False) -> None:
+        if not clients:
+            raise ValueError("runner needs at least one client profile")
+        if not cases:
+            raise ValueError("runner needs at least one test case")
+        self.clients = list(clients)
+        self.cases = list(cases)
+        self.seed = seed
+        self.resolver_timeout = resolver_timeout
+        self.hev3_flag = hev3_flag
+
+    # -- campaign --------------------------------------------------------------
+
+    def run(self) -> ResultSet:
+        results = ResultSet()
+        for case in self.cases:
+            for profile in self.clients:
+                for value_ms in case.sweep:
+                    for repetition in range(case.repetitions):
+                        record = self.run_single(case, profile, value_ms,
+                                                 repetition)
+                        results.add(record)
+        return results
+
+    # -- one run ------------------------------------------------------------------
+
+    def run_single(self, case: TestCaseConfig, profile: ClientProfile,
+                   value_ms: int, repetition: int = 0) -> RunRecord:
+        """One fully isolated test run (fresh testbed + client)."""
+        run_seed = hash((self.seed, case.name, profile.full_name,
+                         value_ms, repetition)) & 0x7FFFFFFF
+        testbed = LocalTestbed(seed=run_seed,
+                               resolver_timeout=self.resolver_timeout)
+        modules = modules_for(case)
+        run_label = f"v{value_ms}r{repetition}"
+        for module in modules:
+            module.on_case_start(testbed, case)
+        for module in modules:
+            module.on_run_start(testbed, case, value_ms, run_label)
+
+        hostname = self._hostname_for(case, modules, testbed, run_label)
+        client = Client(
+            testbed.client, profile, testbed.resolver_addresses[:1],
+            history=HistoryStore(),
+            hev3_flag=self.hev3_flag and profile.hev3_flag_available)
+        capture = self._find_capture(modules)
+
+        process = client.connect(hostname)
+        process.defused = True  # failures are data, not crashes
+        testbed.sim.run(until=testbed.sim.now + case.run_timeout)
+
+        record = RunRecord(
+            case=case.name, kind=case.kind, client=profile.full_name,
+            value_ms=value_ms, repetition=repetition,
+            completed=process.triggered)
+        if process.triggered:
+            if process.ok:
+                he_result = process.value
+                record.duration_s = he_result.time_to_connect
+            else:
+                record.error = str(process.exception)
+        self._observe(record, capture)
+        for module in modules:
+            module.on_run_end(testbed, case, value_ms)
+        return record
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _hostname_for(self, case: TestCaseConfig, modules, testbed,
+                      run_label: str) -> str:
+        if case.kind is TestCaseKind.ADDRESS_SELECTION:
+            for module in modules:
+                if isinstance(module, AddressSelectionModule):
+                    assert module.last_hostname is not None
+                    return module.last_hostname
+        # Unique per run: the wildcard zone answers, caching is moot.
+        return testbed.unique_hostname(f"{case.kind.value}-{run_label}")
+
+    @staticmethod
+    def _find_capture(modules) -> PacketCapture:
+        for module in modules:
+            if isinstance(module, CaptureModule):
+                assert module.capture is not None
+                return module.capture
+        raise RuntimeError("capture module missing from chain")
+
+    @staticmethod
+    def _observe(record: RunRecord, capture: PacketCapture) -> None:
+        """Black-box inference: everything comes from the capture."""
+        record.winning_family = established_family(capture)
+        record.cad_s = infer_cad(capture)
+        record.rd_s = infer_resolution_delay(capture)
+        record.time_to_first_attempt_s = time_to_first_attempt(capture)
+        record.aaaa_first = aaaa_before_a(capture)
+        record.attempts = attempt_sequence(capture)
+        per_family = attempts_per_family(capture)
+        record.attempts_v4 = per_family[Family.V4]
+        record.attempts_v6 = per_family[Family.V6]

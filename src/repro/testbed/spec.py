@@ -1,0 +1,138 @@
+"""Declarative campaign specifications (the framework's config file).
+
+The paper's framework is driven by configuration: "They consist of a
+config file instructing the framework which executables to run when …
+The clients are defined separately from the test cases" (§4.3(i),
+App. Figure 3).  This module is that seam: a campaign is a plain dict
+(JSON/TOML-shaped — no parser dependency) naming clients by
+registry key and test cases by kind with their sweep parameters.
+
+Example::
+
+    spec = {
+        "seed": 7,
+        "resolver_timeout": 5.0,
+        "clients": [
+            {"name": "Chrome", "version": "130.0"},
+            {"name": "Firefox", "version": "132.0", "hev3_flag": false},
+        ],
+        "cases": [
+            {"kind": "cad", "sweep": {"start": 0, "stop": 400, "step": 25}},
+            {"kind": "rd", "sweep": {"values": [500, 1000]}},
+            {"kind": "address-selection", "addresses_per_family": 10},
+        ],
+    }
+    results = run_campaign_spec(spec)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..clients.profile import ClientProfile
+from ..clients.registry import get_profile
+from .config import SweepSpec, TestCaseConfig, TestCaseKind
+from .runner import ResultSet, TestRunner
+
+_DEFAULT_SWEEPS: Dict[TestCaseKind, SweepSpec] = {
+    TestCaseKind.CONNECTION_ATTEMPT_DELAY: SweepSpec.range(0, 400, 25),
+    TestCaseKind.RESOLUTION_DELAY: SweepSpec.fixed(200, 500, 1000, 2000),
+    TestCaseKind.DELAYED_A: SweepSpec.fixed(200, 500, 1000, 2000),
+    TestCaseKind.ADDRESS_SELECTION: SweepSpec.fixed(0),
+}
+
+
+class SpecError(ValueError):
+    """A campaign specification is malformed."""
+
+
+def parse_sweep(data: Optional[Mapping[str, Any]],
+                kind: TestCaseKind) -> SweepSpec:
+    """Parse a sweep stanza: explicit values, a range, or the default."""
+    if data is None:
+        return _DEFAULT_SWEEPS[kind]
+    if "values" in data and ("start" in data or "stop" in data):
+        raise SpecError("sweep takes either 'values' or a range, not both")
+    if "values" in data:
+        values = data["values"]
+        if not isinstance(values, (list, tuple)) or not values:
+            raise SpecError(f"sweep values must be a non-empty list, "
+                            f"got {values!r}")
+        return SweepSpec.fixed(*values)
+    if "start" in data or "stop" in data:
+        try:
+            return SweepSpec.range(int(data.get("start", 0)),
+                                   int(data["stop"]),
+                                   int(data.get("step", 25)))
+        except KeyError as exc:
+            raise SpecError("sweep range needs 'stop'") from exc
+    raise SpecError(f"unintelligible sweep stanza: {dict(data)!r}")
+
+
+def parse_case(data: Mapping[str, Any]) -> TestCaseConfig:
+    """Parse one test-case stanza."""
+    try:
+        kind = TestCaseKind(data["kind"])
+    except KeyError as exc:
+        raise SpecError("test case needs a 'kind'") from exc
+    except ValueError as exc:
+        valid = ", ".join(k.value for k in TestCaseKind)
+        raise SpecError(
+            f"unknown case kind {data['kind']!r} (valid: {valid})") from exc
+    sweep = parse_sweep(data.get("sweep"), kind)
+    return TestCaseConfig(
+        name=data.get("name", kind.value),
+        kind=kind,
+        sweep=sweep,
+        repetitions=int(data.get("repetitions", 1)),
+        addresses_per_family=int(data.get("addresses_per_family", 10)),
+        run_timeout=float(data.get("run_timeout", 30.0)),
+    )
+
+
+def parse_client(data: Mapping[str, Any]) -> ClientProfile:
+    """Parse one client stanza (registry lookup + optional HEv3 flag)."""
+    try:
+        profile = get_profile(data["name"], data.get("version"))
+    except KeyError as exc:
+        raise SpecError(str(exc)) from exc
+    if data.get("hev3_flag"):
+        profile = profile.with_hev3_flag()
+    return profile
+
+
+@dataclass
+class CampaignSpec:
+    """A parsed, validated campaign definition."""
+
+    clients: List[ClientProfile]
+    cases: List[TestCaseConfig]
+    seed: int = 0
+    resolver_timeout: float = 5.0
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        if "clients" not in data or not data["clients"]:
+            raise SpecError("campaign needs at least one client")
+        if "cases" not in data or not data["cases"]:
+            raise SpecError("campaign needs at least one test case")
+        return cls(
+            clients=[parse_client(c) for c in data["clients"]],
+            cases=[parse_case(c) for c in data["cases"]],
+            seed=int(data.get("seed", 0)),
+            resolver_timeout=float(data.get("resolver_timeout", 5.0)),
+        )
+
+    def build_runner(self) -> TestRunner:
+        return TestRunner(self.clients, self.cases, seed=self.seed,
+                          resolver_timeout=self.resolver_timeout)
+
+    def total_runs(self) -> int:
+        return len(self.clients) * sum(
+            len(case.sweep) * case.repetitions for case in self.cases)
+
+
+def run_campaign_spec(data: Mapping[str, Any]) -> ResultSet:
+    """Parse and execute a campaign specification in one call."""
+    return CampaignSpec.from_dict(data).build_runner().run()

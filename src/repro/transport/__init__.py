@@ -1,0 +1,22 @@
+"""Transport protocols over the simulated network.
+
+TCP and QUIC expose the handshake observables the study measures
+(connection-attempt packets, success/refusal/timeout); UDP carries DNS.
+"""
+
+from .errors import (ConnectError, ConnectRefused, ConnectTimeout,
+                     ConnectionAborted, PortInUse, SocketClosed,
+                     TransportError)
+from .quic import (QUICConnection, QUICConnectionState, QUICListener,
+                   QUICStack)
+from .tcp import (TCPConnection, TCPListener, TCPStack, TCPState,
+                  DEFAULT_INITIAL_RTO, DEFAULT_SYN_RETRIES)
+from .udp import Datagram, UDPSocket, UDPStack
+
+__all__ = [
+    "ConnectError", "ConnectRefused", "ConnectTimeout", "ConnectionAborted",
+    "Datagram", "DEFAULT_INITIAL_RTO", "DEFAULT_SYN_RETRIES", "PortInUse",
+    "QUICConnection", "QUICConnectionState", "QUICListener", "QUICStack",
+    "SocketClosed", "TCPConnection", "TCPListener", "TCPStack", "TCPState",
+    "TransportError", "UDPSocket", "UDPStack",
+]

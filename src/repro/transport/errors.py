@@ -1,0 +1,42 @@
+"""Transport-level error types.
+
+Happy Eyeballs distinguishes *how* an attempt failed: an immediate RST
+(refused) lets the client move to the next address right away, while a
+blackholed address only fails after retransmissions time out — the
+difference drives the paper's address-selection experiment, where all
+configured addresses "do not respond at all" (§4.1(iii)).
+"""
+
+from __future__ import annotations
+
+
+class TransportError(Exception):
+    """Base class for simulated transport errors."""
+
+
+class ConnectError(TransportError):
+    """A connection attempt failed."""
+
+    def __init__(self, message: str, elapsed: float = 0.0) -> None:
+        super().__init__(message)
+        self.elapsed = elapsed
+
+
+class ConnectTimeout(ConnectError):
+    """No answer before the attempt deadline (blackhole / silent drop)."""
+
+
+class ConnectRefused(ConnectError):
+    """The peer answered with RST (closed port)."""
+
+
+class ConnectionAborted(TransportError):
+    """The local side aborted the connection (e.g. losing HE attempt)."""
+
+
+class SocketClosed(TransportError):
+    """Operation on a closed socket."""
+
+
+class PortInUse(TransportError):
+    """bind() collision."""

@@ -1,0 +1,222 @@
+"""Minimal QUIC handshake model for Happy Eyeballs v3 racing.
+
+HEv3 (draft-ietf-happy-happyeyeballs-v3) races QUIC against TCP and
+prefers QUIC when SVCB/HTTPS records advertise it.  The racing engine
+needs exactly one observable from QUIC: an Initial packet (the
+connection attempt) answered by a Handshake packet (success), with
+PTO-style retransmission when unanswered.  Everything else about QUIC
+is out of scope (see DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
+
+from ..simnet.addr import IPAddress, parse_address
+from ..simnet.events import Event
+from ..simnet.iface import Interface
+from ..simnet.packet import Packet, Protocol, QUICPacketType
+from ..simnet.scheduler import ScheduledCall
+from .errors import ConnectTimeout, ConnectionAborted, PortInUse
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simnet.host import Host
+
+DEFAULT_INITIAL_PTO = 1.0
+DEFAULT_MAX_PROBES = 5
+
+ConnKey = Tuple[IPAddress, int, IPAddress, int]
+
+
+class QUICConnectionState(enum.Enum):
+    IDLE = "idle"
+    CONNECTING = "connecting"
+    ESTABLISHED = "established"
+    FAILED = "failed"
+    ABORTED = "aborted"
+
+
+class QUICConnection:
+    """Client-side QUIC handshake attempt."""
+
+    def __init__(self, stack: "QUICStack", local_addr: IPAddress,
+                 local_port: int, remote_addr: IPAddress,
+                 remote_port: int) -> None:
+        self.stack = stack
+        self.local_addr = local_addr
+        self.local_port = local_port
+        self.remote_addr = remote_addr
+        self.remote_port = remote_port
+        self.state = QUICConnectionState.IDLE
+        self.established: Event = stack.host.sim.event(
+            name=f"quic-connect:{remote_addr}:{remote_port}")
+        self.initial_sent_at: Optional[float] = None
+        self.established_at: Optional[float] = None
+        self.initial_transmissions = 0
+        self._pto_timer: Optional[ScheduledCall] = None
+        self._deadline_timer: Optional[ScheduledCall] = None
+        self._pto = DEFAULT_INITIAL_PTO
+        self._probes_left = DEFAULT_MAX_PROBES
+
+    @property
+    def key(self) -> ConnKey:
+        return (self.local_addr, self.local_port,
+                self.remote_addr, self.remote_port)
+
+    def _packet(self, quic_type: QUICPacketType) -> Packet:
+        return Packet(src=self.local_addr, dst=self.remote_addr,
+                      protocol=Protocol.QUIC, sport=self.local_port,
+                      dport=self.remote_port, quic_type=quic_type)
+
+    def _start(self, timeout: Optional[float], initial_pto: float,
+               max_probes: int) -> None:
+        sim = self.stack.host.sim
+        self.state = QUICConnectionState.CONNECTING
+        self._pto = initial_pto
+        self._probes_left = max_probes
+        self.initial_sent_at = sim.now
+        self._transmit_initial()
+        if timeout is not None:
+            self._deadline_timer = sim.schedule(timeout, self._on_deadline)
+
+    def _transmit_initial(self) -> None:
+        self.initial_transmissions += 1
+        self.stack.host.send(self._packet(QUICPacketType.INITIAL))
+        self._pto_timer = self.stack.host.sim.schedule(
+            self._pto, self._on_pto)
+
+    def _on_pto(self) -> None:
+        if self.state is not QUICConnectionState.CONNECTING:
+            return
+        if self._probes_left <= 0:
+            self._fail(ConnectTimeout(
+                f"QUIC handshake to {self.remote_addr}:{self.remote_port} "
+                f"timed out after {self.initial_transmissions} Initials"))
+            return
+        self._probes_left -= 1
+        self._pto *= 2.0
+        self._transmit_initial()
+
+    def _on_deadline(self) -> None:
+        if self.state is QUICConnectionState.CONNECTING:
+            self._fail(ConnectTimeout(
+                f"QUIC attempt to {self.remote_addr}:{self.remote_port} "
+                f"hit the attempt deadline"))
+
+    def _fail(self, error: Exception) -> None:
+        self._cancel_timers()
+        self.state = QUICConnectionState.FAILED
+        self.stack._forget(self)
+        if not self.established.triggered:
+            self.established.fail(error)
+
+    def _cancel_timers(self) -> None:
+        if self._pto_timer is not None:
+            self._pto_timer.cancel()
+            self._pto_timer = None
+        if self._deadline_timer is not None:
+            self._deadline_timer.cancel()
+            self._deadline_timer = None
+
+    def handle(self, packet: Packet) -> None:
+        if (self.state is QUICConnectionState.CONNECTING
+                and packet.quic_type is QUICPacketType.HANDSHAKE):
+            self._cancel_timers()
+            self.state = QUICConnectionState.ESTABLISHED
+            self.established_at = self.stack.host.sim.now
+            self.stack.host.send(self._packet(QUICPacketType.ONE_RTT))
+            if not self.established.triggered:
+                self.established.succeed(self)
+
+    def abort(self) -> None:
+        if self.state in (QUICConnectionState.FAILED,
+                          QUICConnectionState.ABORTED):
+            return
+        self._cancel_timers()
+        self.state = QUICConnectionState.ABORTED
+        self.stack._forget(self)
+        if not self.established.triggered:
+            self.established.defused = True
+            self.established.fail(ConnectionAborted(
+                f"QUIC attempt to {self.remote_addr} aborted"))
+
+    def __repr__(self) -> str:
+        return (f"<QUICConnection {self.local_addr}:{self.local_port} -> "
+                f"{self.remote_addr}:{self.remote_port} {self.state.value}>")
+
+
+class QUICListener:
+    """Server side: answers Initials with Handshakes."""
+
+    def __init__(self, stack: "QUICStack", local_addr: Optional[IPAddress],
+                 port: int) -> None:
+        self.stack = stack
+        self.local_addr = local_addr
+        self.port = port
+        self.closed = False
+        self.handshakes_answered = 0
+
+    def _on_initial(self, packet: Packet) -> None:
+        if self.closed:
+            return
+        self.handshakes_answered += 1
+        self.stack.host.send(Packet(quic_type=QUICPacketType.HANDSHAKE,
+                                    **packet.reply_template()))
+
+    def close(self) -> None:
+        self.closed = True
+        self.stack._remove_listener(self)
+
+
+class QUICStack:
+    """Per-host QUIC demultiplexer."""
+
+    def __init__(self, host: "Host") -> None:
+        self.host = host
+        self._connections: Dict[ConnKey, QUICConnection] = {}
+        self._listeners: Dict[Tuple[Optional[IPAddress], int],
+                              QUICListener] = {}
+        host.register_handler(Protocol.QUIC, self._on_packet)
+
+    def connect(self, dst: Union[str, IPAddress], dport: int,
+                src: Optional[Union[str, IPAddress]] = None,
+                timeout: Optional[float] = None,
+                initial_pto: float = DEFAULT_INITIAL_PTO,
+                max_probes: int = DEFAULT_MAX_PROBES) -> QUICConnection:
+        dst = parse_address(dst)
+        src_addr = (parse_address(src) if src is not None
+                    else self.host.source_address_for(dst))
+        connection = QUICConnection(self, src_addr,
+                                    self.host.allocate_port(), dst, dport)
+        self._connections[connection.key] = connection
+        connection._start(timeout, initial_pto, max_probes)
+        return connection
+
+    def listen(self, port: int,
+               addr: Optional[Union[str, IPAddress]] = None) -> QUICListener:
+        local = parse_address(addr) if addr is not None else None
+        key = (local, port)
+        if key in self._listeners:
+            raise PortInUse(f"quic listener {key} exists on {self.host.name}")
+        listener = QUICListener(self, local, port)
+        self._listeners[key] = listener
+        return listener
+
+    def _forget(self, connection: QUICConnection) -> None:
+        self._connections.pop(connection.key, None)
+
+    def _remove_listener(self, listener: QUICListener) -> None:
+        self._listeners.pop((listener.local_addr, listener.port), None)
+
+    def _on_packet(self, packet: Packet, interface: Interface) -> None:
+        key: ConnKey = (packet.dst, packet.dport, packet.src, packet.sport)
+        connection = self._connections.get(key)
+        if connection is not None:
+            connection.handle(packet)
+            return
+        if packet.quic_type is QUICPacketType.INITIAL:
+            listener = (self._listeners.get((packet.dst, packet.dport))
+                        or self._listeners.get((None, packet.dport)))
+            if listener is not None:
+                listener._on_initial(packet)

@@ -1,0 +1,376 @@
+"""Simplified TCP over the simulated network.
+
+The model covers exactly what the study observes: the three-way
+handshake (first SYN per family is the connection-attempt timestamp the
+testbed's CAD inference reads), SYN retransmission with exponential
+backoff (Linux-style: initial RTO 1 s, doubling), RST-based refusal,
+connection abort (the discarded losers of a Happy Eyeballs race), and
+enough data transfer for an HTTP-ish echo exchange.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Optional, Tuple, Union
+
+from ..simnet.addr import IPAddress, parse_address
+from ..simnet.events import Event
+from ..simnet.iface import Interface
+from ..simnet.packet import Packet, Protocol, TCPFlags
+from ..simnet.scheduler import ScheduledCall
+from .errors import (ConnectError, ConnectRefused, ConnectTimeout,
+                     ConnectionAborted, PortInUse, SocketClosed)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simnet.host import Host
+
+DEFAULT_INITIAL_RTO = 1.0
+DEFAULT_SYN_RETRIES = 6
+DEFAULT_MAX_RTO = 60.0
+
+ConnKey = Tuple[IPAddress, int, IPAddress, int]
+ListenKey = Tuple[Optional[IPAddress], int]
+
+
+class TCPState(enum.Enum):
+    CLOSED = "closed"
+    SYN_SENT = "syn-sent"
+    SYN_RCVD = "syn-rcvd"
+    ESTABLISHED = "established"
+    FIN_SENT = "fin-sent"
+    ABORTED = "aborted"
+
+
+class TCPConnection:
+    """One connection endpoint (client or server side)."""
+
+    def __init__(self, stack: "TCPStack", local_addr: IPAddress,
+                 local_port: int, remote_addr: IPAddress,
+                 remote_port: int) -> None:
+        self.stack = stack
+        self.local_addr = local_addr
+        self.local_port = local_port
+        self.remote_addr = remote_addr
+        self.remote_port = remote_port
+        self.state = TCPState.CLOSED
+        sim = stack.host.sim
+        self.established: Event = sim.event(
+            name=f"tcp-connect:{remote_addr}:{remote_port}")
+        self.syn_sent_at: Optional[float] = None
+        self.established_at: Optional[float] = None
+        self.syn_transmissions = 0
+        self._recv_backlog: Deque[bytes] = deque()
+        self._recv_waiters: Deque[Event] = deque()
+        self._retransmit_timer: Optional[ScheduledCall] = None
+        self._deadline_timer: Optional[ScheduledCall] = None
+        self._current_rto = DEFAULT_INITIAL_RTO
+        self.remote_closed = False
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def key(self) -> ConnKey:
+        return (self.local_addr, self.local_port,
+                self.remote_addr, self.remote_port)
+
+    @property
+    def family(self):
+        from ..simnet.addr import family_of
+
+        return family_of(self.remote_addr)
+
+    def _packet(self, flags: TCPFlags, payload: bytes = b"") -> Packet:
+        return Packet(src=self.local_addr, dst=self.remote_addr,
+                      protocol=Protocol.TCP, sport=self.local_port,
+                      dport=self.remote_port, flags=flags, payload=payload)
+
+    # -- client-side handshake ------------------------------------------------
+
+    def _start_connect(self, timeout: Optional[float], initial_rto: float,
+                       syn_retries: int) -> None:
+        sim = self.stack.host.sim
+        self.state = TCPState.SYN_SENT
+        self._current_rto = initial_rto
+        self._syn_retries_left = syn_retries
+        self.syn_sent_at = sim.now
+        self._transmit_syn()
+        if timeout is not None:
+            self._deadline_timer = sim.schedule(timeout, self._on_deadline)
+
+    def _transmit_syn(self) -> None:
+        sim = self.stack.host.sim
+        self.syn_transmissions += 1
+        self.stack.host.send(self._packet(TCPFlags.SYN))
+        self._retransmit_timer = sim.schedule(
+            self._current_rto, self._on_retransmit_timer)
+
+    def _on_retransmit_timer(self) -> None:
+        if self.state is not TCPState.SYN_SENT:
+            return
+        if self._syn_retries_left <= 0:
+            elapsed = self.stack.host.sim.now - (self.syn_sent_at or 0.0)
+            self._fail_connect(ConnectTimeout(
+                f"connect to {self.remote_addr}:{self.remote_port} "
+                f"timed out after {self.syn_transmissions} SYNs",
+                elapsed=elapsed))
+            return
+        self._syn_retries_left -= 1
+        self._current_rto = min(self._current_rto * 2.0, DEFAULT_MAX_RTO)
+        self._transmit_syn()
+
+    def _on_deadline(self) -> None:
+        if self.state is TCPState.SYN_SENT:
+            elapsed = self.stack.host.sim.now - (self.syn_sent_at or 0.0)
+            self._fail_connect(ConnectTimeout(
+                f"connect to {self.remote_addr}:{self.remote_port} "
+                f"hit the attempt deadline", elapsed=elapsed))
+
+    def _fail_connect(self, error: ConnectError) -> None:
+        self._cancel_timers()
+        self.state = TCPState.CLOSED
+        self.stack._forget(self)
+        if not self.established.triggered:
+            self.established.fail(error)
+
+    def _cancel_timers(self) -> None:
+        if self._retransmit_timer is not None:
+            self._retransmit_timer.cancel()
+            self._retransmit_timer = None
+        if self._deadline_timer is not None:
+            self._deadline_timer.cancel()
+            self._deadline_timer = None
+
+    # -- packet handling -------------------------------------------------------
+
+    def handle(self, packet: Packet) -> None:
+        if packet.is_rst:
+            self._on_rst(packet)
+            return
+        if self.state is TCPState.SYN_SENT and packet.is_syn_ack:
+            self._cancel_timers()
+            self.state = TCPState.ESTABLISHED
+            self.established_at = self.stack.host.sim.now
+            self.stack.host.send(self._packet(TCPFlags.ACK))
+            if not self.established.triggered:
+                self.established.succeed(self)
+            return
+        if self.state is TCPState.SYN_RCVD:
+            if packet.is_syn:
+                # Duplicate SYN: our SYN-ACK was lost; resend.
+                self.stack.host.send(
+                    self._packet(TCPFlags.SYN | TCPFlags.ACK))
+                return
+            if TCPFlags.ACK in packet.flags:
+                self.state = TCPState.ESTABLISHED
+                self.established_at = self.stack.host.sim.now
+                if not self.established.triggered:
+                    self.established.succeed(self)
+                self.stack._connection_accepted(self)
+                if packet.payload:
+                    self._deliver(packet.payload)
+                return
+        if self.state in (TCPState.ESTABLISHED, TCPState.FIN_SENT):
+            if packet.payload:
+                self._deliver(packet.payload)
+            if TCPFlags.FIN in packet.flags:
+                self.remote_closed = True
+                self._deliver(b"")  # EOF marker
+
+    def _on_rst(self, packet: Packet) -> None:
+        if self.state is TCPState.SYN_SENT:
+            elapsed = self.stack.host.sim.now - (self.syn_sent_at or 0.0)
+            self._fail_connect(ConnectRefused(
+                f"connection to {self.remote_addr}:{self.remote_port} refused",
+                elapsed=elapsed))
+            return
+        self._cancel_timers()
+        self.state = TCPState.CLOSED
+        self.stack._forget(self)
+        self._fail_receivers(ConnectionAborted("connection reset by peer"))
+
+    # -- data transfer -----------------------------------------------------------
+
+    def send(self, payload: bytes) -> None:
+        if self.state is not TCPState.ESTABLISHED:
+            raise SocketClosed(
+                f"send on {self.state.value} connection {self.key}")
+        self.stack.host.send(
+            self._packet(TCPFlags.PSH | TCPFlags.ACK, payload=payload))
+
+    def recv(self) -> Event:
+        """Event succeeding with the next payload (b'' marks EOF)."""
+        event = self.stack.host.sim.event(name="tcp-recv")
+        if self._recv_backlog:
+            event.succeed(self._recv_backlog.popleft())
+        elif self.state in (TCPState.CLOSED, TCPState.ABORTED):
+            event.fail(SocketClosed("recv on closed connection"))
+        else:
+            self._recv_waiters.append(event)
+        return event
+
+    def _deliver(self, payload: bytes) -> None:
+        while self._recv_waiters:
+            waiter = self._recv_waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed(payload)
+                return
+        self._recv_backlog.append(payload)
+
+    def _fail_receivers(self, error: Exception) -> None:
+        while self._recv_waiters:
+            waiter = self._recv_waiters.popleft()
+            if not waiter.triggered:
+                waiter.defused = True
+                waiter.fail(error)
+
+    # -- teardown -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Orderly shutdown (FIN)."""
+        if self.state is TCPState.ESTABLISHED:
+            self.state = TCPState.FIN_SENT
+            self.stack.host.send(self._packet(TCPFlags.FIN | TCPFlags.ACK))
+
+    def abort(self) -> None:
+        """Hard abort (RST) — how an HE loser is discarded."""
+        if self.state in (TCPState.CLOSED, TCPState.ABORTED):
+            return
+        self._cancel_timers()
+        previous = self.state
+        self.state = TCPState.ABORTED
+        self.stack._forget(self)
+        if previous in (TCPState.ESTABLISHED, TCPState.SYN_RCVD,
+                        TCPState.FIN_SENT):
+            self.stack.host.send(self._packet(TCPFlags.RST))
+        if not self.established.triggered:
+            self.established.defused = True
+            self.established.fail(ConnectionAborted(
+                f"attempt to {self.remote_addr}:{self.remote_port} aborted"))
+        self._fail_receivers(ConnectionAborted("connection aborted"))
+
+    def __repr__(self) -> str:
+        return (f"<TCPConnection {self.local_addr}:{self.local_port} -> "
+                f"{self.remote_addr}:{self.remote_port} {self.state.value}>")
+
+
+class TCPListener:
+    """A passive socket with an accept queue."""
+
+    def __init__(self, stack: "TCPStack", local_addr: Optional[IPAddress],
+                 port: int) -> None:
+        self.stack = stack
+        self.local_addr = local_addr
+        self.port = port
+        self._accept_backlog: Deque[TCPConnection] = deque()
+        self._accept_waiters: Deque[Event] = deque()
+        self.closed = False
+
+    def accept(self) -> Event:
+        """Event succeeding with the next established connection."""
+        event = self.stack.host.sim.event(name=f"tcp-accept:{self.port}")
+        if self.closed:
+            event.fail(SocketClosed("accept on closed listener"))
+        elif self._accept_backlog:
+            event.succeed(self._accept_backlog.popleft())
+        else:
+            self._accept_waiters.append(event)
+        return event
+
+    def _enqueue(self, connection: TCPConnection) -> None:
+        while self._accept_waiters:
+            waiter = self._accept_waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed(connection)
+                return
+        self._accept_backlog.append(connection)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.stack._remove_listener(self)
+        while self._accept_waiters:
+            waiter = self._accept_waiters.popleft()
+            if not waiter.triggered:
+                waiter.defused = True
+                waiter.fail(SocketClosed("listener closed"))
+
+
+class TCPStack:
+    """Per-host TCP connection and listener tables."""
+
+    def __init__(self, host: "Host") -> None:
+        self.host = host
+        self._connections: Dict[ConnKey, TCPConnection] = {}
+        self._listeners: Dict[ListenKey, TCPListener] = {}
+        host.register_handler(Protocol.TCP, self._on_packet)
+
+    # -- API -----------------------------------------------------------------
+
+    def connect(self, dst: Union[str, IPAddress], dport: int,
+                src: Optional[Union[str, IPAddress]] = None,
+                timeout: Optional[float] = None,
+                initial_rto: float = DEFAULT_INITIAL_RTO,
+                syn_retries: int = DEFAULT_SYN_RETRIES) -> TCPConnection:
+        """Begin a connection attempt; wait on ``.established``."""
+        dst = parse_address(dst)
+        src_addr = (parse_address(src) if src is not None
+                    else self.host.source_address_for(dst))
+        connection = TCPConnection(self, src_addr, self.host.allocate_port(),
+                                   dst, dport)
+        self._connections[connection.key] = connection
+        connection._start_connect(timeout, initial_rto, syn_retries)
+        return connection
+
+    def listen(self, port: int,
+               addr: Optional[Union[str, IPAddress]] = None) -> TCPListener:
+        local = parse_address(addr) if addr is not None else None
+        key: ListenKey = (local, port)
+        if key in self._listeners:
+            raise PortInUse(f"tcp listener {key} exists on {self.host.name}")
+        listener = TCPListener(self, local, port)
+        self._listeners[key] = listener
+        return listener
+
+    # -- internals --------------------------------------------------------------
+
+    def _forget(self, connection: TCPConnection) -> None:
+        self._connections.pop(connection.key, None)
+
+    def _remove_listener(self, listener: TCPListener) -> None:
+        self._listeners.pop((listener.local_addr, listener.port), None)
+
+    def _find_listener(self, packet: Packet) -> Optional[TCPListener]:
+        return (self._listeners.get((packet.dst, packet.dport))
+                or self._listeners.get((None, packet.dport)))
+
+    def _connection_accepted(self, connection: TCPConnection) -> None:
+        listener = self._listeners.get(
+            (connection.local_addr, connection.local_port)) or \
+            self._listeners.get((None, connection.local_port))
+        if listener is not None and not listener.closed:
+            listener._enqueue(connection)
+
+    def _on_packet(self, packet: Packet, interface: Interface) -> None:
+        key: ConnKey = (packet.dst, packet.dport, packet.src, packet.sport)
+        connection = self._connections.get(key)
+        if connection is not None:
+            connection.handle(packet)
+            return
+        if packet.is_syn:
+            listener = self._find_listener(packet)
+            if listener is None or listener.closed:
+                self.host.send(Packet(flags=TCPFlags.RST | TCPFlags.ACK,
+                                      **packet.reply_template()))
+                return
+            child = TCPConnection(self, packet.dst, packet.dport,
+                                  packet.src, packet.sport)
+            child.state = TCPState.SYN_RCVD
+            self._connections[child.key] = child
+            self.host.send(child._packet(TCPFlags.SYN | TCPFlags.ACK))
+            return
+        if not packet.is_rst:
+            # Stray segment for an unknown connection: refuse.
+            self.host.send(Packet(flags=TCPFlags.RST,
+                                  **packet.reply_template()))

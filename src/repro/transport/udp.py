@@ -1,0 +1,164 @@
+"""UDP datagram service over the simulated network.
+
+DNS — both the clients' stub queries and the recursive resolvers'
+iterative queries — runs on these sockets, carrying real RFC 1035 wire
+bytes as payloads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, Dict, Optional, Tuple, Union
+
+from ..simnet.addr import IPAddress, family_of, parse_address
+from ..simnet.events import Event
+from ..simnet.iface import Interface
+from ..simnet.packet import Packet, Protocol
+from .errors import PortInUse, SocketClosed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simnet.host import Host
+
+# Demux key: (local address or None for wildcard, local port)
+BindKey = Tuple[Optional[IPAddress], int]
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """A received UDP payload with its addressing context."""
+
+    payload: bytes
+    src: IPAddress
+    sport: int
+    dst: IPAddress
+    dport: int
+
+    @property
+    def sender(self) -> Tuple[IPAddress, int]:
+        return (self.src, self.sport)
+
+
+class UDPSocket:
+    """A bound UDP endpoint with event-based receive."""
+
+    def __init__(self, stack: "UDPStack", local_addr: Optional[IPAddress],
+                 local_port: int) -> None:
+        self._stack = stack
+        self.local_addr = local_addr
+        self.local_port = local_port
+        self._backlog: Deque[Datagram] = deque()
+        self._waiters: Deque[Event] = deque()
+        self.closed = False
+        self.sent_count = 0
+        self.received_count = 0
+
+    # -- sending -----------------------------------------------------------
+
+    def sendto(self, payload: bytes, dst: Union[str, IPAddress],
+               dport: int,
+               src: Optional[Union[str, IPAddress]] = None) -> Packet:
+        """Send ``payload`` to ``(dst, dport)``; returns the packet sent.
+
+        ``src`` pins the source address — servers answering on a
+        wildcard socket use it to reply from the address that was
+        queried, like a real UDP service.
+        """
+        if self.closed:
+            raise SocketClosed(f"sendto on closed socket :{self.local_port}")
+        dst = parse_address(dst)
+        if src is not None:
+            src = parse_address(src)
+        elif self.local_addr is not None and (
+                family_of(self.local_addr) is family_of(dst)):
+            src = self.local_addr
+        else:
+            src = self._stack.host.source_address_for(dst)
+        packet = Packet(src=src, dst=dst, protocol=Protocol.UDP,
+                        sport=self.local_port, dport=dport, payload=payload)
+        self._stack.host.send(packet)
+        self.sent_count += 1
+        return packet
+
+    # -- receiving ----------------------------------------------------------
+
+    def recv(self) -> Event:
+        """Event that succeeds with the next :class:`Datagram`."""
+        event = self._stack.host.sim.event(name=f"udp-recv:{self.local_port}")
+        if self.closed:
+            event.fail(SocketClosed(f"recv on closed :{self.local_port}"))
+        elif self._backlog:
+            event.succeed(self._backlog.popleft())
+        else:
+            self._waiters.append(event)
+        return event
+
+    def discard_waiter(self, event: Event) -> None:
+        """Abandon a pending :meth:`recv` event (it lost a race).
+
+        Without this, a ``recv`` raced against a timeout would stay in
+        the waiter queue and silently consume the next datagram.
+        """
+        try:
+            self._waiters.remove(event)
+        except ValueError:
+            pass
+
+    def _deliver(self, datagram: Datagram) -> None:
+        self.received_count += 1
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed(datagram)
+                return
+        self._backlog.append(datagram)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._stack._unbind(self)
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.triggered:
+                waiter.defused = True
+                waiter.fail(SocketClosed("socket closed while receiving"))
+
+    def __repr__(self) -> str:
+        addr = self.local_addr if self.local_addr is not None else "*"
+        return f"<UDPSocket {addr}:{self.local_port}>"
+
+
+class UDPStack:
+    """Per-host UDP demultiplexer."""
+
+    def __init__(self, host: "Host") -> None:
+        self.host = host
+        self._bindings: Dict[BindKey, UDPSocket] = {}
+        host.register_handler(Protocol.UDP, self._on_packet)
+
+    def socket(self, local_addr: Optional[Union[str, IPAddress]] = None,
+               local_port: Optional[int] = None) -> UDPSocket:
+        """Create and bind a socket; ephemeral port when none is given."""
+        addr = parse_address(local_addr) if local_addr is not None else None
+        if addr is not None and not self.host.owns_address(addr):
+            raise ValueError(f"{self.host.name} does not own {addr}")
+        port = local_port if local_port is not None else self.host.allocate_port()
+        key: BindKey = (addr, port)
+        if key in self._bindings:
+            raise PortInUse(f"udp {key} already bound on {self.host.name}")
+        sock = UDPSocket(self, addr, port)
+        self._bindings[key] = sock
+        return sock
+
+    def _unbind(self, sock: UDPSocket) -> None:
+        self._bindings.pop((sock.local_addr, sock.local_port), None)
+
+    def _on_packet(self, packet: Packet, interface: Interface) -> None:
+        sock = (self._bindings.get((packet.dst, packet.dport))
+                or self._bindings.get((None, packet.dport)))
+        if sock is None or sock.closed:
+            return  # no ICMP port-unreachable in this model
+        sock._deliver(Datagram(payload=packet.payload, src=packet.src,
+                               sport=packet.sport, dst=packet.dst,
+                               dport=packet.dport))

@@ -1,0 +1,77 @@
+"""The web tool's fixed delay ladder (§4.3(ii), App. Figure 4).
+
+"The nature of this web deployment does not allow resetting client and
+server configurations after each measurement.  Therefore, we use a
+fixed set of 18 delays between 0 and 5 s.  Each delay has dedicated
+IPv4 and IPv6 addresses assigned ... Furthermore, we associate a
+dedicated domain to each delay-address pair to prevent caching."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..simnet.addr import IPAddress, parse_address
+
+#: The 18 configured IPv6 delays in milliseconds (0 … 5 s).  The grid is
+#: dense around common CAD values (200/250/300 ms) and reaches 2 s
+#: (Safari's local CAD) and 5 s (the ladder ceiling).
+DELAY_LADDER_MS: Tuple[int, ...] = (
+    0, 25, 50, 100, 150, 200, 250, 300, 350, 400,
+    500, 750, 1000, 1250, 1500, 1750, 2000, 5000)
+
+assert len(DELAY_LADDER_MS) == 18
+
+#: Domain under which each delay's dedicated name lives.
+WEBTOOL_DOMAIN = "web.he-test.example"
+
+
+@dataclass(frozen=True)
+class DelayStep:
+    """One rung of the ladder: delay + dedicated addresses + domain."""
+
+    delay_ms: int
+    v4_address: IPAddress
+    v6_address: IPAddress
+    domain: str
+
+    def hostname(self, nonce: str) -> str:
+        """A fresh per-measurement name under the step's domain."""
+        return f"n{nonce}.{self.domain}"
+
+
+def build_ladder(v4_prefix: str = "198.51.100.",
+                 v6_prefix: str = "2001:db8:77::",
+                 domain: str = WEBTOOL_DOMAIN,
+                 delays_ms: Tuple[int, ...] = DELAY_LADDER_MS
+                 ) -> List[DelayStep]:
+    """Assign dedicated address pairs and domains to every delay."""
+    steps: List[DelayStep] = []
+    for index, delay_ms in enumerate(delays_ms):
+        steps.append(DelayStep(
+            delay_ms=delay_ms,
+            v4_address=parse_address(f"{v4_prefix}{index + 10}"),
+            v6_address=parse_address(f"{v6_prefix}{index + 10:x}"),
+            domain=f"t{delay_ms}.{domain}"))
+    return steps
+
+
+def cad_interval_from_outcomes(outcomes: "List[Tuple[int, bool]]"
+                               ) -> "Tuple[Optional[int], Optional[int]]":
+    """Infer the CAD interval from (delay_ms, used_ipv6) outcomes.
+
+    "The CAD can only be determined to be in the interval of the last
+    delay using IPv6 and the first delay using IPv4", e.g. Safari's
+    CAD ∈ (200, 250].  Returns ``(exclusive_low, inclusive_high)``;
+    either end is None when unbounded (always v6 / always v4).
+    """
+    ordered = sorted(outcomes)
+    last_v6: Optional[int] = None
+    first_v4: Optional[int] = None
+    for delay_ms, used_ipv6 in ordered:
+        if used_ipv6:
+            last_v6 = delay_ms
+        elif first_v4 is None:
+            first_v4 = delay_ms
+    return last_v6, first_v4

@@ -1,0 +1,80 @@
+"""Tests for the iCPR relay hop (client -> egress -> target)."""
+
+import pytest
+
+from repro.clients import (AKAMAI_EGRESS, ICPREgressNode, ICPRRelayClient,
+                           ICPRRelayService)
+from repro.simnet import Family
+from repro.testbed.topology import LocalTestbed
+
+
+def build_relay_world(seed=0, v6_delay_ms=0):
+    """Relay client and egress node both live on the lab segment."""
+    testbed = LocalTestbed(seed=seed)
+    if v6_delay_ms:
+        testbed.delay_ipv6_tcp(v6_delay_ms / 1000.0)
+    # The egress node is a separate host on the segment.
+    egress_host = testbed.network.add_host("egress")
+    testbed.network.connect(egress_host, testbed.segment,
+                            ["192.0.2.200", "2001:db8:1::200"])
+    egress = ICPREgressNode(egress_host, AKAMAI_EGRESS,
+                            testbed.resolver_addresses[:1])
+    relay = ICPRRelayService(egress).start()
+    # The user's device only knows the relay.
+    user_host = testbed.network.add_host("user-device")
+    testbed.network.connect(user_host, testbed.segment,
+                            ["192.0.2.201", "2001:db8:1::201"])
+    client = ICPRRelayClient(user_host, "192.0.2.200")
+    return testbed, client, egress, user_host
+
+
+class TestRelay:
+    def test_fetch_through_relay(self):
+        testbed, client, egress, _ = build_relay_world(seed=1)
+        ok, body = testbed.sim.run_until(
+            client.fetch("www.he-test.example"))
+        assert ok
+        assert egress.connections_proxied == 1
+        # The echoed address is the *egress node's*, not the user's:
+        # the server never sees the relay client.
+        assert b"192.0.2.200" in body or b"2001:db8:1::200" in body
+
+    def test_user_never_contacts_target_directly(self):
+        testbed, client, _, user_host = build_relay_world(seed=2)
+        capture = user_host.start_capture()
+        testbed.sim.run_until(client.fetch("www.he-test.example"))
+        contacted = {str(frame.packet.dst) for frame in capture
+                     if frame.direction.value == "out"}
+        assert "192.0.2.10" not in contacted  # the web server's v4
+        assert "2001:db8:1::10" not in contacted
+
+    def test_relay_exposes_egress_cad_not_safaris(self):
+        """Via iCPR the HE behaviour is Akamai's 150 ms CAD."""
+        # 200 ms v6 delay: Safari (dynamic CAD 2 s) would stay on IPv6;
+        # the Akamai egress (150 ms CAD) switches to IPv4.
+        testbed, client, egress, _ = build_relay_world(seed=3,
+                                                       v6_delay_ms=200)
+        ok, _ = testbed.sim.run_until(client.fetch("www.he-test.example"))
+        assert ok
+        winning = egress.trace.of_kind(
+            __import__("repro.core.events",
+                       fromlist=["HEEventKind"]).HEEventKind.CONNECTION_WON)
+        assert winning[-1].detail["family"] == "IPv4"
+
+    def test_bad_request_aborted(self):
+        testbed, client, _, user_host = build_relay_world(seed=4)
+
+        def bad_client():
+            attempt = user_host.tcp.connect("192.0.2.200", 4443)
+            connection = yield attempt.established
+            connection.send(b"GET / HTTP/1.1\r\n")
+            from repro.transport.errors import ConnectionAborted
+
+            try:
+                yield connection.recv()
+            except ConnectionAborted:
+                return "aborted"
+            return "answered"
+
+        process = testbed.sim.process(bad_client())
+        assert testbed.sim.run_until(process) == "aborted"

@@ -1,0 +1,181 @@
+"""Tests for the DNS cache (positive + negative caching)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns import (A, DNSCache, DNSMessage, DNSName, Rcode, RdataType,
+                       ResourceRecord, SOA, Zone)
+from repro.dns.auth import AuthoritativeServer
+from repro.dns.recursive import ForwardingResolver
+from repro.dns.stub import StubResolver
+from repro.simnet import Network
+
+
+def name(text):
+    return DNSName.from_text(text)
+
+
+def positive_response(qname="www.example.com", ttl=300, query_id=1):
+    query = DNSMessage.make_query(name(qname), RdataType.A, query_id)
+    response = query.make_response(aa=True)
+    response.answers.append(ResourceRecord(
+        name(qname), RdataType.A, ttl, A("192.0.2.1")))
+    return response
+
+
+def negative_response(qname="missing.example.com", soa_minimum=60,
+                      rcode=Rcode.NXDOMAIN, query_id=2):
+    query = DNSMessage.make_query(name(qname), RdataType.A, query_id)
+    response = query.make_response(rcode=rcode, aa=True)
+    response.authorities.append(ResourceRecord(
+        name("example.com"), RdataType.SOA, 300,
+        SOA(name("ns1.example.com"), name("admin.example.com"),
+            minimum=soa_minimum)))
+    return response
+
+
+class TestPositiveCaching:
+    def test_store_and_hit(self):
+        cache = DNSCache()
+        cache.store_response(positive_response(), now=0.0)
+        entry = cache.lookup(name("www.example.com"), RdataType.A,
+                             now=100.0)
+        assert entry is not None
+        assert not entry.negative
+        assert cache.hits == 1
+
+    def test_expiry_honors_ttl(self):
+        cache = DNSCache()
+        cache.store_response(positive_response(ttl=300), now=0.0)
+        assert cache.lookup(name("www.example.com"), RdataType.A,
+                            now=301.0) is None
+
+    def test_synthesized_answer_decrements_ttl(self):
+        cache = DNSCache()
+        cache.store_response(positive_response(ttl=300), now=0.0)
+        query = DNSMessage.make_query(name("www.example.com"),
+                                      RdataType.A, query_id=9)
+        answer = cache.answer_from_cache(query, now=100.0)
+        assert answer is not None
+        assert answer.id == 9
+        assert answer.answers[0].ttl == 200
+
+    def test_case_insensitive_names(self):
+        cache = DNSCache()
+        cache.store_response(positive_response("WWW.Example.COM"),
+                             now=0.0)
+        assert cache.lookup(name("www.example.com"), RdataType.A,
+                            now=1.0) is not None
+
+    def test_different_rtype_misses(self):
+        cache = DNSCache()
+        cache.store_response(positive_response(), now=0.0)
+        assert cache.lookup(name("www.example.com"), RdataType.AAAA,
+                            now=1.0) is None
+
+    def test_servfail_not_cached(self):
+        cache = DNSCache()
+        query = DNSMessage.make_query(name("x.example"), RdataType.A, 3)
+        response = query.make_response(rcode=Rcode.SERVFAIL)
+        assert cache.store_response(response, now=0.0) is None
+
+    def test_eviction_caps_size(self):
+        cache = DNSCache(max_entries=5)
+        for index in range(10):
+            cache.store_response(
+                positive_response(f"host{index}.example.com",
+                                  query_id=index), now=float(index))
+        assert len(cache) <= 5
+        # The most recent entries survive.
+        assert cache.lookup(name("host9.example.com"), RdataType.A,
+                            now=10.0) is not None
+
+
+class TestNegativeCaching:
+    def test_nxdomain_cached_with_soa_minimum(self):
+        cache = DNSCache()
+        cache.store_response(negative_response(soa_minimum=60), now=0.0)
+        entry = cache.lookup(name("missing.example.com"), RdataType.A,
+                             now=30.0)
+        assert entry is not None
+        assert entry.negative
+        assert entry.rcode is Rcode.NXDOMAIN
+        assert cache.lookup(name("missing.example.com"), RdataType.A,
+                            now=61.0) is None
+
+    def test_nodata_cached(self):
+        cache = DNSCache()
+        cache.store_response(
+            negative_response(rcode=Rcode.NOERROR), now=0.0)
+        entry = cache.lookup(name("missing.example.com"), RdataType.A,
+                             now=10.0)
+        assert entry is not None
+        assert entry.rcode is Rcode.NOERROR
+
+    def test_negative_ttl_capped(self):
+        cache = DNSCache(negative_ttl_cap=120)
+        cache.store_response(negative_response(soa_minimum=9999),
+                             now=0.0)
+        entry = cache.lookup(name("missing.example.com"), RdataType.A,
+                             now=0.0)
+        assert entry.ttl == 120.0
+
+    def test_synthesized_negative_answer(self):
+        cache = DNSCache()
+        cache.store_response(negative_response(), now=0.0)
+        query = DNSMessage.make_query(name("missing.example.com"),
+                                      RdataType.A, query_id=4)
+        answer = cache.answer_from_cache(query, now=1.0)
+        assert answer is not None
+        assert answer.rcode is Rcode.NXDOMAIN
+        assert not answer.answers
+
+
+class TestCacheProperties:
+    @given(st.integers(min_value=1, max_value=86400),
+           st.floats(min_value=0.0, max_value=200000.0,
+                     allow_nan=False))
+    def test_entry_never_served_beyond_ttl(self, ttl, when):
+        cache = DNSCache()
+        cache.store_response(positive_response(ttl=ttl), now=0.0)
+        entry = cache.lookup(name("www.example.com"), RdataType.A,
+                             now=when)
+        if when >= ttl:
+            assert entry is None
+        else:
+            assert entry is not None
+            assert entry.remaining_ttl(when) <= ttl
+
+
+class TestForwarderIntegration:
+    def make_lab(self):
+        net = Network(seed=9)
+        segment = net.add_segment("lab")
+        client = net.add_host("client")
+        server = net.add_host("server")
+        net.connect(client, segment, ["192.0.2.1"])
+        net.connect(server, segment, ["192.0.2.53"])
+        zone = Zone("example.com")
+        zone.add_address("www", "192.0.2.80")
+        zone.add_address("*", "192.0.2.81")
+        AuthoritativeServer(server, [zone], port=5353).start()
+        cache = DNSCache()
+        ForwardingResolver(server, upstream="192.0.2.53",
+                           upstream_port=5353, cache=cache).start()
+        return net, client, cache
+
+    def test_repeated_query_served_from_cache(self):
+        net, client, cache = self.make_lab()
+        stub = StubResolver(client, ["192.0.2.53"])
+        net.sim.run_until(stub.query("www.example.com", RdataType.A))
+        net.sim.run_until(stub.query("www.example.com", RdataType.A))
+        assert cache.hits == 1
+
+    def test_nonce_labels_defeat_the_cache(self):
+        """The paper's anti-caching design works: fresh nonce, fresh miss."""
+        net, client, cache = self.make_lab()
+        stub = StubResolver(client, ["192.0.2.53"])
+        net.sim.run_until(stub.query("n1.example.com", RdataType.A))
+        net.sim.run_until(stub.query("n2.example.com", RdataType.A))
+        assert cache.hits == 0
+        assert len(cache) == 2

@@ -1,0 +1,98 @@
+"""Tests for DNS truncation and the TCP fallback path."""
+
+import pytest
+
+from repro.dns import DNSMessage, DNSName, RdataType, Zone
+from repro.dns.auth import AuthoritativeServer, MAX_UDP_PAYLOAD
+from repro.dns.stub import StubResolver
+from repro.simnet import Network
+
+
+def make_lab(seed=0, **auth_kwargs):
+    net = Network(seed=seed)
+    segment = net.add_segment("lab")
+    client = net.add_host("client")
+    server = net.add_host("server")
+    net.connect(client, segment, ["192.0.2.1"])
+    net.connect(server, segment, ["192.0.2.53"])
+    zone = Zone("big.example")
+    # 40 A records ≈ 40 × (name-pointer 2 + fixed 14) > 512 bytes.
+    for index in range(40):
+        zone.add_address("many", f"192.0.2.{index + 1}")
+    zone.add_address("small", "192.0.2.250")
+    auth = AuthoritativeServer(server, [zone], **auth_kwargs).start()
+    return net, client, auth
+
+
+class TestTruncation:
+    def test_large_response_truncated_on_udp(self):
+        net, client, auth = make_lab()
+        # Raw UDP exchange (no TCP retry): send a query, read the reply.
+        sock = client.udp.socket()
+        query = DNSMessage.make_query(DNSName.from_text("many.big.example"),
+                                      RdataType.A, query_id=7)
+        sock.sendto(query.encode(), "192.0.2.53", 53)
+
+        def read():
+            datagram = yield sock.recv()
+            return DNSMessage.decode(datagram.payload)
+
+        response = net.sim.run_until(net.sim.process(read()))
+        assert response.tc
+        assert not response.answers
+        assert auth.truncated_responses == 1
+
+    def test_small_response_not_truncated(self):
+        net, client, auth = make_lab()
+        stub = StubResolver(client, ["192.0.2.53"])
+        response = net.sim.run_until(
+            stub.query("small.big.example", RdataType.A))
+        assert not response.tc
+        assert auth.truncated_responses == 0
+        assert auth.tcp_queries == 0
+
+    def test_stub_retries_over_tcp_transparently(self):
+        net, client, auth = make_lab()
+        stub = StubResolver(client, ["192.0.2.53"])
+        response = net.sim.run_until(
+            stub.query("many.big.example", RdataType.A))
+        assert not response.tc
+        assert len(response.addresses()) == 40
+        assert auth.truncated_responses == 1
+        assert auth.tcp_queries == 1
+
+    def test_tcp_queries_logged_like_udp_ones(self):
+        net, client, auth = make_lab()
+        stub = StubResolver(client, ["192.0.2.53"])
+        net.sim.run_until(stub.query("many.big.example", RdataType.A))
+        qname = DNSName.from_text("many.big.example")
+        entries = [e for e in auth.query_log if e.qname == qname]
+        assert len(entries) == 2  # the UDP attempt + the TCP retry
+
+    def test_custom_udp_payload_limit(self):
+        net, client, auth = make_lab(max_udp_payload=4096)
+        stub = StubResolver(client, ["192.0.2.53"])
+        response = net.sim.run_until(
+            stub.query("many.big.example", RdataType.A))
+        assert len(response.addresses()) == 40
+        assert auth.truncated_responses == 0  # fits in the larger limit
+
+    def test_tcp_disabled_leads_to_timeout(self):
+        net, client, auth = make_lab(serve_tcp=False)
+        from repro.dns.errors import QueryTimeout
+
+        stub = StubResolver(client, ["192.0.2.53"], timeout=0.5,
+                            retries=0)
+        process = stub.query("many.big.example", RdataType.A)
+        process.defused = True
+        net.sim.run(until=10.0)
+        assert isinstance(process.exception, QueryTimeout)
+
+    def test_delay_applies_on_tcp_too(self):
+        net, client, auth = make_lab()
+        auth.static_delays[RdataType.A] = 0.200
+        stub = StubResolver(client, ["192.0.2.53"])
+        started = net.sim.now
+        net.sim.run_until(stub.query("many.big.example", RdataType.A))
+        # Both the (truncated) UDP reply and the TCP reply are delayed.
+        assert net.sim.now - started >= 0.400

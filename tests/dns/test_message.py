@@ -1,0 +1,239 @@
+"""Tests for rdata types and the message wire codec."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns import (A, AAAA, CNAME, DNSMessage, DNSName, HTTPS, NS,
+                       Opcode, Question, Rcode, RdataType, ResourceRecord,
+                       SOA, SVCB, TXT, address_rdata)
+from repro.dns.errors import MessageError
+from repro.dns.rdata import GenericRdata, SvcParamKey, decode_rdata
+
+
+def name(text):
+    return DNSName.from_text(text)
+
+
+class TestRdata:
+    def test_a_roundtrip(self):
+        rdata = A(ipaddress.IPv4Address("192.0.2.1"))
+        assert A.from_wire(rdata.to_wire(), 0, 4) == rdata
+
+    def test_a_accepts_string(self):
+        assert str(A("192.0.2.1").address) == "192.0.2.1"
+
+    def test_a_wrong_length_rejected(self):
+        with pytest.raises(MessageError):
+            A.from_wire(b"\x01\x02\x03", 0, 3)
+
+    def test_aaaa_roundtrip(self):
+        rdata = AAAA(ipaddress.IPv6Address("2001:db8::1"))
+        assert AAAA.from_wire(rdata.to_wire(), 0, 16) == rdata
+
+    def test_ns_roundtrip(self):
+        rdata = NS(name("ns1.example.com"))
+        wire = rdata.to_wire(None, 0)
+        assert NS.from_wire(wire, 0, len(wire)) == rdata
+
+    def test_soa_roundtrip(self):
+        rdata = SOA(name("ns1.example.com"), name("admin.example.com"),
+                    serial=42, refresh=1, retry=2, expire=3, minimum=4)
+        wire = rdata.to_wire(None, 0)
+        decoded = SOA.from_wire(wire, 0, len(wire))
+        assert decoded == rdata
+
+    def test_txt_roundtrip(self):
+        rdata = TXT.from_text("hello", "world")
+        wire = rdata.to_wire()
+        assert TXT.from_wire(wire, 0, len(wire)) == rdata
+
+    def test_txt_string_too_long_rejected(self):
+        with pytest.raises(MessageError):
+            TXT((b"a" * 256,))
+
+    def test_address_rdata_dispatches_by_family(self):
+        assert isinstance(address_rdata("192.0.2.1"), A)
+        assert isinstance(address_rdata("2001:db8::1"), AAAA)
+
+    def test_unknown_type_decodes_as_generic(self):
+        rdata = decode_rdata(9999, b"\xde\xad", 0, 2)
+        assert isinstance(rdata, GenericRdata)
+        assert rdata.data == b"\xde\xad"
+
+
+class TestSVCB:
+    def test_service_constructor_and_accessors(self):
+        rdata = SVCB.service(1, name("svc.example.com"),
+                             alpn=("h3", "h2"), port=8443, ech=True,
+                             ipv4_hints=("192.0.2.1",),
+                             ipv6_hints=("2001:db8::1",))
+        assert rdata.alpn == ("h3", "h2")
+        assert rdata.port == 8443
+        assert rdata.has_ech
+        assert str(rdata.ipv4_hints[0]) == "192.0.2.1"
+        assert str(rdata.ipv6_hints[0]) == "2001:db8::1"
+
+    def test_wire_roundtrip(self):
+        rdata = SVCB.service(2, name("alt.example.com"),
+                             alpn=("h2",), ech=True)
+        wire = rdata.to_wire(None, 0)
+        decoded = SVCB.from_wire(wire, 0, len(wire))
+        assert decoded.priority == 2
+        assert decoded.target == name("alt.example.com")
+        assert decoded.alpn == ("h2",)
+        assert decoded.has_ech
+
+    def test_https_is_distinct_type(self):
+        rdata = HTTPS.service(1, name("example.com"), alpn=("h3",))
+        assert rdata.rtype is RdataType.HTTPS
+
+    def test_params_must_be_ascending_on_decode(self):
+        bad = (b"\x00\x01" + name("x").encode()
+               + b"\x00\x03\x00\x02\x01\xbb"   # port
+               + b"\x00\x01\x00\x00")           # alpn after port: bad order
+        with pytest.raises(MessageError):
+            SVCB.from_wire(bad, 0, len(bad))
+
+    def test_alias_mode_priority_zero(self):
+        rdata = SVCB(0, name("alias.example.com"))
+        wire = rdata.to_wire(None, 0)
+        assert SVCB.from_wire(wire, 0, len(wire)).priority == 0
+
+
+class TestMessageCodec:
+    def test_query_roundtrip(self):
+        query = DNSMessage.make_query(name("www.example.com"),
+                                      RdataType.AAAA, query_id=0x1234)
+        decoded = DNSMessage.decode(query.encode())
+        assert decoded.id == 0x1234
+        assert not decoded.qr
+        assert decoded.rd
+        assert decoded.question.name == name("www.example.com")
+        assert decoded.question.rtype is RdataType.AAAA
+
+    def test_response_roundtrip_with_all_sections(self):
+        query = DNSMessage.make_query(name("www.example.com"),
+                                      RdataType.A, query_id=7)
+        response = query.make_response(aa=True, ra=True)
+        response.answers.append(ResourceRecord(
+            name("www.example.com"), RdataType.A, 300, A("192.0.2.1")))
+        response.authorities.append(ResourceRecord(
+            name("example.com"), RdataType.NS, 300,
+            NS(name("ns1.example.com"))))
+        response.additionals.append(ResourceRecord(
+            name("ns1.example.com"), RdataType.AAAA, 300,
+            AAAA("2001:db8::53")))
+        decoded = DNSMessage.decode(response.encode())
+        assert decoded.qr and decoded.aa and decoded.ra
+        assert decoded.rcode is Rcode.NOERROR
+        assert len(decoded.answers) == 1
+        assert len(decoded.authorities) == 1
+        assert len(decoded.additionals) == 1
+        assert str(decoded.answers[0].rdata) == "192.0.2.1"
+
+    def test_compression_reduces_size(self):
+        response = DNSMessage(id=1, qr=True)
+        owner = name("a-rather-long-label.example.com")
+        for i in range(10):
+            response.answers.append(ResourceRecord(
+                owner, RdataType.A, 60, A(f"192.0.2.{i + 1}")))
+        wire = response.encode()
+        # Without compression each record would repeat the 33-byte name.
+        assert len(wire) < 12 + 10 * (33 + 14)
+
+    def test_rcode_and_flags_roundtrip(self):
+        message = DNSMessage(id=9, qr=True, aa=True, tc=True, rd=False,
+                             ra=True, rcode=Rcode.NXDOMAIN)
+        decoded = DNSMessage.decode(message.encode())
+        assert decoded.aa and decoded.tc and decoded.ra and not decoded.rd
+        assert decoded.rcode is Rcode.NXDOMAIN
+
+    def test_addresses_accessor(self):
+        message = DNSMessage(id=1, qr=True)
+        message.answers.append(ResourceRecord(
+            name("x.example"), RdataType.A, 60, A("192.0.2.1")))
+        message.answers.append(ResourceRecord(
+            name("x.example"), RdataType.AAAA, 60, AAAA("2001:db8::1")))
+        assert [str(a) for a in message.addresses()] == [
+            "192.0.2.1", "2001:db8::1"]
+
+    def test_truncated_message_rejected(self):
+        with pytest.raises(MessageError):
+            DNSMessage.decode(b"\x00\x01\x00")
+
+    def test_bad_id_rejected(self):
+        with pytest.raises(MessageError):
+            DNSMessage(id=0x10000)
+
+    def test_question_without_entries_raises(self):
+        with pytest.raises(MessageError):
+            _ = DNSMessage(id=1).question
+
+    def test_bad_ttl_rejected(self):
+        with pytest.raises(MessageError):
+            ResourceRecord(name("x"), RdataType.A, -1, A("192.0.2.1"))
+
+
+_hostname_label = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789-"),
+    min_size=1, max_size=12).filter(
+        lambda s: not s.startswith("-") and not s.endswith("-"))
+_hostnames = st.lists(_hostname_label, min_size=1, max_size=4).map(
+    lambda parts: DNSName.from_text(".".join(parts)))
+
+
+def _v4():
+    return st.integers(0, 2**32 - 1).map(ipaddress.IPv4Address)
+
+
+def _v6():
+    return st.integers(0, 2**128 - 1).map(ipaddress.IPv6Address)
+
+
+_rdatas = st.one_of(
+    _v4().map(A),
+    _v6().map(AAAA),
+    _hostnames.map(NS),
+    _hostnames.map(CNAME),
+    st.lists(st.binary(min_size=0, max_size=40), min_size=0,
+             max_size=3).map(lambda chunks: TXT(tuple(chunks))),
+)
+
+
+def _record(owner, rdata):
+    return ResourceRecord(owner, RdataType(rdata.rtype), 300, rdata)
+
+
+class TestMessageProperties:
+    @given(st.integers(0, 0xFFFF), _hostnames,
+           st.sampled_from([RdataType.A, RdataType.AAAA, RdataType.NS,
+                            RdataType.TXT, RdataType.HTTPS]))
+    def test_query_roundtrip(self, query_id, qname, rtype):
+        query = DNSMessage.make_query(qname, rtype, query_id)
+        decoded = DNSMessage.decode(query.encode())
+        assert decoded.id == query_id
+        assert decoded.question.name == qname
+        assert decoded.question.rtype == rtype
+
+    @given(_hostnames,
+           st.lists(st.tuples(_hostnames, _rdatas), min_size=0, max_size=6))
+    def test_full_message_roundtrip(self, qname, pairs):
+        message = DNSMessage(id=1, qr=True,
+                             questions=[Question(qname, RdataType.A)])
+        for owner, rdata in pairs:
+            message.answers.append(_record(owner, rdata))
+        decoded = DNSMessage.decode(message.encode())
+        assert len(decoded.answers) == len(pairs)
+        for (owner, rdata), decoded_rr in zip(pairs, decoded.answers):
+            assert decoded_rr.name == owner
+            assert decoded_rr.rdata == rdata
+
+    @given(st.lists(st.tuples(_hostnames, _rdatas), min_size=1, max_size=8))
+    def test_compression_never_corrupts(self, pairs):
+        message = DNSMessage(id=2, qr=True)
+        for owner, rdata in pairs:
+            message.answers.append(_record(owner, rdata))
+        decoded = DNSMessage.decode(message.encode())
+        assert [rr.rdata for rr in decoded.answers] == [p[1] for p in pairs]

@@ -1,0 +1,183 @@
+"""Tests for DNS name handling and wire encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns import DNSName
+from repro.dns.errors import CompressionLoopError, MessageError, NameError_
+
+
+class TestNameBasics:
+    def test_from_text_roundtrip(self):
+        name = DNSName.from_text("www.example.com")
+        assert name.to_text() == "www.example.com."
+
+    def test_trailing_dot_equivalent(self):
+        assert (DNSName.from_text("example.com.")
+                == DNSName.from_text("example.com"))
+
+    def test_root(self):
+        root = DNSName.root()
+        assert root.is_root
+        assert root.to_text() == "."
+        assert DNSName.from_text(".") == root
+
+    def test_case_insensitive_equality(self):
+        assert (DNSName.from_text("WWW.Example.COM")
+                == DNSName.from_text("www.example.com"))
+
+    def test_case_insensitive_hash(self):
+        names = {DNSName.from_text("Example.COM")}
+        assert DNSName.from_text("example.com") in names
+
+    def test_parent(self):
+        name = DNSName.from_text("a.b.c")
+        assert name.parent() == DNSName.from_text("b.c")
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(NameError_):
+            DNSName.root().parent()
+
+    def test_prepend(self):
+        base = DNSName.from_text("example.com")
+        assert base.prepend("www") == DNSName.from_text("www.example.com")
+
+    def test_concatenate(self):
+        www = DNSName.from_text("www")
+        com = DNSName.from_text("example.com")
+        assert www.concatenate(com) == DNSName.from_text("www.example.com")
+
+    def test_subdomain_relation(self):
+        child = DNSName.from_text("a.b.example.com")
+        zone = DNSName.from_text("example.com")
+        assert child.is_subdomain_of(zone)
+        assert child.is_subdomain_of(child)
+        assert not zone.is_subdomain_of(child)
+        assert child.is_subdomain_of(DNSName.root())
+
+    def test_subdomain_respects_label_boundaries(self):
+        assert not DNSName.from_text("notexample.com").is_subdomain_of(
+            DNSName.from_text("example.com"))
+
+    def test_relativize(self):
+        child = DNSName.from_text("a.b.example.com")
+        zone = DNSName.from_text("example.com")
+        assert child.relativize(zone) == (b"a", b"b")
+
+    def test_relativize_outside_zone_rejected(self):
+        with pytest.raises(NameError_):
+            DNSName.from_text("other.org").relativize(
+                DNSName.from_text("example.com"))
+
+    def test_label_too_long_rejected(self):
+        with pytest.raises(NameError_):
+            DNSName([b"a" * 64])
+
+    def test_name_too_long_rejected(self):
+        with pytest.raises(NameError_):
+            DNSName([b"a" * 63] * 4)
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(NameError_):
+            DNSName([b""])
+
+    def test_empty_label_in_text_rejected(self):
+        with pytest.raises(NameError_):
+            DNSName.from_text("a..b")
+
+    def test_canonical_ordering(self):
+        a = DNSName.from_text("a.example.com")
+        z = DNSName.from_text("z.example.com")
+        other = DNSName.from_text("example.org")
+        assert a < z
+        assert a < other  # com < org at the rightmost label
+
+
+class TestWireCodec:
+    def test_simple_encode(self):
+        wire = DNSName.from_text("ab.c").encode()
+        assert wire == b"\x02ab\x01c\x00"
+
+    def test_root_encode(self):
+        assert DNSName.root().encode() == b"\x00"
+
+    def test_decode_roundtrip(self):
+        original = DNSName.from_text("www.example.com")
+        wire = original.encode()
+        decoded, offset = DNSName.decode(wire, 0)
+        assert decoded == original
+        assert offset == len(wire)
+
+    def test_compression_shares_suffix(self):
+        table = {}
+        first = DNSName.from_text("www.example.com").encode(table, 0)
+        second = DNSName.from_text("mail.example.com").encode(
+            table, len(first))
+        # Second name should use a pointer into the first.
+        assert len(second) < len(DNSName.from_text("mail.example.com").encode())
+        buffer = first + second
+        decoded, _ = DNSName.decode(buffer, len(first))
+        assert decoded == DNSName.from_text("mail.example.com")
+
+    def test_identical_name_becomes_pure_pointer(self):
+        table = {}
+        first = DNSName.from_text("example.com").encode(table, 0)
+        second = DNSName.from_text("example.com").encode(table, len(first))
+        assert len(second) == 2  # just a pointer
+
+    def test_decode_rejects_truncated(self):
+        wire = DNSName.from_text("example.com").encode()
+        with pytest.raises(MessageError):
+            DNSName.decode(wire[:-2], 0)
+
+    def test_decode_rejects_forward_pointer(self):
+        # Pointer at offset 0 pointing to itself.
+        with pytest.raises(CompressionLoopError):
+            DNSName.decode(b"\xc0\x00", 0)
+
+    def test_decode_rejects_pointer_loop(self):
+        # Two pointers referencing each other.
+        wire = b"\xc0\x02\xc0\x00"
+        with pytest.raises(CompressionLoopError):
+            DNSName.decode(wire, 2)
+
+
+_labels = st.lists(
+    st.binary(min_size=1, max_size=20).filter(lambda b: len(b) <= 63),
+    min_size=0, max_size=6)
+
+
+class TestNameProperties:
+    @given(_labels)
+    def test_wire_roundtrip(self, labels):
+        name = DNSName(labels)
+        decoded, offset = DNSName.decode(name.encode(), 0)
+        assert decoded == name
+
+    @given(_labels)
+    def test_text_roundtrip_for_ascii(self, labels):
+        try:
+            text = DNSName(labels).to_text()
+            reparsed = DNSName.from_text(text)
+        except (NameError_, UnicodeEncodeError, UnicodeDecodeError):
+            return  # non-ASCII labels are out of scope for text parsing
+        if all(b"." not in l and l.isascii() for l in labels):
+            assert reparsed == DNSName(labels)
+
+    @given(_labels, _labels)
+    def test_compressed_roundtrip_two_names(self, labels_a, labels_b):
+        name_a, name_b = DNSName(labels_a), DNSName(labels_b)
+        table = {}
+        wire_a = name_a.encode(table, 0)
+        wire_b = name_b.encode(table, len(wire_a))
+        buffer = wire_a + wire_b
+        decoded_a, _ = DNSName.decode(buffer, 0)
+        decoded_b, _ = DNSName.decode(buffer, len(wire_a))
+        assert decoded_a == name_a
+        assert decoded_b == name_b
+
+    @given(_labels)
+    def test_subdomain_of_parent(self, labels):
+        name = DNSName(labels)
+        if not name.is_root:
+            assert name.is_subdomain_of(name.parent())

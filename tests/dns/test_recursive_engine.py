@@ -1,0 +1,192 @@
+"""Tests for the iterative resolver engine's corner cases."""
+
+import pytest
+
+from repro.dns import (DNSName, RdataType, Zone)
+from repro.dns.auth import AuthoritativeServer
+from repro.dns.errors import (NoAnswerError, NxDomainError, ServFailError)
+from repro.dns.nsselect import GluePlan, ResolverBehavior
+from repro.dns.rdata import CNAME, TXT
+from repro.dns.recursive import RecursiveResolver
+from repro.simnet import Family, Network
+
+
+def build_world(seed=0, child_glue=True):
+    """Root zone delegating example. -> child zone on its own server."""
+    net = Network(seed=seed)
+    segment = net.add_segment("world")
+    resolver_host = net.add_host("resolver")
+    net.connect(resolver_host, segment, ["192.0.2.100", "2001:db8::100"])
+
+    root_host = net.add_host("root")
+    net.connect(root_host, segment, ["192.0.2.53"])
+    child_host = net.add_host("child-ns")
+    net.connect(child_host, segment, ["192.0.2.54", "2001:db8::54"])
+
+    root_zone = Zone(".")
+    glue = ({"ns1.example.": ["192.0.2.54", "2001:db8::54"]}
+            if child_glue else None)
+    root_zone.delegate(DNSName.from_text("example."),
+                       [DNSName.from_text("ns1.example.")], glue=glue)
+
+    child_zone = Zone("example.")
+    child_zone.add_address("ns1", "192.0.2.54")
+    child_zone.add_address("ns1", "2001:db8::54")
+    child_zone.add_address("www", "192.0.2.80")
+    child_zone.add_address("www", "2001:db8::80")
+    child_zone.add("probe", TXT.from_text("hello"))
+    child_zone.add("link", CNAME(DNSName.from_text("www.example.")))
+
+    AuthoritativeServer(root_host, [root_zone]).start()
+    auth = AuthoritativeServer(child_host, [child_zone]).start()
+    return net, resolver_host, auth, child_zone
+
+
+def make_resolver(host, behavior=None):
+    return RecursiveResolver(
+        host, root_hints={"a.root.": ["192.0.2.53"]},
+        behavior=behavior or ResolverBehavior(name="test",
+                                              v6_preference=0.0))
+
+
+class TestDelegationWalk:
+    def test_resolves_through_delegation(self):
+        net, host, _, _ = build_world()
+        resolver = make_resolver(host)
+        result = net.sim.run_until(
+            resolver.resolve("www.example.", RdataType.A))
+        assert [str(a) for a in result.addresses] == ["192.0.2.80"]
+
+    def test_upstream_log_has_both_levels(self):
+        net, host, _, _ = build_world()
+        resolver = make_resolver(host)
+        net.sim.run_until(resolver.resolve("www.example.", RdataType.A))
+        servers = {str(q.server) for q in resolver.upstream_log}
+        assert "192.0.2.53" in servers  # root
+        assert "192.0.2.54" in servers  # child NS
+
+    def test_cname_chase(self):
+        net, host, _, _ = build_world()
+        resolver = make_resolver(host)
+        result = net.sim.run_until(
+            resolver.resolve("link.example.", RdataType.A))
+        rtypes = [rr.rtype for rr in result.records]
+        assert RdataType.CNAME in rtypes
+        assert "192.0.2.80" in [str(a) for a in result.addresses]
+
+    def test_nxdomain_raises(self):
+        net, host, _, _ = build_world()
+        resolver = make_resolver(host)
+        process = resolver.resolve("missing.example.", RdataType.A)
+        with pytest.raises(NxDomainError):
+            net.sim.run_until(process)
+
+    def test_nodata_raises_no_answer(self):
+        net, host, _, _ = build_world()
+        resolver = make_resolver(host)
+        process = resolver.resolve("probe.example.", RdataType.A)
+        with pytest.raises(NoAnswerError):
+            net.sim.run_until(process)
+
+    def test_txt_answer(self):
+        net, host, _, _ = build_world()
+        resolver = make_resolver(host)
+        result = net.sim.run_until(
+            resolver.resolve("probe.example.", RdataType.TXT))
+        assert result.records[0].rdata.strings == (b"hello",)
+
+    def test_all_roots_dead_servfails(self):
+        net = Network(seed=1)
+        segment = net.add_segment("void")
+        host = net.add_host("resolver")
+        net.connect(host, segment, ["192.0.2.100"])
+        resolver = RecursiveResolver(
+            host, root_hints={"a.root.": ["192.0.2.53"]},  # unattached
+            behavior=ResolverBehavior(name="t", v6_preference=0.0,
+                                      attempt_timeout=0.2,
+                                      max_total_attempts=2))
+        process = resolver.resolve("www.example.", RdataType.A)
+        with pytest.raises(ServFailError):
+            net.sim.run_until(process)
+
+
+class TestGluePlans:
+    def ns_query_types(self, behavior, seed=0):
+        net, host, auth, _ = build_world(seed=seed)
+        resolver = make_resolver(host, behavior)
+        net.sim.run_until(resolver.resolve("www.example.", RdataType.A))
+        ns_name = DNSName.from_text("ns1.example.")
+        return [(entry.qtype, entry.timestamp)
+                for entry in auth.query_log if entry.qname == ns_name]
+
+    def test_aaaa_first_plan(self):
+        queries = self.ns_query_types(ResolverBehavior(
+            name="t", glue_plan=GluePlan.AAAA_FIRST, v6_preference=0.0))
+        assert [q[0] for q in queries][:2] == [RdataType.AAAA, RdataType.A]
+
+    def test_a_first_plan(self):
+        queries = self.ns_query_types(ResolverBehavior(
+            name="t", glue_plan=GluePlan.A_FIRST, v6_preference=0.0))
+        assert [q[0] for q in queries][:2] == [RdataType.A, RdataType.AAAA]
+
+    def test_single_plan_sends_exactly_one(self):
+        queries = self.ns_query_types(ResolverBehavior(
+            name="t", glue_plan=GluePlan.SINGLE, v6_preference=0.0))
+        assert len(queries) == 1
+
+    def test_aaaa_after_use_plan(self):
+        net, host, auth, _ = build_world(seed=3)
+        behavior = ResolverBehavior(
+            name="t", glue_plan=GluePlan.AAAA_AFTER_USE, v6_preference=0.0)
+        resolver = make_resolver(host, behavior)
+        net.sim.run_until(resolver.resolve("www.example.", RdataType.A))
+        net.sim.run(until=net.sim.now + 1.0)  # let the late probe land
+        ns_name = DNSName.from_text("ns1.example.")
+        www = DNSName.from_text("www.example.")
+        aaaa_times = [e.timestamp for e in auth.query_log
+                      if e.qname == ns_name
+                      and e.qtype is RdataType.AAAA]
+        main_times = [e.timestamp for e in auth.query_log
+                      if e.qname == www]
+        assert aaaa_times, "AAAA probe was never sent"
+        assert min(main_times) < min(aaaa_times)  # main query first
+
+    def test_trusting_resolver_uses_glue_without_queries(self):
+        queries = self.ns_query_types(ResolverBehavior(
+            name="t", v6_preference=0.0,
+            queries_ns_addresses_despite_glue=False))
+        assert queries == []
+
+
+class TestServing:
+    def test_serves_clients_over_udp(self):
+        net, host, _, _ = build_world(seed=4)
+        resolver = make_resolver(host)
+        resolver.serve(port=53)
+        # A client on the same segment queries the resolver.
+        client = net.add_host("client")
+        net.connect(client, net.segments["world"], ["192.0.2.7"])
+        from repro.dns.stub import StubResolver
+
+        stub = StubResolver(client, ["192.0.2.100"])
+        response = net.sim.run_until(
+            stub.query("www.example.", RdataType.A))
+        assert [str(a) for a in response.addresses()] == ["192.0.2.80"]
+        assert response.ra
+
+    def test_servfail_to_clients_on_failure(self):
+        net, host, _, _ = build_world(seed=5)
+        resolver = RecursiveResolver(
+            host, root_hints={"a.root.": ["203.0.113.1"]},  # dead root
+            behavior=ResolverBehavior(name="t", attempt_timeout=0.2,
+                                      max_total_attempts=1))
+        resolver.serve(port=53)
+        client = net.add_host("client")
+        net.connect(client, net.segments["world"], ["192.0.2.7"])
+        from repro.dns import Rcode
+        from repro.dns.stub import StubResolver
+
+        stub = StubResolver(client, ["192.0.2.100"])
+        response = net.sim.run_until(
+            stub.query("www.example.", RdataType.A))
+        assert response.rcode is Rcode.SERVFAIL

@@ -1,0 +1,264 @@
+"""Tests for zones (delegation, wildcards) and the authoritative server."""
+
+import pytest
+
+from repro.dns import (AuthoritativeServer, DNSMessage, DNSName, LookupKind,
+                       NS, Rcode, RdataType, TestParams, Zone)
+from repro.dns.zone import NotInZoneError
+from repro.simnet import Family, Network
+
+
+def name(text):
+    return DNSName.from_text(text)
+
+
+class TestZoneLookup:
+    def make_zone(self):
+        zone = Zone("example.com")
+        zone.add_address("www", "192.0.2.1")
+        zone.add_address("www", "2001:db8::1")
+        zone.add("alias", __import__(
+            "repro.dns.rdata", fromlist=["CNAME"]).CNAME(
+            name("www.example.com")))
+        zone.delegate("sub", ["ns1.sub"],
+                      glue={"ns1.sub": ["192.0.2.53", "2001:db8::53"]})
+        zone.add_addresses("multi", [f"192.0.2.{i}" for i in range(10, 13)])
+        return zone
+
+    def test_answer(self):
+        result = self.make_zone().lookup(name("www.example.com"),
+                                         RdataType.A)
+        assert result.kind is LookupKind.ANSWER
+        assert len(result.answers[0]) == 1
+
+    def test_answer_aaaa(self):
+        result = self.make_zone().lookup(name("www.example.com"),
+                                         RdataType.AAAA)
+        assert result.kind is LookupKind.ANSWER
+
+    def test_multiple_rdatas_in_one_rrset(self):
+        result = self.make_zone().lookup(name("multi.example.com"),
+                                         RdataType.A)
+        assert len(result.answers[0]) == 3
+
+    def test_nodata_for_missing_type(self):
+        result = self.make_zone().lookup(name("www.example.com"),
+                                         RdataType.TXT)
+        assert result.kind is LookupKind.NODATA
+        assert result.authority[0].rtype is RdataType.SOA
+
+    def test_nxdomain(self):
+        result = self.make_zone().lookup(name("missing.example.com"),
+                                         RdataType.A)
+        assert result.kind is LookupKind.NXDOMAIN
+
+    def test_empty_non_terminal_is_nodata(self):
+        zone = Zone("example.com")
+        zone.add_address("a.b.c", "192.0.2.1")
+        result = zone.lookup(name("b.c.example.com"), RdataType.A)
+        assert result.kind is LookupKind.NODATA
+
+    def test_cname(self):
+        result = self.make_zone().lookup(name("alias.example.com"),
+                                         RdataType.A)
+        assert result.kind is LookupKind.CNAME
+
+    def test_referral_with_glue(self):
+        result = self.make_zone().lookup(name("deep.sub.example.com"),
+                                         RdataType.A)
+        assert result.kind is LookupKind.REFERRAL
+        assert result.authority[0].rtype is RdataType.NS
+        glue_types = {rrset.rtype for rrset in result.glue}
+        assert glue_types == {RdataType.A, RdataType.AAAA}
+
+    def test_referral_at_cut_itself(self):
+        result = self.make_zone().lookup(name("sub.example.com"),
+                                         RdataType.A)
+        assert result.kind is LookupKind.REFERRAL
+
+    def test_ns_query_at_cut_is_referral_exception(self):
+        # Asking for NS at the cut returns the delegation NS set.
+        result = self.make_zone().lookup(name("sub.example.com"),
+                                         RdataType.NS)
+        assert result.kind is LookupKind.ANSWER
+
+    def test_out_of_zone_rejected(self):
+        with pytest.raises(NotInZoneError):
+            self.make_zone().lookup(name("other.org"), RdataType.A)
+
+    def test_relative_names_resolve_against_origin(self):
+        zone = Zone("example.com")
+        zone.add_address("www", "192.0.2.1")
+        assert zone.rrset("www.example.com", RdataType.A) is not None
+
+
+class TestWildcards:
+    def make_zone(self):
+        zone = Zone("he-test.example")
+        zone.add_address("*", "192.0.2.10")
+        zone.add_address("*", "2001:db8::10")
+        return zone
+
+    def test_wildcard_synthesizes_any_label(self):
+        result = self.make_zone().lookup(
+            name("d250-aaaa-k3xq7.he-test.example"), RdataType.A)
+        assert result.kind is LookupKind.ANSWER
+        assert result.answers[0].name == name(
+            "d250-aaaa-k3xq7.he-test.example")
+
+    def test_wildcard_not_used_for_existing_node(self):
+        zone = self.make_zone()
+        zone.add_address("fixed", "192.0.2.99")
+        result = zone.lookup(name("fixed.he-test.example"), RdataType.A)
+        assert str(result.answers[0].rdatas[0]) == "192.0.2.99"
+
+    def test_wildcard_nodata_for_missing_type(self):
+        result = self.make_zone().lookup(
+            name("whatever.he-test.example"), RdataType.TXT)
+        assert result.kind is LookupKind.NODATA
+
+
+class TestTestParams:
+    def test_label_roundtrip(self):
+        params = TestParams(delay_ms=250, delayed_rtype="aaaa", nonce="k3xq7")
+        assert params.to_label() == "d250-aaaa-k3xq7"
+        assert TestParams.parse_label(b"d250-aaaa-k3xq7") == params
+
+    def test_parse_rejects_noise(self):
+        assert TestParams.parse_label(b"www") is None
+        assert TestParams.parse_label(b"d-aaaa-x") is None
+        assert TestParams.parse_label(b"d100-mx-x") is None
+
+    def test_applies_to(self):
+        aaaa = TestParams(100, "aaaa", "n")
+        assert aaaa.applies_to(RdataType.AAAA)
+        assert not aaaa.applies_to(RdataType.A)
+        both = TestParams(100, "both", "n")
+        assert both.applies_to(RdataType.A)
+        assert both.applies_to(RdataType.AAAA)
+        none = TestParams(100, "none", "n")
+        assert not none.applies_to(RdataType.A)
+
+    def test_query_name(self):
+        params = TestParams(50, "a", "zz")
+        assert params.query_name("he-test.example") == name(
+            "d50-a-zz.he-test.example")
+
+    def test_invalid_rtype_rejected(self):
+        with pytest.raises(ValueError):
+            TestParams(100, "mx", "n")
+
+
+@pytest.fixture
+def dns_lab():
+    net = Network(seed=3)
+    segment = net.add_segment("lab")
+    client = net.add_host("client")
+    server = net.add_host("server")
+    net.connect(client, segment, ["192.0.2.1", "2001:db8::1"])
+    net.connect(server, segment, ["192.0.2.53", "2001:db8::53"])
+    zone = Zone("he-test.example")
+    zone.add_address("*", "192.0.2.80")
+    zone.add_address("*", "2001:db8::80")
+    zone.add_address("www", "192.0.2.99")
+    auth = AuthoritativeServer(server, [zone]).start()
+    return net, client, server, auth
+
+
+def run_query(net, client, qname, rtype, server="192.0.2.53"):
+    """Send one query and return (response, elapsed)."""
+    from repro.dns.stub import StubResolver
+
+    stub = StubResolver(client, [server], timeout=10.0, retries=0)
+    started = net.sim.now
+    process = stub.query(qname, rtype)
+    response = net.sim.run_until(process)
+    return response, net.sim.now - started
+
+
+class TestAuthoritativeServer:
+    def test_answers_wildcard_query(self, dns_lab):
+        net, client, _, _ = dns_lab
+        response, _ = run_query(net, client, "abc.he-test.example",
+                                RdataType.A)
+        assert response.rcode is Rcode.NOERROR
+        assert response.aa
+        assert [str(a) for a in response.addresses()] == ["192.0.2.80"]
+
+    def test_refuses_foreign_zone(self, dns_lab):
+        net, client, _, _ = dns_lab
+        response, _ = run_query(net, client, "other.example", RdataType.A)
+        assert response.rcode is Rcode.REFUSED
+
+    def test_delay_encoded_in_qname_applies_to_matching_type(self, dns_lab):
+        net, client, _, _ = dns_lab
+        qname = "d200-aaaa-n1.he-test.example"
+        _, elapsed_aaaa = run_query(net, client, qname, RdataType.AAAA)
+        assert elapsed_aaaa == pytest.approx(0.200, abs=0.002)
+
+    def test_delay_does_not_apply_to_other_type(self, dns_lab):
+        net, client, _, _ = dns_lab
+        qname = "d200-aaaa-n2.he-test.example"
+        _, elapsed_a = run_query(net, client, qname, RdataType.A)
+        assert elapsed_a < 0.010
+
+    def test_both_delays_both_types(self, dns_lab):
+        net, client, _, _ = dns_lab
+        qname = "d150-both-n3.he-test.example"
+        _, elapsed_a = run_query(net, client, qname, RdataType.A)
+        _, elapsed_aaaa = run_query(net, client, qname, RdataType.AAAA)
+        assert elapsed_a == pytest.approx(0.150, abs=0.002)
+        assert elapsed_aaaa == pytest.approx(0.150, abs=0.002)
+
+    def test_static_delay_configuration(self, dns_lab):
+        net, client, _, auth = dns_lab
+        auth.static_delays[RdataType.A] = 0.123
+        _, elapsed = run_query(net, client, "www.he-test.example",
+                               RdataType.A)
+        assert elapsed == pytest.approx(0.123, abs=0.002)
+
+    def test_query_log_records_family_and_qtype(self, dns_lab):
+        net, client, _, auth = dns_lab
+        run_query(net, client, "abc.he-test.example", RdataType.A,
+                  server="2001:db8::53")
+        assert len(auth.query_log) == 1
+        entry = auth.query_log[0]
+        assert entry.transport_family is Family.V6
+        assert entry.qtype is RdataType.A
+
+    def test_queries_for_filters_by_suffix(self, dns_lab):
+        net, client, _, auth = dns_lab
+        run_query(net, client, "x.he-test.example", RdataType.A)
+        assert len(auth.queries_for("he-test.example")) == 1
+        assert len(auth.queries_for("other.example")) == 0
+
+    def test_nxdomain_when_no_wildcard_matches(self):
+        net = Network(seed=4)
+        segment = net.add_segment("lab")
+        client = net.add_host("client")
+        server = net.add_host("server")
+        net.connect(client, segment, ["192.0.2.1"])
+        net.connect(server, segment, ["192.0.2.53"])
+        zone = Zone("plain.example")
+        zone.add_address("www", "192.0.2.9")
+        AuthoritativeServer(server, [zone]).start()
+        response, _ = run_query(net, client, "nope.plain.example",
+                                RdataType.A)
+        assert response.rcode is Rcode.NXDOMAIN
+
+    def test_referral_response_includes_glue(self):
+        net = Network(seed=5)
+        segment = net.add_segment("lab")
+        client = net.add_host("client")
+        server = net.add_host("server")
+        net.connect(client, segment, ["192.0.2.1"])
+        net.connect(server, segment, ["192.0.2.53"])
+        zone = Zone("example.com")
+        zone.delegate("child", ["ns1.child"],
+                      glue={"ns1.child": ["192.0.2.54"]})
+        AuthoritativeServer(server, [zone]).start()
+        response, _ = run_query(net, client, "www.child.example.com",
+                                RdataType.A)
+        assert not response.aa
+        assert response.authorities[0].rtype is RdataType.NS
+        assert str(response.additionals[0].rdata) == "192.0.2.54"

@@ -1,0 +1,162 @@
+"""Edge-case tests: address allocation, host reconfiguration, captures."""
+
+import pytest
+
+from repro.simnet import (AddressAllocator, Direction, DualStackAllocator,
+                          Family, Network, Packet, Protocol, family_of,
+                          is_v6, parse_address, split_by_family)
+
+
+class TestAddressHelpers:
+    def test_family_of(self):
+        assert family_of("192.0.2.1") is Family.V4
+        assert family_of("2001:db8::1") is Family.V6
+
+    def test_is_v6(self):
+        assert is_v6("::1")
+        assert not is_v6("127.0.0.1")
+
+    def test_family_labels_and_other(self):
+        assert Family.V4.label == "IPv4"
+        assert Family.V6.other is Family.V4
+
+    def test_split_by_family_preserves_order(self):
+        v4, v6 = split_by_family(["192.0.2.2", "2001:db8::1",
+                                  "192.0.2.1"])
+        assert [str(a) for a in v4] == ["192.0.2.2", "192.0.2.1"]
+        assert [str(a) for a in v6] == ["2001:db8::1"]
+
+    def test_parse_address_idempotent(self):
+        address = parse_address("192.0.2.1")
+        assert parse_address(address) is address
+
+
+class TestAllocators:
+    def test_allocator_unique_addresses(self):
+        allocator = AddressAllocator("192.0.2.0/29")
+        addresses = allocator.allocate_many(6)
+        assert len(set(addresses)) == 6
+
+    def test_allocator_exhaustion(self):
+        allocator = AddressAllocator("192.0.2.0/30")  # 2 host addrs
+        allocator.allocate_many(2)
+        with pytest.raises(RuntimeError, match="exhausted"):
+            allocator.allocate()
+
+    def test_allocator_skips_network_address(self):
+        allocator = AddressAllocator("192.0.2.0/29")
+        first = allocator.allocate()
+        assert str(first) == "192.0.2.1"
+
+    def test_dual_stack_pairs(self):
+        allocator = DualStackAllocator("198.51.100.0/24",
+                                       "2001:db8:50::/64")
+        v4, v6 = allocator.allocate_pair()
+        assert family_of(v4) is Family.V4
+        assert family_of(v6) is Family.V6
+
+    def test_dual_stack_rejects_swapped_prefixes(self):
+        with pytest.raises(ValueError):
+            DualStackAllocator("2001:db8::/64", "192.0.2.0/24")
+
+    def test_handed_out_tracking(self):
+        allocator = AddressAllocator("192.0.2.0/29")
+        allocator.allocate_many(3)
+        assert len(allocator.handed_out) == 3
+
+
+class TestHostReconfiguration:
+    def make_host(self):
+        net = Network(seed=0)
+        segment = net.add_segment("lab")
+        host = net.add_host("box")
+        iface = net.connect(host, segment, ["192.0.2.1", "2001:db8::1"])
+        return net, host, iface
+
+    def test_remove_address_updates_preferred_source(self):
+        net, host, iface = self.make_host()
+        iface.add_address("192.0.2.2")
+        iface.remove_address("192.0.2.1")
+        assert str(host.source_address_for("192.0.2.99")) == "192.0.2.2"
+
+    def test_removing_last_family_address_breaks_routing(self):
+        from repro.simnet import NoRouteError
+
+        net, host, iface = self.make_host()
+        iface.remove_address("2001:db8::1")
+        with pytest.raises(NoRouteError):
+            host.source_address_for("2001:db8::9")
+
+    def test_removed_address_blackholes_on_segment(self):
+        net, host, iface = self.make_host()
+        peer = net.add_host("peer")
+        net.connect(peer, net.segments["lab"], ["192.0.2.9"])
+        iface.remove_address("192.0.2.1")
+        peer.send(Packet(src="192.0.2.9", dst="192.0.2.1",
+                         protocol=Protocol.UDP, sport=1, dport=2))
+        net.sim.run()
+        assert net.segments["lab"].dropped_unknown_destination == 1
+
+    def test_duplicate_address_on_interface_rejected(self):
+        net, host, iface = self.make_host()
+        with pytest.raises(ValueError):
+            iface.add_address("192.0.2.1")
+
+    def test_duplicate_interface_name_rejected(self):
+        net, host, _ = self.make_host()
+        with pytest.raises(ValueError):
+            host.add_interface("eth0")
+
+
+class TestCaptureLifecycle:
+    def test_capture_restart(self):
+        net = Network(seed=0)
+        segment = net.add_segment("lab")
+        a = net.add_host("a")
+        b = net.add_host("b")
+        net.connect(a, segment, ["192.0.2.1"])
+        net.connect(b, segment, ["192.0.2.2"])
+        capture = a.start_capture()
+        packet = Packet(src="192.0.2.1", dst="192.0.2.2",
+                        protocol=Protocol.UDP, sport=1, dport=2)
+        a.send(packet)
+        net.sim.run()
+        capture.stop()
+        a.send(Packet(src="192.0.2.1", dst="192.0.2.2",
+                      protocol=Protocol.UDP, sport=1, dport=2))
+        net.sim.run()
+        assert len(capture) == 1
+        capture.start()
+        a.send(Packet(src="192.0.2.1", dst="192.0.2.2",
+                      protocol=Protocol.UDP, sport=1, dport=2))
+        net.sim.run()
+        assert len(capture) == 2
+
+    def test_capture_clear_and_timespan(self):
+        net = Network(seed=0)
+        segment = net.add_segment("lab")
+        a = net.add_host("a")
+        net.connect(a, segment, ["192.0.2.1"])
+        capture = a.start_capture()
+        assert capture.timespan() is None
+        net.sim.schedule(1.0, a.send, Packet(
+            src="192.0.2.1", dst="192.0.2.9", protocol=Protocol.UDP,
+            sport=1, dport=2))
+        net.sim.run()
+        start, end = capture.timespan()
+        assert start == end == pytest.approx(1.0)
+        capture.clear()
+        assert len(capture) == 0
+
+    def test_render_with_limit(self):
+        net = Network(seed=0)
+        segment = net.add_segment("lab")
+        a = net.add_host("a")
+        net.connect(a, segment, ["192.0.2.1"])
+        capture = a.start_capture()
+        for index in range(5):
+            a.send(Packet(src="192.0.2.1", dst="192.0.2.9",
+                          protocol=Protocol.UDP, sport=1, dport=2))
+        net.sim.run()
+        text = capture.render(limit=2)
+        assert "3 more frames" in text

@@ -1,0 +1,126 @@
+"""Property-based tests for the netem model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simnet import (Family, NetemFilter, NetemQdisc, NetemRule,
+                          NetemSpec, Packet, Protocol, TrafficShaper)
+
+
+def udp(src="192.0.2.1", dst="192.0.2.2", size=100):
+    return Packet(src=src, dst=dst, protocol=Protocol.UDP,
+                  sport=1000, dport=2000, payload=b"x" * size)
+
+
+_delays = st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+_times = st.lists(st.floats(min_value=0.0, max_value=10.0,
+                            allow_nan=False), min_size=1, max_size=30)
+
+
+class TestQdiscProperties:
+    @given(_delays, _times)
+    def test_no_jitter_preserves_order(self, delay, times):
+        qdisc = NetemQdisc(NetemSpec(delay=delay), random.Random(0))
+        departures = []
+        for now in sorted(times):
+            planned = qdisc.plan(udp(), now)
+            assert planned is not None
+            departures.append(planned)
+        assert departures == sorted(departures)
+
+    @given(_delays, st.floats(min_value=0.0, max_value=0.5,
+                              allow_nan=False), _times)
+    def test_delivery_never_before_base_delay(self, delay, jitter, times):
+        spec = NetemSpec(delay=delay, jitter=min(jitter, delay) if delay
+                         else 0.0)
+        qdisc = NetemQdisc(spec, random.Random(1))
+        for now in times:
+            planned = qdisc.plan(udp(), now)
+            assert planned is not None
+            assert planned >= now  # never delivered into the past
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_loss_rate_within_statistical_bounds(self, loss):
+        qdisc = NetemQdisc(NetemSpec(loss=loss), random.Random(2))
+        total = 400
+        dropped = sum(1 for _ in range(total)
+                      if qdisc.plan(udp(), 0.0) is None)
+        expected = loss * total
+        assert abs(dropped - expected) < 4 * (total ** 0.5) + 1
+
+    @given(st.integers(min_value=1, max_value=20))
+    def test_rate_serialization_is_cumulative(self, count):
+        rate = 80_000.0  # 10 kB/s
+        qdisc = NetemQdisc(NetemSpec(rate_bps=rate), random.Random(3))
+        packet = udp(size=100)
+        serialization = packet.size * 8.0 / rate
+        departures = [qdisc.plan(udp(size=100), 0.0)
+                      for _ in range(count)]
+        for index, departure in enumerate(departures):
+            assert departure == pytest.approx(
+                (index + 1) * serialization, rel=1e-6)
+
+    def test_statistics_counters(self):
+        qdisc = NetemQdisc(NetemSpec(loss=0.5), random.Random(4))
+        for _ in range(100):
+            qdisc.plan(udp(), 0.0)
+        assert qdisc.packets_seen == 100
+        assert 20 < qdisc.packets_dropped < 80
+
+
+class TestFilters:
+    def test_family_filter(self):
+        v6_only = NetemFilter.for_family(Family.V6)
+        assert v6_only.matches(udp("2001:db8::1", "2001:db8::2"))
+        assert not v6_only.matches(udp())
+
+    def test_address_filters(self):
+        by_dst = NetemFilter(dst_addresses=["192.0.2.2"])
+        assert by_dst.matches(udp())
+        assert not by_dst.matches(udp(dst="192.0.2.3"))
+        by_src = NetemFilter(src_addresses=["192.0.2.9"])
+        assert not by_src.matches(udp())
+
+    def test_protocol_filter(self):
+        tcp_only = NetemFilter(protocol=Protocol.TCP)
+        assert not tcp_only.matches(udp())
+
+    def test_predicate_filter(self):
+        big = NetemFilter(predicate=lambda p: p.size > 1000)
+        assert not big.matches(udp(size=10))
+        assert big.matches(udp(size=2000))
+
+    def test_match_all(self):
+        assert NetemFilter.match_all().matches(udp())
+
+    def test_combined_criteria_all_required(self):
+        combined = NetemFilter(family=Family.V4,
+                               dst_addresses=["192.0.2.2"],
+                               protocol=Protocol.UDP)
+        assert combined.matches(udp())
+        assert not combined.matches(udp(dst="192.0.2.7"))
+
+
+class TestShaper:
+    def test_unmatched_packets_pass_through(self):
+        shaper = TrafficShaper(random.Random(5))
+        shaper.add_rule(NetemRule(spec=NetemSpec(delay=1.0),
+                                  filter=NetemFilter.for_family(Family.V6)))
+        assert shaper.plan(udp(), now=5.0) == 5.0
+
+    def test_rules_listable(self):
+        shaper = TrafficShaper(random.Random(6))
+        shaper.delay_family(Family.V6, 0.25, name="v6-delay")
+        assert len(shaper.rules) == 1
+        assert shaper.rules[0].name == "v6-delay"
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1.0,
+                              allow_nan=False), min_size=1, max_size=4))
+    def test_first_match_wins_property(self, delays):
+        shaper = TrafficShaper(random.Random(7))
+        for delay in delays:
+            shaper.add_rule(NetemRule(spec=NetemSpec(delay=delay)))
+        planned = shaper.plan(udp(), now=0.0)
+        assert planned == pytest.approx(delays[0])

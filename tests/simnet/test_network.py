@@ -1,0 +1,230 @@
+"""Tests for topology, forwarding, netem shaping, and captures."""
+
+import pytest
+
+from repro.simnet import (Direction, Family, NetemFilter, NetemRule,
+                          NetemSpec, Network, NoRouteError, Packet,
+                          Protocol, TCPFlags)
+
+
+def make_pair(seed=0):
+    """Two dual-stack hosts on one segment (the local testbed shape)."""
+    net = Network(seed=seed)
+    segment = net.add_segment("lab", propagation_delay=0.0001)
+    client = net.add_host("client")
+    server = net.add_host("server")
+    net.connect(client, segment, ["192.0.2.1", "2001:db8::1"])
+    net.connect(server, segment, ["192.0.2.2", "2001:db8::2"])
+    return net, client, server
+
+
+def udp_packet(src, dst, payload=b"x"):
+    return Packet(src=src, dst=dst, protocol=Protocol.UDP,
+                  sport=1111, dport=2222, payload=payload)
+
+
+class TestTopology:
+    def test_dual_stack_detection(self):
+        _, client, server = make_pair()
+        assert client.is_dual_stack()
+        assert server.is_dual_stack()
+
+    def test_route_picks_family_interface(self):
+        _, client, _ = make_pair()
+        iface = client.route("2001:db8::2")
+        assert iface.addresses_of(Family.V6)
+
+    def test_no_route_for_missing_family(self):
+        net = Network()
+        segment = net.add_segment("lab")
+        v4only = net.add_host("v4only")
+        net.connect(v4only, segment, ["192.0.2.7"])
+        with pytest.raises(NoRouteError):
+            v4only.route("2001:db8::2")
+
+    def test_source_address_selection(self):
+        _, client, _ = make_pair()
+        assert str(client.source_address_for("192.0.2.2")) == "192.0.2.1"
+        assert str(client.source_address_for("2001:db8::2")) == "2001:db8::1"
+
+    def test_duplicate_address_on_segment_rejected(self):
+        net = Network()
+        segment = net.add_segment("lab")
+        a = net.add_host("a")
+        b = net.add_host("b")
+        net.connect(a, segment, ["192.0.2.1"])
+        with pytest.raises(ValueError):
+            net.connect(b, segment, ["192.0.2.1"])
+
+    def test_duplicate_host_rejected(self):
+        net = Network()
+        net.add_host("a")
+        with pytest.raises(ValueError):
+            net.add_host("a")
+
+
+class TestForwarding:
+    def test_delivery_between_hosts(self):
+        net, client, server = make_pair()
+        received = []
+        server.register_handler(
+            Protocol.UDP, lambda pkt, iface: received.append(pkt))
+        client.send(udp_packet("192.0.2.1", "192.0.2.2"))
+        net.sim.run()
+        assert len(received) == 1
+        assert str(received[0].src) == "192.0.2.1"
+
+    def test_unknown_destination_blackholes(self):
+        net, client, _ = make_pair()
+        segment = net.segments["lab"]
+        client.send(udp_packet("192.0.2.1", "192.0.2.99"))
+        net.sim.run()
+        assert segment.dropped_unknown_destination == 1
+        assert segment.forwarded == 0
+
+    def test_propagation_delay_applied(self):
+        net, client, server = make_pair()
+        arrival = []
+        server.register_handler(
+            Protocol.UDP, lambda pkt, iface: arrival.append(net.sim.now))
+        client.send(udp_packet("192.0.2.1", "192.0.2.2"))
+        net.sim.run()
+        assert arrival == [pytest.approx(0.0001)]
+
+    def test_mixed_family_packet_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(src="192.0.2.1", dst="2001:db8::2",
+                   protocol=Protocol.UDP, sport=1, dport=2)
+
+
+class TestNetemShaping:
+    def test_family_delay_applies_only_to_that_family(self):
+        net, client, server = make_pair()
+        arrivals = {}
+        server.register_handler(
+            Protocol.UDP,
+            lambda pkt, iface: arrivals.setdefault(pkt.family, net.sim.now))
+        # Delay IPv6 on the *server* ingress, like netem on the server host.
+        server_iface = server.interfaces["eth0"]
+        server_iface.ingress.delay_family(Family.V6, 0.250)
+        client.send(udp_packet("192.0.2.1", "192.0.2.2"))
+        client.send(udp_packet("2001:db8::1", "2001:db8::2"))
+        net.sim.run()
+        assert arrivals[Family.V4] == pytest.approx(0.0001)
+        assert arrivals[Family.V6] == pytest.approx(0.2501)
+
+    def test_loss_drops_packets_deterministically_by_seed(self):
+        net, client, server = make_pair(seed=1)
+        got = []
+        server.register_handler(
+            Protocol.UDP, lambda pkt, iface: got.append(pkt))
+        iface = client.interfaces["eth0"]
+        iface.egress.add_rule(NetemRule(spec=NetemSpec(loss=0.5)))
+        for _ in range(100):
+            client.send(udp_packet("192.0.2.1", "192.0.2.2"))
+        net.sim.run()
+        assert 30 < len(got) < 70  # ~50 % with seed-determined draws
+
+    def test_rate_limit_serializes(self):
+        net, client, server = make_pair()
+        arrivals = []
+        server.register_handler(
+            Protocol.UDP, lambda pkt, iface: arrivals.append(net.sim.now))
+        iface = client.interfaces["eth0"]
+        # 8 kbit/s: a 28-byte-header + 100-byte packet takes 128 ms.
+        iface.egress.add_rule(NetemRule(spec=NetemSpec(rate_bps=8000)))
+        client.send(udp_packet("192.0.2.1", "192.0.2.2", payload=b"a" * 100))
+        client.send(udp_packet("192.0.2.1", "192.0.2.2", payload=b"a" * 100))
+        net.sim.run()
+        assert len(arrivals) == 2
+        gap = arrivals[1] - arrivals[0]
+        assert gap == pytest.approx(0.128, abs=1e-6)
+
+    def test_first_matching_rule_wins(self):
+        net, client, server = make_pair()
+        arrivals = []
+        server.register_handler(
+            Protocol.UDP, lambda pkt, iface: arrivals.append(net.sim.now))
+        iface = client.interfaces["eth0"]
+        iface.egress.add_rule(NetemRule(
+            spec=NetemSpec(delay=0.100),
+            filter=NetemFilter.for_family(Family.V4)))
+        iface.egress.add_rule(NetemRule(spec=NetemSpec(delay=0.500)))
+        client.send(udp_packet("192.0.2.1", "192.0.2.2"))
+        net.sim.run()
+        assert arrivals[0] == pytest.approx(0.1001)
+
+    def test_shaper_clear_removes_rules(self):
+        net, client, server = make_pair()
+        arrivals = []
+        server.register_handler(
+            Protocol.UDP, lambda pkt, iface: arrivals.append(net.sim.now))
+        iface = client.interfaces["eth0"]
+        iface.egress.delay_family(Family.V4, 1.0)
+        iface.egress.clear()
+        client.send(udp_packet("192.0.2.1", "192.0.2.2"))
+        net.sim.run()
+        assert arrivals[0] == pytest.approx(0.0001)
+
+    def test_jitter_requires_valid_spec(self):
+        with pytest.raises(ValueError):
+            NetemSpec(delay=-1.0)
+        with pytest.raises(ValueError):
+            NetemSpec(loss=1.5)
+        with pytest.raises(ValueError):
+            NetemSpec(rate_bps=0)
+
+    def test_delay_ms_constructor(self):
+        assert NetemSpec.delay_ms(250).delay == pytest.approx(0.250)
+
+
+class TestCapture:
+    def test_capture_records_both_directions(self):
+        net, client, server = make_pair()
+        server.register_handler(Protocol.UDP, lambda pkt, iface: None)
+        capture = client.start_capture()
+        client.send(udp_packet("192.0.2.1", "192.0.2.2"))
+        # Server replies.
+        def reply(pkt, iface):
+            server.send(Packet(payload=b"r", **pkt.reply_template()))
+        server_capture = server.start_capture()
+        net.sim.run()
+        out = [f for f in capture if f.direction is Direction.OUT]
+        assert len(out) == 1
+        assert len(server_capture) == 1  # inbound at server
+
+    def test_capture_timestamps_match_send_time(self):
+        net, client, server = make_pair()
+        capture = client.start_capture()
+        net.sim.schedule(1.0, client.send,
+                         udp_packet("192.0.2.1", "192.0.2.2"))
+        net.sim.run()
+        assert capture.frames[0].timestamp == pytest.approx(1.0)
+
+    def test_stopped_capture_records_nothing(self):
+        net, client, _ = make_pair()
+        capture = client.start_capture()
+        client.stop_capture(capture)
+        client.send(udp_packet("192.0.2.1", "192.0.2.2"))
+        net.sim.run()
+        assert len(capture) == 0
+
+    def test_connection_attempt_query(self):
+        net, client, server = make_pair()
+        capture = client.start_capture()
+        syn = Packet(src="192.0.2.1", dst="192.0.2.2",
+                     protocol=Protocol.TCP, sport=5555, dport=80,
+                     flags=TCPFlags.SYN)
+        client.send(syn)
+        net.sim.run()
+        attempts = capture.connection_attempts(family=Family.V4)
+        assert len(attempts) == 1
+        assert capture.first_connection_attempt(Family.V6) is None
+
+    def test_render_produces_tcpdump_like_lines(self):
+        net, client, _ = make_pair()
+        capture = client.start_capture()
+        client.send(udp_packet("192.0.2.1", "192.0.2.2"))
+        net.sim.run()
+        text = capture.render()
+        assert "192.0.2.1.1111 > 192.0.2.2.2222" in text

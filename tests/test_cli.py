@@ -1,0 +1,49 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "HEv1 (2012)" in out
+        assert "250 ms" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "--delay-ms", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "connect-requested" in out
+        assert "winner: IPv4" in out
+
+    def test_trace_fast_ipv6(self, capsys):
+        assert main(["trace", "--delay-ms", "0"]) == 0
+        assert "winner: IPv6" in capsys.readouterr().out
+
+    def test_figure5(self, capsys):
+        assert main(["figure5"]) == 0
+        out = capsys.readouterr().out
+        assert "n-th connection attempt" in out
+        assert "Safari" in out
+
+    def test_table4(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Hurricane Electric" in out
+        assert "no" in out
+
+    def test_delayed_a(self, capsys):
+        assert main(["delayed-a"]) == 0
+        out = capsys.readouterr().out
+        assert "+HEv3 flag" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table2_no_web(self, capsys):
+        assert main(["table2", "--no-web"]) == 0
+        out = capsys.readouterr().out
+        assert "Safari 17.6" in out

@@ -1,0 +1,192 @@
+"""Integration tests for the testbed framework (config, modules, runner)."""
+
+import pytest
+
+from repro.clients import get_profile
+from repro.simnet import Family
+from repro.testbed import (ResultSet, SweepSpec, TestCaseConfig,
+                           TestCaseKind, TestRunner,
+                           address_selection_case, cad_case,
+                           delayed_a_case, rd_case)
+
+
+class TestSweepSpec:
+    def test_range_inclusive(self):
+        sweep = SweepSpec.range(0, 20, 5)
+        assert list(sweep) == [0, 5, 10, 15, 20]
+
+    def test_fixed(self):
+        assert list(SweepSpec.fixed(100, 200)) == [100, 200]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSpec(())
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSpec.fixed(-5)
+
+    def test_coarse_fine_combines(self):
+        sweep = SweepSpec.coarse_fine(coarse_step_ms=100, fine_step_ms=10,
+                                      stop_ms=400, around_ms=250,
+                                      fine_window_ms=50)
+        values = list(sweep)
+        assert 0 in values and 400 in values  # coarse endpoints
+        assert 250 in values and 210 in values  # fine region
+        assert values == sorted(values)
+
+    def test_case_validation(self):
+        with pytest.raises(ValueError):
+            TestCaseConfig(name="x", kind=TestCaseKind.RESOLUTION_DELAY,
+                           sweep=SweepSpec.fixed(1), repetitions=0)
+
+
+class TestCadRuns:
+    def test_chrome_flips_at_300ms(self):
+        runner = TestRunner(
+            clients=[get_profile("Chrome", "130.0")],
+            cases=[TestCaseConfig(
+                name="cad", kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
+                sweep=SweepSpec.fixed(100, 250, 290, 310, 400))],
+            seed=11)
+        results = runner.run()
+        series = results.family_by_delay("Chrome 130.0", "cad")
+        assert series[100] is Family.V6
+        assert series[250] is Family.V6
+        assert series[290] is Family.V6
+        assert series[310] is Family.V4
+        assert series[400] is Family.V4
+
+    def test_cad_estimate_matches_profile(self):
+        runner = TestRunner(
+            clients=[get_profile("Firefox", "132.0")],
+            cases=[TestCaseConfig(
+                name="cad", kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
+                sweep=SweepSpec.fixed(350, 400))],
+            seed=12)
+        results = runner.run()
+        cad = results.median_cad("Firefox 132.0")
+        assert cad == pytest.approx(0.250, abs=0.090)  # outliers allowed
+
+    def test_crossover_helper(self):
+        runner = TestRunner(
+            clients=[get_profile("curl", "7.88.1")],
+            cases=[TestCaseConfig(
+                name="cad", kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
+                sweep=SweepSpec.fixed(150, 190, 210, 250))],
+            seed=13)
+        results = runner.run()
+        crossover = results.observed_cad_crossover("curl 7.88.1", "cad")
+        assert crossover == 190  # curl's CAD is 200 ms
+
+    def test_aaaa_query_order_observed(self):
+        runner = TestRunner(
+            clients=[get_profile("Chrome", "130.0"),
+                     get_profile("Firefox", "132.0")],
+            cases=[TestCaseConfig(
+                name="cad", kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
+                sweep=SweepSpec.fixed(0))],
+            seed=14)
+        results = runner.run()
+        chrome = results.for_client("Chrome 130.0")[0]
+        firefox = results.for_client("Firefox 132.0")[0]
+        assert chrome.aaaa_first is True
+        assert firefox.aaaa_first is False
+
+
+class TestRdRuns:
+    def test_safari_rd_50ms(self):
+        runner = TestRunner(
+            clients=[get_profile("Safari", "17.6")],
+            cases=[TestCaseConfig(
+                name="rd", kind=TestCaseKind.RESOLUTION_DELAY,
+                sweep=SweepSpec.fixed(1000))],
+            seed=15)
+        record = runner.run().records[0]
+        assert record.rd_s == pytest.approx(0.050, abs=0.005)
+        assert record.winning_family is Family.V4
+
+    def test_chrome_inherits_resolver_timeout(self):
+        runner = TestRunner(
+            clients=[get_profile("Chrome", "130.0")],
+            cases=[TestCaseConfig(
+                name="rd", kind=TestCaseKind.RESOLUTION_DELAY,
+                sweep=SweepSpec.fixed(8000))],  # beyond resolver timeout
+            seed=16, resolver_timeout=2.0)
+        record = runner.run().records[0]
+        # IPv4 connection only starts after the 2 s resolver timeout.
+        assert record.time_to_first_attempt_s == pytest.approx(2.0,
+                                                               abs=0.050)
+
+    def test_delayed_a_stalls_chrome_ipv6(self):
+        runner = TestRunner(
+            clients=[get_profile("Chrome", "130.0")],
+            cases=[delayed_a_case()],
+            seed=17)
+        results = runner.run()
+        for record in results.records:
+            assert record.winning_family is Family.V6
+            expected_stall = record.value_ms / 1000.0
+            assert record.time_to_first_attempt_s == pytest.approx(
+                expected_stall, abs=0.050)
+
+    def test_hev3_flag_removes_delayed_a_stall(self):
+        runner = TestRunner(
+            clients=[get_profile("Chrome", "130.0")],
+            cases=[TestCaseConfig(
+                name="delayed-a", kind=TestCaseKind.DELAYED_A,
+                sweep=SweepSpec.fixed(2000))],
+            seed=18, hev3_flag=True)
+        record = runner.run().records[0]
+        assert record.winning_family is Family.V6
+        assert record.time_to_first_attempt_s < 0.100
+
+
+class TestAddressSelectionRuns:
+    def test_hev1_clients_try_one_address_per_family(self):
+        runner = TestRunner(
+            clients=[get_profile("Chrome", "130.0")],
+            cases=[address_selection_case()],
+            seed=19)
+        record = runner.run().records[0]
+        assert record.attempts_v6 == 1
+        assert record.attempts_v4 == 1
+
+    def test_safari_tries_all_addresses(self):
+        runner = TestRunner(
+            clients=[get_profile("Safari", "17.6")],
+            cases=[address_selection_case()],
+            seed=20)
+        record = runner.run().records[0]
+        assert record.attempts_v6 == 10
+        assert record.attempts_v4 == 10
+        # Safari's interleave pattern: v6 v6 v4 v6*8 v4*9 (App. D).
+        families = [family for _, family in record.attempts]
+        assert families[:3] == [Family.V6, Family.V6, Family.V4]
+        assert families[3:11] == [Family.V6] * 8
+        assert families[11:] == [Family.V4] * 9
+
+    def test_wget_stays_on_first_ipv6(self):
+        runner = TestRunner(
+            clients=[get_profile("wget", "1.21.3")],
+            cases=[address_selection_case()],
+            seed=21)
+        record = runner.run().records[0]
+        assert record.attempts_v6 == 1
+        assert record.attempts_v4 == 0
+
+
+class TestResultSet:
+    def test_filters(self):
+        results = ResultSet()
+        runner = TestRunner(
+            clients=[get_profile("curl", "7.88.1")],
+            cases=[TestCaseConfig(
+                name="cad", kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
+                sweep=SweepSpec.fixed(0, 300))],
+            seed=22)
+        results = runner.run()
+        assert len(results) == 2
+        assert len(results.for_client("curl 7.88.1")) == 2
+        assert len(results.for_case("cad")) == 2
+        assert len(results.for_client("nobody")) == 0

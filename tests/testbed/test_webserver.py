@@ -1,0 +1,110 @@
+"""Tests for the echo web server and testbed topology details."""
+
+import pytest
+
+from repro.simnet import Family
+from repro.testbed.topology import (EchoWebServer, LocalTestbed, SERVER_V4,
+                                    SERVER_V6)
+
+
+class TestEchoWebServer:
+    def test_echoes_client_source_address(self):
+        testbed = LocalTestbed(seed=81)
+
+        def client_proc():
+            attempt = testbed.client.tcp.connect(SERVER_V4, 80)
+            connection = yield attempt.established
+            connection.send(b"GET /ip HTTP/1.1\r\n\r\n")
+            reply = yield connection.recv()
+            connection.close()
+            return reply
+
+        reply = testbed.sim.run_until(testbed.sim.process(client_proc()))
+        assert b"200 OK" in reply
+        assert reply.endswith(b"192.0.2.1")
+
+    def test_serves_both_families(self):
+        testbed = LocalTestbed(seed=82)
+
+        def fetch(dst):
+            attempt = testbed.client.tcp.connect(dst, 80)
+            connection = yield attempt.established
+            connection.send(b"GET /ip HTTP/1.1\r\n\r\n")
+            reply = yield connection.recv()
+            connection.close()
+            return reply
+
+        v4 = testbed.sim.run_until(testbed.sim.process(fetch(SERVER_V4)))
+        v6 = testbed.sim.run_until(testbed.sim.process(fetch(SERVER_V6)))
+        assert v4.endswith(b"192.0.2.1")
+        assert v6.endswith(b"2001:db8:1::1")
+
+    def test_exchanges_logged(self):
+        testbed = LocalTestbed(seed=83)
+
+        def client_proc():
+            attempt = testbed.client.tcp.connect(SERVER_V6, 80)
+            connection = yield attempt.established
+            connection.send(b"GET /ip HTTP/1.1\r\n\r\n")
+            yield connection.recv()
+
+        testbed.sim.run_until(testbed.sim.process(client_proc()))
+        assert len(testbed.web.exchanges) == 1
+        exchange = testbed.web.exchanges[0]
+        assert exchange.family is Family.V6
+        assert str(exchange.server_address) == SERVER_V6
+
+    def test_stopped_server_refuses(self):
+        testbed = LocalTestbed(seed=84)
+        testbed.web.stop()
+        from repro.transport.errors import ConnectRefused
+
+        attempt = testbed.client.tcp.connect(SERVER_V4, 80)
+        with pytest.raises(ConnectRefused):
+            testbed.sim.run_until(attempt.established)
+
+
+class TestTopologyHelpers:
+    def test_add_domain_registers_records(self):
+        testbed = LocalTestbed(seed=85)
+        hostname = testbed.add_domain("svc", ["192.0.2.40",
+                                              "2001:db8:1::40"])
+        assert hostname == "svc.he-test.example"
+        from repro.dns import RdataType
+
+        assert testbed.zone.rrset("svc", RdataType.A) is not None
+        assert testbed.zone.rrset("svc", RdataType.AAAA) is not None
+
+    def test_attach_server_address_makes_it_answer(self):
+        testbed = LocalTestbed(seed=86)
+        testbed.attach_server_address("192.0.2.41")
+        testbed.server.tcp.listen(8080)
+
+        def client_proc():
+            attempt = testbed.client.tcp.connect("192.0.2.41", 8080)
+            connection = yield attempt.established
+            return connection
+
+        connection = testbed.sim.run_until(
+            testbed.sim.process(client_proc()))
+        assert str(connection.remote_addr) == "192.0.2.41"
+
+    def test_unique_hostname_stays_in_zone(self):
+        testbed = LocalTestbed(seed=87)
+        assert testbed.unique_hostname("x1").endswith(".he-test.example")
+
+    def test_clear_shaping_idempotent(self):
+        testbed = LocalTestbed(seed=88)
+        testbed.delay_ipv6_tcp(0.1)
+        testbed.clear_shaping()
+        testbed.clear_shaping()
+        assert testbed.server_iface.egress.rules == []
+
+    def test_dns_delay_roundtrip(self):
+        from repro.dns import RdataType
+
+        testbed = LocalTestbed(seed=89)
+        testbed.set_dns_delay(RdataType.AAAA, 0.5)
+        assert testbed.auth.static_delays[RdataType.AAAA] == 0.5
+        testbed.clear_dns_delays()
+        assert testbed.auth.static_delays == {}

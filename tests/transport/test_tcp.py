@@ -1,0 +1,178 @@
+"""Tests for the TCP handshake machine."""
+
+import pytest
+
+from repro.simnet import Family, NetemSpec, Network
+from repro.transport import (ConnectRefused, ConnectTimeout,
+                             ConnectionAborted, PortInUse, TCPState)
+
+
+@pytest.fixture
+def lab():
+    net = Network(seed=0)
+    segment = net.add_segment("lab", propagation_delay=0.0001)
+    client = net.add_host("client")
+    server = net.add_host("server")
+    net.connect(client, segment, ["192.0.2.1", "2001:db8::1"])
+    net.connect(server, segment, ["192.0.2.2", "2001:db8::2"])
+    return net, client, server
+
+
+class TestHandshake:
+    def test_successful_connect(self, lab):
+        net, client, server = lab
+        server.tcp.listen(80)
+        attempt = client.tcp.connect("192.0.2.2", 80)
+        conn = net.sim.run_until(attempt.established)
+        assert conn.state is TCPState.ESTABLISHED
+        assert conn.syn_transmissions == 1
+
+    def test_connect_over_ipv6(self, lab):
+        net, client, server = lab
+        server.tcp.listen(80)
+        attempt = client.tcp.connect("2001:db8::2", 80)
+        conn = net.sim.run_until(attempt.established)
+        assert conn.family is Family.V6
+
+    def test_server_sees_accepted_connection(self, lab):
+        net, client, server = lab
+        listener = server.tcp.listen(80)
+        accepted = listener.accept()
+        client.tcp.connect("192.0.2.2", 80)
+        server_conn = net.sim.run_until(accepted)
+        assert server_conn.state is TCPState.ESTABLISHED
+        assert str(server_conn.remote_addr) == "192.0.2.1"
+
+    def test_handshake_takes_one_rtt(self, lab):
+        net, client, server = lab
+        server.tcp.listen(80)
+        attempt = client.tcp.connect("192.0.2.2", 80)
+        net.sim.run_until(attempt.established)
+        # RTT = 2 * propagation delay.
+        assert net.sim.now == pytest.approx(0.0002)
+
+    def test_refused_when_no_listener(self, lab):
+        net, client, server = lab
+        attempt = client.tcp.connect("192.0.2.2", 81)
+        with pytest.raises(ConnectRefused):
+            net.sim.run_until(attempt.established)
+
+    def test_blackhole_times_out_with_backoff(self, lab):
+        net, client, _ = lab
+        attempt = client.tcp.connect("192.0.2.99", 80,
+                                     initial_rto=1.0, syn_retries=2)
+        with pytest.raises(ConnectTimeout):
+            net.sim.run_until(attempt.established)
+        # SYN at 0, retransmit at 1s, at 3s, give up at 7s.
+        assert attempt.syn_transmissions == 3
+        assert net.sim.now == pytest.approx(7.0)
+
+    def test_attempt_deadline_caps_wait(self, lab):
+        net, client, _ = lab
+        attempt = client.tcp.connect("192.0.2.99", 80, timeout=0.5)
+        with pytest.raises(ConnectTimeout):
+            net.sim.run_until(attempt.established)
+        assert net.sim.now == pytest.approx(0.5)
+
+    def test_delayed_syn_ack_still_establishes(self, lab):
+        net, client, server = lab
+        server.tcp.listen(80)
+        server.interfaces["eth0"].ingress.delay_family(Family.V4, 0.300)
+        attempt = client.tcp.connect("192.0.2.2", 80)
+        conn = net.sim.run_until(attempt.established)
+        assert conn.state is TCPState.ESTABLISHED
+        assert net.sim.now == pytest.approx(0.3002)
+
+    def test_duplicate_listener_rejected(self, lab):
+        _, _, server = lab
+        server.tcp.listen(80)
+        with pytest.raises(PortInUse):
+            server.tcp.listen(80)
+
+    def test_listener_bound_to_address_only_serves_it(self, lab):
+        net, client, server = lab
+        server.tcp.listen(80, addr="192.0.2.2")
+        ok = client.tcp.connect("192.0.2.2", 80)
+        net.sim.run_until(ok.established)
+        refused = client.tcp.connect("2001:db8::2", 80)
+        with pytest.raises(ConnectRefused):
+            net.sim.run_until(refused.established)
+
+
+class TestAbort:
+    def test_abort_in_syn_sent_fails_established_quietly(self, lab):
+        net, client, _ = lab
+        attempt = client.tcp.connect("192.0.2.99", 80)
+        net.sim.run(until=0.1)
+        attempt.abort()
+        net.sim.run(until=20.0)
+        assert attempt.state is TCPState.ABORTED
+        assert isinstance(attempt.established.exception, ConnectionAborted)
+
+    def test_abort_stops_retransmissions(self, lab):
+        net, client, _ = lab
+        capture = client.start_capture()
+        attempt = client.tcp.connect("192.0.2.99", 80, initial_rto=0.1)
+        net.sim.run(until=0.05)
+        attempt.abort()
+        net.sim.run(until=10.0)
+        syns = capture.connection_attempts()
+        assert len(syns) == 1
+
+    def test_abort_established_sends_rst(self, lab):
+        net, client, server = lab
+        server.tcp.listen(80)
+        attempt = client.tcp.connect("192.0.2.2", 80)
+        conn = net.sim.run_until(attempt.established)
+        capture = client.start_capture()
+        conn.abort()
+        net.sim.run()
+        rsts = capture.filter(lambda f: f.packet.is_rst)
+        assert len(rsts) == 1
+
+
+class TestDataTransfer:
+    def test_echo_roundtrip(self, lab):
+        net, client, server = lab
+        listener = server.tcp.listen(80)
+
+        def server_proc():
+            conn = yield listener.accept()
+            data = yield conn.recv()
+            conn.send(b"echo:" + data)
+
+        def client_proc():
+            conn = yield client.tcp.connect("192.0.2.2", 80).established
+            conn.send(b"hello")
+            reply = yield conn.recv()
+            return reply
+
+        net.sim.process(server_proc())
+        proc = net.sim.process(client_proc())
+        assert net.sim.run_until(proc) == b"echo:hello"
+
+    def test_fin_delivers_eof(self, lab):
+        net, client, server = lab
+        listener = server.tcp.listen(80)
+
+        def server_proc():
+            conn = yield listener.accept()
+            conn.close()
+
+        def client_proc():
+            conn = yield client.tcp.connect("192.0.2.2", 80).established
+            data = yield conn.recv()
+            return data
+
+        net.sim.process(server_proc())
+        proc = net.sim.process(client_proc())
+        assert net.sim.run_until(proc) == b""
+
+    def test_syn_timestamp_recorded(self, lab):
+        net, client, server = lab
+        server.tcp.listen(80)
+        net.sim.run(until=1.0)
+        attempt = client.tcp.connect("192.0.2.2", 80)
+        net.sim.run_until(attempt.established)
+        assert attempt.syn_sent_at == pytest.approx(1.0)
+        assert attempt.established_at == pytest.approx(1.0002)

@@ -1,0 +1,151 @@
+"""Tests for UDP sockets and the QUIC handshake model."""
+
+import pytest
+
+from repro.simnet import Network
+from repro.transport import (ConnectTimeout, ConnectionAborted, PortInUse,
+                             QUICConnectionState, SocketClosed)
+
+
+@pytest.fixture
+def lab():
+    net = Network(seed=0)
+    segment = net.add_segment("lab", propagation_delay=0.0001)
+    client = net.add_host("client")
+    server = net.add_host("server")
+    net.connect(client, segment, ["192.0.2.1", "2001:db8::1"])
+    net.connect(server, segment, ["192.0.2.2", "2001:db8::2"])
+    return net, client, server
+
+
+class TestUDP:
+    def test_datagram_roundtrip(self, lab):
+        net, client, server = lab
+        server_sock = server.udp.socket(local_port=53)
+
+        def responder():
+            datagram = yield server_sock.recv()
+            server_sock.sendto(b"pong:" + datagram.payload,
+                               datagram.src, datagram.sport)
+
+        def requester():
+            sock = client.udp.socket()
+            sock.sendto(b"ping", "192.0.2.2", 53)
+            reply = yield sock.recv()
+            return reply.payload
+
+        net.sim.process(responder())
+        proc = net.sim.process(requester())
+        assert net.sim.run_until(proc) == b"pong:ping"
+
+    def test_wildcard_socket_receives_both_families(self, lab):
+        net, client, server = lab
+        server_sock = server.udp.socket(local_port=53)
+        got = []
+
+        def collector():
+            for _ in range(2):
+                datagram = yield server_sock.recv()
+                got.append(str(datagram.dst))
+
+        net.sim.process(collector())
+        sock = client.udp.socket()
+        sock.sendto(b"a", "192.0.2.2", 53)
+        sock.sendto(b"b", "2001:db8::2", 53)
+        net.sim.run()
+        assert sorted(got) == ["192.0.2.2", "2001:db8::2"]
+
+    def test_bound_socket_receives_only_its_address(self, lab):
+        net, client, server = lab
+        v4_sock = server.udp.socket(local_addr="192.0.2.2", local_port=53)
+        client_sock = client.udp.socket()
+        client_sock.sendto(b"v6", "2001:db8::2", 53)
+        client_sock.sendto(b"v4", "192.0.2.2", 53)
+        net.sim.run()
+        assert v4_sock.received_count == 1
+
+    def test_backlog_buffers_when_no_waiter(self, lab):
+        net, client, server = lab
+        server_sock = server.udp.socket(local_port=53)
+        sock = client.udp.socket()
+        sock.sendto(b"1", "192.0.2.2", 53)
+        sock.sendto(b"2", "192.0.2.2", 53)
+        net.sim.run()
+
+        def drain():
+            first = yield server_sock.recv()
+            second = yield server_sock.recv()
+            return (first.payload, second.payload)
+
+        proc = net.sim.process(drain())
+        assert net.sim.run_until(proc) == (b"1", b"2")
+
+    def test_send_on_closed_socket_raises(self, lab):
+        _, client, _ = lab
+        sock = client.udp.socket()
+        sock.close()
+        with pytest.raises(SocketClosed):
+            sock.sendto(b"x", "192.0.2.2", 53)
+
+    def test_close_fails_pending_recv(self, lab):
+        net, client, _ = lab
+        sock = client.udp.socket()
+
+        def waiter():
+            try:
+                yield sock.recv()
+            except SocketClosed:
+                return "closed"
+
+        proc = net.sim.process(waiter())
+        net.sim.schedule(1.0, sock.close)
+        assert net.sim.run_until(proc) == "closed"
+
+    def test_duplicate_bind_rejected(self, lab):
+        _, _, server = lab
+        server.udp.socket(local_port=53)
+        with pytest.raises(PortInUse):
+            server.udp.socket(local_port=53)
+
+
+class TestQUIC:
+    def test_handshake_establishes(self, lab):
+        net, client, server = lab
+        server.quic.listen(443)
+        attempt = client.quic.connect("192.0.2.2", 443)
+        conn = net.sim.run_until(attempt.established)
+        assert conn.state is QUICConnectionState.ESTABLISHED
+        assert conn.initial_transmissions == 1
+
+    def test_blackhole_retransmits_then_times_out(self, lab):
+        net, client, _ = lab
+        attempt = client.quic.connect("192.0.2.99", 443,
+                                      initial_pto=0.5, max_probes=1)
+        with pytest.raises(ConnectTimeout):
+            net.sim.run_until(attempt.established)
+        assert attempt.initial_transmissions == 2
+
+    def test_deadline_caps_attempt(self, lab):
+        net, client, _ = lab
+        attempt = client.quic.connect("192.0.2.99", 443, timeout=0.25)
+        with pytest.raises(ConnectTimeout):
+            net.sim.run_until(attempt.established)
+        assert net.sim.now == pytest.approx(0.25)
+
+    def test_abort_is_quiet(self, lab):
+        net, client, _ = lab
+        attempt = client.quic.connect("192.0.2.99", 443)
+        net.sim.run(until=0.1)
+        attempt.abort()
+        net.sim.run(until=30.0)
+        assert attempt.state is QUICConnectionState.ABORTED
+        assert isinstance(attempt.established.exception, ConnectionAborted)
+
+    def test_quic_initial_counts_as_connection_attempt(self, lab):
+        net, client, server = lab
+        server.quic.listen(443)
+        capture = client.start_capture()
+        attempt = client.quic.connect("192.0.2.2", 443)
+        net.sim.run_until(attempt.established)
+        attempts = capture.connection_attempts()
+        assert len(attempts) == 1
