@@ -2,14 +2,23 @@
 
 Every bench renders its reproduced table/figure to
 ``results/<name>.txt`` (next to this directory) and prints it, so the
-artifacts survive without ``pytest -s``.
+artifacts survive without ``pytest -s``.  Timed benches additionally
+record machine-readable timings into ``results/bench_timings.json`` via
+:func:`record_timing`, so the perf trajectory across PRs is populated
+going forward.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import platform
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+TIMINGS_PATH = RESULTS_DIR / "bench_timings.json"
 
 
 def emit(name: str, text: str) -> None:
@@ -18,3 +27,42 @@ def emit(name: str, text: str) -> None:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
     print(f"\n{text}\n[artifact: {path}]")
+
+
+def record_timing(name: str, seconds: float,
+                  meta: Optional[Dict[str, Any]] = None) -> None:
+    """Append one timing sample to ``results/bench_timings.json``.
+
+    The file maps bench name to a list of samples (newest last), each
+    ``{"seconds": float, "recorded_at": epoch, "python": ..., **meta}``
+    — enough to plot a perf trajectory across machines and PRs.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    try:
+        timings = json.loads(TIMINGS_PATH.read_text(encoding="utf-8"))
+    except (FileNotFoundError, ValueError):
+        timings = {}
+    sample: Dict[str, Any] = {
+        "seconds": round(seconds, 6),
+        "recorded_at": int(time.time()),
+        "python": platform.python_version(),
+    }
+    if meta:
+        sample.update(meta)
+    timings.setdefault(name, []).append(sample)
+    TIMINGS_PATH.write_text(json.dumps(timings, indent=2, sort_keys=True)
+                            + "\n", encoding="utf-8")
+    print(f"[timing: {name} = {seconds:.3f}s -> {TIMINGS_PATH}]")
+
+
+@contextmanager
+def timed(name: str, meta: Optional[Dict[str, Any]] = None
+          ) -> Iterator[None]:
+    """Context manager: time the body and :func:`record_timing` it.
+
+    Only successful completions are recorded — a raising body would
+    otherwise pollute the tracked perf trajectory with partial runs.
+    """
+    start = time.perf_counter()
+    yield
+    record_timing(name, time.perf_counter() - start, meta)

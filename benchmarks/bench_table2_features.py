@@ -16,7 +16,7 @@ from repro.analysis import render_table2, table2_features
 from repro.webtool import UAEntry, WebCampaign
 from repro.webtool.report import ConsistencyMark
 
-from _util import emit
+from _util import emit, timed
 
 WEB_ENTRIES = (
     UAEntry("Linux", "", "Chrome", "130.0.0"),
@@ -28,9 +28,10 @@ WEB_ENTRIES = (
 
 
 def build_table2():
-    campaign = WebCampaign(seed=7, repetitions=10)
-    web = campaign.run(entries=WEB_ENTRIES)
-    return table2_features(seed=1, web_campaign=web)
+    with timed("table2_features", {"web_repetitions": 10}):
+        campaign = WebCampaign(seed=7, repetitions=10)
+        web = campaign.run(entries=WEB_ENTRIES)
+        return table2_features(seed=1, web_campaign=web)
 
 
 def test_table2_features(benchmark):

@@ -14,14 +14,16 @@ import pytest
 
 from repro.analysis import render_table3, table3_resolvers
 
-from _util import emit
+from _util import emit, timed
 
 
 def build_table3():
     # Eight repetitions per shaped delay: enough that Unbound's 44 %
     # probabilistic retry cannot masquerade as reliable IPv6 usage.
-    return table3_resolvers(seed=3, share_repetitions=160,
-                            delay_repetitions=8)
+    with timed("table3_resolvers", {"share_repetitions": 160,
+                                    "delay_repetitions": 8}):
+        return table3_resolvers(seed=3, share_repetitions=160,
+                                delay_repetitions=8)
 
 
 def test_table3_resolvers(benchmark):

@@ -50,18 +50,21 @@ class Figure2Series:
 
 def figure2_sweep(clients: Optional[Sequence[ClientProfile]] = None,
                   step_ms: int = 5, stop_ms: int = 400,
-                  seed: int = 0) -> List[Figure2Series]:
+                  seed: int = 0,
+                  workers: Optional[int] = None) -> List[Figure2Series]:
     """Run the Figure 2 campaign: delay sweep per client version.
 
     The paper sweeps 0–400 ms in 5 ms steps; coarser steps give the
     same crossovers faster (pass ``step_ms=25`` for a quick run).
+    ``workers=N`` fans the runs out over N processes with identical
+    results — the fine-grained paper sweep is ~1400 isolated runs.
     """
     profiles = list(clients) if clients is not None else figure2_clients()
     case = TestCaseConfig(name="figure2",
                           kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
                           sweep=SweepSpec.range(0, stop_ms, step_ms))
     runner = TestRunner(profiles, [case], seed=seed)
-    results = runner.run()
+    results = runner.run(workers=workers)
     series: List[Figure2Series] = []
     for profile in profiles:
         entry = Figure2Series(client=profile.full_name,
@@ -114,11 +117,12 @@ class Figure5Series:
 
 def figure5_attempts(clients: Sequence[ClientProfile],
                      addresses_per_family: int = 10,
-                     seed: int = 0) -> List[Figure5Series]:
+                     seed: int = 0,
+                     workers: Optional[int] = None) -> List[Figure5Series]:
     """Run the address-selection case and extract attempt sequences."""
     case = address_selection_case(addresses_per_family)
     runner = TestRunner(list(clients), [case], seed=seed)
-    results = runner.run()
+    results = runner.run(workers=workers)
     series = []
     for profile in clients:
         record = results.for_client(profile.full_name)[0]

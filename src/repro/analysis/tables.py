@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..clients.profile import ClientProfile
 from ..clients.registry import table2_clients
 from ..core.params import (HEParams, RFC_PARAMETER_SETS)
+from ..fanout import map_maybe_parallel
 from ..resolvers.models import LOCAL_RESOLVERS
 from ..resolvers.open_resolvers import (OPEN_RESOLVERS, OpenResolverService,
                                         evaluated_services)
@@ -165,17 +166,31 @@ def evaluate_client_features(profile: ClientProfile, seed: int = 0
     return row
 
 
+def _evaluate_features_task(payload: "Tuple[ClientProfile, int]"
+                            ) -> Table2Row:
+    """Process-pool entry point: evaluate one client's feature row."""
+    profile, seed = payload
+    return evaluate_client_features(profile, seed=seed)
+
+
 def table2_features(seed: int = 0,
                     web_campaign: Optional[CampaignResult] = None,
-                    clients: Optional[Sequence[ClientProfile]] = None
-                    ) -> List[Table2Row]:
-    """The full Table 2: local features + web consistency validation."""
+                    clients: Optional[Sequence[ClientProfile]] = None,
+                    workers: Optional[int] = None) -> List[Table2Row]:
+    """The full Table 2: local features + web consistency validation.
+
+    ``workers=N`` evaluates the client profiles over N processes; rows
+    are identical to the serial path (each profile's campaign is fully
+    seeded by its own coordinates) and stay in profile order.
+    """
     rows: List[Table2Row] = []
     profiles = list(clients) if clients is not None else table2_clients()
     aggregates = (web_campaign.by_browser() if web_campaign is not None
                   else {})
-    for profile in profiles:
-        row = evaluate_client_features(profile, seed=seed)
+    base_rows = map_maybe_parallel(
+        _evaluate_features_task,
+        [(profile, seed) for profile in profiles], workers)
+    for profile, row in zip(profiles, base_rows):
         if not profile.supports_local_tests:
             # Mobile rows: engine-level knowledge only (footnote 1).
             row.prefers_ipv6 = True
@@ -264,9 +279,47 @@ def _aaaa_mark_from_campaign(campaign: ResolverCampaignResult,
     return "AAAA after IPv4 use"
 
 
+def _measure_resolver_subject(
+        payload: "Tuple[str, object, int, int, int, List[int]]"
+        ) -> Table3Row:
+    """Share + shaped-delay campaigns for one resolver subject.
+
+    Top-level so process pools can pickle it; each call builds its own
+    testbeds, so subjects parallelize with no shared state.
+    """
+    from dataclasses import replace as dc_replace
+
+    name, behavior, seed, share_repetitions, delay_repetitions, grid = payload
+    share_campaign = run_resolver_campaign(
+        behavior, delays_ms=[0], repetitions=share_repetitions,
+        seed=seed)
+    share = share_campaign.ipv6_share
+    packets = share_campaign.max_v6_packets
+    max_delay: Optional[int] = None
+    if share and share > 0:
+        forced = dc_replace(behavior, v6_preference=1.0)
+        delay_campaign = run_resolver_campaign(
+            forced, delays_ms=grid, repetitions=delay_repetitions,
+            seed=seed + 1)
+        packets = max(packets, delay_campaign.max_v6_packets)
+        if not behavior.parallel_families:
+            # Parallel-family services (DNS0.EU) make the fallback
+            # delay unmeasurable — the paper's footnote 1.
+            max_delay = delay_campaign.reliable_max_ipv6_delay_ms()
+    return Table3Row(
+        service=name,
+        aaaa_query=_aaaa_mark_from_campaign(
+            share_campaign, behavior.glue_plan.name),
+        ipv6_share=share,
+        max_ipv6_delay_ms=max_delay,
+        ipv6_packets=packets if packets else None,
+        campaign=share_campaign)
+
+
 def table3_resolvers(seed: int = 0, share_repetitions: int = 32,
                      delay_repetitions: int = 3,
-                     delays_ms: Optional[List[int]] = None
+                     delays_ms: Optional[List[int]] = None,
+                     workers: Optional[int] = None
                      ) -> List[Table3Row]:
     """Measure every local daemon and evaluated open service.
 
@@ -277,42 +330,19 @@ def table3_resolvers(seed: int = 0, share_repetitions: int = 32,
     * a *delay* campaign over the shaped-delay grid with the IPv6
       address forced as first choice, measuring the reliable fallback
       point and the packet counts.
-    """
-    from dataclasses import replace as dc_replace
 
+    ``workers=N`` measures subjects over N processes; every subject is
+    seeded independently, so rows match the serial path exactly.
+    """
     grid = [d for d in (delays_ms if delays_ms is not None
                         else RESOLVER_DELAY_GRID) if d > 0]
-    rows: List[Table3Row] = []
     subjects: List[Tuple[str, object]] = [
         (behavior.name, behavior) for behavior in LOCAL_RESOLVERS]
     subjects += [(service.service, service.behavior)
                  for service in evaluated_services()]
-    for name, behavior in subjects:
-        share_campaign = run_resolver_campaign(
-            behavior, delays_ms=[0], repetitions=share_repetitions,
-            seed=seed)
-        share = share_campaign.ipv6_share
-        packets = share_campaign.max_v6_packets
-        max_delay: Optional[int] = None
-        if share and share > 0:
-            forced = dc_replace(behavior, v6_preference=1.0)
-            delay_campaign = run_resolver_campaign(
-                forced, delays_ms=grid, repetitions=delay_repetitions,
-                seed=seed + 1)
-            packets = max(packets, delay_campaign.max_v6_packets)
-            if not behavior.parallel_families:
-                # Parallel-family services (DNS0.EU) make the fallback
-                # delay unmeasurable — the paper's footnote 1.
-                max_delay = delay_campaign.reliable_max_ipv6_delay_ms()
-        rows.append(Table3Row(
-            service=name,
-            aaaa_query=_aaaa_mark_from_campaign(
-                share_campaign, behavior.glue_plan.name),
-            ipv6_share=share,
-            max_ipv6_delay_ms=max_delay,
-            ipv6_packets=packets if packets else None,
-            campaign=share_campaign))
-    return rows
+    payloads = [(name, behavior, seed, share_repetitions,
+                 delay_repetitions, grid) for name, behavior in subjects]
+    return map_maybe_parallel(_measure_resolver_subject, payloads, workers)
 
 
 def render_table3(rows: List[Table3Row]) -> str:

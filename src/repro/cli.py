@@ -6,6 +6,7 @@ Examples::
     python -m repro table2 --seed 1
     python -m repro table3 --repetitions 64
     python -m repro figure2 --step 25
+    python -m repro --workers 8 figure2 --step 5
     python -m repro figure5
     python -m repro delayed-a
     python -m repro trace --delay-ms 400
@@ -40,8 +41,9 @@ def _cmd_table2(args: argparse.Namespace) -> None:
             UAEntry("Windows", "10", "Edge", "130.0.0"),
             UAEntry("Linux", "", "Firefox", "132.0"),
             UAEntry("Mac OS X", "10.15.7", "Safari", "17.6"),
-        ))
-    rows = table2_features(seed=args.seed, web_campaign=web)
+        ), workers=args.workers)
+    rows = table2_features(seed=args.seed, web_campaign=web,
+                           workers=args.workers)
     print(render_table2(rows))
 
 
@@ -50,7 +52,8 @@ def _cmd_table3(args: argparse.Namespace) -> None:
 
     rows = table3_resolvers(seed=args.seed,
                             share_repetitions=args.repetitions,
-                            delay_repetitions=max(3, args.repetitions // 20))
+                            delay_repetitions=max(3, args.repetitions // 20),
+                            workers=args.workers)
     print(render_table3(rows))
 
 
@@ -65,7 +68,7 @@ def _cmd_table5(args: argparse.Namespace) -> None:
     from .webtool import TABLE5_MATRIX, WebCampaign
 
     campaign = WebCampaign(seed=args.seed, repetitions=args.repetitions)
-    result = campaign.run(entries=TABLE5_MATRIX)
+    result = campaign.run(entries=TABLE5_MATRIX, workers=args.workers)
     headers, rows = table5_matrix(result)
     print(render_table(headers, rows,
                        title="Table 5: web-measured OS/browser matrix"))
@@ -77,7 +80,7 @@ def _cmd_figure2(args: argparse.Namespace) -> None:
     from .analysis import figure2_sweep, render_figure2
 
     series = figure2_sweep(step_ms=args.step, stop_ms=args.stop,
-                           seed=args.seed)
+                           seed=args.seed, workers=args.workers)
     print(render_figure2(series))
 
 
@@ -101,7 +104,8 @@ def _cmd_figure5(args: argparse.Namespace) -> None:
         ("wget", "1.21.3"), ("curl", "7.88.1"), ("Safari", "17.6"),
         ("Firefox", "132.0"), ("Edge", "130.0"), ("Chromium", "130.0"),
         ("Chrome", "130.0"))]
-    series = figure5_attempts(clients, seed=args.seed)
+    series = figure5_attempts(clients, seed=args.seed,
+                              workers=args.workers)
     print(render_figure5(series))
 
 
@@ -144,6 +148,13 @@ def _cmd_trace(args: argparse.Namespace) -> None:
           f"time to connect {result.time_to_connect * 1000:.1f} ms")
 
 
+def positive_int(value: str) -> int:
+    workers = int(value)
+    if workers < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1: {value}")
+    return workers
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -151,6 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
                     "tables and figures from simulation.")
     parser.add_argument("--seed", type=int, default=0,
                         help="campaign seed (default 0)")
+    parser.add_argument("--workers", type=positive_int, default=None,
+                        help="fan campaign runs out over N processes "
+                             "(default: serial; results are identical; "
+                             "goes before the subcommand)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="HE parameter comparison"

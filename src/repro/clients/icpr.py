@@ -22,6 +22,7 @@ from ..core.engine import HappyEyeballsEngine, HappyEyeballsError, HEResult
 from ..core.events import HETrace
 from ..core.params import HEParams, InterlaceStrategy, ResolutionPolicy
 from ..dns.stub import StubResolver
+from ..seeding import stable_run_seed
 from ..simnet.addr import IPAddress
 from ..simnet.host import Host
 from ..simnet.process import Process
@@ -199,7 +200,7 @@ def measure_egress_cad(operator: EgressOperatorProfile,
 
     outcomes = {}
     for delay_ms in delays_ms:
-        testbed = LocalTestbed(seed=hash((seed, delay_ms)) & 0x7FFFFFFF)
+        testbed = LocalTestbed(seed=stable_run_seed(seed, delay_ms))
         testbed.delay_ipv6_tcp(delay_ms / 1000.0)
         egress = ICPREgressNode(testbed.client, operator,
                                 testbed.resolver_addresses[:1])

@@ -1,0 +1,36 @@
+"""Shared process-pool fan-out for embarrassingly parallel campaigns.
+
+Three campaign entry points (Table 2 client evaluation, Table 3
+resolver subjects, web campaign entries) share the same shape: a list
+of picklable payloads, a top-level worker function, and the guarantee
+that results are a pure function of each payload — so parallel
+execution returns exactly the serial result, in payload order.  This
+helper keeps the validation and pool plumbing in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+Payload = TypeVar("Payload")
+Result = TypeVar("Result")
+
+
+def map_maybe_parallel(fn: "Callable[[Payload], Result]",
+                       payloads: "Sequence[Payload]",
+                       workers: Optional[int]) -> "List[Result]":
+    """``[fn(p) for p in payloads]``, optionally over worker processes.
+
+    ``workers=None`` or ``1`` runs serially; ``workers=N`` maps over a
+    ``ProcessPoolExecutor`` (``fn`` must be a top-level function and
+    payloads picklable).  Results always come back in payload order,
+    so both paths are interchangeable.
+    """
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1: {workers}")
+    if workers is not None and workers > 1 and len(payloads) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, payloads))
+    return [fn(payload) for payload in payloads]

@@ -23,6 +23,7 @@ from ..dns.nsselect import ResolverBehavior
 from ..dns.rdata import RdataType, TXT
 from ..dns.recursive import RecursiveResolver
 from ..dns.zone import Zone
+from ..seeding import stable_run_seed
 from ..simnet.addr import Family
 from ..simnet.netem import NetemFilter, NetemRule, NetemSpec
 from ..simnet.network import Network
@@ -280,8 +281,8 @@ def run_resolver_campaign(behavior: ResolverBehavior,
     zone_index = 0
     for delay_ms in delays_ms:
         for repetition in range(repetitions):
-            run_seed = hash((seed, behavior.name, delay_ms,
-                             repetition)) & 0x7FFFFFFF
+            run_seed = stable_run_seed(seed, behavior.name, delay_ms,
+                                       repetition)
             testbed = ResolverTestbed(behavior, seed=run_seed,
                                       delay_ms=delay_ms,
                                       zone_index=zone_index)

@@ -1,0 +1,32 @@
+"""Stable per-run seed derivation.
+
+Reproducibility demands that the seed of every isolated test run be a
+pure function of the campaign seed and the run coordinates.  Python's
+built-in ``hash()`` is salted by ``PYTHONHASHSEED`` for strings, so a
+tuple hash differs between interpreter invocations — and between pool
+workers started with ``spawn`` — silently breaking replay.  Every run
+seed in the codebase therefore goes through :func:`stable_run_seed`,
+which digests a canonical rendering of the coordinates instead.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Union
+
+SeedPart = Union[int, float, str, bool, None]
+
+#: Run seeds are 31-bit so they fit any RNG seed slot comfortably.
+_SEED_MASK = 0x7FFFFFFF
+
+
+def stable_run_seed(*parts: SeedPart) -> int:
+    """A 31-bit seed digested from the canonical form of ``parts``.
+
+    Unlike ``hash(tuple(...))`` the result is identical across
+    interpreter invocations, ``PYTHONHASHSEED`` values, and process
+    pool workers, so campaigns replay exactly no matter where each run
+    executes.
+    """
+    canonical = "\x1f".join(f"{type(p).__name__}:{p!r}" for p in parts)
+    return zlib.crc32(canonical.encode("utf-8")) & _SEED_MASK

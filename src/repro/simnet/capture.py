@@ -28,9 +28,13 @@ class Direction(enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CapturedFrame:
-    """One timestamped frame in a capture."""
+    """One timestamped frame in a capture.
+
+    ``slots=True`` matters: captures record every frame of every run,
+    so per-frame ``__dict__`` allocation was measurable campaign-wide.
+    """
 
     timestamp: float
     direction: Direction

@@ -50,6 +50,9 @@ class Simulator:
         Starting value of the simulated clock, in seconds.
     """
 
+    __slots__ = ("_clock", "_queue", "_sequence", "_rng", "_seed",
+                 "_unhandled")
+
     def __init__(self, seed: int = 0, start: float = 0.0) -> None:
         self._clock = SimClock(start)
         self._queue: List[Tuple[float, int, ScheduledCall]] = []
@@ -138,16 +141,26 @@ class Simulator:
         if until is not None and until < self._clock.now:
             raise ValueError(
                 f"until={until!r} is in the past (now={self._clock.now!r})")
-        while True:
-            upcoming = self.peek()
-            if upcoming is None:
+        # Hot loop: pop directly instead of peek()+step(), which would
+        # scan past cancelled entries twice per executed callback.
+        queue = self._queue
+        clock = self._clock
+        pop = heapq.heappop
+        while queue:
+            when, _seq, call = queue[0]
+            if call.cancelled:
+                pop(queue)
+                continue
+            if until is not None and when > until:
                 break
-            if until is not None and upcoming > until:
-                break
-            self.step()
+            pop(queue)
+            clock.advance_to(when)
+            call.fn(*call.args)
+            if self._unhandled:
+                self._raise_unhandled()
         if until is not None:
-            self._clock.advance_to(until)
-        return self._clock.now
+            clock.advance_to(until)
+        return clock.now
 
     def run_until(self, event: Event, limit: Optional[float] = None) -> Any:
         """Run until ``event`` triggers; returns its value.

@@ -9,26 +9,29 @@ isolation per run.
 from .config import (SweepSpec, TestCaseConfig, TestCaseKind,
                      address_selection_case, cad_case, delayed_a_case,
                      rd_case)
-from .inference import (aaaa_before_a, attempt_sequence,
-                        attempts_per_family, dns_observations,
-                        established_family, infer_cad,
+from .inference import (CaptureObservation, aaaa_before_a,
+                        attempt_sequence, attempts_per_family,
+                        dns_observations, established_family, infer_cad,
                         infer_resolution_delay, query_order,
                         time_to_first_attempt)
 from .modules import (AddressSelectionModule, CaptureModule, DnsDelayModule,
                       NetemModule, SetupModule, modules_for)
+from .parallel import CampaignExecutor, RunSpec, enumerate_specs
 from .runner import ResultSet, RunRecord, TestRunner
 from .spec import CampaignSpec, SpecError, run_campaign_spec
 from .topology import (EchoExchange, EchoWebServer, LocalTestbed,
                        TEST_DOMAIN, WEB_PORT)
 
 __all__ = [
-    "AddressSelectionModule", "CampaignSpec", "CaptureModule",
-    "DnsDelayModule", "SpecError", "run_campaign_spec",
+    "AddressSelectionModule", "CampaignExecutor", "CampaignSpec",
+    "CaptureModule", "CaptureObservation", "DnsDelayModule", "RunSpec",
+    "SpecError", "run_campaign_spec",
     "EchoExchange", "EchoWebServer", "LocalTestbed", "NetemModule",
     "ResultSet", "RunRecord", "SetupModule", "SweepSpec", "TEST_DOMAIN",
     "TestCaseConfig", "TestCaseKind", "TestRunner", "WEB_PORT",
     "aaaa_before_a", "address_selection_case", "attempt_sequence",
     "attempts_per_family", "cad_case", "delayed_a_case", "dns_observations",
-    "established_family", "infer_cad", "infer_resolution_delay",
-    "modules_for", "query_order", "rd_case", "time_to_first_attempt",
+    "enumerate_specs", "established_family", "infer_cad",
+    "infer_resolution_delay", "modules_for", "query_order", "rd_case",
+    "time_to_first_attempt",
 ]

@@ -5,77 +5,26 @@ packet and the first IPv4 packet observed in the client's packet
 capture."  These helpers operate purely on :class:`PacketCapture`
 contents, treating the client as the black box the methodology demands
 — nothing here looks at engine internals.
+
+:class:`CaptureObservation` is the hot path: it walks a capture exactly
+once, decodes each DNS payload at most once, and derives every field
+the runner records.  The historical per-question functions
+(:func:`infer_cad`, :func:`established_family`, …) remain as thin
+wrappers over it, so call sites that only need one answer keep working
+unchanged — but anything observing several fields of the same capture
+should build one observation and read them all from it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..simnet.addr import Family
 from ..simnet.capture import Direction, PacketCapture
 from ..simnet.packet import Protocol
 from ..dns.message import DNSMessage
 from ..dns.rdata import RdataType
-
-
-def infer_cad(capture: PacketCapture) -> Optional[float]:
-    """CAD = t(first IPv4 attempt) − t(first IPv6 attempt).
-
-    ``None`` when either family never attempted (no fallback observed —
-    wget, or the delay was below the client's CAD).
-    """
-    first_v6 = capture.first_connection_attempt(Family.V6)
-    first_v4 = capture.first_connection_attempt(Family.V4)
-    if first_v6 is None or first_v4 is None:
-        return None
-    return first_v4.timestamp - first_v6.timestamp
-
-
-def established_family(capture: PacketCapture) -> Optional[Family]:
-    """Family of the first completed handshake seen in the capture."""
-    for frame in capture:
-        packet = frame.packet
-        if (frame.direction is Direction.IN and packet.is_syn_ack):
-            return packet.family
-        if (frame.direction is Direction.IN
-                and packet.protocol is Protocol.QUIC
-                and packet.quic_type is not None
-                and packet.quic_type.value == "handshake"):
-            return packet.family
-    return None
-
-
-def attempt_sequence(capture: PacketCapture) -> List[Tuple[float, Family]]:
-    """(timestamp, family) of each distinct connection attempt.
-
-    Retransmissions to the same (address, port) pair are collapsed so
-    the sequence matches Figure 5's "n-th connection attempt" axis.
-    """
-    seen = set()
-    sequence: List[Tuple[float, Family]] = []
-    for frame in capture.connection_attempts():
-        packet = frame.packet
-        key = (packet.dst, packet.dport, packet.sport)
-        if key in seen:
-            continue
-        seen.add(key)
-        sequence.append((frame.timestamp, packet.family))
-    return sequence
-
-
-def attempts_per_family(capture: PacketCapture) -> "dict[Family, int]":
-    """How many distinct addresses were attempted per family (Table 2)."""
-    counts = {Family.V4: 0, Family.V6: 0}
-    seen = set()
-    for frame in capture.connection_attempts():
-        packet = frame.packet
-        key = (packet.dst, packet.dport)
-        if key in seen:
-            continue
-        seen.add(key)
-        counts[packet.family] += 1
-    return counts
 
 
 @dataclass(frozen=True)
@@ -93,77 +42,231 @@ class DnsObservation:
         return self.response_at - self.query_at
 
 
+class CaptureObservation:
+    """Everything the testbed infers from one capture, in a single pass.
+
+    The legacy helpers each re-walked the full frame list and the DNS
+    ones re-decoded every UDP payload, so observing one run cost ~7
+    scans and ~4 decodes per DNS packet.  This class performs one walk
+    at construction time, decoding each DNS payload at most once, and
+    exposes all derived values as attributes.
+
+    ``dns_payloads_decoded`` counts decode attempts — tests use it to
+    assert the single-decode guarantee.  ``decode_dns=False`` skips
+    DNS decoding entirely for callers that only need connection-level
+    fields (the DNS-derived attributes then read as empty/None).
+    """
+
+    __slots__ = (
+        "established_family", "first_attempt_v4_at", "first_attempt_v6_at",
+        "first_attempt_at", "attempt_sequence", "attempts_per_family",
+        "dns_observations", "dns_payloads_decoded",
+    )
+
+    def __init__(self, capture: PacketCapture,
+                 decode_dns: bool = True) -> None:
+        established: Optional[Family] = None
+        first_v4: Optional[float] = None
+        first_v6: Optional[float] = None
+        first_any: Optional[float] = None
+        sequence: List[Tuple[float, Family]] = []
+        seen_attempts = set()
+        per_family = {Family.V4: 0, Family.V6: 0}
+        seen_addresses = set()
+        queries: Dict[Tuple[int, RdataType], float] = {}
+        order: List[Tuple[int, RdataType, float]] = []
+        responses: Dict[Tuple[int, RdataType], float] = {}
+        decodes = 0
+
+        for frame in capture:
+            packet = frame.packet
+            direction = frame.direction
+            if direction is Direction.IN:
+                if established is None and (
+                        packet.is_syn_ack
+                        or (packet.protocol is Protocol.QUIC
+                            and packet.quic_type is not None
+                            and packet.quic_type.value == "handshake")):
+                    established = packet.family
+            elif packet.is_connection_attempt:
+                family = packet.family
+                timestamp = frame.timestamp
+                if first_any is None:
+                    first_any = timestamp
+                if family is Family.V6:
+                    if first_v6 is None:
+                        first_v6 = timestamp
+                elif first_v4 is None:
+                    first_v4 = timestamp
+                key = (packet.dst, packet.dport, packet.sport)
+                if key not in seen_attempts:
+                    seen_attempts.add(key)
+                    sequence.append((timestamp, family))
+                address = (packet.dst, packet.dport)
+                if address not in seen_addresses:
+                    seen_addresses.add(address)
+                    per_family[family] += 1
+            if not decode_dns or packet.protocol is not Protocol.UDP:
+                continue
+            decodes += 1
+            try:
+                message = DNSMessage.decode(packet.payload)
+            except Exception:
+                continue
+            if not message.questions:
+                continue
+            rtype = message.question.rtype
+            if not message.qr and direction is Direction.OUT:
+                key = (message.id, rtype)
+                if key not in queries:
+                    queries[key] = frame.timestamp
+                    order.append((message.id, rtype, frame.timestamp))
+            elif message.qr and direction is Direction.IN:
+                responses.setdefault((message.id, rtype), frame.timestamp)
+
+        self.established_family = established
+        self.first_attempt_v4_at = first_v4
+        self.first_attempt_v6_at = first_v6
+        self.first_attempt_at = first_any
+        self.attempt_sequence = sequence
+        self.attempts_per_family = per_family
+        self.dns_observations = [
+            DnsObservation(rtype=rtype, query_at=sent_at,
+                           response_at=responses.get((message_id, rtype)))
+            for message_id, rtype, sent_at in order]
+        self.dns_payloads_decoded = decodes
+
+    # -- derived values ----------------------------------------------------
+
+    @property
+    def cad(self) -> Optional[float]:
+        """CAD = t(first IPv4 attempt) − t(first IPv6 attempt).
+
+        ``None`` when either family never attempted (no fallback
+        observed — wget, or the delay was below the client's CAD).
+        """
+        if self.first_attempt_v6_at is None or self.first_attempt_v4_at is None:
+            return None
+        return self.first_attempt_v4_at - self.first_attempt_v6_at
+
+    @property
+    def query_order(self) -> List[RdataType]:
+        """Record types in the order their first queries were sent."""
+        return [obs.rtype for obs in self.dns_observations]
+
+    @property
+    def aaaa_first(self) -> Optional[bool]:
+        """Did the AAAA query precede the A query?  None if either absent."""
+        order = self.query_order
+        if RdataType.AAAA not in order or RdataType.A not in order:
+            return None
+        return order.index(RdataType.AAAA) < order.index(RdataType.A)
+
+    @property
+    def resolution_delay(self) -> Optional[float]:
+        """Time from the A response to the first IPv4 connection attempt.
+
+        Meaningful in the RD test case, where the AAAA answer is
+        delayed beyond any sensible RD: a client implementing RFC 8305
+        §3 starts its IPv4 attempt ~RD after the A answer; a client
+        waiting for both answers shows the resolver timeout here
+        instead.
+        """
+        a_response = next((obs.response_at for obs in self.dns_observations
+                           if obs.rtype is RdataType.A
+                           and obs.response_at is not None), None)
+        if a_response is None:
+            return None
+        first_v4 = self.first_attempt_v4_at
+        if first_v4 is None or first_v4 < a_response:
+            return None
+        return first_v4 - a_response
+
+    @property
+    def time_to_first_attempt(self) -> Optional[float]:
+        """Time from the first DNS query to the first connection attempt."""
+        if not self.dns_observations or self.first_attempt_at is None:
+            return None
+        first_query = min(obs.query_at for obs in self.dns_observations)
+        return self.first_attempt_at - first_query
+
+
+# --------------------------------------------------------------------------
+# Legacy per-question helpers — thin wrappers over CaptureObservation.
+# Each builds a fresh observation; prefer one CaptureObservation when
+# reading several fields of the same capture.
+# --------------------------------------------------------------------------
+
+
+def infer_cad(capture: PacketCapture) -> Optional[float]:
+    """CAD = t(first IPv4 attempt) − t(first IPv6 attempt).
+
+    One capture walk, no DNS decoding.
+    """
+    return CaptureObservation(capture, decode_dns=False).cad
+
+
+def established_family(capture: PacketCapture) -> Optional[Family]:
+    """Family of the first completed handshake seen in the capture.
+
+    One capture walk, no DNS decoding.
+    """
+    return CaptureObservation(capture, decode_dns=False).established_family
+
+
+def attempt_sequence(capture: PacketCapture) -> List[Tuple[float, Family]]:
+    """(timestamp, family) of each distinct connection attempt.
+
+    Retransmissions to the same (address, port) pair are collapsed so
+    the sequence matches Figure 5's "n-th connection attempt" axis.
+    One capture walk, no DNS decoding.
+    """
+    return CaptureObservation(capture, decode_dns=False).attempt_sequence
+
+
+def attempts_per_family(capture: PacketCapture) -> "dict[Family, int]":
+    """How many distinct addresses were attempted per family (Table 2).
+
+    One capture walk, no DNS decoding.
+    """
+    return CaptureObservation(capture, decode_dns=False).attempts_per_family
+
+
 def dns_observations(capture: PacketCapture) -> List[DnsObservation]:
-    """Decode DNS traffic in a capture into query/response timings."""
-    queries: dict = {}
-    order: List[Tuple[int, RdataType, float]] = []
-    responses: dict = {}
-    for frame in capture:
-        packet = frame.packet
-        if packet.protocol is not Protocol.UDP:
-            continue
-        try:
-            message = DNSMessage.decode(packet.payload)
-        except Exception:
-            continue
-        if not message.questions:
-            continue
-        rtype = message.question.rtype
-        if not message.qr and frame.direction is Direction.OUT:
-            key = (message.id, rtype)
-            if key not in queries:
-                queries[key] = frame.timestamp
-                order.append((message.id, rtype, frame.timestamp))
-        elif message.qr and frame.direction is Direction.IN:
-            responses.setdefault((message.id, rtype), frame.timestamp)
-    out = []
-    for message_id, rtype, sent_at in order:
-        out.append(DnsObservation(
-            rtype=rtype, query_at=sent_at,
-            response_at=responses.get((message_id, rtype))))
-    return out
+    """Decode DNS traffic in a capture into query/response timings.
+
+    One capture walk, one decode per DNS payload.
+    """
+    return CaptureObservation(capture).dns_observations
 
 
 def query_order(capture: PacketCapture) -> List[RdataType]:
-    """Record types in the order their first queries were sent."""
-    return [obs.rtype for obs in dns_observations(capture)]
+    """Record types in the order their first queries were sent.
+
+    One capture walk, one decode per DNS payload.
+    """
+    return CaptureObservation(capture).query_order
 
 
 def aaaa_before_a(capture: PacketCapture) -> Optional[bool]:
-    """Did the AAAA query precede the A query?  None if either absent."""
-    order = query_order(capture)
-    if RdataType.AAAA not in order or RdataType.A not in order:
-        return None
-    return order.index(RdataType.AAAA) < order.index(RdataType.A)
+    """Did the AAAA query precede the A query?  None if either absent.
+
+    One capture walk, one decode per DNS payload.
+    """
+    return CaptureObservation(capture).aaaa_first
 
 
 def infer_resolution_delay(capture: PacketCapture) -> Optional[float]:
     """Time from the A response to the first IPv4 connection attempt.
 
-    Meaningful in the RD test case, where the AAAA answer is delayed
-    beyond any sensible RD: a client implementing RFC 8305 §3 starts
-    its IPv4 attempt ~RD after the A answer; a client waiting for both
-    answers shows the resolver timeout here instead.
+    One capture walk, one decode per DNS payload.
     """
-    observations = dns_observations(capture)
-    a_response = next((obs.response_at for obs in observations
-                       if obs.rtype is RdataType.A
-                       and obs.response_at is not None), None)
-    if a_response is None:
-        return None
-    first_v4 = capture.first_connection_attempt(Family.V4)
-    if first_v4 is None or first_v4.timestamp < a_response:
-        return None
-    return first_v4.timestamp - a_response
+    return CaptureObservation(capture).resolution_delay
 
 
 def time_to_first_attempt(capture: PacketCapture) -> Optional[float]:
-    """Time from the first DNS query to the first connection attempt."""
-    observations = dns_observations(capture)
-    if not observations:
-        return None
-    first_query = min(obs.query_at for obs in observations)
-    attempts = capture.connection_attempts()
-    if not attempts:
-        return None
-    return attempts[0].timestamp - first_query
+    """Time from the first DNS query to the first connection attempt.
+
+    One capture walk, one decode per DNS payload.
+    """
+    return CaptureObservation(capture).time_to_first_attempt

@@ -15,12 +15,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..clients.base import Client
 from ..clients.profile import ClientProfile
 from ..core.sortlist import HistoryStore
+from ..seeding import stable_run_seed
 from ..simnet.addr import Family
 from ..simnet.capture import PacketCapture
 from .config import TestCaseConfig, TestCaseKind
-from .inference import (aaaa_before_a, attempt_sequence,
-                        attempts_per_family, established_family, infer_cad,
-                        infer_resolution_delay, time_to_first_attempt)
+from .inference import CaptureObservation
 from .modules import AddressSelectionModule, CaptureModule, modules_for
 from .topology import LocalTestbed
 
@@ -110,7 +109,21 @@ class TestRunner:
 
     # -- campaign --------------------------------------------------------------
 
-    def run(self) -> ResultSet:
+    def run(self, workers: Optional[int] = None) -> ResultSet:
+        """Execute the campaign; ``workers=N`` fans runs out over N
+        processes (default: serial, preserving exact current behavior).
+
+        Run seeds are stable digests of the run coordinates, so the
+        parallel path returns records identical to the serial path, in
+        the same deterministic enumeration order.
+        """
+        if workers is not None:
+            if workers < 1:
+                raise ValueError(f"workers must be >= 1: {workers}")
+            if workers > 1:
+                from .parallel import CampaignExecutor
+
+                return CampaignExecutor(self, workers=workers).execute()
         results = ResultSet()
         for case in self.cases:
             for profile in self.clients:
@@ -126,8 +139,8 @@ class TestRunner:
     def run_single(self, case: TestCaseConfig, profile: ClientProfile,
                    value_ms: int, repetition: int = 0) -> RunRecord:
         """One fully isolated test run (fresh testbed + client)."""
-        run_seed = hash((self.seed, case.name, profile.full_name,
-                         value_ms, repetition)) & 0x7FFFFFFF
+        run_seed = stable_run_seed(self.seed, case.name, profile.full_name,
+                                   value_ms, repetition)
         testbed = LocalTestbed(seed=run_seed,
                                resolver_timeout=self.resolver_timeout)
         modules = modules_for(case)
@@ -185,13 +198,18 @@ class TestRunner:
 
     @staticmethod
     def _observe(record: RunRecord, capture: PacketCapture) -> None:
-        """Black-box inference: everything comes from the capture."""
-        record.winning_family = established_family(capture)
-        record.cad_s = infer_cad(capture)
-        record.rd_s = infer_resolution_delay(capture)
-        record.time_to_first_attempt_s = time_to_first_attempt(capture)
-        record.aaaa_first = aaaa_before_a(capture)
-        record.attempts = attempt_sequence(capture)
-        per_family = attempts_per_family(capture)
-        record.attempts_v4 = per_family[Family.V4]
-        record.attempts_v6 = per_family[Family.V6]
+        """Black-box inference: everything comes from the capture.
+
+        One :class:`CaptureObservation` walks the capture once and
+        decodes each DNS payload once; every recorded field derives
+        from that single pass.
+        """
+        observation = CaptureObservation(capture)
+        record.winning_family = observation.established_family
+        record.cad_s = observation.cad
+        record.rd_s = observation.resolution_delay
+        record.time_to_first_attempt_s = observation.time_to_first_attempt
+        record.aaaa_first = observation.aaaa_first
+        record.attempts = observation.attempt_sequence
+        record.attempts_v4 = observation.attempts_per_family[Family.V4]
+        record.attempts_v6 = observation.attempts_per_family[Family.V6]

@@ -110,6 +110,7 @@ class CampaignSpec:
     cases: List[TestCaseConfig]
     seed: int = 0
     resolver_timeout: float = 5.0
+    workers: Optional[int] = None
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
@@ -117,11 +118,13 @@ class CampaignSpec:
             raise SpecError("campaign needs at least one client")
         if "cases" not in data or not data["cases"]:
             raise SpecError("campaign needs at least one test case")
+        workers = data.get("workers")
         return cls(
             clients=[parse_client(c) for c in data["clients"]],
             cases=[parse_case(c) for c in data["cases"]],
             seed=int(data.get("seed", 0)),
             resolver_timeout=float(data.get("resolver_timeout", 5.0)),
+            workers=int(workers) if workers is not None else None,
         )
 
     def build_runner(self) -> TestRunner:
@@ -133,6 +136,14 @@ class CampaignSpec:
             len(case.sweep) * case.repetitions for case in self.cases)
 
 
-def run_campaign_spec(data: Mapping[str, Any]) -> ResultSet:
-    """Parse and execute a campaign specification in one call."""
-    return CampaignSpec.from_dict(data).build_runner().run()
+def run_campaign_spec(data: Mapping[str, Any],
+                      workers: Optional[int] = None) -> ResultSet:
+    """Parse and execute a campaign specification in one call.
+
+    ``workers`` overrides the spec's own ``workers`` stanza; results
+    are identical either way — parallel campaigns replay the serial
+    enumeration order exactly.
+    """
+    spec = CampaignSpec.from_dict(data)
+    effective = workers if workers is not None else spec.workers
+    return spec.build_runner().run(workers=effective)

@@ -14,6 +14,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..clients.profile import ClientProfile
 from ..clients.registry import get_profile
+from ..fanout import map_maybe_parallel
+from ..seeding import stable_run_seed
 from .server import WebToolDeployment
 from .session import NetworkConditions, SessionResult, WebToolSession
 
@@ -155,6 +157,30 @@ class CampaignResult:
         return len(self.sessions)
 
 
+def _run_entry_sessions(
+        payload: "Tuple[UAEntry, int, int, NetworkConditions]"
+        ) -> List[SessionResult]:
+    """Process-pool entry point: all repetitions of one UA entry.
+
+    Each entry gets its own deployment seeded from the campaign seed
+    and the entry label, and explicit session indices — results are a
+    pure function of the payload, independent of worker scheduling.
+    """
+    entry, seed, repetitions, conditions = payload
+    deployment = WebToolDeployment(
+        seed=stable_run_seed(seed, "web-entry", entry.label))
+    profile = profile_for_entry(entry)
+    sessions: List[SessionResult] = []
+    for repetition in range(repetitions):
+        session = WebToolSession(
+            deployment, profile,
+            os_name=f"{entry.os_name} {entry.os_version}".strip(),
+            repetition=repetition, conditions=conditions,
+            session_index=repetition + 1)
+        sessions.append(session.run())
+    return sessions
+
+
 class WebCampaign:
     """Runs sessions for a set of UA entries on one deployment."""
 
@@ -165,16 +191,23 @@ class WebCampaign:
         self.conditions = conditions or NetworkConditions.residential()
 
     def run(self, entries: "Tuple[UAEntry, ...]" = TABLE5_MATRIX,
-            repetitions: Optional[int] = None) -> CampaignResult:
+            repetitions: Optional[int] = None,
+            workers: Optional[int] = None) -> CampaignResult:
+        """Visit the tool for every entry × repetition.
+
+        Every entry runs on its own deployment seeded from the
+        campaign seed and the entry label, with explicit session
+        indices — the campaign result is a pure function of
+        ``(seed, entries, repetitions, conditions)``, independent of
+        process history.  ``workers=N`` fans entries out over N
+        processes and returns *identical* results in entry order.
+        """
         result = CampaignResult()
-        deployment = WebToolDeployment(seed=self.seed)
         reps = repetitions if repetitions is not None else self.repetitions
-        for entry in entries:
-            profile = profile_for_entry(entry)
-            for repetition in range(reps):
-                session = WebToolSession(
-                    deployment, profile,
-                    os_name=f"{entry.os_name} {entry.os_version}".strip(),
-                    repetition=repetition, conditions=self.conditions)
-                result.add(session.run())
+        payloads = [(entry, self.seed, reps, self.conditions)
+                    for entry in entries]
+        for sessions in map_maybe_parallel(_run_entry_sessions, payloads,
+                                           workers):
+            for session in sessions:
+                result.add(session)
         return result

@@ -97,13 +97,18 @@ class WebToolSession:
                  profile: ClientProfile,
                  os_name: Optional[str] = None,
                  repetition: int = 0,
-                 conditions: Optional[NetworkConditions] = None) -> None:
+                 conditions: Optional[NetworkConditions] = None,
+                 session_index: Optional[int] = None) -> None:
         self.deployment = deployment
         self.profile = profile
         self.os_name = os_name or profile.os_hint
         self.repetition = repetition
         self.conditions = conditions or NetworkConditions.residential()
-        index = next(_session_counter)
+        # An explicit index makes the session independent of global
+        # construction order — campaigns pass one so results are a
+        # pure function of their configuration, not process history.
+        index = (session_index if session_index is not None
+                 else next(_session_counter))
         self.host = deployment.attach_browser_host(
             f"{index}-{profile.name.lower().replace(' ', '')}")
         self._apply_conditions()

@@ -1,0 +1,43 @@
+"""Parallel web campaigns: identity with serial, determinism, guards."""
+
+import pytest
+
+from repro.webtool import UAEntry, WebCampaign
+
+ENTRIES = (UAEntry("Linux", "", "Chrome", "130.0.0"),
+           UAEntry("Mac OS X", "10.15.7", "Safari", "17.6"),
+           UAEntry("Linux", "", "Firefox", "132.0"))
+
+
+class TestParallelWebCampaign:
+    def test_serial_and_parallel_sessions_identical(self):
+        campaign = WebCampaign(seed=7, repetitions=3)
+        serial = campaign.run(entries=ENTRIES)
+        parallel = campaign.run(entries=ENTRIES, workers=2)
+        assert serial.sessions == parallel.sessions
+
+    def test_independent_of_process_history(self):
+        """Re-running the same campaign in one process must not drift."""
+        campaign = WebCampaign(seed=8, repetitions=2)
+        first = campaign.run(entries=ENTRIES)
+        second = campaign.run(entries=ENTRIES)
+        assert first.sessions == second.sessions
+
+    def test_rejects_bad_worker_count(self):
+        campaign = WebCampaign(seed=9, repetitions=1)
+        with pytest.raises(ValueError):
+            campaign.run(entries=ENTRIES, workers=0)
+
+
+class TestWorkersValidation:
+    def test_table2_rejects_zero_workers(self):
+        from repro.analysis import table2_features
+
+        with pytest.raises(ValueError):
+            table2_features(workers=0)
+
+    def test_table3_rejects_zero_workers(self):
+        from repro.analysis import table3_resolvers
+
+        with pytest.raises(ValueError):
+            table3_resolvers(workers=-1)
