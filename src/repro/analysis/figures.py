@@ -16,7 +16,9 @@ from ..clients.registry import figure2_clients
 from ..simnet.addr import Family
 from ..testbed.config import (SweepSpec, TestCaseConfig, TestCaseKind,
                               address_selection_case)
-from ..testbed.runner import ResultSet, TestRunner
+from ..testbed.runner import (StreamingResultSet, TestRunner,
+                              series_flap_window)
+from ..testbed.store import CampaignStore
 from ..webtool.session import SessionResult
 from .render import render_family_strip
 
@@ -36,7 +38,8 @@ class Figure2Series:
 
     @property
     def crossover_ms(self) -> Optional[int]:
-        """Largest delay still established via IPv6."""
+        """Largest delay still established via IPv6 (see
+        :attr:`is_monotonic` before trusting it on flapping series)."""
         v6 = [delay for delay, family in self.outcomes
               if family is Family.V6]
         return max(v6) if v6 else None
@@ -47,31 +50,45 @@ class Figure2Series:
                     if family is Family.V4)
         return v4[0] if v4 else None
 
+    @property
+    def is_monotonic(self) -> bool:
+        """False when an IPv4 win sits below an IPv6 win — the series
+        flaps and the crossover is not a single delay."""
+        return series_flap_window(
+            {delay: family for delay, family in self.outcomes
+             if family is not None}) is None
+
 
 def figure2_sweep(clients: Optional[Sequence[ClientProfile]] = None,
                   step_ms: int = 5, stop_ms: int = 400,
                   seed: int = 0,
-                  workers: Optional[int] = None) -> List[Figure2Series]:
+                  workers: Optional[int] = None,
+                  store: Optional[CampaignStore] = None
+                  ) -> List[Figure2Series]:
     """Run the Figure 2 campaign: delay sweep per client version.
 
     The paper sweeps 0–400 ms in 5 ms steps; coarser steps give the
     same crossovers faster (pass ``step_ms=25`` for a quick run).
     ``workers=N`` fans the runs out over N processes with identical
     results — the fine-grained paper sweep is ~1400 isolated runs.
+    ``store`` attaches the incremental campaign store: a re-render
+    with unchanged configuration replays from cache byte-identically.
+
+    Records stream through :class:`StreamingResultSet` — the campaign
+    aggregates incrementally and never materializes the full record
+    list, so run count only costs time, not memory.
     """
     profiles = list(clients) if clients is not None else figure2_clients()
     case = TestCaseConfig(name="figure2",
                           kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
                           sweep=SweepSpec.range(0, stop_ms, step_ms))
-    runner = TestRunner(profiles, [case], seed=seed)
-    results = runner.run(workers=workers)
+    runner = TestRunner(profiles, [case], seed=seed, store=store)
+    aggregate = StreamingResultSet.consume(runner.stream(workers=workers))
     series: List[Figure2Series] = []
     for profile in profiles:
         entry = Figure2Series(client=profile.full_name,
                               label=profile.label)
-        for record in results.for_client(profile.full_name):
-            entry.outcomes.append((record.value_ms, record.winning_family))
-        entry.outcomes.sort()
+        entry.outcomes = aggregate.outcomes(profile.full_name, case.name)
         series.append(entry)
     return series
 
@@ -90,8 +107,15 @@ def render_figure2(series: List[Figure2Series]) -> str:
             [None if family is None else family is Family.V6
              for _, family in entry.outcomes])
         crossover = entry.crossover_ms
-        suffix = (f"  (IPv6 up to {crossover} ms)"
-                  if entry.first_v4_ms is not None else "  (never IPv4)")
+        if not entry.is_monotonic:
+            # Flapping client: an IPv4 win below an IPv6 win.  Surface
+            # it instead of pretending the max IPv6 delay is a crossover.
+            suffix = (f"  (non-monotonic: IPv4 at {entry.first_v4_ms} ms "
+                      f"but IPv6 again at {crossover} ms)")
+        elif entry.first_v4_ms is not None:
+            suffix = f"  (IPv6 up to {crossover} ms)"
+        else:
+            suffix = "  (never IPv4)"
         lines.append(f"{entry.label:{width}}  {strip}{suffix}")
     lines.append("legend: '#' = IPv6 established, '.' = IPv4 established")
     return "\n".join(lines)
@@ -118,18 +142,24 @@ class Figure5Series:
 def figure5_attempts(clients: Sequence[ClientProfile],
                      addresses_per_family: int = 10,
                      seed: int = 0,
-                     workers: Optional[int] = None) -> List[Figure5Series]:
-    """Run the address-selection case and extract attempt sequences."""
+                     workers: Optional[int] = None,
+                     store: Optional[CampaignStore] = None
+                     ) -> List[Figure5Series]:
+    """Run the address-selection case and extract attempt sequences.
+
+    Streams the campaign: only each client's attempt-family list is
+    retained, never the records themselves.
+    """
     case = address_selection_case(addresses_per_family)
-    runner = TestRunner(list(clients), [case], seed=seed)
-    results = runner.run(workers=workers)
-    series = []
-    for profile in clients:
-        record = results.for_client(profile.full_name)[0]
-        series.append(Figure5Series(
-            client=profile.full_name,
-            families=[family for _, family in record.attempts]))
-    return series
+    runner = TestRunner(list(clients), [case], seed=seed, store=store)
+    families_by_client: Dict[str, List[Family]] = {}
+    for record in runner.stream(workers=workers):
+        if record.client not in families_by_client:
+            families_by_client[record.client] = [
+                family for _, family in record.attempts]
+    return [Figure5Series(client=profile.full_name,
+                          families=families_by_client[profile.full_name])
+            for profile in clients]
 
 
 def render_figure5(series: List[Figure5Series],

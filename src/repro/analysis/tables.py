@@ -25,6 +25,7 @@ from ..simnet.addr import Family
 from ..testbed.config import (SweepSpec, TestCaseConfig, TestCaseKind,
                               address_selection_case)
 from ..testbed.runner import ResultSet, RunRecord, TestRunner
+from ..testbed.store import CacheStats, CampaignStore
 from ..webtool.campaign import CampaignResult
 from ..webtool.report import ConsistencyMark, classify_consistency
 
@@ -116,9 +117,16 @@ class Table2Row:
 _TABLE2_CAD_SWEEP = SweepSpec.fixed(0, 150, 250, 350, 400, 1000, 2500)
 
 
-def evaluate_client_features(profile: ClientProfile, seed: int = 0
+def evaluate_client_features(profile: ClientProfile, seed: int = 0,
+                             store: Optional[CampaignStore] = None
                              ) -> Table2Row:
-    """Run the local test cases of §4.1 against one client."""
+    """Run the local test cases of §4.1 against one client.
+
+    Consumes the runner's streaming interface: records are folded into
+    the row as they arrive (only the single RD and address-selection
+    records are kept), so the campaign never materializes a record
+    list.  ``store`` replays unchanged runs from the campaign cache.
+    """
     row = Table2Row(client=profile.full_name)
     if not profile.supports_local_tests:
         return row
@@ -132,22 +140,36 @@ def evaluate_client_features(profile: ClientProfile, seed: int = 0
     selection_case = address_selection_case()
     runner = TestRunner([profile],
                         [cad_case_config, rd_case_config, selection_case],
-                        seed=seed, resolver_timeout=3.0)
-    results = runner.run()
+                        seed=seed, resolver_timeout=3.0, store=store)
 
-    cad_runs = [r for r in results.for_case("t2-cad")]
-    zero_run = next(r for r in cad_runs if r.value_ms == 0)
+    zero_run: Optional[RunRecord] = None
+    fallback_seen = False
+    cads: List[float] = []
+    rd_run: Optional[RunRecord] = None
+    selection_run: Optional[RunRecord] = None
+    for record in runner.stream():
+        if record.case == "t2-cad":
+            if record.value_ms == 0 and zero_run is None:
+                zero_run = record
+            if record.winning_family is Family.V4:
+                fallback_seen = True
+            if record.cad_s is not None:
+                cads.append(record.cad_s)
+        elif record.case == "t2-rd" and rd_run is None:
+            rd_run = record
+        elif record.case == "address-selection" and selection_run is None:
+            selection_run = record
+    assert zero_run is not None and rd_run is not None
+    assert selection_run is not None
+
     row.prefers_ipv6 = zero_run.winning_family is Family.V6
     row.aaaa_first = zero_run.aaaa_first
-    fallbacks = [r for r in cad_runs if r.winning_family is Family.V4]
-    row.cad_implemented = bool(fallbacks)
-    cads = [r.cad_s for r in cad_runs if r.cad_s is not None]
+    row.cad_implemented = fallback_seen
     if cads and row.cad_implemented:
         from statistics import median
 
         row.cad_value_ms = median(cads) * 1000.0
 
-    rd_run = results.for_case("t2-rd")[0]
     # RD implemented: the IPv4 attempt starts well before the delayed
     # AAAA answer (1.5 s) would arrive.
     if rd_run.rd_s is not None:
@@ -157,7 +179,6 @@ def evaluate_client_features(profile: ClientProfile, seed: int = 0
     else:
         row.rd_implemented = False
 
-    selection_run = results.for_case("address-selection")[0]
     row.ipv6_addresses_used = selection_run.attempts_v6
     row.ipv4_addresses_used = selection_run.attempts_v4 or None
     # "Address selection" means more than HEv1's single fallback pair.
@@ -166,17 +187,25 @@ def evaluate_client_features(profile: ClientProfile, seed: int = 0
     return row
 
 
-def _evaluate_features_task(payload: "Tuple[ClientProfile, int]"
-                            ) -> Table2Row:
-    """Process-pool entry point: evaluate one client's feature row."""
-    profile, seed = payload
-    return evaluate_client_features(profile, seed=seed)
+def _evaluate_features_task(
+        payload: "Tuple[ClientProfile, int, Optional[CampaignStore]]"
+        ) -> "Tuple[Table2Row, Optional[CacheStats]]":
+    """Process-pool entry point: evaluate one client's feature row.
+
+    Returns the row plus the task-local cache counters, so the parent
+    can fold worker stats into the campaign total.
+    """
+    profile, seed, store = payload
+    row = evaluate_client_features(profile, seed=seed, store=store)
+    return row, (store.stats if store is not None else None)
 
 
 def table2_features(seed: int = 0,
                     web_campaign: Optional[CampaignResult] = None,
                     clients: Optional[Sequence[ClientProfile]] = None,
-                    workers: Optional[int] = None) -> List[Table2Row]:
+                    workers: Optional[int] = None,
+                    store: Optional[CampaignStore] = None
+                    ) -> List[Table2Row]:
     """The full Table 2: local features + web consistency validation.
 
     ``workers=N`` evaluates the client profiles over N processes; rows
@@ -187,9 +216,18 @@ def table2_features(seed: int = 0,
     profiles = list(clients) if clients is not None else table2_clients()
     aggregates = (web_campaign.by_browser() if web_campaign is not None
                   else {})
-    base_rows = map_maybe_parallel(
-        _evaluate_features_task,
-        [(profile, seed) for profile in profiles], workers)
+    # Each task gets a fresh store handle on the same directory: its
+    # counters start at zero, so the parent can merge them whether the
+    # task ran in-process or in a pool worker.
+    payloads = [(profile, seed,
+                 CampaignStore(store.root) if store is not None else None)
+                for profile in profiles]
+    base_rows = []
+    for row, stats in map_maybe_parallel(_evaluate_features_task,
+                                         payloads, workers):
+        base_rows.append(row)
+        if store is not None and stats is not None:
+            store.stats.merge(stats)
     for profile, row in zip(profiles, base_rows):
         if not profile.supports_local_tests:
             # Mobile rows: engine-level knowledge only (footnote 1).

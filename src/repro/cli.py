@@ -7,6 +7,7 @@ Examples::
     python -m repro table3 --repetitions 64
     python -m repro figure2 --step 25
     python -m repro --workers 8 figure2 --step 5
+    python -m repro --cache-dir ~/.cache/repro figure2 --step 5
     python -m repro figure5
     python -m repro delayed-a
     python -m repro trace --delay-ms 400
@@ -15,8 +16,27 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
+
+
+def _store_from(args: argparse.Namespace):
+    """The campaign store selected by ``--cache-dir`` / ``--no-cache``
+    (or the ``REPRO_CACHE_DIR`` environment default), or None."""
+    if getattr(args, "no_cache", False) or not getattr(args, "cache_dir",
+                                                      None):
+        return None
+    from .testbed.store import CampaignStore
+
+    return CampaignStore(args.cache_dir)
+
+
+def _report_cache(store) -> None:
+    """One summary line per campaign so warm re-renders are visible
+    (and scriptable: CI asserts on the hit counters)."""
+    if store is not None:
+        print(f"[cache] {store.stats.summary()} root={store.root}")
 
 
 def _cmd_table1(args: argparse.Namespace) -> None:
@@ -31,6 +51,7 @@ def _cmd_table2(args: argparse.Namespace) -> None:
     from .analysis import render_table2, table2_features
     from .webtool import UAEntry, WebCampaign
 
+    store = _store_from(args)
     web = None
     if not args.no_web:
         campaign = WebCampaign(seed=args.seed + 1,
@@ -41,10 +62,11 @@ def _cmd_table2(args: argparse.Namespace) -> None:
             UAEntry("Windows", "10", "Edge", "130.0.0"),
             UAEntry("Linux", "", "Firefox", "132.0"),
             UAEntry("Mac OS X", "10.15.7", "Safari", "17.6"),
-        ), workers=args.workers)
+        ), workers=args.workers, store=store)
     rows = table2_features(seed=args.seed, web_campaign=web,
-                           workers=args.workers)
+                           workers=args.workers, store=store)
     print(render_table2(rows))
+    _report_cache(store)
 
 
 def _cmd_table3(args: argparse.Namespace) -> None:
@@ -67,21 +89,27 @@ def _cmd_table5(args: argparse.Namespace) -> None:
     from .analysis import render_table, table5_matrix
     from .webtool import TABLE5_MATRIX, WebCampaign
 
+    store = _store_from(args)
     campaign = WebCampaign(seed=args.seed, repetitions=args.repetitions)
-    result = campaign.run(entries=TABLE5_MATRIX, workers=args.workers)
+    result = campaign.run(entries=TABLE5_MATRIX, workers=args.workers,
+                          store=store)
     headers, rows = table5_matrix(result)
     print(render_table(headers, rows,
                        title="Table 5: web-measured OS/browser matrix"))
     print(f"\n{len(result)} sessions, {result.combinations()} "
           "OS/browser combinations")
+    _report_cache(store)
 
 
 def _cmd_figure2(args: argparse.Namespace) -> None:
     from .analysis import figure2_sweep, render_figure2
 
+    store = _store_from(args)
     series = figure2_sweep(step_ms=args.step, stop_ms=args.stop,
-                           seed=args.seed, workers=args.workers)
+                           seed=args.seed, workers=args.workers,
+                           store=store)
     print(render_figure2(series))
+    _report_cache(store)
 
 
 def _cmd_figure4(args: argparse.Namespace) -> None:
@@ -104,9 +132,11 @@ def _cmd_figure5(args: argparse.Namespace) -> None:
         ("wget", "1.21.3"), ("curl", "7.88.1"), ("Safari", "17.6"),
         ("Firefox", "132.0"), ("Edge", "130.0"), ("Chromium", "130.0"),
         ("Chrome", "130.0"))]
+    store = _store_from(args)
     series = figure5_attempts(clients, seed=args.seed,
-                              workers=args.workers)
+                              workers=args.workers, store=store)
     print(render_figure5(series))
+    _report_cache(store)
 
 
 def _cmd_delayed_a(args: argparse.Namespace) -> None:
@@ -166,6 +196,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fan campaign runs out over N processes "
                              "(default: serial; results are identical; "
                              "goes before the subcommand)")
+    parser.add_argument("--cache-dir", default=os.environ.get(
+                            "REPRO_CACHE_DIR"),
+                        help="incremental campaign store directory: "
+                             "re-renders skip every run whose coordinates "
+                             "and configuration are unchanged, with "
+                             "byte-identical output (default: "
+                             "$REPRO_CACHE_DIR, else no caching)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="run everything fresh even when a cache "
+                             "directory is configured")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="HE parameter comparison"

@@ -1,19 +1,88 @@
 """Shared process-pool fan-out for embarrassingly parallel campaigns.
 
-Three campaign entry points (Table 2 client evaluation, Table 3
-resolver subjects, web campaign entries) share the same shape: a list
-of picklable payloads, a top-level worker function, and the guarantee
-that results are a pure function of each payload — so parallel
-execution returns exactly the serial result, in payload order.  This
-helper keeps the validation and pool plumbing in one place.
+All campaign entry points (Table 2 client evaluation, Table 3 resolver
+subjects, web campaign entries, the figure 2 testbed executor) share
+the same shape: a list of picklable payloads, a top-level worker
+function, and the guarantee that results are a pure function of each
+payload — so parallel execution returns exactly the serial result, in
+payload order.
+
+They also share one **process-global worker pool**.  Spinning up a
+``ProcessPoolExecutor`` costs fork/spawn plus module imports per
+worker; short campaigns used to pay that per entry point (the web
+campaign, then Table 2 features, then a figure sweep — three pools in
+one CLI invocation).  :func:`shared_pool` keeps a single executor
+alive for the process and hands it to every campaign, so pool start-up
+amortizes across entry points and repeated campaigns.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, TypeVar
+import atexit
+
+from typing import (Callable, Iterator, List, Optional, Sequence,
+                    TypeVar)
 
 Payload = TypeVar("Payload")
 Result = TypeVar("Result")
+
+_shared_pool = None
+_shared_pool_workers = 0
+
+
+def shared_pool(workers: int):
+    """The process-global ``ProcessPoolExecutor``, sized for at least
+    ``workers``.
+
+    A campaign asking for more workers than the current pool replaces
+    it with a bigger one; a campaign asking for fewer reuses the
+    existing pool and simply leaves the extra workers idle — idle
+    workers cost nothing, while pool start-up does not.
+    """
+    global _shared_pool, _shared_pool_workers
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1: {workers}")
+    if _shared_pool is None or _shared_pool_workers < workers:
+        from concurrent.futures import ProcessPoolExecutor
+
+        if _shared_pool is not None:
+            _shared_pool.shutdown(wait=True)
+        else:
+            # First pool of the process: make sure it is torn down
+            # cleanly at exit instead of by garbage collection during
+            # interpreter shutdown.
+            atexit.register(shutdown_shared_pool)
+        _shared_pool = ProcessPoolExecutor(max_workers=workers)
+        _shared_pool_workers = workers
+    return _shared_pool
+
+
+def shutdown_shared_pool() -> None:
+    """Tear down the shared pool (tests; or to reclaim the workers)."""
+    global _shared_pool, _shared_pool_workers
+    if _shared_pool is not None:
+        _shared_pool.shutdown(wait=True)
+        _shared_pool = None
+        _shared_pool_workers = 0
+
+
+def shared_map(fn: "Callable[[Payload], Result]",
+               payloads: "Sequence[Payload]",
+               workers: int) -> "Iterator[Result]":
+    """``pool.map`` over the shared pool, in payload order.
+
+    A crashed worker breaks a ``ProcessPoolExecutor`` permanently; the
+    broken pool is discarded here so the *next* campaign starts fresh
+    instead of inheriting the wreck.
+    """
+    from concurrent.futures.process import BrokenProcessPool
+
+    pool = shared_pool(workers)
+    try:
+        yield from pool.map(fn, payloads)
+    except BrokenProcessPool:
+        shutdown_shared_pool()
+        raise
 
 
 def map_maybe_parallel(fn: "Callable[[Payload], Result]",
@@ -21,16 +90,13 @@ def map_maybe_parallel(fn: "Callable[[Payload], Result]",
                        workers: Optional[int]) -> "List[Result]":
     """``[fn(p) for p in payloads]``, optionally over worker processes.
 
-    ``workers=None`` or ``1`` runs serially; ``workers=N`` maps over a
-    ``ProcessPoolExecutor`` (``fn`` must be a top-level function and
+    ``workers=None`` or ``1`` runs serially; ``workers=N`` maps over
+    the shared process pool (``fn`` must be a top-level function and
     payloads picklable).  Results always come back in payload order,
     so both paths are interchangeable.
     """
     if workers is not None and workers < 1:
         raise ValueError(f"workers must be >= 1: {workers}")
     if workers is not None and workers > 1 and len(payloads) > 1:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, payloads))
+        return list(shared_map(fn, payloads, workers))
     return [fn(payload) for payload in payloads]

@@ -180,10 +180,41 @@ class Simulator:
         return event.value
 
     def _raise_unhandled(self) -> None:
-        if self._unhandled:
-            exc = self._unhandled[0]
-            self._unhandled.clear()
-            raise exc
+        """Raise the first unhandled failure, chaining the rest.
+
+        A single callback can strand several failures at once (an event
+        failure fanning out to multiple waiting processes).  Raising
+        only the first and clearing the rest would silently drop the
+        concurrent failures; instead every further exception is linked
+        onto the first one's ``__context__`` chain, so deadlock
+        diagnosis (and pytest tracebacks) sees all of them while the
+        raised type stays exactly what callers already catch.
+        """
+        if not self._unhandled:
+            return
+        pending = self._unhandled
+        self._unhandled = []
+        primary = pending[0]
+        tail = primary
+        seen = {id(primary)}
+        for exc in pending[1:]:
+            if id(exc) in seen:
+                continue
+            # Append at the end of the existing chain; the id-set
+            # guards against pre-existing context cycles.  The walk can
+            # discover ``exc`` already sitting inside the chain (a
+            # reported wrapper whose cause is also reported), so the
+            # duplicate check repeats after the walk — appending then
+            # would create a self-referential __context__ cycle.
+            while (tail.__context__ is not None
+                   and id(tail.__context__) not in seen):
+                tail = tail.__context__
+                seen.add(id(tail))
+            if tail.__context__ is None and id(exc) not in seen:
+                tail.__context__ = exc
+                tail = exc
+                seen.add(id(exc))
+        raise primary
 
     # -- process / event helpers ------------------------------------------
 

@@ -17,21 +17,26 @@ from .inference import (CaptureObservation, aaaa_before_a,
 from .modules import (AddressSelectionModule, CaptureModule, DnsDelayModule,
                       NetemModule, SetupModule, modules_for)
 from .parallel import CampaignExecutor, RunSpec, enumerate_specs
-from .runner import ResultSet, RunRecord, TestRunner
+from .runner import (NonMonotonicSeriesError, ResultSet, RunRecord,
+                     StreamingResultSet, TestRunner, majority_family,
+                     series_flap_window)
 from .spec import CampaignSpec, SpecError, run_campaign_spec
+from .store import CacheStats, CampaignStore, config_digest
 from .topology import (EchoExchange, EchoWebServer, LocalTestbed,
                        TEST_DOMAIN, WEB_PORT)
 
 __all__ = [
-    "AddressSelectionModule", "CampaignExecutor", "CampaignSpec",
-    "CaptureModule", "CaptureObservation", "DnsDelayModule", "RunSpec",
-    "SpecError", "run_campaign_spec",
+    "AddressSelectionModule", "CacheStats", "CampaignExecutor",
+    "CampaignSpec", "CampaignStore", "CaptureModule", "CaptureObservation",
+    "DnsDelayModule", "NonMonotonicSeriesError", "RunSpec",
+    "SpecError", "StreamingResultSet", "run_campaign_spec",
     "EchoExchange", "EchoWebServer", "LocalTestbed", "NetemModule",
     "ResultSet", "RunRecord", "SetupModule", "SweepSpec", "TEST_DOMAIN",
     "TestCaseConfig", "TestCaseKind", "TestRunner", "WEB_PORT",
     "aaaa_before_a", "address_selection_case", "attempt_sequence",
-    "attempts_per_family", "cad_case", "delayed_a_case", "dns_observations",
-    "enumerate_specs", "established_family", "infer_cad",
-    "infer_resolution_delay", "modules_for", "query_order", "rd_case",
+    "attempts_per_family", "cad_case", "config_digest", "delayed_a_case",
+    "dns_observations", "enumerate_specs", "established_family",
+    "infer_cad", "infer_resolution_delay", "majority_family",
+    "modules_for", "query_order", "rd_case", "series_flap_window",
     "time_to_first_attempt",
 ]

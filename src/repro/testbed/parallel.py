@@ -7,18 +7,26 @@ fresh :class:`~repro.testbed.topology.LocalTestbed` seeded by a stable
 digest of its coordinates — so the campaign is embarrassingly
 parallel.  :class:`CampaignExecutor` enumerates the
 ``(case, client, value_ms, repetition)`` run specs in the exact order
-of the serial loop, fans contiguous chunks of them out over a
-``ProcessPoolExecutor`` (each worker builds its own testbeds, so runs
-stay perfectly isolated), and merges the :class:`RunRecord`s back in
-deterministic spec order.  The result is record-for-record identical
-to ``TestRunner.run()`` serial output.
+of the serial loop, fans contiguous chunks of them out over the
+process-global pool from :mod:`repro.fanout` (each worker builds its
+own testbeds, so runs stay perfectly isolated), and merges the
+:class:`RunRecord`s back in deterministic spec order.  The result is
+record-for-record identical to ``TestRunner.run()`` serial output.
+
+With a :class:`~repro.testbed.store.CampaignStore` attached to the
+runner, the executor resolves cache hits in the *parent* process —
+only the misses travel to the pool, and a fully warm campaign never
+touches the pool at all.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from typing import (TYPE_CHECKING, Dict, Iterator, List, Sequence,
+                    Tuple)
+
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+from ..fanout import shared_map
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .runner import ResultSet, RunRecord, TestRunner
@@ -57,7 +65,8 @@ def _execute_chunk(payload: "Tuple[TestRunner, Sequence[RunSpec]]"
 
     The runner arrives pickled (profiles, cases, and knobs are all
     plain frozen dataclasses); every run builds its own testbed, so
-    nothing is shared between runs, let alone between workers.
+    nothing is shared between runs, let alone between workers.  Cache
+    lookups happen in the parent — workers always execute for real.
     """
     runner, specs = payload
     records = []
@@ -80,7 +89,9 @@ class CampaignExecutor:
 
     def chunks(self) -> "List[List[RunSpec]]":
         """Contiguous spec chunks, preserving enumeration order."""
-        specs = enumerate_specs(self.runner)
+        return self._chunked(enumerate_specs(self.runner))
+
+    def _chunked(self, specs: "List[RunSpec]") -> "List[List[RunSpec]]":
         target = max(1, self.workers * _CHUNKS_PER_WORKER)
         size = max(1, -(-len(specs) // target))  # ceil division
         return [specs[i:i + size] for i in range(0, len(specs), size)]
@@ -88,18 +99,85 @@ class CampaignExecutor:
     def execute(self) -> "ResultSet":
         from .runner import ResultSet
 
-        chunks = self.chunks()
         results = ResultSet()
+        for record in self.stream():
+            results.add(record)
+        return results
+
+    def stream(self) -> "Iterator[RunRecord]":
+        """Records in enumeration order; cache hits resolved lazily.
+
+        With a store on the runner, the parent first *plans* with a
+        cheap existence check per spec (no entry is read or decoded
+        yet) and chunks only the apparent misses onto the pool.  During
+        the merge, hits are read one at a time as they are yielded —
+        never materialized in bulk, so warm streaming stays bounded in
+        memory like the serial path.  An entry that planned as a hit
+        but reads back invalid (corrupted meanwhile) falls back to an
+        inline fresh execution.  Fresh records are written back by the
+        parent as they are merged — a single writer, so worker
+        processes never touch the cache.
+        """
+        runner = self.runner
+        specs = enumerate_specs(runner)
+        store = runner.store
+        if store is None:
+            yield from self._execute_pending(specs)
+            return
+        digests: "Dict[Tuple[int, int], str]" = {}
+        keys: "List[str]" = []
+        is_pending: "List[bool]" = []
+        pending: "List[RunSpec]" = []
+        for spec in specs:
+            pair = (spec.case_index, spec.client_index)
+            digest = digests.get(pair)
+            if digest is None:
+                digest = runner.config_digest_for(
+                    runner.cases[spec.case_index],
+                    runner.clients[spec.client_index])
+                digests[pair] = digest
+            key = runner.store_key_for(
+                runner.cases[spec.case_index],
+                runner.clients[spec.client_index],
+                spec.value_ms, spec.repetition, config_digest=digest)
+            keys.append(key)
+            miss = not store.has(key)
+            is_pending.append(miss)
+            if miss:
+                # has() is a stat, not a lookup; count the planned
+                # miss here so parallel totals match the serial path.
+                store.stats.misses += 1
+                pending.append(spec)
+        fresh = self._execute_pending(pending)
+        for index, spec in enumerate(specs):
+            if is_pending[index]:
+                record = next(fresh)
+                store.put_record(keys[index], record)
+            else:
+                record = store.get_record(keys[index])
+                if record is None:
+                    # Planned as a hit, but the entry is gone or
+                    # invalid: execute inline and repair it.
+                    record = runner.run_single(
+                        runner.cases[spec.case_index],
+                        runner.clients[spec.client_index],
+                        spec.value_ms, spec.repetition)
+                    store.put_record(keys[index], record)
+            yield record
+
+    def _execute_pending(self, specs: "List[RunSpec]"
+                         ) -> "Iterator[RunRecord]":
+        """Execute specs in order — over the shared pool when there is
+        enough work to split, serially otherwise (a fully warm
+        campaign has no pending specs and never touches the pool)."""
+        chunks = self._chunked(specs) if specs else []
         if len(chunks) <= 1 or self.workers == 1:
             for chunk in chunks:
-                for record in _execute_chunk((self.runner, chunk)):
-                    results.add(record)
-            return results
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            payloads = [(self.runner, chunk) for chunk in chunks]
-            # map() yields chunk results in submission order, which is
-            # enumeration order — the merge is deterministic by design.
-            for chunk_records in pool.map(_execute_chunk, payloads):
-                for record in chunk_records:
-                    results.add(record)
-        return results
+                yield from _execute_chunk((self.runner, chunk))
+            return
+        payloads = [(self.runner, chunk) for chunk in chunks]
+        # shared_map yields chunk results in submission order, which is
+        # enumeration order — the merge is deterministic by design.
+        for chunk_records in shared_map(_execute_chunk, payloads,
+                                        self.workers):
+            yield from chunk_records

@@ -4,13 +4,26 @@ For every (test case, sweep value, client, repetition) the runner
 builds a *fresh* testbed and client — the simulation equivalent of the
 paper's "drop and create a new container" state reset — executes the
 run, and collects black-box observations from the packet capture.
+
+Campaigns can be consumed three ways:
+
+* :meth:`TestRunner.run` — materialize every record in a
+  :class:`ResultSet` (the historical interface);
+* :meth:`TestRunner.stream` — an iterator of records in deterministic
+  enumeration order, so million-run campaigns never hold every
+  :class:`RunRecord` in memory;
+* either of the above with a :class:`~repro.testbed.store.CampaignStore`
+  attached, in which case runs whose coordinates and configuration are
+  unchanged come back from the content-addressed cache instead of
+  re-executing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from statistics import median
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (Dict, Iterable, Iterator, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 from ..clients.base import Client
 from ..clients.profile import ClientProfile
@@ -21,6 +34,7 @@ from ..simnet.capture import PacketCapture
 from .config import TestCaseConfig, TestCaseKind
 from .inference import CaptureObservation
 from .modules import AddressSelectionModule, CaptureModule, modules_for
+from .store import CampaignStore, config_digest
 from .topology import LocalTestbed
 
 
@@ -46,6 +60,78 @@ class RunRecord:
     duration_s: Optional[float] = None
 
 
+# -- aggregation helpers (shared by ResultSet and StreamingResultSet) ----------
+
+
+class NonMonotonicSeriesError(ValueError):
+    """A family-by-delay series has an IPv4 win *below* an IPv6 win.
+
+    The paper calls such runs "inconsistencies": the client flapped,
+    and reporting a single crossover delay would mask that.  The
+    offending window is exposed via :attr:`flap_window`.
+    """
+
+    def __init__(self, client: str, case: str,
+                 flap_window: "Tuple[int, int]") -> None:
+        self.client = client
+        self.case = case
+        self.flap_window = flap_window
+        super().__init__(
+            f"family-by-delay series for client {client!r}, case {case!r} "
+            f"is non-monotonic: IPv4 established at {flap_window[0]} ms "
+            f"but IPv6 again at {flap_window[1]} ms — the client is "
+            "flapping, so a single crossover delay is undefined")
+
+
+def majority_family(votes: "Mapping[Family, int]") -> Family:
+    """The family winning most repetitions; ties break toward IPv4.
+
+    The tie-break is deterministic and conservative: ambiguous
+    evidence never credits a client with IPv6 reachability.
+    """
+    best = max(votes.values())
+    for family in (Family.V4, Family.V6):
+        if votes.get(family, 0) == best:
+            return family
+    raise ValueError(f"no votes: {dict(votes)!r}")  # pragma: no cover
+
+
+def series_flap_window(series: "Mapping[int, Family]"
+                       ) -> "Optional[Tuple[int, int]]":
+    """``(v4_delay, v6_delay)`` of a non-monotonic pair, or None.
+
+    A series is non-monotonic when some IPv4 outcome sits at a smaller
+    delay than some IPv6 outcome — the smallest such IPv4 delay and
+    the largest such IPv6 delay bound the flapping window.
+    """
+    v4 = [delay for delay, family in series.items() if family is Family.V4]
+    v6 = [delay for delay, family in series.items() if family is Family.V6]
+    if v4 and v6 and min(v4) < max(v6):
+        return (min(v4), max(v6))
+    return None
+
+
+def crossover_from_series(series: "Mapping[int, Family]", client: str,
+                          case: str) -> Optional[int]:
+    """Largest delay still established via IPv6, validated monotone.
+
+    Raises :class:`NonMonotonicSeriesError` when the series flaps —
+    silently taking the max would hide an IPv4 win below an IPv6 win.
+    """
+    flap = series_flap_window(series)
+    if flap is not None:
+        raise NonMonotonicSeriesError(client, case, flap)
+    v6_delays = [delay for delay, family in series.items()
+                 if family is Family.V6]
+    return max(v6_delays) if v6_delays else None
+
+
+def _majority_series(votes: "Mapping[int, Mapping[Family, int]]"
+                     ) -> Dict[int, Family]:
+    return {value_ms: majority_family(per_value)
+            for value_ms, per_value in votes.items() if per_value}
+
+
 @dataclass
 class ResultSet:
     """All runs of a campaign, with the aggregations the paper reports."""
@@ -68,24 +154,122 @@ class ResultSet:
 
     def family_by_delay(self, client: str, case: str
                         ) -> Dict[int, Family]:
-        """delay_ms -> established family (the Figure 2 series)."""
-        out: Dict[int, Family] = {}
+        """delay_ms -> established family (the Figure 2 series).
+
+        With ``repetitions > 1`` each delay aggregates by majority
+        vote across repetitions (ties break toward IPv4), so the
+        series is independent of record order — a last-write-wins
+        dict would silently let the final repetition overwrite all
+        earlier ones.
+        """
+        votes: Dict[int, Dict[Family, int]] = {}
         for record in self.records:
             if (record.client == client and record.case == case
                     and record.winning_family is not None):
-                out[record.value_ms] = record.winning_family
-        return out
+                per_value = votes.setdefault(record.value_ms, {})
+                per_value[record.winning_family] = \
+                    per_value.get(record.winning_family, 0) + 1
+        return _majority_series(votes)
+
+    def is_monotonic(self, client: str, case: str) -> bool:
+        """False when the series has an IPv4 win below an IPv6 win."""
+        return series_flap_window(
+            self.family_by_delay(client, case)) is None
 
     def observed_cad_crossover(self, client: str, case: str
                                ) -> Optional[int]:
-        """Largest delay (ms) still established via IPv6."""
-        series = self.family_by_delay(client, case)
-        v6_delays = [delay for delay, family in series.items()
-                     if family is Family.V6]
-        return max(v6_delays) if v6_delays else None
+        """Largest delay (ms) still established via IPv6.
+
+        Raises :class:`NonMonotonicSeriesError` for flapping clients
+        instead of silently reporting the max IPv6 delay.
+        """
+        return crossover_from_series(
+            self.family_by_delay(client, case), client, case)
 
     def __len__(self) -> int:
         return len(self.records)
+
+
+class StreamingResultSet:
+    """Incremental aggregation over a stream of run records.
+
+    Consumes records one at a time and keeps only aggregates — family
+    votes per (client, case, delay) and CAD samples per client — so a
+    million-run campaign aggregates in memory proportional to its
+    *configuration space*, not its run count.  The aggregation API
+    (:meth:`median_cad`, :meth:`family_by_delay`,
+    :meth:`observed_cad_crossover`) matches :class:`ResultSet` and
+    produces identical values, which the tests enforce.
+    """
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.completed = 0
+        self.errors = 0
+        self._cads: Dict[str, List[float]] = {}
+        self._votes: Dict[Tuple[str, str],
+                          Dict[int, Dict[Optional[Family], int]]] = {}
+
+    @classmethod
+    def consume(cls, records: "Iterable[RunRecord]"
+                ) -> "StreamingResultSet":
+        """Drain ``records`` into a new aggregate, discarding each
+        record as soon as its contribution is tallied."""
+        aggregate = cls()
+        for record in records:
+            aggregate.add(record)
+        return aggregate
+
+    def add(self, record: RunRecord) -> None:
+        self.total += 1
+        if record.completed:
+            self.completed += 1
+        if record.error is not None:
+            self.errors += 1
+        if record.cad_s is not None:
+            self._cads.setdefault(record.client, []).append(record.cad_s)
+        per_case = self._votes.setdefault((record.client, record.case), {})
+        per_value = per_case.setdefault(record.value_ms, {})
+        per_value[record.winning_family] = \
+            per_value.get(record.winning_family, 0) + 1
+
+    def median_cad(self, client: str) -> Optional[float]:
+        values = self._cads.get(client)
+        return median(values) if values else None
+
+    def family_by_delay(self, client: str, case: str
+                        ) -> Dict[int, Family]:
+        """Identical to :meth:`ResultSet.family_by_delay` (majority
+        vote across repetitions, ties toward IPv4)."""
+        votes = self._votes.get((client, case), {})
+        real_votes: Dict[int, Dict[Family, int]] = {}
+        for value_ms, per_value in votes.items():
+            non_null = {family: count for family, count in per_value.items()
+                        if family is not None}
+            if non_null:
+                real_votes[value_ms] = non_null
+        return _majority_series(real_votes)
+
+    def outcomes(self, client: str, case: str
+                 ) -> "List[Tuple[int, Optional[Family]]]":
+        """Sorted ``(delay_ms, majority family or None)`` — the
+        Figure 2 row, including delays where no run established."""
+        votes = self._votes.get((client, case), {})
+        series = self.family_by_delay(client, case)
+        return [(value_ms, series.get(value_ms))
+                for value_ms in sorted(votes)]
+
+    def is_monotonic(self, client: str, case: str) -> bool:
+        return series_flap_window(
+            self.family_by_delay(client, case)) is None
+
+    def observed_cad_crossover(self, client: str, case: str
+                               ) -> Optional[int]:
+        return crossover_from_series(
+            self.family_by_delay(client, case), client, case)
+
+    def __len__(self) -> int:
+        return self.total
 
 
 class TestRunner:
@@ -96,7 +280,8 @@ class TestRunner:
     def __init__(self, clients: Sequence[ClientProfile],
                  cases: Sequence[TestCaseConfig], seed: int = 0,
                  resolver_timeout: float = 5.0,
-                 hev3_flag: bool = False) -> None:
+                 hev3_flag: bool = False,
+                 store: Optional[CampaignStore] = None) -> None:
         if not clients:
             raise ValueError("runner needs at least one client profile")
         if not cases:
@@ -106,6 +291,7 @@ class TestRunner:
         self.seed = seed
         self.resolver_timeout = resolver_timeout
         self.hev3_flag = hev3_flag
+        self.store = store
 
     # -- campaign --------------------------------------------------------------
 
@@ -115,7 +301,23 @@ class TestRunner:
 
         Run seeds are stable digests of the run coordinates, so the
         parallel path returns records identical to the serial path, in
-        the same deterministic enumeration order.
+        the same deterministic enumeration order.  With a ``store``
+        attached, unchanged runs come back from the cache —
+        byte-identical to fresh execution.
+        """
+        results = ResultSet()
+        for record in self.stream(workers=workers):
+            results.add(record)
+        return results
+
+    def stream(self, workers: Optional[int] = None
+               ) -> "Iterator[RunRecord]":
+        """The campaign as an iterator, in enumeration order.
+
+        The streaming interface never materializes the full record
+        list: consumers aggregate incrementally (see
+        :class:`StreamingResultSet`), so arbitrarily large campaigns
+        run in bounded memory.
         """
         if workers is not None:
             if workers < 1:
@@ -123,24 +325,65 @@ class TestRunner:
             if workers > 1:
                 from .parallel import CampaignExecutor
 
-                return CampaignExecutor(self, workers=workers).execute()
-        results = ResultSet()
+                return CampaignExecutor(self, workers=workers).stream()
+        return self._stream_serial()
+
+    def _stream_serial(self) -> "Iterator[RunRecord]":
         for case in self.cases:
             for profile in self.clients:
+                digest = self.config_digest_for(case, profile)
                 for value_ms in case.sweep:
                     for repetition in range(case.repetitions):
-                        record = self.run_single(case, profile, value_ms,
-                                                 repetition)
-                        results.add(record)
-        return results
+                        yield self.run_cached(case, profile, value_ms,
+                                              repetition,
+                                              config_digest=digest)
+
+    # -- caching ------------------------------------------------------------------
+
+    def run_seed_for(self, case: TestCaseConfig, profile: ClientProfile,
+                     value_ms: int, repetition: int) -> int:
+        """The stable seed of one run — a pure function of campaign
+        seed and run coordinates (see :mod:`repro.seeding`)."""
+        return stable_run_seed(self.seed, case.name, profile.full_name,
+                               value_ms, repetition)
+
+    def config_digest_for(self, case: TestCaseConfig,
+                          profile: ClientProfile) -> str:
+        """Content digest of everything configuration-shaped that can
+        influence a run: the full case and profile dataclasses plus
+        the runner-level knobs.  Any field change misses the cache."""
+        return config_digest(case, profile, self.resolver_timeout,
+                             self.hev3_flag)
+
+    def store_key_for(self, case: TestCaseConfig, profile: ClientProfile,
+                      value_ms: int, repetition: int,
+                      config_digest: Optional[str] = None) -> str:
+        digest = (config_digest if config_digest is not None
+                  else self.config_digest_for(case, profile))
+        run_seed = self.run_seed_for(case, profile, value_ms, repetition)
+        return CampaignStore.key(run_seed, digest, value_ms, repetition)
+
+    def run_cached(self, case: TestCaseConfig, profile: ClientProfile,
+                   value_ms: int, repetition: int = 0,
+                   config_digest: Optional[str] = None) -> RunRecord:
+        """:meth:`run_single` through the store: cache hits skip
+        execution entirely; misses execute and populate the store."""
+        if self.store is None:
+            return self.run_single(case, profile, value_ms, repetition)
+        key = self.store_key_for(case, profile, value_ms, repetition,
+                                 config_digest)
+        record = self.store.get_record(key)
+        if record is None:
+            record = self.run_single(case, profile, value_ms, repetition)
+            self.store.put_record(key, record)
+        return record
 
     # -- one run ------------------------------------------------------------------
 
     def run_single(self, case: TestCaseConfig, profile: ClientProfile,
                    value_ms: int, repetition: int = 0) -> RunRecord:
         """One fully isolated test run (fresh testbed + client)."""
-        run_seed = stable_run_seed(self.seed, case.name, profile.full_name,
-                                   value_ms, repetition)
+        run_seed = self.run_seed_for(case, profile, value_ms, repetition)
         testbed = LocalTestbed(seed=run_seed,
                                resolver_timeout=self.resolver_timeout)
         modules = modules_for(case)

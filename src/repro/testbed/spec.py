@@ -34,6 +34,7 @@ from ..clients.profile import ClientProfile
 from ..clients.registry import get_profile
 from .config import SweepSpec, TestCaseConfig, TestCaseKind
 from .runner import ResultSet, TestRunner
+from .store import CampaignStore
 
 _DEFAULT_SWEEPS: Dict[TestCaseKind, SweepSpec] = {
     TestCaseKind.CONNECTION_ATTEMPT_DELAY: SweepSpec.range(0, 400, 25),
@@ -111,6 +112,7 @@ class CampaignSpec:
     seed: int = 0
     resolver_timeout: float = 5.0
     workers: Optional[int] = None
+    cache_dir: Optional[str] = None
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
@@ -119,17 +121,23 @@ class CampaignSpec:
         if "cases" not in data or not data["cases"]:
             raise SpecError("campaign needs at least one test case")
         workers = data.get("workers")
+        cache_dir = data.get("cache_dir")
         return cls(
             clients=[parse_client(c) for c in data["clients"]],
             cases=[parse_case(c) for c in data["cases"]],
             seed=int(data.get("seed", 0)),
             resolver_timeout=float(data.get("resolver_timeout", 5.0)),
             workers=int(workers) if workers is not None else None,
+            cache_dir=str(cache_dir) if cache_dir is not None else None,
         )
 
-    def build_runner(self) -> TestRunner:
+    def build_runner(self, store: Optional[CampaignStore] = None
+                     ) -> TestRunner:
+        if store is None and self.cache_dir:
+            store = CampaignStore(self.cache_dir)
         return TestRunner(self.clients, self.cases, seed=self.seed,
-                          resolver_timeout=self.resolver_timeout)
+                          resolver_timeout=self.resolver_timeout,
+                          store=store)
 
     def total_runs(self) -> int:
         return len(self.clients) * sum(
@@ -137,13 +145,16 @@ class CampaignSpec:
 
 
 def run_campaign_spec(data: Mapping[str, Any],
-                      workers: Optional[int] = None) -> ResultSet:
+                      workers: Optional[int] = None,
+                      store: Optional[CampaignStore] = None) -> ResultSet:
     """Parse and execute a campaign specification in one call.
 
     ``workers`` overrides the spec's own ``workers`` stanza; results
     are identical either way — parallel campaigns replay the serial
-    enumeration order exactly.
+    enumeration order exactly.  ``store`` (or a ``cache_dir`` stanza)
+    attaches the incremental campaign store, so unchanged runs come
+    back from cache byte-identically instead of re-executing.
     """
     spec = CampaignSpec.from_dict(data)
     effective = workers if workers is not None else spec.workers
-    return spec.build_runner().run(workers=effective)
+    return spec.build_runner(store=store).run(workers=effective)

@@ -1,0 +1,273 @@
+"""Content-addressed on-disk cache for campaign runs.
+
+The paper's methodology is brute-force scale — thousands of isolated
+``(case, client, value_ms, repetition)`` runs per figure — and every
+run is a *pure function* of its coordinates and configuration: the
+testbed is rebuilt from a stable seed, the client profile and test
+case are frozen dataclasses, and the simulator is deterministic.  That
+purity makes runs perfectly cacheable: re-rendering a figure with an
+unchanged configuration can skip every run it already executed.
+
+:class:`CampaignStore` is that cache.  Entries are addressed by a
+SHA-256 digest over the *content* of everything that can influence a
+run — the stable run seed, the full test-case and client-profile
+configuration (via :func:`canonical`), and the run coordinates — so
+any configuration change, however small, misses cleanly instead of
+serving stale results.  Entries are JSON files written atomically
+(temp file + ``rename``) and validated on read; corrupted or partial
+entries are treated as misses and fall back to fresh execution.
+
+Cache hits are **byte-identical** to fresh execution: records
+round-trip through JSON exactly (Python's ``repr``-based float
+serialization round-trips), which the store tests enforce the same
+way the serial==parallel identity is enforced today.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Optional, TYPE_CHECKING, TypeVar, Union
+
+from .. import __version__
+from ..simnet.addr import Family
+from .config import TestCaseKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runner import RunRecord
+
+#: Bump when the entry layout or record encoding changes; old entries
+#: then read as invalid and re-execute instead of mis-decoding.
+STORE_FORMAT = 1
+
+#: Folded into every cache key alongside the configuration digest:
+#: caching is only sound while the *code* producing a run is unchanged,
+#: so a package upgrade (which may change simulator or client-model
+#: behavior) must miss instead of serving the old model's results.
+BEHAVIOR_VERSION = __version__
+
+Decoded = TypeVar("Decoded")
+
+
+def canonical(obj: Any) -> str:
+    """A deterministic, content-complete rendering of ``obj``.
+
+    Like :func:`repro.seeding.stable_run_seed`'s canonical form, but
+    recursive: dataclasses render field-by-field, enums by class and
+    member name, containers element-wise, and primitives type-tagged —
+    so two configurations render identically iff every field that can
+    influence a run is identical.
+    """
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = ",".join(
+            f"{f.name}={canonical(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj))
+        return f"{type(obj).__name__}({fields})"
+    if isinstance(obj, (list, tuple)):
+        return "[" + ",".join(canonical(item) for item in obj) + "]"
+    if isinstance(obj, dict):
+        items = sorted((canonical(k), canonical(v))
+                       for k, v in obj.items())
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    return f"{type(obj).__name__}:{obj!r}"
+
+
+def config_digest(*parts: Any) -> str:
+    """SHA-256 hex digest of the canonical form of ``parts``."""
+    blob = canonical(parts).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+# -- record (de)serialization --------------------------------------------------
+
+
+def encode_record(record: "RunRecord") -> dict:
+    """A JSON-shaped dict from which :func:`decode_record` rebuilds
+    an identical (``==``) :class:`~repro.testbed.runner.RunRecord`."""
+    return {
+        "case": record.case,
+        "kind": record.kind.value,
+        "client": record.client,
+        "value_ms": record.value_ms,
+        "repetition": record.repetition,
+        "completed": record.completed,
+        "error": record.error,
+        "winning_family": (record.winning_family.name
+                           if record.winning_family is not None else None),
+        "cad_s": record.cad_s,
+        "rd_s": record.rd_s,
+        "time_to_first_attempt_s": record.time_to_first_attempt_s,
+        "aaaa_first": record.aaaa_first,
+        "attempts": [[timestamp, family.name]
+                     for timestamp, family in record.attempts],
+        "attempts_v4": record.attempts_v4,
+        "attempts_v6": record.attempts_v6,
+        "duration_s": record.duration_s,
+    }
+
+
+def decode_record(data: dict) -> "RunRecord":
+    """Rebuild a :class:`RunRecord`; raises on any malformed entry."""
+    from .runner import RunRecord
+
+    def opt_float(value: Any) -> Optional[float]:
+        return None if value is None else float(value)
+
+    return RunRecord(
+        case=data["case"],
+        kind=TestCaseKind(data["kind"]),
+        client=data["client"],
+        value_ms=int(data["value_ms"]),
+        repetition=int(data["repetition"]),
+        completed=bool(data["completed"]),
+        error=data["error"],
+        winning_family=(Family[data["winning_family"]]
+                        if data["winning_family"] is not None else None),
+        cad_s=opt_float(data["cad_s"]),
+        rd_s=opt_float(data["rd_s"]),
+        time_to_first_attempt_s=opt_float(data["time_to_first_attempt_s"]),
+        aaaa_first=data["aaaa_first"],
+        attempts=[(float(timestamp), Family[family])
+                  for timestamp, family in data["attempts"]],
+        attempts_v4=int(data["attempts_v4"]),
+        attempts_v6=int(data["attempts_v6"]),
+        duration_s=opt_float(data["duration_s"]),
+    )
+
+
+# -- the store -----------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Lookup counters for one store handle (reset per handle)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalid: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def merge(self, other: "CacheStats") -> None:
+        """Fold counters from another handle in (e.g. a worker's
+        pickled store copy) so campaign totals stay truthful."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.invalid += other.invalid
+
+    def summary(self) -> str:
+        return (f"hits={self.hits} misses={self.misses} "
+                f"stores={self.stores} invalid={self.invalid}")
+
+
+class CampaignStore:
+    """Content-addressed cache of campaign run results on disk.
+
+    Entries live at ``root/<key[:2]>/<key>.json`` where ``key`` is
+    :meth:`key` over the run seed, configuration digest, and run
+    coordinates.  Writes are atomic (temp file in the same directory,
+    then ``os.replace``), so concurrent writers — e.g. several worker
+    pools sharing one cache directory — can never leave a torn entry
+    behind; a reader either sees a complete entry or none.  Reads
+    validate the format version and completeness marker and fall back
+    to fresh execution on anything unexpected.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CampaignStore({str(self.root)!r}, {self.stats.summary()})"
+
+    # -- addressing ------------------------------------------------------------
+
+    @staticmethod
+    def key(*parts: Any) -> str:
+        """The content address of an entry: a digest over ``parts``
+        plus the store format and package behavior version."""
+        return config_digest(STORE_FORMAT, BEHAVIOR_VERSION, *parts)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def has(self, key: str) -> bool:
+        """Whether an entry file exists for ``key`` — a cheap ``stat``
+        that does **not** validate the entry or touch the counters.
+        Use for planning only; :meth:`get` remains the authority."""
+        return self._path(key).is_file()
+
+    # -- generic payloads ------------------------------------------------------
+
+    def get(self, key: str,
+            decode: "Callable[[Any], Decoded]") -> Optional[Decoded]:
+        """Decoded payload for ``key``, or None (counted as a miss).
+
+        Unreadable files, bad JSON, format mismatches, missing
+        completeness markers, and decoder failures all count as
+        ``invalid`` misses — the caller re-executes and overwrites.
+        """
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError):
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        if (isinstance(data, dict) and data.get("format") == STORE_FORMAT
+                and data.get("complete") is True and "payload" in data):
+            try:
+                decoded = decode(data["payload"])
+            except Exception:
+                pass
+            else:
+                self.stats.hits += 1
+                return decoded
+        self.stats.invalid += 1
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, payload: Any) -> None:
+        """Atomically persist ``payload`` (JSON-serializable) under
+        ``key``; the ``complete`` marker goes in with the same write,
+        so a torn write can never read as a valid entry."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"format": STORE_FORMAT, "complete": True, "key": key,
+                 "payload": payload}
+        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                        prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    # -- RunRecord convenience -------------------------------------------------
+
+    def get_record(self, key: str) -> "Optional[RunRecord]":
+        return self.get(key, decode_record)
+
+    def put_record(self, key: str, record: "RunRecord") -> None:
+        self.put(key, encode_record(record))

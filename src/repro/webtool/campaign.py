@@ -16,8 +16,11 @@ from ..clients.profile import ClientProfile
 from ..clients.registry import get_profile
 from ..fanout import map_maybe_parallel
 from ..seeding import stable_run_seed
+from ..simnet.addr import Family
+from ..testbed.store import CampaignStore
 from .server import WebToolDeployment
-from .session import NetworkConditions, SessionResult, WebToolSession
+from .session import (NetworkConditions, SessionResult, StepOutcome,
+                      WebToolSession)
 
 
 @dataclass(frozen=True)
@@ -157,6 +160,40 @@ class CampaignResult:
         return len(self.sessions)
 
 
+def _encode_sessions(sessions: List[SessionResult]) -> list:
+    """JSON-shaped cache payload; :func:`_decode_sessions` rebuilds
+    ``==``-identical session results."""
+    return [{
+        "browser": session.browser,
+        "os_name": session.os_name,
+        "repetition": session.repetition,
+        "outcomes": [[outcome.delay_ms,
+                      (outcome.used_family.name
+                       if outcome.used_family is not None else None),
+                      outcome.connect_time_s,
+                      outcome.success]
+                     for outcome in session.outcomes],
+    } for session in sessions]
+
+
+def _decode_sessions(payload: list) -> List[SessionResult]:
+    """Rebuild cached sessions; raises on any malformed entry."""
+    sessions = []
+    for data in payload:
+        outcomes = [
+            StepOutcome(
+                delay_ms=int(delay_ms),
+                used_family=(Family[family] if family is not None else None),
+                connect_time_s=(float(connect_s)
+                                if connect_s is not None else None),
+                success=bool(success))
+            for delay_ms, family, connect_s, success in data["outcomes"]]
+        sessions.append(SessionResult(
+            browser=data["browser"], os_name=data["os_name"],
+            repetition=int(data["repetition"]), outcomes=outcomes))
+    return sessions
+
+
 def _run_entry_sessions(
         payload: "Tuple[UAEntry, int, int, NetworkConditions]"
         ) -> List[SessionResult]:
@@ -192,7 +229,8 @@ class WebCampaign:
 
     def run(self, entries: "Tuple[UAEntry, ...]" = TABLE5_MATRIX,
             repetitions: Optional[int] = None,
-            workers: Optional[int] = None) -> CampaignResult:
+            workers: Optional[int] = None,
+            store: Optional[CampaignStore] = None) -> CampaignResult:
         """Visit the tool for every entry × repetition.
 
         Every entry runs on its own deployment seeded from the
@@ -201,13 +239,37 @@ class WebCampaign:
         ``(seed, entries, repetitions, conditions)``, independent of
         process history.  ``workers=N`` fans entries out over N
         processes and returns *identical* results in entry order.
+
+        That purity makes entries cacheable exactly like testbed runs:
+        with ``store``, each entry's sessions are keyed by the full
+        ``(seed, entry, repetitions, conditions)`` content digest, so
+        a re-run with unchanged configuration replays from cache and
+        only changed entries execute.
         """
         result = CampaignResult()
         reps = repetitions if repetitions is not None else self.repetitions
-        payloads = [(entry, self.seed, reps, self.conditions)
-                    for entry in entries]
-        for sessions in map_maybe_parallel(_run_entry_sessions, payloads,
-                                           workers):
+        entry_sessions: List[Optional[List[SessionResult]]] = \
+            [None] * len(entries)
+        keys: List[Optional[str]] = [None] * len(entries)
+        pending: List[int] = []
+        for index, entry in enumerate(entries):
+            if store is not None:
+                keys[index] = store.key("web-campaign", self.seed, entry,
+                                        reps, self.conditions)
+                cached = store.get(keys[index], _decode_sessions)
+                if cached is not None:
+                    entry_sessions[index] = cached
+                    continue
+            pending.append(index)
+        payloads = [(entries[index], self.seed, reps, self.conditions)
+                    for index in pending]
+        fresh = map_maybe_parallel(_run_entry_sessions, payloads, workers)
+        for index, sessions in zip(pending, fresh):
+            entry_sessions[index] = sessions
+            if store is not None:
+                store.put(keys[index], _encode_sessions(sessions))
+        for sessions in entry_sessions:
+            assert sessions is not None
             for session in sessions:
                 result.add(session)
         return result

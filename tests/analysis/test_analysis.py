@@ -77,6 +77,29 @@ class TestClientEvaluation:
         assert row.prefers_ipv6 is None
         assert row.ipv6_addresses_used is None
 
+    def test_table2_store_warm_rerun(self, tmp_path):
+        from repro.analysis import table2_features
+        from repro.testbed import CampaignStore
+
+        clients = [get_profile("curl", "7.88.1")]
+        cold_store = CampaignStore(tmp_path)
+        cold = table2_features(seed=66, clients=clients, store=cold_store)
+        assert cold_store.stats.stores > 0
+
+        warm_store = CampaignStore(tmp_path)
+        warm = table2_features(seed=66, clients=clients, store=warm_store)
+        assert warm == cold
+        assert warm_store.stats.hits == cold_store.stats.stores
+        assert warm_store.stats.misses == 0
+
+        # Parallel path merges worker-side counters into the campaign
+        # total, so warm parallel re-runs report truthfully too.
+        parallel_store = CampaignStore(tmp_path)
+        parallel = table2_features(seed=66, clients=clients, workers=2,
+                                   store=parallel_store)
+        assert parallel == cold
+        assert parallel_store.stats.hits == cold_store.stats.stores
+
 
 class TestFigureBuilders:
     def test_figure2_series_crossovers(self):

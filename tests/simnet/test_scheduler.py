@@ -251,6 +251,80 @@ class TestProcesses:
         with pytest.raises(RuntimeError, match="crash"):
             sim.run()
 
+    def test_concurrent_unhandled_failures_all_chained(self):
+        """The regression: only the first unhandled exception was
+        raised, the rest silently cleared.  Concurrent failures must
+        stay reachable through the __context__ chain."""
+        sim = Simulator()
+        first = RuntimeError("first crash")
+        second = ValueError("second crash")
+        third = KeyError("third crash")
+
+        def explode():
+            sim.report_unhandled(first)
+            sim.report_unhandled(second)
+            sim.report_unhandled(third)
+
+        sim.schedule(1.0, explode)
+        with pytest.raises(RuntimeError, match="first crash") as excinfo:
+            sim.run()
+        assert excinfo.value.__context__ is second
+        assert excinfo.value.__context__.__context__ is third
+        # The queue of unhandled failures was drained, not leaked.
+        sim.schedule(1.0, lambda: None)
+        assert sim.run() == 2.0
+
+    def test_duplicate_unhandled_failures_not_cycled(self):
+        sim = Simulator()
+        boom = RuntimeError("boom")
+
+        def explode():
+            sim.report_unhandled(boom)
+            sim.report_unhandled(boom)
+
+        sim.schedule(1.0, explode)
+        with pytest.raises(RuntimeError, match="boom") as excinfo:
+            sim.run()
+        assert excinfo.value.__context__ is None
+
+    def test_reported_cause_of_reported_wrapper_no_cycle(self):
+        """Reporting a wrapper and then its own cause must not splice
+        the cause into a self-referential __context__ cycle."""
+        sim = Simulator()
+        cause = OSError("root cause")
+        primary = RuntimeError("wrapper")
+        primary.__context__ = cause
+
+        def explode():
+            sim.report_unhandled(primary)
+            sim.report_unhandled(cause)
+
+        sim.schedule(1.0, explode)
+        with pytest.raises(RuntimeError, match="wrapper") as excinfo:
+            sim.run()
+        assert excinfo.value.__context__ is cause
+        assert cause.__context__ is None  # no self-cycle
+
+    def test_chain_appends_after_existing_context(self):
+        """A primary exception that already carries a __context__ gets
+        concurrent failures appended at the chain's end, not spliced
+        over the original cause."""
+        sim = Simulator()
+        cause = OSError("root cause")
+        primary = RuntimeError("wrapper")
+        primary.__context__ = cause
+        extra = ValueError("concurrent")
+
+        def explode():
+            sim.report_unhandled(primary)
+            sim.report_unhandled(extra)
+
+        sim.schedule(1.0, explode)
+        with pytest.raises(RuntimeError, match="wrapper") as excinfo:
+            sim.run()
+        assert excinfo.value.__context__ is cause
+        assert cause.__context__ is extra
+
     def test_process_waiting_on_process(self):
         sim = Simulator()
 

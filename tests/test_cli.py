@@ -47,3 +47,38 @@ class TestCli:
         assert main(["table2", "--no-web"]) == 0
         out = capsys.readouterr().out
         assert "Safari 17.6" in out
+
+
+class TestCliCache:
+    def figure2(self, capsys, *argv):
+        assert main([*argv, "figure2", "--step", "400"]) == 0
+        return capsys.readouterr().out
+
+    def test_cache_dir_warm_rerun_identical(self, capsys, tmp_path):
+        cold = self.figure2(capsys, "--cache-dir", str(tmp_path))
+        assert "[cache] hits=0 misses=34 stores=34" in cold
+        warm = self.figure2(capsys, "--cache-dir", str(tmp_path))
+        assert "[cache] hits=34 misses=0 stores=0" in warm
+
+        def figure_only(text):
+            return [line for line in text.splitlines()
+                    if not line.startswith("[cache]")]
+
+        assert figure_only(cold) == figure_only(warm)
+
+    def test_no_cache_overrides_cache_dir(self, capsys, tmp_path):
+        out = self.figure2(capsys, "--cache-dir", str(tmp_path),
+                           "--no-cache")
+        assert "[cache]" not in out
+        assert not list(tmp_path.iterdir())
+
+    def test_cache_dir_env_default(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.cli import build_parser
+
+        out = self.figure2(capsys)
+        assert "[cache]" in out
+        assert list(tmp_path.iterdir())
+        args = build_parser().parse_args(["--no-cache", "table1"])
+        assert args.cache_dir == str(tmp_path)
+        assert args.no_cache

@@ -4,10 +4,12 @@ import pytest
 
 from repro.clients import get_profile
 from repro.simnet import Family
-from repro.testbed import (ResultSet, SweepSpec, TestCaseConfig,
+from repro.testbed import (NonMonotonicSeriesError, ResultSet, RunRecord,
+                           StreamingResultSet, SweepSpec, TestCaseConfig,
                            TestCaseKind, TestRunner,
                            address_selection_case, cad_case,
-                           delayed_a_case, rd_case)
+                           delayed_a_case, majority_family, rd_case,
+                           series_flap_window)
 
 
 class TestSweepSpec:
@@ -174,6 +176,139 @@ class TestAddressSelectionRuns:
         record = runner.run().records[0]
         assert record.attempts_v6 == 1
         assert record.attempts_v4 == 0
+
+
+def _cad_record(value_ms: int, repetition: int,
+                family: Family, client: str = "c 1.0",
+                cad_s=None) -> RunRecord:
+    return RunRecord(case="cad",
+                     kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
+                     client=client, value_ms=value_ms,
+                     repetition=repetition, completed=True,
+                     winning_family=family, cad_s=cad_s)
+
+
+class TestFamilyByDelayAggregation:
+    """Repetitions aggregate by majority vote, not last-write-wins."""
+
+    def test_majority_wins(self):
+        results = ResultSet()
+        for repetition, family in enumerate(
+                [Family.V6, Family.V4, Family.V6]):
+            results.add(_cad_record(100, repetition, family))
+        assert results.family_by_delay("c 1.0", "cad") == {100: Family.V6}
+
+    def test_independent_of_repetition_order(self):
+        """The regression: the last repetition used to overwrite all
+        earlier ones, so the series depended on record order."""
+        records = [_cad_record(100, 0, Family.V6),
+                   _cad_record(100, 1, Family.V6),
+                   _cad_record(100, 2, Family.V4)]
+        forward, backward = ResultSet(), ResultSet()
+        for record in records:
+            forward.add(record)
+        for record in reversed(records):
+            backward.add(record)
+        assert forward.family_by_delay("c 1.0", "cad") == {100: Family.V6}
+        assert backward.family_by_delay("c 1.0", "cad") == \
+            forward.family_by_delay("c 1.0", "cad")
+
+    def test_tie_breaks_toward_ipv4(self):
+        results = ResultSet()
+        results.add(_cad_record(100, 0, Family.V6))
+        results.add(_cad_record(100, 1, Family.V4))
+        assert results.family_by_delay("c 1.0", "cad") == {100: Family.V4}
+        assert majority_family({Family.V6: 2, Family.V4: 2}) is Family.V4
+
+    def test_none_winners_ignored(self):
+        results = ResultSet()
+        results.add(_cad_record(100, 0, None))
+        results.add(_cad_record(100, 1, Family.V6))
+        assert results.family_by_delay("c 1.0", "cad") == {100: Family.V6}
+
+
+class TestCrossoverMonotonicity:
+    """Non-monotonic series raise instead of masking flapping."""
+
+    def test_monotonic_series_unchanged(self):
+        results = ResultSet()
+        results.add(_cad_record(100, 0, Family.V6))
+        results.add(_cad_record(200, 0, Family.V4))
+        assert results.is_monotonic("c 1.0", "cad")
+        assert results.observed_cad_crossover("c 1.0", "cad") == 100
+
+    def test_all_ipv4_has_no_crossover(self):
+        results = ResultSet()
+        results.add(_cad_record(100, 0, Family.V4))
+        assert results.observed_cad_crossover("c 1.0", "cad") is None
+
+    def test_flapping_series_raises(self):
+        """The regression: IPv4 at 100 ms but IPv6 again at 200 ms used
+        to silently report a 200 ms crossover."""
+        results = ResultSet()
+        results.add(_cad_record(100, 0, Family.V4))
+        results.add(_cad_record(200, 0, Family.V6))
+        results.add(_cad_record(300, 0, Family.V4))
+        assert not results.is_monotonic("c 1.0", "cad")
+        with pytest.raises(NonMonotonicSeriesError) as excinfo:
+            results.observed_cad_crossover("c 1.0", "cad")
+        assert excinfo.value.flap_window == (100, 200)
+        assert "100 ms" in str(excinfo.value)
+        assert excinfo.value.client == "c 1.0"
+
+    def test_flap_window_helper(self):
+        assert series_flap_window({100: Family.V6, 200: Family.V4}) is None
+        assert series_flap_window({100: Family.V4,
+                                   200: Family.V6}) == (100, 200)
+
+
+class TestStreamingResultSet:
+    """Streaming aggregation matches the materialized ResultSet."""
+
+    def runner(self) -> TestRunner:
+        return TestRunner(
+            clients=[get_profile("Chrome", "130.0"),
+                     get_profile("curl", "7.88.1")],
+            cases=[TestCaseConfig(
+                name="cad", kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
+                sweep=SweepSpec.fixed(150, 250, 350), repetitions=2)],
+            seed=23)
+
+    def test_matches_materialized_aggregations(self):
+        runner = self.runner()
+        materialized = runner.run()
+        streamed = StreamingResultSet.consume(runner.stream())
+        assert len(streamed) == len(materialized)
+        for client in ("Chrome 130.0", "curl 7.88.1"):
+            assert streamed.median_cad(client) == \
+                materialized.median_cad(client)
+            assert streamed.family_by_delay(client, "cad") == \
+                materialized.family_by_delay(client, "cad")
+            assert streamed.observed_cad_crossover(client, "cad") == \
+                materialized.observed_cad_crossover(client, "cad")
+
+    def test_stream_order_matches_run(self):
+        runner = self.runner()
+        streamed = list(runner.stream())
+        assert streamed == runner.run().records
+
+    def test_outcomes_include_unestablished_values(self):
+        aggregate = StreamingResultSet()
+        aggregate.add(_cad_record(100, 0, Family.V6))
+        aggregate.add(_cad_record(200, 0, None))
+        assert aggregate.outcomes("c 1.0", "cad") == \
+            [(100, Family.V6), (200, None)]
+
+    def test_completion_and_error_counters(self):
+        aggregate = StreamingResultSet()
+        aggregate.add(_cad_record(100, 0, Family.V6))
+        failed = _cad_record(200, 0, None)
+        failed.completed = False
+        failed.error = "boom"
+        aggregate.add(failed)
+        assert aggregate.total == 2
+        assert aggregate.completed == 1
+        assert aggregate.errors == 1
 
 
 class TestResultSet:

@@ -1,0 +1,303 @@
+"""The incremental campaign store: identity, invalidation, fallback."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.clients import get_profile
+from repro.testbed import (CampaignExecutor, CampaignStore, ResultSet,
+                           SweepSpec, TestCaseConfig, TestCaseKind,
+                           TestRunner, run_campaign_spec)
+from repro.testbed.store import (STORE_FORMAT, canonical, config_digest,
+                                 decode_record, encode_record)
+
+
+def small_runner(seed: int = 5, store: CampaignStore = None,
+                 **knobs) -> TestRunner:
+    return TestRunner(
+        clients=[get_profile("Chrome", "130.0"),
+                 get_profile("curl", "7.88.1")],
+        cases=[TestCaseConfig(
+            name="cad", kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
+            sweep=SweepSpec.fixed(0, 150, 310), repetitions=2)],
+        seed=seed, store=store, **knobs)
+
+
+def entry_paths(store: CampaignStore):
+    return sorted(store.root.rglob("*.json"))
+
+
+class TestCanonicalDigest:
+    def test_dataclass_fields_all_contribute(self):
+        case = TestCaseConfig(name="x",
+                              kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
+                              sweep=SweepSpec.fixed(0))
+        rendered = canonical(case)
+        for field in dataclasses.fields(case):
+            assert field.name in rendered
+
+    def test_type_tagged_primitives(self):
+        # "1" and 1 must not collide, exactly like stable_run_seed.
+        assert config_digest(1) != config_digest("1")
+        assert config_digest(1.0) != config_digest(1)
+
+    def test_enum_and_container_forms(self):
+        assert "TestCaseKind.RESOLUTION_DELAY" in canonical(
+            TestCaseKind.RESOLUTION_DELAY)
+        assert canonical((1, 2)) == canonical([1, 2])
+        assert canonical({"b": 1, "a": 2}) == canonical({"a": 2, "b": 1})
+
+
+class TestRecordRoundTrip:
+    def test_encode_decode_identity(self):
+        runner = small_runner()
+        record = runner.run_single(runner.cases[0], runner.clients[0], 310)
+        assert decode_record(encode_record(record)) == record
+
+    def test_json_round_trip_identity(self):
+        """The on-disk representation: through actual JSON text."""
+        runner = small_runner()
+        for client in runner.clients:
+            record = runner.run_single(runner.cases[0], client, 150)
+            via_json = decode_record(
+                json.loads(json.dumps(encode_record(record))))
+            assert via_json == record
+
+
+class TestWarmCampaigns:
+    def test_second_run_all_hits_and_identical(self, tmp_path):
+        cold_store = CampaignStore(tmp_path)
+        cold = small_runner(store=cold_store).run()
+        assert cold_store.stats.hits == 0
+        assert cold_store.stats.misses == len(cold)
+        assert cold_store.stats.stores == len(cold)
+
+        warm_store = CampaignStore(tmp_path)
+        warm = small_runner(store=warm_store).run()
+        assert warm_store.stats.hits == len(warm)
+        assert warm_store.stats.misses == 0
+        assert warm.records == cold.records
+
+    def test_cached_equals_uncached(self, tmp_path):
+        fresh = small_runner().run()
+        store = CampaignStore(tmp_path)
+        small_runner(store=store).run()
+        cached = small_runner(store=CampaignStore(tmp_path)).run()
+        assert cached.records == fresh.records
+
+    def test_parallel_warm_run_identical_and_poolless(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        cold = small_runner(store=store).run(workers=2)
+        warm_store = CampaignStore(tmp_path)
+        warm = small_runner(store=warm_store).run(workers=2)
+        assert warm.records == cold.records
+        assert warm_store.stats.hits == len(cold)
+        assert warm_store.stats.misses == 0
+
+    def test_serial_cold_parallel_warm_identity(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        cold = small_runner(store=store).run()
+        warm = small_runner(store=CampaignStore(tmp_path)).run(workers=2)
+        assert warm.records == cold.records
+
+    def test_spec_cache_dir_stanza(self, tmp_path):
+        spec = {
+            "seed": 3,
+            "cache_dir": str(tmp_path),
+            "clients": [{"name": "curl", "version": "7.88.1"}],
+            "cases": [{"kind": "cad", "sweep": {"values": [0, 150, 310]}}],
+        }
+        first = run_campaign_spec(spec)
+        second = run_campaign_spec(spec)
+        assert first.records == second.records
+        assert entry_paths(CampaignStore(tmp_path))  # populated on disk
+
+
+class TestCacheInvalidation:
+    def cold_keys(self, tmp_path, **overrides):
+        """Store keys a campaign with ``overrides`` would use."""
+        runner = small_runner(store=CampaignStore(tmp_path), **overrides)
+        case, profile = runner.cases[0], runner.clients[0]
+        return runner.store_key_for(case, profile, 150, 0)
+
+    def test_case_field_change_misses(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        runner = small_runner(store=store)
+        base_case, profile = runner.cases[0], runner.clients[0]
+        base_key = runner.store_key_for(base_case, profile, 150, 0)
+        for changed in (
+                dataclasses.replace(base_case, name="other"),
+                dataclasses.replace(base_case, repetitions=3),
+                dataclasses.replace(base_case, run_timeout=10.0),
+                dataclasses.replace(base_case, addresses_per_family=2),
+                dataclasses.replace(base_case,
+                                    kind=TestCaseKind.RESOLUTION_DELAY),
+                dataclasses.replace(base_case,
+                                    sweep=SweepSpec.fixed(0, 150, 311)),
+        ):
+            assert runner.store_key_for(changed, profile, 150, 0) != \
+                base_key, changed
+
+    def test_profile_field_change_misses(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        runner = small_runner(store=store)
+        case, base_profile = runner.cases[0], runner.clients[0]
+        base_key = runner.store_key_for(case, base_profile, 150, 0)
+        changed_profiles = [
+            dataclasses.replace(base_profile, version="131.0"),
+            dataclasses.replace(base_profile, os_hint="Windows"),
+            dataclasses.replace(base_profile, outlier_probability=0.5),
+            dataclasses.replace(
+                base_profile,
+                params=dataclasses.replace(
+                    base_profile.params, connection_attempt_delay=0.123)),
+        ]
+        for changed in changed_profiles:
+            assert runner.store_key_for(case, changed, 150, 0) != \
+                base_key, changed
+
+    def test_runner_knob_change_misses(self, tmp_path):
+        base = self.cold_keys(tmp_path)
+        assert self.cold_keys(tmp_path, resolver_timeout=2.0) != base
+        assert self.cold_keys(tmp_path, hev3_flag=True) != base
+        assert self.cold_keys(tmp_path, seed=6) != base
+
+    def test_coordinates_distinguish_entries(self, tmp_path):
+        runner = small_runner(store=CampaignStore(tmp_path))
+        case, profile = runner.cases[0], runner.clients[0]
+        keys = {runner.store_key_for(case, profile, value, repetition)
+                for value in (0, 150, 310) for repetition in (0, 1)}
+        assert len(keys) == 6
+
+    def test_behavior_version_change_misses(self, tmp_path, monkeypatch):
+        """A package upgrade may change simulator behavior: the cache
+        must miss rather than replay the old model's results."""
+        import repro.testbed.store as store_module
+
+        warmed = CampaignStore(tmp_path)
+        small_runner(store=warmed).run()
+        monkeypatch.setattr(store_module, "BEHAVIOR_VERSION", "999.0.0")
+        upgraded = CampaignStore(tmp_path)
+        small_runner(store=upgraded).run()
+        assert upgraded.stats.hits == 0
+        assert upgraded.stats.misses > 0
+
+    def test_changed_config_re_executes(self, tmp_path):
+        """End to end: a warm cache is useless for a changed campaign."""
+        small_runner(store=CampaignStore(tmp_path)).run()
+        changed_store = CampaignStore(tmp_path)
+        small_runner(store=changed_store, resolver_timeout=2.0).run()
+        assert changed_store.stats.hits == 0
+        assert changed_store.stats.misses > 0
+
+
+class TestCorruptEntries:
+    def populate(self, tmp_path) -> ResultSet:
+        return small_runner(store=CampaignStore(tmp_path)).run()
+
+    def test_corrupted_entry_falls_back_to_fresh(self, tmp_path):
+        cold = self.populate(tmp_path)
+        store = CampaignStore(tmp_path)
+        victim = entry_paths(store)[0]
+        victim.write_text("{ not json", encoding="utf-8")
+        warm_store = CampaignStore(tmp_path)
+        warm = small_runner(store=warm_store).run()
+        assert warm.records == cold.records
+        assert warm_store.stats.invalid == 1
+        assert warm_store.stats.misses == 1
+        assert warm_store.stats.hits == len(cold) - 1
+        # The corrupted entry was rewritten by the fresh execution.
+        repaired = CampaignStore(tmp_path)
+        small_runner(store=repaired).run()
+        assert repaired.stats.hits == len(cold)
+
+    def test_corrupted_entry_parallel_inline_repair(self, tmp_path):
+        """The parallel planner sees the entry file and plans a hit;
+        the lazy read discovers the corruption and repairs inline."""
+        cold = self.populate(tmp_path)
+        victim = entry_paths(CampaignStore(tmp_path))[0]
+        victim.write_text("{ not json", encoding="utf-8")
+        warm_store = CampaignStore(tmp_path)
+        warm = small_runner(store=warm_store).run(workers=2)
+        assert warm.records == cold.records
+        assert warm_store.stats.invalid == 1
+        repaired = CampaignStore(tmp_path)
+        small_runner(store=repaired).run(workers=2)
+        assert repaired.stats.hits == len(cold)
+
+    def test_partial_entry_falls_back_to_fresh(self, tmp_path):
+        """An entry without the completeness marker is a miss."""
+        cold = self.populate(tmp_path)
+        store = CampaignStore(tmp_path)
+        victim = entry_paths(store)[0]
+        data = json.loads(victim.read_text(encoding="utf-8"))
+        del data["complete"]
+        victim.write_text(json.dumps(data), encoding="utf-8")
+        warm_store = CampaignStore(tmp_path)
+        warm = small_runner(store=warm_store).run()
+        assert warm.records == cold.records
+        assert warm_store.stats.invalid == 1
+
+    def test_format_version_mismatch_is_invalid(self, tmp_path):
+        cold = self.populate(tmp_path)
+        store = CampaignStore(tmp_path)
+        victim = entry_paths(store)[0]
+        data = json.loads(victim.read_text(encoding="utf-8"))
+        data["format"] = STORE_FORMAT + 1
+        victim.write_text(json.dumps(data), encoding="utf-8")
+        warm_store = CampaignStore(tmp_path)
+        warm = small_runner(store=warm_store).run()
+        assert warm.records == cold.records
+        assert warm_store.stats.invalid == 1
+
+    def test_undecodable_payload_is_invalid(self, tmp_path):
+        cold = self.populate(tmp_path)
+        store = CampaignStore(tmp_path)
+        victim = entry_paths(store)[0]
+        data = json.loads(victim.read_text(encoding="utf-8"))
+        data["payload"]["winning_family"] = "V9"
+        victim.write_text(json.dumps(data), encoding="utf-8")
+        warm_store = CampaignStore(tmp_path)
+        warm = small_runner(store=warm_store).run()
+        assert warm.records == cold.records
+        assert warm_store.stats.invalid == 1
+
+
+class _SpeclessRunner:
+    """A runner shape with nothing to enumerate (cases define specs)."""
+
+    cases = []
+    clients = []
+    store = None
+
+
+class TestExecutorEdges:
+    def test_empty_spec_list_chunks(self):
+        executor = CampaignExecutor(_SpeclessRunner(), workers=3)
+        assert executor.chunks() == []
+        result = executor.execute()
+        assert len(result) == 0
+        assert result.records == []
+
+    def test_workers_exceed_spec_count(self):
+        runner = TestRunner(
+            clients=[get_profile("curl", "7.88.1")],
+            cases=[TestCaseConfig(
+                name="cad", kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
+                sweep=SweepSpec.fixed(0, 310))],
+            seed=4)
+        serial = runner.run()
+        wide = runner.run(workers=16)
+        assert wide.records == serial.records
+
+    def test_workers_exceed_spec_count_with_store(self, tmp_path):
+        runner = TestRunner(
+            clients=[get_profile("curl", "7.88.1")],
+            cases=[TestCaseConfig(
+                name="cad", kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
+                sweep=SweepSpec.fixed(0))],
+            seed=4, store=CampaignStore(tmp_path))
+        first = runner.run(workers=8)
+        second = runner.run(workers=8)
+        assert first.records == second.records

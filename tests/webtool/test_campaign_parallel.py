@@ -29,6 +29,47 @@ class TestParallelWebCampaign:
             campaign.run(entries=ENTRIES, workers=0)
 
 
+class TestWebCampaignStore:
+    def test_warm_rerun_identical_and_all_hits(self, tmp_path):
+        from repro.testbed import CampaignStore
+
+        campaign = WebCampaign(seed=11, repetitions=2)
+        cold_store = CampaignStore(tmp_path)
+        cold = campaign.run(entries=ENTRIES, store=cold_store)
+        assert cold_store.stats.hits == 0
+        assert cold_store.stats.stores == len(ENTRIES)
+
+        warm_store = CampaignStore(tmp_path)
+        warm = campaign.run(entries=ENTRIES, store=warm_store)
+        assert warm_store.stats.hits == len(ENTRIES)
+        assert warm_store.stats.misses == 0
+        assert warm.sessions == cold.sessions
+
+    def test_cached_equals_uncached(self, tmp_path):
+        from repro.testbed import CampaignStore
+
+        campaign = WebCampaign(seed=12, repetitions=2)
+        fresh = campaign.run(entries=ENTRIES)
+        campaign.run(entries=ENTRIES, store=CampaignStore(tmp_path))
+        cached = campaign.run(entries=ENTRIES,
+                              store=CampaignStore(tmp_path))
+        assert cached.sessions == fresh.sessions
+
+    def test_seed_or_repetition_change_misses(self, tmp_path):
+        from repro.testbed import CampaignStore
+
+        WebCampaign(seed=13, repetitions=2).run(
+            entries=ENTRIES, store=CampaignStore(tmp_path))
+        reseeded_store = CampaignStore(tmp_path)
+        WebCampaign(seed=14, repetitions=2).run(
+            entries=ENTRIES, store=reseeded_store)
+        assert reseeded_store.stats.hits == 0
+        more_reps_store = CampaignStore(tmp_path)
+        WebCampaign(seed=13, repetitions=3).run(
+            entries=ENTRIES, store=more_reps_store)
+        assert more_reps_store.stats.hits == 0
+
+
 class TestWorkersValidation:
     def test_table2_rejects_zero_workers(self):
         from repro.analysis import table2_features
