@@ -14,9 +14,9 @@ Python library:
 * :mod:`repro.analysis` — table/figure regeneration.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "analysis", "clients", "core", "dns", "resolvers", "simnet",
-    "testbed", "transport", "webtool",
+    "analysis", "clients", "conformance", "core", "dns", "resolvers",
+    "simnet", "testbed", "transport", "webtool",
 ]

@@ -59,6 +59,17 @@ class Figure2Series:
              if family is not None}) is None
 
 
+def figure2_runner(profiles: Sequence[ClientProfile], step_ms: int = 5,
+                   stop_ms: int = 400, seed: int = 0,
+                   store: Optional[CampaignStore] = None) -> TestRunner:
+    """The Figure 2 campaign runner (shared by the sweep and by
+    ``repro cache gc``'s key planning)."""
+    case = TestCaseConfig(name="figure2",
+                          kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
+                          sweep=SweepSpec.range(0, stop_ms, step_ms))
+    return TestRunner(list(profiles), [case], seed=seed, store=store)
+
+
 def figure2_sweep(clients: Optional[Sequence[ClientProfile]] = None,
                   step_ms: int = 5, stop_ms: int = 400,
                   seed: int = 0,
@@ -79,16 +90,15 @@ def figure2_sweep(clients: Optional[Sequence[ClientProfile]] = None,
     list, so run count only costs time, not memory.
     """
     profiles = list(clients) if clients is not None else figure2_clients()
-    case = TestCaseConfig(name="figure2",
-                          kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
-                          sweep=SweepSpec.range(0, stop_ms, step_ms))
-    runner = TestRunner(profiles, [case], seed=seed, store=store)
+    runner = figure2_runner(profiles, step_ms=step_ms, stop_ms=stop_ms,
+                            seed=seed, store=store)
     aggregate = StreamingResultSet.consume(runner.stream(workers=workers))
     series: List[Figure2Series] = []
     for profile in profiles:
         entry = Figure2Series(client=profile.full_name,
                               label=profile.label)
-        entry.outcomes = aggregate.outcomes(profile.full_name, case.name)
+        entry.outcomes = aggregate.outcomes(profile.full_name,
+                                            runner.cases[0].name)
         series.append(entry)
     return series
 
@@ -139,6 +149,14 @@ class Figure5Series:
                        for family in self.families)
 
 
+def figure5_runner(clients: Sequence[ClientProfile],
+                   addresses_per_family: int = 10, seed: int = 0,
+                   store: Optional[CampaignStore] = None) -> TestRunner:
+    """The Figure 5 campaign runner (shared with cache gc planning)."""
+    case = address_selection_case(addresses_per_family)
+    return TestRunner(list(clients), [case], seed=seed, store=store)
+
+
 def figure5_attempts(clients: Sequence[ClientProfile],
                      addresses_per_family: int = 10,
                      seed: int = 0,
@@ -150,8 +168,8 @@ def figure5_attempts(clients: Sequence[ClientProfile],
     Streams the campaign: only each client's attempt-family list is
     retained, never the records themselves.
     """
-    case = address_selection_case(addresses_per_family)
-    runner = TestRunner(list(clients), [case], seed=seed, store=store)
+    runner = figure5_runner(clients, addresses_per_family, seed=seed,
+                            store=store)
     families_by_client: Dict[str, List[Family]] = {}
     for record in runner.stream(workers=workers):
         if record.client not in families_by_client:

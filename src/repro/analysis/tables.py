@@ -117,6 +117,23 @@ class Table2Row:
 _TABLE2_CAD_SWEEP = SweepSpec.fixed(0, 150, 250, 350, 400, 1000, 2500)
 
 
+def table2_local_runner(profile: ClientProfile, seed: int = 0,
+                        store: Optional[CampaignStore] = None
+                        ) -> TestRunner:
+    """The per-client local campaign behind Table 2 (shared by the
+    feature evaluation and ``repro cache gc``'s key planning)."""
+    cad_case_config = TestCaseConfig(
+        name="t2-cad", kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
+        sweep=_TABLE2_CAD_SWEEP)
+    rd_case_config = TestCaseConfig(
+        name="t2-rd", kind=TestCaseKind.RESOLUTION_DELAY,
+        sweep=SweepSpec.fixed(1500))
+    selection_case = address_selection_case()
+    return TestRunner([profile],
+                      [cad_case_config, rd_case_config, selection_case],
+                      seed=seed, resolver_timeout=3.0, store=store)
+
+
 def evaluate_client_features(profile: ClientProfile, seed: int = 0,
                              store: Optional[CampaignStore] = None
                              ) -> Table2Row:
@@ -131,16 +148,7 @@ def evaluate_client_features(profile: ClientProfile, seed: int = 0,
     if not profile.supports_local_tests:
         return row
 
-    cad_case_config = TestCaseConfig(
-        name="t2-cad", kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
-        sweep=_TABLE2_CAD_SWEEP)
-    rd_case_config = TestCaseConfig(
-        name="t2-rd", kind=TestCaseKind.RESOLUTION_DELAY,
-        sweep=SweepSpec.fixed(1500))
-    selection_case = address_selection_case()
-    runner = TestRunner([profile],
-                        [cad_case_config, rd_case_config, selection_case],
-                        seed=seed, resolver_timeout=3.0, store=store)
+    runner = table2_local_runner(profile, seed=seed, store=store)
 
     zero_run: Optional[RunRecord] = None
     fallback_seen = False
@@ -318,19 +326,23 @@ def _aaaa_mark_from_campaign(campaign: ResolverCampaignResult,
 
 
 def _measure_resolver_subject(
-        payload: "Tuple[str, object, int, int, int, List[int]]"
-        ) -> Table3Row:
+        payload: "Tuple[str, object, int, int, int, List[int], "
+                 "Optional[CampaignStore]]"
+        ) -> "Tuple[Table3Row, Optional[CacheStats]]":
     """Share + shaped-delay campaigns for one resolver subject.
 
     Top-level so process pools can pickle it; each call builds its own
-    testbeds, so subjects parallelize with no shared state.
+    testbeds, so subjects parallelize with no shared state.  Returns
+    the row plus the task-local cache counters (like the Table 2
+    tasks), so the parent can fold worker stats into the total.
     """
     from dataclasses import replace as dc_replace
 
-    name, behavior, seed, share_repetitions, delay_repetitions, grid = payload
+    (name, behavior, seed, share_repetitions, delay_repetitions, grid,
+     store) = payload
     share_campaign = run_resolver_campaign(
         behavior, delays_ms=[0], repetitions=share_repetitions,
-        seed=seed)
+        seed=seed, store=store)
     share = share_campaign.ipv6_share
     packets = share_campaign.max_v6_packets
     max_delay: Optional[int] = None
@@ -338,13 +350,13 @@ def _measure_resolver_subject(
         forced = dc_replace(behavior, v6_preference=1.0)
         delay_campaign = run_resolver_campaign(
             forced, delays_ms=grid, repetitions=delay_repetitions,
-            seed=seed + 1)
+            seed=seed + 1, store=store)
         packets = max(packets, delay_campaign.max_v6_packets)
         if not behavior.parallel_families:
             # Parallel-family services (DNS0.EU) make the fallback
             # delay unmeasurable — the paper's footnote 1.
             max_delay = delay_campaign.reliable_max_ipv6_delay_ms()
-    return Table3Row(
+    row = Table3Row(
         service=name,
         aaaa_query=_aaaa_mark_from_campaign(
             share_campaign, behavior.glue_plan.name),
@@ -352,12 +364,14 @@ def _measure_resolver_subject(
         max_ipv6_delay_ms=max_delay,
         ipv6_packets=packets if packets else None,
         campaign=share_campaign)
+    return row, (store.stats if store is not None else None)
 
 
 def table3_resolvers(seed: int = 0, share_repetitions: int = 32,
                      delay_repetitions: int = 3,
                      delays_ms: Optional[List[int]] = None,
-                     workers: Optional[int] = None
+                     workers: Optional[int] = None,
+                     store: Optional[CampaignStore] = None
                      ) -> List[Table3Row]:
     """Measure every local daemon and evaluated open service.
 
@@ -371,6 +385,9 @@ def table3_resolvers(seed: int = 0, share_repetitions: int = 32,
 
     ``workers=N`` measures subjects over N processes; every subject is
     seeded independently, so rows match the serial path exactly.
+    ``store`` attaches the content-addressed campaign cache: resolver
+    runs are keyed by (behaviour, seed, delay, repetition), so a
+    re-render replays unchanged runs instead of re-executing them.
     """
     grid = [d for d in (delays_ms if delays_ms is not None
                         else RESOLVER_DELAY_GRID) if d > 0]
@@ -378,9 +395,48 @@ def table3_resolvers(seed: int = 0, share_repetitions: int = 32,
         (behavior.name, behavior) for behavior in LOCAL_RESOLVERS]
     subjects += [(service.service, service.behavior)
                  for service in evaluated_services()]
+    # Fresh store handle per task (counters start at zero), so worker
+    # stats merge into the campaign total like the Table 2 tasks.
     payloads = [(name, behavior, seed, share_repetitions,
-                 delay_repetitions, grid) for name, behavior in subjects]
-    return map_maybe_parallel(_measure_resolver_subject, payloads, workers)
+                 delay_repetitions, grid,
+                 CampaignStore(store.root) if store is not None else None)
+                for name, behavior in subjects]
+    rows: List[Table3Row] = []
+    for row, stats in map_maybe_parallel(_measure_resolver_subject,
+                                         payloads, workers):
+        rows.append(row)
+        if store is not None and stats is not None:
+            store.stats.merge(stats)
+    return rows
+
+
+def table3_store_keys(seed: int = 0, share_repetitions: int = 32,
+                      delay_repetitions: int = 3,
+                      delays_ms: Optional[List[int]] = None
+                      ) -> List[str]:
+    """Every store key a Table 3 render may reference (cache gc).
+
+    Conservative: the delay campaign only runs for subjects whose
+    share campaign shows IPv6 use, but gc keeps both unconditionally —
+    keeping an unreferenced key is harmless, dropping a referenced one
+    forces a re-execution.
+    """
+    from dataclasses import replace as dc_replace
+
+    from ..resolvers.testbed import resolver_campaign_keys
+
+    grid = [d for d in (delays_ms if delays_ms is not None
+                        else RESOLVER_DELAY_GRID) if d > 0]
+    subjects = [behavior for behavior in LOCAL_RESOLVERS]
+    subjects += [service.behavior for service in evaluated_services()]
+    keys: List[str] = []
+    for behavior in subjects:
+        keys.extend(resolver_campaign_keys(
+            behavior, [0], share_repetitions, seed))
+        forced = dc_replace(behavior, v6_preference=1.0)
+        keys.extend(resolver_campaign_keys(
+            forced, grid, delay_repetitions, seed + 1))
+    return keys
 
 
 def render_table3(rows: List[Table3Row]) -> str:

@@ -56,13 +56,9 @@ def _cmd_table2(args: argparse.Namespace) -> None:
     if not args.no_web:
         campaign = WebCampaign(seed=args.seed + 1,
                                repetitions=args.repetitions)
-        web = campaign.run(entries=(
-            UAEntry("Linux", "", "Chrome", "130.0.0"),
-            UAEntry("Linux", "", "Chromium", "130.0.0"),
-            UAEntry("Windows", "10", "Edge", "130.0.0"),
-            UAEntry("Linux", "", "Firefox", "132.0"),
-            UAEntry("Mac OS X", "10.15.7", "Safari", "17.6"),
-        ), workers=args.workers, store=store)
+        web = campaign.run(
+            entries=tuple(UAEntry(*entry) for entry in TABLE2_WEB_ENTRIES),
+            workers=args.workers, store=store)
     rows = table2_features(seed=args.seed, web_campaign=web,
                            workers=args.workers, store=store)
     print(render_table2(rows))
@@ -72,11 +68,13 @@ def _cmd_table2(args: argparse.Namespace) -> None:
 def _cmd_table3(args: argparse.Namespace) -> None:
     from .analysis import render_table3, table3_resolvers
 
+    store = _store_from(args)
     rows = table3_resolvers(seed=args.seed,
                             share_repetitions=args.repetitions,
                             delay_repetitions=max(3, args.repetitions // 20),
-                            workers=args.workers)
+                            workers=args.workers, store=store)
     print(render_table3(rows))
+    _report_cache(store)
 
 
 def _cmd_table4(args: argparse.Namespace) -> None:
@@ -124,14 +122,19 @@ def _cmd_figure4(args: argparse.Namespace) -> None:
         print()
 
 
+#: The client/version rows of the Figure 5 rendering (shared with
+#: ``repro cache gc``'s live-key planning).
+FIGURE5_CLIENTS = (
+    ("wget", "1.21.3"), ("curl", "7.88.1"), ("Safari", "17.6"),
+    ("Firefox", "132.0"), ("Edge", "130.0"), ("Chromium", "130.0"),
+    ("Chrome", "130.0"))
+
+
 def _cmd_figure5(args: argparse.Namespace) -> None:
     from .analysis import figure5_attempts, render_figure5
     from .clients import get_profile
 
-    clients = [get_profile(n, v) for n, v in (
-        ("wget", "1.21.3"), ("curl", "7.88.1"), ("Safari", "17.6"),
-        ("Firefox", "132.0"), ("Edge", "130.0"), ("Chromium", "130.0"),
-        ("Chrome", "130.0"))]
+    clients = [get_profile(n, v) for n, v in FIGURE5_CLIENTS]
     store = _store_from(args)
     series = figure5_attempts(clients, seed=args.seed,
                               workers=args.workers, store=store)
@@ -159,6 +162,108 @@ def _cmd_delayed_a(args: argparse.Namespace) -> None:
         print(f"  {label:<26} connected after "
               f"{result.he.time_to_connect * 1000:7.1f} ms via "
               f"{result.used_family.label}")
+
+
+#: The UA combinations the Table 2 web-validation campaign visits
+#: (shared with ``repro cache gc``'s live-key planning).
+TABLE2_WEB_ENTRIES = (
+    ("Linux", "", "Chrome", "130.0.0"),
+    ("Linux", "", "Chromium", "130.0.0"),
+    ("Windows", "10", "Edge", "130.0.0"),
+    ("Linux", "", "Firefox", "132.0"),
+    ("Mac OS X", "10.15.7", "Safari", "17.6"),
+)
+
+
+def _cmd_fingerprint(args: argparse.Namespace) -> None:
+    from .clients.registry import resolve_profiles
+    from .conformance import (fingerprint_client, fingerprints_to_json,
+                              render_fingerprint, scenario_battery)
+
+    store = _store_from(args)
+    battery = scenario_battery(stop_ms=args.stop)
+    try:
+        profiles = resolve_profiles(args.client)
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+    unsupported = [p.full_name for p in profiles
+                   if not p.supports_local_tests]
+    profiles = [p for p in profiles if p.supports_local_tests]
+    if not profiles:
+        raise SystemExit(
+            f"{', '.join(unsupported)} cannot run on the local testbed "
+            "(mobile browsers are web-tool only); nothing to fingerprint")
+    fingerprints = [
+        fingerprint_client(profile, seed=args.seed, store=store,
+                           workers=args.workers, battery=battery)
+        for profile in profiles]
+    if args.json:
+        print(fingerprints_to_json(fingerprints))
+    else:
+        print("\n\n".join(render_fingerprint(fp) for fp in fingerprints))
+    _report_cache(store)
+
+
+def _cmd_conformance(args: argparse.Namespace) -> None:
+    from .clients.registry import local_testbed_clients
+    from .conformance import (fingerprint_client, fingerprints_to_json,
+                              render_conformance_summary,
+                              render_scenario_catalog, scenario_battery)
+
+    battery = scenario_battery(stop_ms=args.stop)
+    if args.list:
+        print(render_scenario_catalog(battery))
+        return
+    store = _store_from(args)
+    fingerprints = [
+        fingerprint_client(profile, seed=args.seed, store=store,
+                           workers=args.workers, battery=battery)
+        for profile in local_testbed_clients()]
+    if args.json:
+        print(fingerprints_to_json(fingerprints))
+    else:
+        print(render_conformance_summary(fingerprints))
+    _report_cache(store)
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> None:
+    """Mark-and-sweep the campaign store against the keys the current
+    CLI campaigns (tables, figures, conformance, web, resolvers) would
+    reference with the given seed and options."""
+    from .analysis import (figure2_runner, figure5_runner,
+                           table2_local_runner, table3_store_keys)
+    from .clients.registry import (figure2_clients, get_profile,
+                                   local_testbed_clients, table2_clients)
+    from .conformance import ConformanceProbe, scenario_battery
+    from .webtool import TABLE5_MATRIX, UAEntry, WebCampaign
+
+    store = _store_from(args)
+    if store is None:
+        raise SystemExit("cache gc needs --cache-dir (or $REPRO_CACHE_DIR)")
+    seed = args.seed
+    live: "set[str]" = set()
+    live.update(figure2_runner(figure2_clients(), step_ms=args.step,
+                               stop_ms=args.stop, seed=seed).store_keys())
+    figure5_profiles = [get_profile(n, v) for n, v in FIGURE5_CLIENTS]
+    live.update(figure5_runner(figure5_profiles, seed=seed).store_keys())
+    for profile in table2_clients():
+        if profile.supports_local_tests:
+            live.update(table2_local_runner(profile, seed=seed)
+                        .store_keys())
+    live.update(table3_store_keys(
+        seed=seed, share_repetitions=args.table3_repetitions,
+        delay_repetitions=max(3, args.table3_repetitions // 20)))
+    battery = scenario_battery()
+    for profile in local_testbed_clients():
+        probe = ConformanceProbe(profile, seed=seed, store=store,
+                                 battery=battery)
+        live.update(probe.store_keys())
+    live.update(WebCampaign(seed=seed + 1, repetitions=10).store_keys(
+        tuple(UAEntry(*entry) for entry in TABLE2_WEB_ENTRIES)))
+    live.update(WebCampaign(seed=seed, repetitions=5).store_keys(
+        TABLE5_MATRIX))
+    stats = store.gc(live)
+    print(f"[cache gc] {stats.summary()} root={store.root}")
 
 
 def _cmd_trace(args: argparse.Namespace) -> None:
@@ -238,6 +343,44 @@ def build_parser() -> argparse.ArgumentParser:
     pt = sub.add_parser("trace", help="one HE run's event trace")
     pt.add_argument("--delay-ms", type=int, default=400)
     pt.set_defaults(fn=_cmd_trace)
+
+    pfp = sub.add_parser(
+        "fingerprint",
+        help="probe one client with the conformance scenario battery "
+             "and print its RFC 8305 fingerprint report")
+    pfp.add_argument("client",
+                     help="client selector: 'Name version', 'Name' "
+                          "(latest), or 'all'")
+    pfp.add_argument("--stop", type=int, default=400,
+                     help="CAD sweep upper bound in ms (default 400)")
+    pfp.add_argument("--json", action="store_true",
+                     help="machine-readable report instead of the table")
+    pfp.set_defaults(fn=_cmd_fingerprint)
+
+    pcf = sub.add_parser(
+        "conformance",
+        help="fingerprint every local-testbed client and print the "
+             "conformance summary")
+    pcf.add_argument("--stop", type=int, default=400)
+    pcf.add_argument("--json", action="store_true")
+    pcf.add_argument("--list", action="store_true",
+                     help="print the scenario catalog and exit")
+    pcf.set_defaults(fn=_cmd_conformance)
+
+    pcache = sub.add_parser("cache", help="campaign store maintenance")
+    cache_sub = pcache.add_subparsers(dest="cache_command", required=True)
+    pgc = cache_sub.add_parser(
+        "gc",
+        help="drop store entries unreferenced by the current campaign "
+             "digests and print the reclaimed bytes")
+    pgc.add_argument("--step", type=int, default=25,
+                     help="figure2 step whose keys stay live (default 25)")
+    pgc.add_argument("--stop", type=int, default=400)
+    pgc.add_argument("--table3-repetitions", type=int, default=160,
+                     help="table3 share repetitions whose keys stay "
+                          "live (default 160, the table3 default; "
+                          "smaller campaigns are a key subset)")
+    pgc.set_defaults(fn=_cmd_cache_gc)
     return parser
 
 

@@ -14,7 +14,8 @@ from .icpr import (AKAMAI_EGRESS, CLOUDFLARE_EGRESS, EGRESS_OPERATORS,
 from .profile import (ClientProfile, SERIAL_CAD, chromium_params,
                       curl_params, gecko_params, webkit_params, wget_params)
 from .registry import (all_profiles, figure2_clients, get_profile,
-                       local_testbed_clients, table2_clients)
+                       local_testbed_clients, resolve_profiles,
+                       table2_clients)
 
 __all__ = [
     "AKAMAI_EGRESS", "CLIENT_STUB_TIMEOUT", "CLOUDFLARE_EGRESS", "Client",
@@ -22,6 +23,6 @@ __all__ = [
     "FetchResult", "ICPREgressNode", "ICPRRelayClient",
     "ICPRRelayService", "SERIAL_CAD", "all_profiles",
     "chromium_params", "curl_params", "figure2_clients", "gecko_params",
-    "get_profile", "local_testbed_clients", "table2_clients",
-    "webkit_params", "wget_params",
+    "get_profile", "local_testbed_clients", "resolve_profiles",
+    "table2_clients", "webkit_params", "wget_params",
 ]

@@ -72,6 +72,20 @@ class ClientProfile:
         return (self.params.resolution_policy is ResolutionPolicy.HE_V2
                 and self.params.resolution_delay is not None)
 
+    @property
+    def nominal_rd(self) -> Optional[float]:
+        """The declared Resolution Delay in seconds, or None.
+
+        The conformance fingerprint compares its *measured* RD against
+        this declared value, exactly as :attr:`nominal_cad` anchors
+        the measured CAD.
+        """
+        if not self.implements_happy_eyeballs:
+            return None
+        if not self.implements_resolution_delay:
+            return None
+        return self.params.resolution_delay
+
     def with_hev3_flag(self) -> "ClientProfile":
         """The profile with Chromium's HEv3 feature flag enabled.
 

@@ -113,6 +113,26 @@ def get_profile(name: str, version: Optional[str] = None) -> ClientProfile:
     return matches[-1]
 
 
+def resolve_profiles(selector: str) -> List[ClientProfile]:
+    """Profiles matching a CLI-style selector.
+
+    ``"all"`` (or ``"*"``) → every client the local testbed supports;
+    ``"Name version"`` → that exact profile; ``"Name"`` → the latest
+    version of that client.  Raises :class:`KeyError` with the valid
+    keys when nothing matches.
+    """
+    if selector.strip().lower() in ("all", "*"):
+        return local_testbed_clients()
+    key = selector.strip().lower()
+    if key in _BY_KEY:
+        return [_BY_KEY[key]]
+    matches = [p for p in _PROFILES if p.name.lower() == key]
+    if matches:
+        return [matches[-1]]
+    known = ", ".join(sorted({p.full_name for p in _PROFILES}))
+    raise KeyError(f"no client matches {selector!r} (known: {known})")
+
+
 def figure2_clients() -> List[ClientProfile]:
     """The 17 rows of Figure 2, bottom-up order as plotted.
 

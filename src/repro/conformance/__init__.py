@@ -1,0 +1,36 @@
+"""Blackbox conformance engine: scenario battery → RFC 8305 fingerprint.
+
+The paper treats every client as a black box and infers its Happy
+Eyeballs parameters from the wire; this subsystem turns that inference
+into *verdicts*.  An adaptive battery of impairment scenarios (IPv6
+delay sweeps, blackholes, loss, DNS pathologies, jitter, reordering,
+rate limits — :mod:`repro.conformance.scenarios`) probes a client
+profile through the regular campaign machinery, the coarse→fine sweep
+refinement rides the content-addressed store
+(:mod:`repro.conformance.probe`), and the observables assemble into
+per-parameter verdicts with measured-vs-nominal deltas and explicit
+RFC 8305 MUST/SHOULD deviation flags
+(:mod:`repro.conformance.fingerprint`, rendered by
+:mod:`repro.conformance.report`).
+"""
+
+from .fingerprint import (ClientFingerprint, Deviation, ParameterVerdict,
+                          Requirement, assemble_fingerprint,
+                          fingerprint_client, outcomes_from_records)
+from .probe import (ConformanceProbe, ScenarioOutcome,
+                    refinement_window)
+from .report import (fingerprint_to_dict, fingerprints_to_json,
+                     render_conformance_summary, render_fingerprint,
+                     render_scenario_catalog)
+from .scenarios import (RFC8305Parameter, Scenario, scenario_battery,
+                        scenario_by_name)
+
+__all__ = [
+    "ClientFingerprint", "ConformanceProbe", "Deviation",
+    "ParameterVerdict", "RFC8305Parameter", "Requirement", "Scenario",
+    "ScenarioOutcome", "assemble_fingerprint", "fingerprint_client",
+    "fingerprint_to_dict", "fingerprints_to_json",
+    "outcomes_from_records", "refinement_window",
+    "render_conformance_summary", "render_fingerprint",
+    "render_scenario_catalog", "scenario_battery", "scenario_by_name",
+]

@@ -1,0 +1,204 @@
+"""The adaptive scenario driver (coarse→fine, cache-aware).
+
+The probe runs each scenario of the battery against one client through
+the regular campaign machinery — :class:`~repro.testbed.runner
+.TestRunner`, the process-global worker pool, and the content-addressed
+:class:`~repro.testbed.store.CampaignStore`.  Sweep scenarios use the
+paper's two-phase strategy (§4.3(i)): a coarse pass over the full
+range, then a fine pass bounded to the window around the observed
+family crossover.  Because run digests are independent of the sweep
+shape, the fine pass replays every coarse value it overlaps from the
+store and executes only genuinely new values — the ROADMAP's
+"cache-aware sweep refinement" is this loop.
+
+Everything is deterministic: the fine window is a pure function of the
+coarse records, which are a pure function of the run coordinates — so
+serial, parallel, and warm-cache probes produce byte-identical
+fingerprints, which the conformance tests and the CI smoke enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..clients.profile import ClientProfile
+from ..simnet.addr import Family
+from ..testbed.config import SweepSpec, TestCaseConfig
+from ..testbed.runner import RunRecord, TestRunner, series_flap_window
+from ..testbed.store import CampaignStore
+from .scenarios import Scenario, scenario_battery
+
+
+@dataclass
+class ScenarioOutcome:
+    """Everything one scenario observed for one client."""
+
+    scenario: Scenario
+    records: List[RunRecord] = field(default_factory=list)
+    #: ``(lo_ms, hi_ms)`` the fine pass covered, for sweep scenarios.
+    refined_window_ms: Optional[Tuple[int, int]] = None
+    #: Present when the coarse series flapped (IPv4 below an IPv6 win).
+    flap_window_ms: Optional[Tuple[int, int]] = None
+
+    @property
+    def family_series(self) -> Dict[int, Family]:
+        """delay_ms → established family, majority over repetitions."""
+        votes: Dict[int, Dict[Family, int]] = {}
+        for record in self.records:
+            if record.winning_family is None:
+                continue
+            per_value = votes.setdefault(record.value_ms, {})
+            per_value[record.winning_family] = \
+                per_value.get(record.winning_family, 0) + 1
+        from ..testbed.runner import majority_family
+
+        return {value: majority_family(per_value)
+                for value, per_value in sorted(votes.items())}
+
+    @property
+    def crossover_ms(self) -> Optional[int]:
+        """Largest delay still established via IPv6, or None."""
+        v6 = [value for value, family in self.family_series.items()
+              if family is Family.V6]
+        return max(v6) if v6 else None
+
+
+def refinement_window(series: "Dict[int, Family]", coarse_step_ms: int,
+                      stop_ms: int) -> Optional[Tuple[int, int]]:
+    """The delay window a fine pass should cover, or None.
+
+    A pure function of the coarse family series: the window spans from
+    the largest IPv6 win to the smallest IPv4 win above it (the
+    crossover hides in between).  A flapping series widens the window
+    to the whole flap plus one coarse step on each side; a series that
+    never reaches IPv4 (no fallback observed) needs no refinement.
+    """
+    flap = series_flap_window(series)
+    if flap is not None:
+        lo, hi = flap
+        return (max(0, lo - coarse_step_ms),
+                min(stop_ms, hi + coarse_step_ms))
+    v4 = [value for value, family in series.items()
+          if family is Family.V4]
+    if not v4:
+        return None
+    v6 = [value for value, family in series.items()
+          if family is Family.V6]
+    lo = max(v6) if v6 else 0
+    above = [value for value in v4 if value > lo]
+    hi = min(above) if above else stop_ms
+    if hi <= lo:
+        return None
+    return (lo, hi)
+
+
+class ConformanceProbe:
+    """Runs the scenario battery against one client profile."""
+
+    def __init__(self, profile: ClientProfile, seed: int = 0,
+                 store: Optional[CampaignStore] = None,
+                 workers: Optional[int] = None,
+                 battery: "Optional[Sequence[Scenario]]" = None) -> None:
+        self.profile = profile
+        self.seed = seed
+        self.store = store
+        self.workers = workers
+        self.battery: "Tuple[Scenario, ...]" = tuple(
+            battery if battery is not None else scenario_battery())
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self) -> "List[ScenarioOutcome]":
+        return [self.run_scenario(scenario) for scenario in self.battery]
+
+    def run_scenario(self, scenario: Scenario) -> ScenarioOutcome:
+        coarse = self._run_case(scenario.case)
+        outcome = ScenarioOutcome(scenario=scenario, records=coarse)
+        if not scenario.adaptive:
+            return outcome
+        series = outcome.family_series
+        outcome.flap_window_ms = series_flap_window(series)
+        window = refinement_window(
+            series, scenario.coarse_step_ms, max(scenario.case.sweep))
+        if window is None:
+            return outcome
+        fine_case = self._fine_case(scenario, window)
+        if fine_case is None:
+            return outcome
+        outcome.refined_window_ms = window
+        fine = self._run_case(fine_case)
+        outcome.records = _merge_records(coarse, fine)
+        return outcome
+
+    def _run_case(self, case: TestCaseConfig) -> "List[RunRecord]":
+        runner = TestRunner([self.profile], [case], seed=self.seed,
+                            store=self.store)
+        return list(runner.stream(workers=self.workers))
+
+    @staticmethod
+    def _fine_case(scenario: Scenario,
+                   window: "Tuple[int, int]"
+                   ) -> Optional[TestCaseConfig]:
+        lo, hi = window
+        if hi - lo <= scenario.fine_step_ms:
+            return None  # the coarse grid is already that fine
+        return replace(scenario.case,
+                       sweep=SweepSpec.range(lo, hi, scenario.fine_step_ms))
+
+    # -- planning (cache gc) ---------------------------------------------------
+
+    def store_keys(self) -> "Iterator[str]":
+        """Content address of every run the battery would reference.
+
+        Coarse keys are enumerable unconditionally.  Fine keys exist
+        only once the coarse pass ran, so they are resolved *from the
+        store*: when every coarse record of an adaptive scenario is
+        cached, the same pure refinement logic reproduces the fine
+        window — without executing anything.  ``repro cache gc`` uses
+        this to keep a warm conformance battery alive.
+        """
+        if self.store is None:
+            raise ValueError("store_keys() needs a store attached")
+        for scenario in self.battery:
+            runner = TestRunner([self.profile], [scenario.case],
+                                seed=self.seed, store=self.store)
+            keys = list(runner.store_keys())
+            yield from keys
+            if not scenario.adaptive:
+                continue
+            cached = [self.store.get_record(key) for key in keys]
+            if any(record is None for record in cached):
+                continue  # cold coarse pass: fine window unknowable
+            outcome = ScenarioOutcome(scenario=scenario,
+                                      records=list(cached))
+            window = refinement_window(
+                outcome.family_series, scenario.coarse_step_ms,
+                max(scenario.case.sweep))
+            if window is None:
+                continue
+            fine_case = self._fine_case(scenario, window)
+            if fine_case is None:
+                continue
+            fine_runner = TestRunner([self.profile], [fine_case],
+                                     seed=self.seed, store=self.store)
+            yield from fine_runner.store_keys()
+
+
+def _merge_records(coarse: "List[RunRecord]",
+                   fine: "List[RunRecord]") -> "List[RunRecord]":
+    """Coarse + fine records, deduplicated on coordinates and sorted.
+
+    Overlapping values come back byte-identical from the store either
+    way, so keeping the first sighting is arbitrary but deterministic.
+    """
+    seen = set()
+    merged: "List[RunRecord]" = []
+    for record in coarse + fine:
+        key = (record.value_ms, record.repetition)
+        if key in seen:
+            continue
+        seen.add(key)
+        merged.append(record)
+    merged.sort(key=lambda r: (r.value_ms, r.repetition))
+    return merged

@@ -1,0 +1,234 @@
+"""The conformance scenario catalog.
+
+Each :class:`Scenario` is one impairment the battery subjects a client
+to, declared as data: the test case (composed from
+:class:`~repro.testbed.config.ImpairmentSpec` netem stanzas or the
+paper's §4.1 case kinds), the RFC 8305 parameter the scenario
+*discriminates*, and — for sweep scenarios — how the adaptive probe
+refines the coarse pass.  The catalog mirrors the blackbox philosophy
+of the paper and of the QUIC noncompliance checker it cites: nothing
+here knows how any client is implemented; a scenario only shapes the
+wire and declares which parameter its observables pin down.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..simnet.addr import Family
+from ..simnet.packet import Protocol
+from ..testbed.config import (ImpairmentSpec, SweepSpec, TestCaseConfig,
+                              TestCaseKind)
+
+#: Case-name prefix: conformance cases share the campaign store with
+#: every other campaign, so their names must not collide.
+CASE_PREFIX = "conf-"
+
+
+class RFC8305Parameter(enum.Enum):
+    """The RFC 8305 knobs a scenario can discriminate."""
+
+    CONNECTION_ATTEMPT_DELAY = "connection-attempt-delay"
+    RESOLUTION_DELAY = "resolution-delay"
+    RESOLUTION_POLICY = "resolution-policy"
+    FIRST_ADDRESS_FAMILY = "first-address-family"
+    FALLBACK = "fallback"
+    RETRY_ROBUSTNESS = "retry-robustness"
+
+    @property
+    def short(self) -> str:
+        return {
+            "CONNECTION_ATTEMPT_DELAY": "CAD",
+            "RESOLUTION_DELAY": "RD",
+            "RESOLUTION_POLICY": "res. policy",
+            "FIRST_ADDRESS_FAMILY": "first family",
+            "FALLBACK": "fallback",
+            "RETRY_ROBUSTNESS": "retry",
+        }[self.name]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One impairment scenario of the conformance battery."""
+
+    name: str
+    discriminates: RFC8305Parameter
+    rfc_clause: str
+    description: str
+    case: TestCaseConfig
+    #: Set on sweep scenarios: the probe refines the coarse crossover
+    #: with a second pass at this step, bounded by the coarse step.
+    fine_step_ms: Optional[int] = None
+    coarse_step_ms: Optional[int] = None
+
+    @property
+    def adaptive(self) -> bool:
+        return self.fine_step_ms is not None
+
+    @property
+    def impairment_label(self) -> str:
+        """Human-readable shaping summary for catalogs and reports."""
+        if self.case.kind is TestCaseKind.RESOLUTION_DELAY:
+            return "AAAA answer delayed by sweep value"
+        if self.case.kind is TestCaseKind.DELAYED_A:
+            return "A answer delayed by sweep value"
+        if self.case.kind is TestCaseKind.CONNECTION_ATTEMPT_DELAY:
+            return "IPv6 TCP delayed by sweep value"
+        if not self.case.impairments:
+            return "none (pristine dual stack)"
+        return "; ".join(spec.label() for spec in self.case.impairments)
+
+
+def scenario_battery(stop_ms: int = 400, coarse_step_ms: int = 50,
+                     fine_step_ms: int = 5,
+                     loss_repetitions: int = 5) -> "Tuple[Scenario, ...]":
+    """The default battery: ≥8 scenarios covering every parameter.
+
+    All scenarios run through the regular campaign machinery (runner,
+    store, worker pool), so a warm cache replays the whole battery
+    without executing a single run.
+    """
+    sweep = SweepSpec.range(0, stop_ms, coarse_step_ms)
+    return (
+        Scenario(
+            name="v6-delay-sweep",
+            discriminates=RFC8305Parameter.CONNECTION_ATTEMPT_DELAY,
+            rfc_clause="RFC 8305 §5",
+            description="Sweep the IPv6 TCP delay; the gap between the "
+                        "first IPv6 and first IPv4 attempt is the CAD, "
+                        "refined around the coarse family crossover.",
+            case=TestCaseConfig(
+                name=CASE_PREFIX + "v6-delay-sweep",
+                kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
+                sweep=sweep),
+            fine_step_ms=fine_step_ms, coarse_step_ms=coarse_step_ms),
+        Scenario(
+            name="jittery-dual-stack",
+            discriminates=RFC8305Parameter.CONNECTION_ATTEMPT_DELAY,
+            rfc_clause="RFC 8305 §5",
+            description="The same delay sweep under ±15 ms correlated "
+                        "jitter: the CAD estimate must survive an "
+                        "unsteady path.",
+            case=TestCaseConfig(
+                name=CASE_PREFIX + "jittery-dual-stack",
+                kind=TestCaseKind.IMPAIRMENT,
+                sweep=sweep,
+                impairments=(ImpairmentSpec(
+                    family=Family.V6, protocol=Protocol.TCP,
+                    value_scaled=True, jitter_s=0.015,
+                    jitter_correlation=0.25, name="v6-jitter"),)),
+            fine_step_ms=fine_step_ms, coarse_step_ms=coarse_step_ms),
+        Scenario(
+            name="v6-blackhole",
+            discriminates=RFC8305Parameter.FALLBACK,
+            rfc_clause="RFC 8305 §4",
+            description="Drop every IPv6 TCP packet: a conforming "
+                        "client must still reach the host over IPv4.",
+            case=TestCaseConfig(
+                name=CASE_PREFIX + "v6-blackhole",
+                kind=TestCaseKind.IMPAIRMENT,
+                sweep=SweepSpec.fixed(0),
+                impairments=(ImpairmentSpec(
+                    family=Family.V6, protocol=Protocol.TCP, loss=1.0,
+                    name="v6-blackhole"),)),
+        ),
+        Scenario(
+            name="asymmetric-loss",
+            discriminates=RFC8305Parameter.RETRY_ROBUSTNESS,
+            rfc_clause="RFC 8305 §4",
+            description="Drop 40 % of IPv6 TCP packets: retransmits "
+                        "or the IPv4 race must still complete every "
+                        "repetition.",
+            case=TestCaseConfig(
+                name=CASE_PREFIX + "asymmetric-loss",
+                kind=TestCaseKind.IMPAIRMENT,
+                sweep=SweepSpec.fixed(0),
+                repetitions=loss_repetitions,
+                impairments=(ImpairmentSpec(
+                    family=Family.V6, protocol=Protocol.TCP, loss=0.4,
+                    name="v6-loss-40"),)),
+        ),
+        Scenario(
+            name="delayed-aaaa",
+            discriminates=RFC8305Parameter.RESOLUTION_DELAY,
+            rfc_clause="RFC 8305 §3",
+            description="Hold the AAAA answer back 1.5 s: a client "
+                        "implementing the Resolution Delay starts "
+                        "IPv4 ~50 ms after the A answer instead of "
+                        "waiting.",
+            case=TestCaseConfig(
+                name=CASE_PREFIX + "delayed-aaaa",
+                kind=TestCaseKind.RESOLUTION_DELAY,
+                sweep=SweepSpec.fixed(1500)),
+        ),
+        Scenario(
+            name="delayed-a",
+            discriminates=RFC8305Parameter.RESOLUTION_POLICY,
+            rfc_clause="RFC 8305 §3",
+            description="Hold the A answer back 1.5 s with IPv6 fully "
+                        "healthy: waiting for both answers is the "
+                        "§5.2 stall.",
+            case=TestCaseConfig(
+                name=CASE_PREFIX + "delayed-a",
+                kind=TestCaseKind.DELAYED_A,
+                sweep=SweepSpec.fixed(1500)),
+        ),
+        Scenario(
+            name="slow-resolver",
+            discriminates=RFC8305Parameter.FIRST_ADDRESS_FAMILY,
+            rfc_clause="RFC 8305 §3–4",
+            description="Delay every DNS answer 300 ms: query order "
+                        "(AAAA first) and the IPv6 preference must "
+                        "not depend on a fast resolver.",
+            case=TestCaseConfig(
+                name=CASE_PREFIX + "slow-resolver",
+                kind=TestCaseKind.IMPAIRMENT,
+                sweep=SweepSpec.fixed(0),
+                impairments=(ImpairmentSpec(
+                    protocol=Protocol.UDP, delay_s=0.3,
+                    name="slow-dns"),)),
+        ),
+        Scenario(
+            name="v6-reorder",
+            discriminates=RFC8305Parameter.FALLBACK,
+            rfc_clause="RFC 8305 §4",
+            description="50 ms IPv6 delay with 25 % reordering: "
+                        "overtaking packets must not trigger a "
+                        "spurious IPv4 fallback.",
+            case=TestCaseConfig(
+                name=CASE_PREFIX + "v6-reorder",
+                kind=TestCaseKind.IMPAIRMENT,
+                sweep=SweepSpec.fixed(0),
+                repetitions=3,
+                impairments=(ImpairmentSpec(
+                    family=Family.V6, protocol=Protocol.TCP,
+                    delay_s=0.050, reorder_probability=0.25,
+                    name="v6-reorder"),)),
+        ),
+        Scenario(
+            name="rate-limited-v6",
+            discriminates=RFC8305Parameter.FALLBACK,
+            rfc_clause="RFC 8305 §4–5",
+            description="Serialize IPv6 TCP at 1 kbit/s (~480 ms per "
+                        "handshake packet): clients whose CAD is "
+                        "shorter must win over IPv4.",
+            case=TestCaseConfig(
+                name=CASE_PREFIX + "rate-limited-v6",
+                kind=TestCaseKind.IMPAIRMENT,
+                sweep=SweepSpec.fixed(0),
+                impairments=(ImpairmentSpec(
+                    family=Family.V6, protocol=Protocol.TCP,
+                    rate_bps=1000.0, name="v6-rate-1k"),)),
+        ),
+    )
+
+
+def scenario_by_name(name: str,
+                     battery: "Optional[Tuple[Scenario, ...]]" = None
+                     ) -> Scenario:
+    for scenario in (battery if battery is not None else scenario_battery()):
+        if scenario.name == name:
+            return scenario
+    raise KeyError(f"no scenario named {name!r}")

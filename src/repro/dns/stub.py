@@ -29,8 +29,6 @@ from .rdata import RdataType
 DEFAULT_QUERY_TIMEOUT = 5.0
 DEFAULT_RETRIES = 2
 
-_query_ids = itertools.count(0x1000)
-
 
 @dataclass
 class StubAnswer:
@@ -81,6 +79,12 @@ class StubResolver:
         self.retries = retries
         self.port = port
         self.queries_sent = 0
+        # Per-instance id sequence (was a process-global counter): a
+        # fresh stub always numbers its queries 0x1000, 0x1001, …, so
+        # a re-run of the same isolated testbed produces byte-identical
+        # query payloads — which repetition-heavy campaigns rely on to
+        # intern DNS decodes across runs.
+        self._query_ids = itertools.count(0x1000)
 
     # -- single query -----------------------------------------------------------
 
@@ -103,7 +107,7 @@ class StubResolver:
         try:
             for attempt in range(self.retries + 1):
                 for server in self.nameservers:
-                    query_id = next(_query_ids) & 0xFFFF
+                    query_id = next(self._query_ids) & 0xFFFF
                     message = DNSMessage.make_query(qname, rtype, query_id)
                     sock.sendto(message.encode(), server, self.port)
                     self.queries_sent += 1

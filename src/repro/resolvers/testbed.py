@@ -27,6 +27,7 @@ from ..seeding import stable_run_seed
 from ..simnet.addr import Family
 from ..simnet.netem import NetemFilter, NetemRule, NetemSpec
 from ..simnet.network import Network
+from ..testbed.store import CampaignStore
 
 RESOLVER_V4 = "192.0.2.100"
 RESOLVER_V6 = "2001:db8:2::100"
@@ -272,22 +273,105 @@ class ResolverCampaignResult:
         return median(gaps) * 1000.0 if gaps else None
 
 
+# --------------------------------------------------------------------------
+# campaign execution through the content-addressed store
+# --------------------------------------------------------------------------
+
+
+def encode_observation(observation: ResolverRunObservation) -> dict:
+    """JSON-shaped dict; :func:`decode_observation` rebuilds an
+    ``==``-identical observation (the store's byte-identity contract)."""
+    def fam(value: "Optional[Family]") -> Optional[str]:
+        return value.name if value is not None else None
+
+    return {
+        "zone": observation.zone,
+        "delay_ms": observation.delay_ms,
+        "success": observation.success,
+        "first_probe_family": fam(observation.first_probe_family),
+        "answering_family": fam(observation.answering_family),
+        "v6_packets": observation.v6_packets,
+        "v4_packets": observation.v4_packets,
+        "aaaa_before_probe": observation.aaaa_before_probe,
+        "aaaa_before_a": observation.aaaa_before_a,
+        "fallback_gap_s": observation.fallback_gap_s,
+        "duration_s": observation.duration_s,
+    }
+
+
+def decode_observation(data: dict) -> ResolverRunObservation:
+    """Rebuild a cached observation; raises on any malformed entry."""
+    def fam(value) -> "Optional[Family]":
+        return Family[value] if value is not None else None
+
+    return ResolverRunObservation(
+        zone=data["zone"],
+        delay_ms=int(data["delay_ms"]),
+        success=bool(data["success"]),
+        first_probe_family=fam(data["first_probe_family"]),
+        answering_family=fam(data["answering_family"]),
+        v6_packets=int(data["v6_packets"]),
+        v4_packets=int(data["v4_packets"]),
+        aaaa_before_probe=data["aaaa_before_probe"],
+        aaaa_before_a=data["aaaa_before_a"],
+        fallback_gap_s=(float(data["fallback_gap_s"])
+                        if data["fallback_gap_s"] is not None else None),
+        duration_s=float(data["duration_s"]),
+    )
+
+
+def resolver_run_key(behavior: ResolverBehavior, seed: int,
+                     delay_ms: int, repetition: int) -> str:
+    """Content address of one resolver run: the full behaviour
+    dataclass (any knob change misses) plus the run coordinates."""
+    run_seed = stable_run_seed(seed, behavior.name, delay_ms, repetition)
+    return CampaignStore.key("resolver-run", behavior, run_seed,
+                             delay_ms, repetition)
+
+
+def resolver_campaign_keys(behavior: ResolverBehavior,
+                           delays_ms: "list[int]", repetitions: int,
+                           seed: int) -> "List[str]":
+    """Every store key a campaign references (``repro cache gc``)."""
+    return [resolver_run_key(behavior, seed, delay_ms, repetition)
+            for delay_ms in delays_ms
+            for repetition in range(repetitions)]
+
+
 def run_resolver_campaign(behavior: ResolverBehavior,
                           delays_ms: "list[int]",
                           repetitions: int = 4,
-                          seed: int = 0) -> ResolverCampaignResult:
-    """Sweep delays × repetitions for one resolver behaviour."""
+                          seed: int = 0,
+                          store: "Optional[CampaignStore]" = None
+                          ) -> ResolverCampaignResult:
+    """Sweep delays × repetitions for one resolver behaviour.
+
+    Every run is a pure function of ``(behavior, seed, delay_ms,
+    repetition)`` — the zone apex and name-server addresses derive
+    from the repetition index, not from a campaign-wide counter — so
+    with ``store`` attached, unchanged runs replay from the
+    content-addressed cache exactly like testbed runs, independent of
+    which other delays share the campaign.
+    """
     result = ResolverCampaignResult(behavior_name=behavior.name)
-    zone_index = 0
     for delay_ms in delays_ms:
         for repetition in range(repetitions):
+            key = (resolver_run_key(behavior, seed, delay_ms, repetition)
+                   if store is not None else None)
+            if store is not None:
+                cached = store.get(key, decode_observation)
+                if cached is not None:
+                    result.observations.append(cached)
+                    continue
             run_seed = stable_run_seed(seed, behavior.name, delay_ms,
                                        repetition)
             testbed = ResolverTestbed(behavior, seed=run_seed,
                                       delay_ms=delay_ms,
-                                      zone_index=zone_index)
-            result.observations.append(testbed.run())
-            zone_index += 1
+                                      zone_index=repetition)
+            observation = testbed.run()
+            if store is not None:
+                store.put(key, encode_observation(observation))
+            result.observations.append(observation)
     return result
 
 

@@ -145,7 +145,12 @@ class NetemQdisc:
         """
         self.packets_seen += 1
         spec = self.spec
-        if spec.loss and self._rng.random() < spec.loss:
+        # A total-loss qdisc (the blackhole scenario) drops without
+        # consuming a sample: the rng is shared across an interface's
+        # qdiscs, and a deterministic drop must not perturb the jitter
+        # and loss draws of the rules shaping the surviving traffic.
+        if spec.loss and (spec.loss >= 1.0
+                          or self._rng.random() < spec.loss):
             self.packets_dropped += 1
             return None
 

@@ -6,17 +6,19 @@ iterates test cases × sweep configurations × clients with full state
 isolation per run.
 """
 
-from .config import (SweepSpec, TestCaseConfig, TestCaseKind,
-                     address_selection_case, cad_case, delayed_a_case,
-                     rd_case)
+from .config import (ImpairmentSpec, SweepSpec, TestCaseConfig,
+                     TestCaseKind, address_selection_case, cad_case,
+                     delayed_a_case, rd_case)
 from .inference import (CaptureObservation, aaaa_before_a,
                         attempt_sequence, attempts_per_family,
-                        dns_observations, established_family, infer_cad,
+                        clear_dns_decode_intern, dns_observations,
+                        established_family, infer_cad,
                         infer_resolution_delay, query_order,
                         time_to_first_attempt)
 from .modules import (AddressSelectionModule, CaptureModule, DnsDelayModule,
-                      NetemModule, SetupModule, modules_for)
-from .parallel import CampaignExecutor, RunSpec, enumerate_specs
+                      ImpairmentModule, NetemModule, SetupModule,
+                      modules_for)
+from .parallel import CampaignExecutor, RunSpec, enumerate_specs, spec_keys
 from .runner import (NonMonotonicSeriesError, ResultSet, RunRecord,
                      StreamingResultSet, TestRunner, majority_family,
                      series_flap_window)
@@ -28,15 +30,17 @@ from .topology import (EchoExchange, EchoWebServer, LocalTestbed,
 __all__ = [
     "AddressSelectionModule", "CacheStats", "CampaignExecutor",
     "CampaignSpec", "CampaignStore", "CaptureModule", "CaptureObservation",
-    "DnsDelayModule", "NonMonotonicSeriesError", "RunSpec",
+    "DnsDelayModule", "ImpairmentModule", "ImpairmentSpec",
+    "NonMonotonicSeriesError", "RunSpec",
     "SpecError", "StreamingResultSet", "run_campaign_spec",
     "EchoExchange", "EchoWebServer", "LocalTestbed", "NetemModule",
     "ResultSet", "RunRecord", "SetupModule", "SweepSpec", "TEST_DOMAIN",
     "TestCaseConfig", "TestCaseKind", "TestRunner", "WEB_PORT",
     "aaaa_before_a", "address_selection_case", "attempt_sequence",
-    "attempts_per_family", "cad_case", "config_digest", "delayed_a_case",
+    "attempts_per_family", "cad_case", "clear_dns_decode_intern",
+    "config_digest", "delayed_a_case",
     "dns_observations", "enumerate_specs", "established_family",
     "infer_cad", "infer_resolution_delay", "majority_family",
     "modules_for", "query_order", "rd_case", "series_flap_window",
-    "time_to_first_attempt",
+    "spec_keys", "time_to_first_attempt",
 ]

@@ -10,11 +10,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..dns.rdata import RdataType
+from ..simnet.addr import Family
+from ..simnet.packet import Protocol
 
 
 class TestCaseKind(enum.Enum):
-    """The measurement targets of §4.1."""
+    """The measurement targets of §4.1 (plus generic impairments)."""
 
     __test__ = False  # not a pytest class, despite the name
 
@@ -22,6 +26,73 @@ class TestCaseKind(enum.Enum):
     RESOLUTION_DELAY = "rd"
     DELAYED_A = "delayed-a"
     ADDRESS_SELECTION = "address-selection"
+    #: A case whose only setup is its declarative ``impairments`` —
+    #: the conformance battery's scenario mechanism.
+    IMPAIRMENT = "impairment"
+
+
+@dataclass(frozen=True)
+class ImpairmentSpec:
+    """One declarative shaping stanza applied at every run of a case.
+
+    The configuration-file equivalent of one ``tc filter``+``qdisc``
+    line in the paper's setup scripts: which packets to match (family,
+    protocol) and how to impair them (netem delay/jitter/loss/reorder/
+    rate), or — with ``dns_rtype`` set — a static answer delay at the
+    authoritative server instead of wire shaping.  Times are seconds,
+    like :class:`~repro.simnet.netem.NetemSpec`.  With ``value_scaled``
+    the case's sweep value (ms) is added to ``delay_s``, so one spec
+    describes a whole delay sweep.
+    """
+
+    family: Optional[Family] = None
+    protocol: Optional[Protocol] = None
+    value_scaled: bool = False
+    delay_s: float = 0.0
+    jitter_s: float = 0.0
+    jitter_correlation: float = 0.0
+    loss: float = 0.0
+    reorder_probability: float = 0.0
+    reorder_gap_s: float = 0.001
+    rate_bps: Optional[float] = None
+    dns_rtype: Optional[RdataType] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.delay_s < 0:
+            raise ValueError(f"negative delay: {self.delay_s!r}")
+        if not 0.0 <= self.loss <= 1.0:
+            raise ValueError(f"loss must be a probability: {self.loss!r}")
+        if self.dns_rtype is not None and (
+                self.family is not None or self.protocol is not None
+                or self.loss or self.jitter_s or self.reorder_probability
+                or self.rate_bps is not None):
+            raise ValueError(
+                "a dns_rtype impairment is a static answer delay; "
+                "netem fields do not apply to it")
+
+    def label(self) -> str:
+        """Descriptive shaping summary (``name`` is the rule name)."""
+        parts = []
+        if self.dns_rtype is not None:
+            parts.append(f"dns-{self.dns_rtype.name.lower()}")
+        if self.family is not None:
+            parts.append(self.family.label)
+        if self.protocol is not None:
+            parts.append(self.protocol.value)
+        if self.value_scaled:
+            parts.append("delay=sweep")
+        elif self.delay_s:
+            parts.append(f"delay={self.delay_s * 1000:.0f}ms")
+        if self.jitter_s:
+            parts.append(f"jitter={self.jitter_s * 1000:.0f}ms")
+        if self.loss:
+            parts.append(f"loss={self.loss * 100:.0f}%")
+        if self.reorder_probability:
+            parts.append(f"reorder={self.reorder_probability * 100:.0f}%")
+        if self.rate_bps is not None:
+            parts.append(f"rate={self.rate_bps:.0f}bps")
+        return ",".join(parts) or "no-op"
 
 
 @dataclass(frozen=True)
@@ -91,6 +162,9 @@ class TestCaseConfig:
     addresses_per_family: int = 10
     #: Observation window per run, simulated seconds.
     run_timeout: float = 30.0
+    #: Declarative shaping applied at every run (any kind may stack
+    #: impairments; an IMPAIRMENT-kind case typically has only these).
+    impairments: Tuple[ImpairmentSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.repetitions < 1:

@@ -15,7 +15,8 @@ from typing import List, Optional
 
 from ..dns.rdata import RdataType
 from ..simnet.capture import PacketCapture
-from .config import TestCaseConfig, TestCaseKind
+from ..simnet.netem import NetemFilter, NetemRule, NetemSpec
+from .config import ImpairmentSpec, TestCaseConfig, TestCaseKind
 from .topology import LocalTestbed
 
 
@@ -92,6 +93,43 @@ class AddressSelectionModule(SetupModule):
             f"sel-{run_label}", addresses)
 
 
+class ImpairmentModule(SetupModule):
+    """Applies a case's declarative :class:`ImpairmentSpec` stanzas.
+
+    Each stanza becomes one netem rule on the server egress (where the
+    paper attaches ``tc``) — or a static DNS answer delay when
+    ``dns_rtype`` is set.  ``value_scaled`` stanzas add the run's sweep
+    value to their base delay, so a single spec describes a sweep.
+    """
+
+    name = "impairment"
+
+    def on_run_start(self, testbed, case, value_ms, run_label):
+        for spec in case.impairments:
+            delay_s = spec.delay_s + (value_ms / 1000.0
+                                      if spec.value_scaled else 0.0)
+            if spec.dns_rtype is not None:
+                testbed.set_dns_delay(spec.dns_rtype, delay_s)
+                continue
+            testbed.server_iface.egress.add_rule(NetemRule(
+                spec=NetemSpec(
+                    delay=delay_s,
+                    jitter=spec.jitter_s,
+                    jitter_correlation=spec.jitter_correlation,
+                    loss=spec.loss,
+                    reorder_probability=spec.reorder_probability,
+                    reorder_gap=spec.reorder_gap_s,
+                    rate_bps=spec.rate_bps),
+                filter=NetemFilter(family=spec.family,
+                                   protocol=spec.protocol),
+                name=spec.name or spec.label()))
+
+    def on_run_end(self, testbed, case, value_ms):
+        if case.impairments:
+            testbed.clear_shaping()
+            testbed.clear_dns_delays()
+
+
 class CaptureModule(SetupModule):
     """start capture.sh / stop capture.sh on the client node."""
 
@@ -117,5 +155,7 @@ def modules_for(case: TestCaseConfig) -> List[SetupModule]:
         chain.append(DnsDelayModule())
     if case.kind is TestCaseKind.ADDRESS_SELECTION:
         chain.append(AddressSelectionModule())
+    if case.impairments:
+        chain.append(ImpairmentModule())
     chain.append(CaptureModule())
     return chain

@@ -59,6 +59,28 @@ def enumerate_specs(runner: "TestRunner") -> List[RunSpec]:
     return specs
 
 
+def spec_keys(runner: "TestRunner",
+              specs: "Sequence[RunSpec]") -> "List[str]":
+    """The store key of each spec, memoizing the per-(case, client)
+    configuration digest — shared by the executor's hit planning and
+    by anything that needs a campaign's addresses without running it."""
+    digests: "Dict[Tuple[int, int], str]" = {}
+    keys: "List[str]" = []
+    for spec in specs:
+        pair = (spec.case_index, spec.client_index)
+        digest = digests.get(pair)
+        if digest is None:
+            digest = runner.config_digest_for(
+                runner.cases[spec.case_index],
+                runner.clients[spec.client_index])
+            digests[pair] = digest
+        keys.append(runner.store_key_for(
+            runner.cases[spec.case_index],
+            runner.clients[spec.client_index],
+            spec.value_ms, spec.repetition, config_digest=digest))
+    return keys
+
+
 def _execute_chunk(payload: "Tuple[TestRunner, Sequence[RunSpec]]"
                    ) -> "List[RunRecord]":
     """Worker entry point: run one chunk of specs in this process.
@@ -124,23 +146,10 @@ class CampaignExecutor:
         if store is None:
             yield from self._execute_pending(specs)
             return
-        digests: "Dict[Tuple[int, int], str]" = {}
-        keys: "List[str]" = []
+        keys = spec_keys(runner, specs)
         is_pending: "List[bool]" = []
         pending: "List[RunSpec]" = []
-        for spec in specs:
-            pair = (spec.case_index, spec.client_index)
-            digest = digests.get(pair)
-            if digest is None:
-                digest = runner.config_digest_for(
-                    runner.cases[spec.case_index],
-                    runner.clients[spec.client_index])
-                digests[pair] = digest
-            key = runner.store_key_for(
-                runner.cases[spec.case_index],
-                runner.clients[spec.client_index],
-                spec.value_ms, spec.repetition, config_digest=digest)
-            keys.append(key)
+        for spec, key in zip(specs, keys):
             miss = not store.has(key)
             is_pending.append(miss)
             if miss:

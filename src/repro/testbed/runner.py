@@ -20,7 +20,7 @@ Campaigns can be consumed three ways:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from statistics import median
 from typing import (Dict, Iterable, Iterator, List, Mapping, Optional,
                     Sequence, Tuple)
@@ -31,11 +31,18 @@ from ..core.sortlist import HistoryStore
 from ..seeding import stable_run_seed
 from ..simnet.addr import Family
 from ..simnet.capture import PacketCapture
-from .config import TestCaseConfig, TestCaseKind
+from .config import SweepSpec, TestCaseConfig, TestCaseKind
 from .inference import CaptureObservation
 from .modules import AddressSelectionModule, CaptureModule, modules_for
 from .store import CampaignStore, config_digest
 from .topology import LocalTestbed
+
+
+#: Placeholder sweep substituted into a case before digesting its
+#: configuration: the actual sweep values (and repetition count) are
+#: campaign shape, not run configuration — see
+#: :meth:`TestRunner.config_digest_for`.
+_NEUTRAL_SWEEP = SweepSpec.fixed(0)
 
 
 @dataclass
@@ -340,6 +347,19 @@ class TestRunner:
 
     # -- caching ------------------------------------------------------------------
 
+    def store_keys(self) -> "Iterator[str]":
+        """The content address of every run in this campaign, in
+        enumeration order, without executing anything.  ``repro cache
+        gc`` uses this to mark a campaign's entries as live."""
+        for case in self.cases:
+            for profile in self.clients:
+                digest = self.config_digest_for(case, profile)
+                for value_ms in case.sweep:
+                    for repetition in range(case.repetitions):
+                        yield self.store_key_for(
+                            case, profile, value_ms, repetition,
+                            config_digest=digest)
+
     def run_seed_for(self, case: TestCaseConfig, profile: ClientProfile,
                      value_ms: int, repetition: int) -> int:
         """The stable seed of one run — a pure function of campaign
@@ -350,10 +370,18 @@ class TestRunner:
     def config_digest_for(self, case: TestCaseConfig,
                           profile: ClientProfile) -> str:
         """Content digest of everything configuration-shaped that can
-        influence a run: the full case and profile dataclasses plus
-        the runner-level knobs.  Any field change misses the cache."""
-        return config_digest(case, profile, self.resolver_timeout,
-                             self.hev3_flag)
+        influence a run: the case and profile dataclasses plus the
+        runner-level knobs.  Any field change misses the cache —
+        except the sweep values and the repetition count, which are
+        neutralized first: a run's behaviour is a pure function of its
+        *own* ``(value_ms, repetition)`` coordinates, never of which
+        other values share the campaign.  That is what makes the
+        two-phase coarse→fine strategy nearly free on a warm cache —
+        the fine pass hits every coarse value it overlaps — and lets a
+        higher repetition count reuse all earlier repetitions."""
+        case_identity = replace(case, sweep=_NEUTRAL_SWEEP, repetitions=1)
+        return config_digest(case_identity, profile,
+                             self.resolver_timeout, self.hev3_flag)
 
     def store_key_for(self, case: TestCaseConfig, profile: ClientProfile,
                       value_ms: int, repetition: int,
@@ -393,7 +421,7 @@ class TestRunner:
         for module in modules:
             module.on_run_start(testbed, case, value_ms, run_label)
 
-        hostname = self._hostname_for(case, modules, testbed, run_label)
+        hostname = self._hostname_for(case, modules, testbed, value_ms)
         client = Client(
             testbed.client, profile, testbed.resolver_addresses[:1],
             history=HistoryStore(),
@@ -422,14 +450,20 @@ class TestRunner:
     # -- helpers -----------------------------------------------------------------
 
     def _hostname_for(self, case: TestCaseConfig, modules, testbed,
-                      run_label: str) -> str:
+                      value_ms: int) -> str:
         if case.kind is TestCaseKind.ADDRESS_SELECTION:
             for module in modules:
                 if isinstance(module, AddressSelectionModule):
                     assert module.last_hostname is not None
                     return module.last_hostname
-        # Unique per run: the wildcard zone answers, caching is moot.
-        return testbed.unique_hostname(f"{case.kind.value}-{run_label}")
+        # Unique per sweep value, deliberately *shared* across
+        # repetitions: every run gets a fresh testbed (no cross-run
+        # DNS caching to defeat), and a repetition-independent qname —
+        # with the stub's deterministic per-run query ids — makes the
+        # DNS payload bytes of repeated runs identical, so
+        # CaptureObservation's payload interning decodes them once per
+        # campaign instead of once per repetition.
+        return testbed.unique_hostname(f"{case.kind.value}-v{value_ms}")
 
     @staticmethod
     def _find_capture(modules) -> PacketCapture:

@@ -32,7 +32,10 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..clients.profile import ClientProfile
 from ..clients.registry import get_profile
-from .config import SweepSpec, TestCaseConfig, TestCaseKind
+from ..dns.rdata import RdataType
+from ..simnet.addr import Family
+from ..simnet.packet import Protocol
+from .config import ImpairmentSpec, SweepSpec, TestCaseConfig, TestCaseKind
 from .runner import ResultSet, TestRunner
 from .store import CampaignStore
 
@@ -41,7 +44,11 @@ _DEFAULT_SWEEPS: Dict[TestCaseKind, SweepSpec] = {
     TestCaseKind.RESOLUTION_DELAY: SweepSpec.fixed(200, 500, 1000, 2000),
     TestCaseKind.DELAYED_A: SweepSpec.fixed(200, 500, 1000, 2000),
     TestCaseKind.ADDRESS_SELECTION: SweepSpec.fixed(0),
+    TestCaseKind.IMPAIRMENT: SweepSpec.fixed(0),
 }
+
+_FAMILIES = {"v4": Family.V4, "ipv4": Family.V4,
+             "v6": Family.V6, "ipv6": Family.V6}
 
 
 class SpecError(ValueError):
@@ -71,6 +78,54 @@ def parse_sweep(data: Optional[Mapping[str, Any]],
     raise SpecError(f"unintelligible sweep stanza: {dict(data)!r}")
 
 
+def parse_impairment(data: Mapping[str, Any]) -> ImpairmentSpec:
+    """Parse one impairment stanza (the declarative ``tc`` line)."""
+    known = {"family", "protocol", "value_scaled", "delay_s", "jitter_s",
+             "jitter_correlation", "loss", "reorder_probability",
+             "reorder_gap_s", "rate_bps", "dns_rtype", "name"}
+    unknown = set(data) - known
+    if unknown:
+        raise SpecError(f"unknown impairment fields: {sorted(unknown)}")
+    family = data.get("family")
+    if family is not None:
+        try:
+            family = _FAMILIES[str(family).lower()]
+        except KeyError as exc:
+            raise SpecError(f"unknown family {family!r} "
+                            f"(valid: {sorted(_FAMILIES)})") from exc
+    protocol = data.get("protocol")
+    if protocol is not None:
+        try:
+            protocol = Protocol(str(protocol).lower())
+        except ValueError as exc:
+            valid = ", ".join(p.value for p in Protocol)
+            raise SpecError(f"unknown protocol {data['protocol']!r} "
+                            f"(valid: {valid})") from exc
+    dns_rtype = data.get("dns_rtype")
+    if dns_rtype is not None:
+        try:
+            dns_rtype = RdataType[str(dns_rtype).upper()]
+        except KeyError as exc:
+            raise SpecError(
+                f"unknown dns_rtype {data['dns_rtype']!r}") from exc
+    try:
+        return ImpairmentSpec(
+            family=family, protocol=protocol,
+            value_scaled=bool(data.get("value_scaled", False)),
+            delay_s=float(data.get("delay_s", 0.0)),
+            jitter_s=float(data.get("jitter_s", 0.0)),
+            jitter_correlation=float(data.get("jitter_correlation", 0.0)),
+            loss=float(data.get("loss", 0.0)),
+            reorder_probability=float(data.get("reorder_probability", 0.0)),
+            reorder_gap_s=float(data.get("reorder_gap_s", 0.001)),
+            rate_bps=(float(data["rate_bps"])
+                      if data.get("rate_bps") is not None else None),
+            dns_rtype=dns_rtype,
+            name=str(data.get("name", "")))
+    except ValueError as exc:
+        raise SpecError(f"bad impairment stanza: {exc}") from exc
+
+
 def parse_case(data: Mapping[str, Any]) -> TestCaseConfig:
     """Parse one test-case stanza."""
     try:
@@ -89,6 +144,8 @@ def parse_case(data: Mapping[str, Any]) -> TestCaseConfig:
         repetitions=int(data.get("repetitions", 1)),
         addresses_per_family=int(data.get("addresses_per_family", 10)),
         run_timeout=float(data.get("run_timeout", 30.0)),
+        impairments=tuple(parse_impairment(i)
+                          for i in data.get("impairments", ())),
     )
 
 

@@ -33,7 +33,8 @@ import os
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Optional, TYPE_CHECKING, TypeVar, Union
+from typing import (Any, Callable, Iterable, Iterator, Optional,
+                    TYPE_CHECKING, Tuple, TypeVar, Union)
 
 from .. import __version__
 from ..simnet.addr import Family
@@ -271,3 +272,75 @@ class CampaignStore:
 
     def put_record(self, key: str, record: "RunRecord") -> None:
         self.put(key, encode_record(record))
+
+    # -- compaction ------------------------------------------------------------
+
+    def entries(self) -> "Iterator[Tuple[str, Path]]":
+        """Every ``(key, path)`` currently on disk, in sorted order.
+
+        Walks the two-hex shard directories; anything that does not
+        look like an entry file (temp files from in-flight writes,
+        stray droppings) is not reported here — :meth:`gc` handles
+        leftover temp files separately.
+        """
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not (shard.is_dir() and len(shard.name) == 2):
+                continue
+            for path in sorted(shard.glob("*.json")):
+                if not path.name.startswith(".tmp-"):
+                    yield path.stem, path
+
+    def gc(self, live_keys: "Iterable[str]") -> "GCStats":
+        """Drop every entry whose key is not in ``live_keys``.
+
+        Content-addressed entries accumulate forever: any sweep,
+        seed, profile, or package-version change strands the old
+        digests.  GC is a mark-and-sweep over the directory — the
+        caller enumerates the keys its current campaigns reference
+        (see ``TestRunner.store_keys``), everything else is deleted,
+        and stale ``.tmp-*`` droppings from crashed writers go too.
+        Run it offline: a writer racing the sweep would only lose
+        cache entries (and re-execute), never correctness.
+        """
+        live = set(live_keys)
+        stats = GCStats()
+        for key, path in self.entries():
+            size = path.stat().st_size
+            if key in live:
+                stats.kept += 1
+                stats.kept_bytes += size
+                continue
+            path.unlink()
+            stats.removed += 1
+            stats.reclaimed_bytes += size
+        if self.root.is_dir():
+            for shard in self.root.iterdir():
+                if not shard.is_dir():
+                    continue
+                for stale in shard.glob(".tmp-*"):
+                    stats.reclaimed_bytes += stale.stat().st_size
+                    stale.unlink()
+                    stats.removed_tmp += 1
+                try:
+                    shard.rmdir()  # only succeeds when emptied
+                except OSError:
+                    pass
+        return stats
+
+
+@dataclass
+class GCStats:
+    """Outcome of one :meth:`CampaignStore.gc` sweep."""
+
+    kept: int = 0
+    kept_bytes: int = 0
+    removed: int = 0
+    reclaimed_bytes: int = 0
+    removed_tmp: int = 0
+
+    def summary(self) -> str:
+        return (f"kept={self.kept} ({self.kept_bytes} B) "
+                f"removed={self.removed} tmp={self.removed_tmp} "
+                f"reclaimed={self.reclaimed_bytes} B")

@@ -227,6 +227,15 @@ class WebCampaign:
         self.repetitions = repetitions
         self.conditions = conditions or NetworkConditions.residential()
 
+    def store_keys(self, entries: "Tuple[UAEntry, ...]" = TABLE5_MATRIX,
+                   repetitions: Optional[int] = None) -> "List[str]":
+        """The content address of every entry's session list, without
+        running anything (``repro cache gc`` marks these as live)."""
+        reps = repetitions if repetitions is not None else self.repetitions
+        return [CampaignStore.key("web-campaign", self.seed, entry,
+                                  reps, self.conditions)
+                for entry in entries]
+
     def run(self, entries: "Tuple[UAEntry, ...]" = TABLE5_MATRIX,
             repetitions: Optional[int] = None,
             workers: Optional[int] = None,

@@ -1,0 +1,116 @@
+"""The adaptive probe: refinement windows, cache-awareness, planning."""
+
+import pytest
+
+from repro.clients import get_profile
+from repro.conformance import (ConformanceProbe, refinement_window,
+                               scenario_battery, scenario_by_name)
+from repro.simnet.addr import Family
+from repro.testbed import CampaignStore
+
+
+class TestRefinementWindow:
+    def test_window_brackets_the_crossover(self):
+        series = {0: Family.V6, 50: Family.V6, 100: Family.V4,
+                  150: Family.V4}
+        assert refinement_window(series, 50, 400) == (50, 100)
+
+    def test_no_fallback_means_no_refinement(self):
+        series = {0: Family.V6, 50: Family.V6}
+        assert refinement_window(series, 50, 400) is None
+
+    def test_immediate_v4_refines_from_zero(self):
+        series = {0: Family.V4, 50: Family.V4}
+        assert refinement_window(series, 50, 400) == (0, 50)
+
+    def test_flapping_series_widens_to_the_flap(self):
+        # IPv4 at 100 but IPv6 again at 200: refine the whole window.
+        series = {0: Family.V6, 100: Family.V4, 200: Family.V6,
+                  300: Family.V4}
+        assert refinement_window(series, 50, 400) == (50, 250)
+
+    def test_pure_function_of_the_series(self):
+        series = {0: Family.V6, 250: Family.V6, 300: Family.V4}
+        assert refinement_window(series, 50, 400) == \
+            refinement_window(dict(reversed(series.items())), 50, 400)
+
+
+class TestAdaptiveProbe:
+    def test_fine_pass_reuses_cached_coarse_values(self, tmp_path):
+        """The cache-aware inner loop: the fine sweep's overlap with
+        the coarse grid comes back as hits even on a cold campaign."""
+        profile = get_profile("curl", "7.88.1")
+        scenario = scenario_by_name("v6-delay-sweep")
+        store = CampaignStore(tmp_path)
+        probe = ConformanceProbe(profile, seed=2, store=store,
+                                 battery=[scenario])
+        outcome = probe.run()[0]
+        assert outcome.refined_window_ms is not None
+        lo, hi = outcome.refined_window_ms
+        # curl's 200 ms CAD sits inside the refined window.
+        assert lo <= 200 <= hi
+        assert store.stats.hits > 0        # coarse overlap replayed
+        # The fine pass measured at 5 ms granularity inside the window.
+        fine_values = {r.value_ms for r in outcome.records
+                       if lo < r.value_ms < hi}
+        assert fine_values  # refinement actually added values
+
+    def test_warm_probe_executes_nothing(self, tmp_path):
+        profile = get_profile("Chrome", "130.0")
+        battery = scenario_battery()
+        cold = ConformanceProbe(profile, seed=1,
+                                store=CampaignStore(tmp_path),
+                                battery=battery).run()
+        warm_store = CampaignStore(tmp_path)
+        warm = ConformanceProbe(profile, seed=1, store=warm_store,
+                                battery=battery).run()
+        assert warm_store.stats.misses == 0
+        assert warm_store.stats.stores == 0
+        for cold_outcome, warm_outcome in zip(cold, warm):
+            assert warm_outcome.records == cold_outcome.records
+            assert warm_outcome.refined_window_ms == \
+                cold_outcome.refined_window_ms
+
+    def test_serial_equals_parallel(self):
+        profile = get_profile("curl", "7.88.1")
+        battery = [scenario_by_name("v6-delay-sweep"),
+                   scenario_by_name("asymmetric-loss")]
+        serial = ConformanceProbe(profile, seed=4,
+                                  battery=battery).run()
+        parallel = ConformanceProbe(profile, seed=4, workers=2,
+                                    battery=battery).run()
+        for a, b in zip(serial, parallel):
+            assert a.records == b.records
+
+
+class TestKeyPlanning:
+    def test_store_keys_cover_the_warm_battery(self, tmp_path):
+        """After a cold probe, the planned key set contains every key
+        the probe touched — the gc contract that a warm battery stays
+        fully cached."""
+        profile = get_profile("curl", "7.88.1")
+        battery = [scenario_by_name("v6-delay-sweep"),
+                   scenario_by_name("v6-blackhole")]
+        store = CampaignStore(tmp_path)
+        ConformanceProbe(profile, seed=7, store=store,
+                         battery=battery).run()
+        on_disk = {key for key, _ in store.entries()}
+        planned = set(ConformanceProbe(
+            profile, seed=7, store=CampaignStore(tmp_path),
+            battery=battery).store_keys())
+        assert on_disk <= planned
+
+    def test_cold_planning_skips_unknowable_fine_keys(self, tmp_path):
+        profile = get_profile("curl", "7.88.1")
+        scenario = scenario_by_name("v6-delay-sweep")
+        probe = ConformanceProbe(profile, seed=7,
+                                 store=CampaignStore(tmp_path),
+                                 battery=[scenario])
+        planned = list(probe.store_keys())
+        # Cold store: only the enumerable coarse keys are planned.
+        assert len(planned) == len(scenario.case.sweep)
+
+    def test_store_keys_requires_a_store(self):
+        probe = ConformanceProbe(get_profile("curl", "7.88.1"))
+        with pytest.raises(ValueError):
+            list(probe.store_keys())

@@ -1,0 +1,119 @@
+"""The scenario catalog: coverage, declarations, spec integration."""
+
+import pytest
+
+from repro.conformance import (RFC8305Parameter, Scenario,
+                               render_scenario_catalog, scenario_battery,
+                               scenario_by_name)
+from repro.simnet.addr import Family
+from repro.testbed import (ImpairmentSpec, SpecError, TestCaseKind,
+                           modules_for)
+from repro.testbed.modules import ImpairmentModule
+from repro.testbed.spec import parse_case, parse_impairment
+
+
+class TestCatalog:
+    def test_battery_has_at_least_eight_scenarios(self):
+        assert len(scenario_battery()) >= 8
+
+    def test_names_unique_and_cases_prefixed(self):
+        battery = scenario_battery()
+        names = [s.name for s in battery]
+        assert len(set(names)) == len(names)
+        case_names = [s.case.name for s in battery]
+        assert len(set(case_names)) == len(case_names)
+        assert all(name.startswith("conf-") for name in case_names)
+
+    def test_issue_scenarios_all_present(self):
+        """The battery covers every impairment the ISSUE names."""
+        names = {s.name for s in scenario_battery()}
+        assert {"v6-delay-sweep", "v6-blackhole", "asymmetric-loss",
+                "delayed-a", "delayed-aaaa", "slow-resolver",
+                "jittery-dual-stack", "v6-reorder",
+                "rate-limited-v6"} <= names
+
+    def test_every_scenario_declares_a_parameter(self):
+        for scenario in scenario_battery():
+            assert isinstance(scenario.discriminates, RFC8305Parameter)
+            assert scenario.rfc_clause.startswith("RFC 8305")
+            assert scenario.description
+
+    def test_all_parameters_discriminated(self):
+        covered = {s.discriminates for s in scenario_battery()}
+        assert covered == set(RFC8305Parameter)
+
+    def test_adaptive_scenarios_carry_both_steps(self):
+        for scenario in scenario_battery():
+            if scenario.adaptive:
+                assert scenario.coarse_step_ms > scenario.fine_step_ms
+
+    def test_scenario_by_name(self):
+        assert scenario_by_name("v6-blackhole").discriminates is \
+            RFC8305Parameter.FALLBACK
+        with pytest.raises(KeyError):
+            scenario_by_name("nope")
+
+    def test_catalog_renders(self):
+        text = render_scenario_catalog(scenario_battery())
+        assert "v6-blackhole" in text
+        assert "loss=100%" in text
+
+    def test_impairment_cases_build_module_chains(self):
+        for scenario in scenario_battery():
+            modules = modules_for(scenario.case)
+            has_impairments = bool(scenario.case.impairments)
+            assert any(isinstance(m, ImpairmentModule)
+                       for m in modules) == has_impairments
+
+
+class TestImpairmentSpec:
+    def test_blackhole_is_total_loss(self):
+        spec = scenario_by_name("v6-blackhole").case.impairments[0]
+        assert spec.loss == 1.0
+        assert spec.family is Family.V6
+
+    def test_label_summarizes_shaping(self):
+        label = ImpairmentSpec(family=Family.V6, loss=0.4).label()
+        assert "IPv6" in label and "loss=40%" in label
+        assert ImpairmentSpec().label() == "no-op"
+
+    def test_dns_rtype_excludes_netem_fields(self):
+        from repro.dns.rdata import RdataType
+
+        with pytest.raises(ValueError):
+            ImpairmentSpec(dns_rtype=RdataType.A, loss=0.5)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            ImpairmentSpec(delay_s=-1.0)
+
+
+class TestSpecParsing:
+    def test_impairment_stanza_round_trip(self):
+        case = parse_case({
+            "kind": "impairment",
+            "name": "my-scenario",
+            "impairments": [
+                {"family": "v6", "protocol": "tcp", "loss": 0.25},
+                {"dns_rtype": "AAAA", "delay_s": 1.5},
+            ],
+        })
+        assert case.kind is TestCaseKind.IMPAIRMENT
+        assert case.sweep.values_ms == (0,)  # IMPAIRMENT default sweep
+        assert case.impairments[0].family is Family.V6
+        assert case.impairments[0].loss == 0.25
+        assert case.impairments[1].dns_rtype.name == "AAAA"
+
+    def test_unknown_impairment_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown impairment"):
+            parse_impairment({"family": "v6", "delya_s": 1.0})
+
+    def test_bad_family_and_protocol_rejected(self):
+        with pytest.raises(SpecError, match="unknown family"):
+            parse_impairment({"family": "v8"})
+        with pytest.raises(SpecError, match="unknown protocol"):
+            parse_impairment({"protocol": "sctp"})
+
+    def test_invalid_values_surface_as_spec_errors(self):
+        with pytest.raises(SpecError, match="bad impairment"):
+            parse_impairment({"loss": 1.5})

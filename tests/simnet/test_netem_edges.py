@@ -1,0 +1,176 @@
+"""netem edge cases: reorder-gap boundary, jitter correlation,
+rate-limit serialization, rule/filter family matching."""
+
+import random
+
+import pytest
+
+from repro.simnet import (Family, NetemFilter, NetemQdisc, NetemRule,
+                          NetemSpec, Packet, Protocol, TrafficShaper)
+
+
+def tcp(src="192.0.2.1", dst="192.0.2.2", size=100):
+    return Packet(src=src, dst=dst, protocol=Protocol.TCP,
+                  sport=1000, dport=2000, payload=b"x" * size)
+
+
+def tcp6(size=100):
+    return tcp(src="2001:db8::1", dst="2001:db8::2", size=size)
+
+
+class TestReorderGapBoundary:
+    def reordering_qdisc(self, delay, gap):
+        return NetemQdisc(NetemSpec(delay=delay, reorder_probability=1.0,
+                                    reorder_gap=gap), random.Random(0))
+
+    def test_reordered_packet_jumps_to_the_gap(self):
+        qdisc = self.reordering_qdisc(delay=0.200, gap=0.001)
+        assert qdisc.plan(tcp(), now=5.0) == pytest.approx(5.001)
+        assert qdisc.packets_reordered == 1
+
+    def test_gap_larger_than_delay_clamps_to_delay(self):
+        # min(delay, gap): the "overtaking" packet can never leave
+        # later than the queue it is overtaking.
+        qdisc = self.reordering_qdisc(delay=0.0005, gap=0.010)
+        assert qdisc.plan(tcp(), now=5.0) == pytest.approx(5.0005)
+
+    def test_gap_equal_to_delay_is_the_boundary(self):
+        qdisc = self.reordering_qdisc(delay=0.001, gap=0.001)
+        assert qdisc.plan(tcp(), now=0.0) == pytest.approx(0.001)
+
+    def test_later_traffic_never_departs_before_the_overtaker(self):
+        spec = NetemSpec(delay=0.200, reorder_probability=0.5,
+                         reorder_gap=0.001)
+        qdisc = NetemQdisc(spec, random.Random(7))
+        departures = [qdisc.plan(tcp(), now=0.01 * index)
+                      for index in range(50)]
+        assert qdisc.packets_reordered > 0
+        # Non-reordered packets keep FIFO order among themselves:
+        # each departs no earlier than the previous maximum minus the
+        # explicitly overtaking ones.
+        in_order = [d for index, d in enumerate(departures)
+                    if d >= 0.01 * index + spec.delay]
+        assert in_order == sorted(in_order)
+
+
+class TestJitterCorrelation:
+    def successive_jitter(self, correlation, samples=300):
+        spec = NetemSpec(delay=0.100, jitter=0.050,
+                         jitter_correlation=correlation)
+        qdisc = NetemQdisc(spec, random.Random(42))
+        return [qdisc.plan(tcp(), now=0.0) for _ in range(samples)]
+
+    def test_correlation_smooths_successive_samples(self):
+        uncorrelated = self.successive_jitter(0.0)
+        correlated = self.successive_jitter(0.9)
+
+        def mean_step(values):
+            return sum(abs(b - a) for a, b in zip(values, values[1:])) \
+                / (len(values) - 1)
+
+        assert mean_step(correlated) < mean_step(uncorrelated) * 0.5
+
+    def test_correlated_jitter_stays_within_bounds(self):
+        spec = NetemSpec(delay=0.100, jitter=0.050,
+                         jitter_correlation=0.8)
+        qdisc = NetemQdisc(spec, random.Random(3))
+        for _ in range(500):
+            planned = qdisc.plan(tcp(), now=1.0)
+            assert 1.0 + 0.050 <= planned <= 1.0 + 0.150
+
+    def test_correlation_bounds_validated(self):
+        with pytest.raises(ValueError):
+            NetemSpec(jitter=0.01, jitter_correlation=1.0)
+        with pytest.raises(ValueError):
+            NetemSpec(jitter=0.01, jitter_correlation=-0.1)
+
+
+class TestRateLimitSerialization:
+    RATE = 8_000.0  # 1 kB/s
+
+    def test_busy_horizon_resets_after_idle(self):
+        qdisc = NetemQdisc(NetemSpec(rate_bps=self.RATE), random.Random(1))
+        serialization = tcp(size=100).size * 8.0 / self.RATE
+        first = qdisc.plan(tcp(size=100), now=0.0)
+        assert first == pytest.approx(serialization)
+        # Long idle gap: serialization restarts from `now`, it does
+        # not accumulate from the stale horizon.
+        later = qdisc.plan(tcp(size=100), now=10.0)
+        assert later == pytest.approx(10.0 + serialization)
+
+    def test_back_to_back_packets_queue_behind_each_other(self):
+        qdisc = NetemQdisc(NetemSpec(rate_bps=self.RATE), random.Random(1))
+        serialization = tcp(size=100).size * 8.0 / self.RATE
+        departures = [qdisc.plan(tcp(size=100), now=0.0)
+                      for _ in range(4)]
+        for index, departure in enumerate(departures):
+            assert departure == pytest.approx(
+                (index + 1) * serialization)
+
+    def test_size_scales_serialization_delay(self):
+        qdisc = NetemQdisc(NetemSpec(rate_bps=self.RATE), random.Random(1))
+        small = qdisc.plan(tcp(size=50), now=0.0)
+        qdisc_big = NetemQdisc(NetemSpec(rate_bps=self.RATE),
+                               random.Random(1))
+        big = qdisc_big.plan(tcp(size=500), now=0.0)
+        # Payload is only part of Packet.size (headers add on), but
+        # 10x the payload must serialize strictly slower.
+        assert big > small
+
+    def test_rate_composes_with_fixed_delay(self):
+        delay = 0.250
+        qdisc = NetemQdisc(NetemSpec(delay=delay, rate_bps=self.RATE),
+                           random.Random(1))
+        serialization = tcp(size=100).size * 8.0 / self.RATE
+        assert qdisc.plan(tcp(size=100), now=0.0) == pytest.approx(
+            serialization + delay)
+
+
+class TestRuleFamilyMatching:
+    def test_family_scoped_rule_leaves_other_family_untouched(self):
+        shaper = TrafficShaper(random.Random(5))
+        shaper.add_rule(NetemRule(spec=NetemSpec(delay=0.4),
+                                  filter=NetemFilter.for_family(Family.V6)))
+        assert shaper.plan(tcp6(), now=1.0) == pytest.approx(1.4)
+        assert shaper.plan(tcp(), now=1.0) == 1.0  # untouched IPv4
+
+    def test_first_matching_family_rule_wins(self):
+        shaper = TrafficShaper(random.Random(5))
+        shaper.add_rule(NetemRule(spec=NetemSpec(delay=0.1),
+                                  filter=NetemFilter.for_family(Family.V6)))
+        shaper.add_rule(NetemRule(spec=NetemSpec(delay=0.9),
+                                  filter=NetemFilter.match_all()))
+        assert shaper.plan(tcp6(), now=0.0) == pytest.approx(0.1)
+        assert shaper.plan(tcp(), now=0.0) == pytest.approx(0.9)
+
+    def test_family_and_protocol_must_both_match(self):
+        v6_tcp_only = NetemFilter(family=Family.V6, protocol=Protocol.TCP)
+        assert v6_tcp_only.matches(tcp6())
+        udp6 = Packet(src="2001:db8::1", dst="2001:db8::2",
+                      protocol=Protocol.UDP, sport=1, dport=2)
+        assert not v6_tcp_only.matches(udp6)
+        assert not v6_tcp_only.matches(tcp())
+
+    def test_address_filter_implies_family(self):
+        by_v6_dst = NetemFilter(dst_addresses=["2001:db8::2"])
+        assert by_v6_dst.matches(tcp6())
+        assert not by_v6_dst.matches(tcp())  # IPv4 dst never equals it
+
+    def test_blackhole_spec_drops_every_matching_packet(self):
+        qdisc = NetemQdisc(NetemSpec(loss=1.0), random.Random(9))
+        assert all(qdisc.plan(tcp6(), now=float(i)) is None
+                   for i in range(50))
+        assert qdisc.packets_dropped == 50
+
+    def test_blackhole_does_not_consume_the_shared_rng(self):
+        """Total loss is deterministic, so it must not perturb the
+        random stream shared with the interface's other qdiscs."""
+        rng = random.Random(9)
+        qdisc = NetemQdisc(NetemSpec(loss=1.0), rng)
+        for i in range(50):
+            qdisc.plan(tcp6(), now=float(i))
+        assert rng.random() == random.Random(9).random()
+        # Probabilistic loss, by contrast, draws one sample per packet.
+        rng = random.Random(9)
+        NetemQdisc(NetemSpec(loss=0.5), rng).plan(tcp6(), now=0.0)
+        assert rng.random() != random.Random(9).random()

@@ -49,6 +49,83 @@ class TestCli:
         assert "Safari 17.6" in out
 
 
+class TestCliConformance:
+    def test_fingerprint_single_client(self, capsys):
+        assert main(["fingerprint", "curl 7.88.1"]) == 0
+        out = capsys.readouterr().out
+        assert "RFC 8305 fingerprint — curl 7.88.1" in out
+        assert "v6-blackhole" in out
+        assert "deviations:" in out
+
+    def test_fingerprint_json_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["fingerprint", "curl 7.88.1", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["client"] == "curl 7.88.1"
+        assert len(data[0]["scenarios_run"]) >= 8
+        cad = next(v for v in data[0]["verdicts"]
+                   if v["parameter"] == "connection-attempt-delay"
+                   and v["scenario"] == "v6-delay-sweep")
+        assert cad["measured_ms"] == pytest.approx(200.0, abs=10.0)
+
+    def test_fingerprint_unknown_client_errors(self, capsys):
+        with pytest.raises(SystemExit, match="no client matches"):
+            main(["fingerprint", "NetscapeNavigator"])
+
+    def test_conformance_list_prints_catalog(self, capsys):
+        assert main(["conformance", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "Conformance scenario battery" in out
+        assert "v6-delay-sweep" in out
+        assert "rate-limited-v6" in out
+
+    def test_fingerprint_warm_cache_identical_all_hits(self, capsys,
+                                                       tmp_path):
+        argv = ["--cache-dir", str(tmp_path), "fingerprint",
+                "curl 7.88.1"]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+
+        def body(text):
+            return [line for line in text.splitlines()
+                    if not line.startswith("[cache]")]
+
+        assert body(warm) == body(cold)
+        cache_line = [line for line in warm.splitlines()
+                      if line.startswith("[cache]")][0]
+        assert " misses=0 " in cache_line
+        assert "hits=0" not in cache_line
+
+
+class TestCliCacheGC:
+    def test_gc_requires_a_cache_dir(self):
+        with pytest.raises(SystemExit, match="cache gc needs"):
+            main(["cache", "gc"])
+
+    def test_gc_reports_reclaimed_bytes(self, capsys, tmp_path):
+        from repro.testbed import CampaignStore
+
+        # One live campaign (conformance, curl) plus a stale orphan.
+        assert main(["--cache-dir", str(tmp_path), "fingerprint",
+                     "curl 7.88.1"]) == 0
+        capsys.readouterr()
+        store = CampaignStore(tmp_path)
+        store.put(CampaignStore.key("orphan"), {"stale": True})
+        assert main(["--cache-dir", str(tmp_path), "cache", "gc"]) == 0
+        out = capsys.readouterr().out
+        assert "[cache gc]" in out
+        assert "removed=1" in out
+        # The curl battery survives: a re-run stays fully warm.
+        assert main(["--cache-dir", str(tmp_path), "fingerprint",
+                     "curl 7.88.1"]) == 0
+        warm = capsys.readouterr().out
+        assert " misses=0 " in [line for line in warm.splitlines()
+                                if line.startswith("[cache]")][0]
+
+
 class TestCliCache:
     def figure2(self, capsys, *argv):
         assert main([*argv, "figure2", "--step", "400"]) == 0

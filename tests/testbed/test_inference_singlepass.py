@@ -215,8 +215,12 @@ class TestObservationMatchesLegacy:
 class TestSingleDecode:
     def test_each_dns_payload_decoded_exactly_once(self, harvested,
                                                    monkeypatch):
+        from repro.testbed import clear_dns_decode_intern
+
         udp_frames = sum(1 for frame in harvested
                          if frame.packet.protocol is Protocol.UDP)
+        unique_payloads = len({frame.packet.payload for frame in harvested
+                               if frame.packet.protocol is Protocol.UDP})
         assert udp_frames > 0
         calls = {"n": 0}
         original = DNSMessage.decode
@@ -227,16 +231,29 @@ class TestSingleDecode:
 
         monkeypatch.setattr(DNSMessage, "decode",
                             staticmethod(counting_decode))
+        clear_dns_decode_intern()
         observation = CaptureObservation(harvested)
-        assert calls["n"] == udp_frames
-        assert observation.dns_payloads_decoded == udp_frames
+        # Each *distinct* payload decodes once; duplicates intern.
+        assert calls["n"] == unique_payloads
+        assert observation.dns_payloads_decoded == unique_payloads
+        assert (observation.dns_payloads_decoded
+                + observation.dns_payloads_interned) == udp_frames
         # Reading every derived field must not trigger re-decodes.
         _ = (observation.cad, observation.aaaa_first,
              observation.resolution_delay,
              observation.time_to_first_attempt, observation.query_order,
              observation.established_family, observation.attempt_sequence,
              observation.attempts_per_family)
-        assert calls["n"] == udp_frames
+        assert calls["n"] == unique_payloads
+        # A second observation of the same capture is fully interned.
+        second = CaptureObservation(harvested)
+        assert calls["n"] == unique_payloads
+        assert second.dns_payloads_decoded == 0
+        assert second.dns_payloads_interned == udp_frames
+        assert [(o.rtype, o.query_at, o.response_at)
+                for o in second.dns_observations] == \
+            [(o.rtype, o.query_at, o.response_at)
+             for o in observation.dns_observations]
 
     def test_decode_dns_false_skips_all_decoding(self, harvested,
                                                  monkeypatch):
@@ -259,6 +276,45 @@ class TestSingleDecode:
         assert observation.cad == full.cad
         assert observation.attempt_sequence == full.attempt_sequence
         assert observation.attempts_per_family == full.attempts_per_family
+
+    def test_decode_counter_drops_across_repetitions(self):
+        """Repetition-heavy campaigns intern DNS payloads: repetitions
+        of the same (case, value) emit byte-identical queries and
+        answers (value-scoped hostnames, per-stub deterministic query
+        ids), so only the first repetition's observation pays any
+        decode cost — every later repetition is fully interned."""
+        from repro.seeding import stable_run_seed
+        from repro.testbed import clear_dns_decode_intern
+
+        case = TestCaseConfig(
+            name="rep-heavy", kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
+            sweep=SweepSpec.fixed(100), repetitions=5)
+        captures = [
+            run_and_capture(case, "Chrome", "130.0", 100,
+                            seed=stable_run_seed(17, case.name,
+                                                 "Chrome 130.0", 100,
+                                                 repetition))
+            for repetition in range(case.repetitions)]
+        # The runner derives the hostname from (kind, value) only, so
+        # all repetitions must have produced identical payload *sets*.
+        payload_sets = [{frame.packet.payload for frame in capture
+                         if frame.packet.protocol is Protocol.UDP}
+                        for capture in captures]
+        assert all(payloads == payload_sets[0]
+                   for payloads in payload_sets[1:])
+
+        clear_dns_decode_intern()
+        observations = [CaptureObservation(capture)
+                        for capture in captures]
+        first, rest = observations[0], observations[1:]
+        assert first.dns_payloads_decoded == len(payload_sets[0])
+        # Repetitions 2..N decode nothing at all.
+        assert all(obs.dns_payloads_decoded == 0 for obs in rest)
+        assert all(obs.dns_payloads_interned > 0 for obs in rest)
+        # And the interned observations still read identically.
+        for obs in rest:
+            assert obs.query_order == first.query_order
+            assert obs.aaaa_first == first.aaaa_first
 
     def test_legacy_wrappers_still_work(self, harvested):
         from repro.testbed import (aaaa_before_a, attempt_sequence,

@@ -114,6 +114,60 @@ class TestWarmCampaigns:
         assert entry_paths(CampaignStore(tmp_path))  # populated on disk
 
 
+class TestStoreGC:
+    def populate(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        runner = small_runner(store=store)
+        runner.run()
+        return store, set(runner.store_keys())
+
+    def test_gc_keeps_live_and_drops_stale(self, tmp_path):
+        store, live = self.populate(tmp_path)
+        stale_keys = [CampaignStore.key("stale", index)
+                      for index in range(3)]
+        for key in stale_keys:
+            store.put(key, {"orphaned": True})
+        stats = store.gc(live)
+        assert stats.removed == 3
+        assert stats.kept == len(live)
+        assert stats.reclaimed_bytes > 0
+        remaining = {key for key, _ in store.entries()}
+        assert remaining == live
+
+    def test_gc_everything_when_nothing_is_live(self, tmp_path):
+        store, live = self.populate(tmp_path)
+        stats = store.gc([])
+        assert stats.removed == len(live)
+        assert stats.kept == 0
+        assert list(store.entries()) == []
+        # Emptied shard directories are pruned.
+        assert not any(p.is_dir() for p in store.root.iterdir())
+
+    def test_gc_sweeps_stale_tmp_files(self, tmp_path):
+        store, live = self.populate(tmp_path)
+        shard = next(iter(store.root.iterdir()))
+        (shard / ".tmp-crashed.json").write_text("torn")
+        stats = store.gc(live)
+        assert stats.removed_tmp == 1
+        assert not list(shard.glob(".tmp-*"))
+
+    def test_gc_survivors_still_hit(self, tmp_path):
+        store, live = self.populate(tmp_path)
+        store.gc(live)
+        warm = small_runner(store=CampaignStore(tmp_path))
+        warm.run()
+        assert warm.store.stats.misses == 0
+
+    def test_gc_on_missing_root_is_a_noop(self, tmp_path):
+        store = CampaignStore(tmp_path / "never-created")
+        stats = store.gc(["anything"])
+        assert stats.removed == 0 and stats.kept == 0
+
+    def test_runner_store_keys_match_executed_entries(self, tmp_path):
+        store, live = self.populate(tmp_path)
+        assert {key for key, _ in store.entries()} == live
+
+
 class TestCacheInvalidation:
     def cold_keys(self, tmp_path, **overrides):
         """Store keys a campaign with ``overrides`` would use."""
@@ -122,22 +176,61 @@ class TestCacheInvalidation:
         return runner.store_key_for(case, profile, 150, 0)
 
     def test_case_field_change_misses(self, tmp_path):
+        from repro.testbed import ImpairmentSpec
+        from repro.simnet.addr import Family
+
         store = CampaignStore(tmp_path)
         runner = small_runner(store=store)
         base_case, profile = runner.cases[0], runner.clients[0]
         base_key = runner.store_key_for(base_case, profile, 150, 0)
         for changed in (
                 dataclasses.replace(base_case, name="other"),
-                dataclasses.replace(base_case, repetitions=3),
                 dataclasses.replace(base_case, run_timeout=10.0),
                 dataclasses.replace(base_case, addresses_per_family=2),
                 dataclasses.replace(base_case,
                                     kind=TestCaseKind.RESOLUTION_DELAY),
-                dataclasses.replace(base_case,
-                                    sweep=SweepSpec.fixed(0, 150, 311)),
+                dataclasses.replace(base_case, impairments=(
+                    ImpairmentSpec(family=Family.V6, loss=0.1),)),
         ):
             assert runner.store_key_for(changed, profile, 150, 0) != \
                 base_key, changed
+
+    def test_sweep_and_repetitions_are_campaign_shape(self, tmp_path):
+        """A run's key depends on its own coordinates, never on which
+        other sweep values or how many repetitions share the campaign
+        — that reuse is what makes coarse→fine refinement nearly free
+        on a warm cache."""
+        store = CampaignStore(tmp_path)
+        runner = small_runner(store=store)
+        base_case, profile = runner.cases[0], runner.clients[0]
+        base_key = runner.store_key_for(base_case, profile, 150, 0)
+        for same in (
+                dataclasses.replace(base_case,
+                                    sweep=SweepSpec.fixed(0, 150, 311)),
+                dataclasses.replace(base_case,
+                                    sweep=SweepSpec.range(100, 200, 5)),
+                dataclasses.replace(base_case, repetitions=3),
+        ):
+            assert runner.store_key_for(same, profile, 150, 0) == \
+                base_key, same
+
+    def test_coarse_results_reused_by_fine_sweep(self, tmp_path):
+        """The fine pass executes only the values the coarse pass did
+        not already cache (store counters prove the overlap hits)."""
+        coarse = small_runner(store=CampaignStore(tmp_path))
+        coarse.cases = [dataclasses.replace(
+            coarse.cases[0], sweep=SweepSpec.fixed(0, 150, 310))]
+        coarse.run()
+        fine = small_runner(store=CampaignStore(tmp_path))
+        fine.cases = [dataclasses.replace(
+            fine.cases[0], sweep=SweepSpec.fixed(0, 100, 150, 200, 310))]
+        fine_results = fine.run()
+        # 2 clients × 2 reps: {0, 150, 310} replay from the coarse
+        # pass, only {100, 200} execute fresh.
+        assert fine.store.stats.hits == 12
+        assert fine.store.stats.misses == 8
+        assert sorted({r.value_ms for r in fine_results.records}) == \
+            [0, 100, 150, 200, 310]
 
     def test_profile_field_change_misses(self, tmp_path):
         store = CampaignStore(tmp_path)
