@@ -13,6 +13,12 @@ directory and checks the store's two contracts:
 Cold and warm wall-clock go into ``results/bench_timings.json`` as
 ``figure2_store_cold`` / ``figure2_store_warm`` so the perf trajectory
 records the re-render win alongside the serial/parallel timings.
+
+A second phase runs the paper's *dense* Figure 2 grid (5 ms steps,
+1377 runs) and times warm hit resolution both ways — the batch
+``get_many`` path through the per-shard sidecar index versus plain
+per-key JSON reads — recording ``figure2_store_warm_indexed`` /
+``figure2_store_warm_perkey`` and asserting the index wins.
 """
 
 import time
@@ -25,6 +31,12 @@ from _util import emit, record_timing
 STEP_MS = 25
 SEED = 2
 RUNS = 17 * len(range(0, 401, STEP_MS))
+
+#: The dense (paper-grid) sweep used for the index comparison.
+DENSE_STEP_MS = 5
+DENSE_RUNS = 17 * len(range(0, 401, DENSE_STEP_MS))
+#: Timing repetitions per lookup path (best-of, to shed IO noise).
+TIMING_ROUNDS = 3
 
 
 def sweep(store):
@@ -69,3 +81,58 @@ def test_warm_cache_rerender(benchmark, tmp_path):
     assert cold_s / warm_s >= 5.0, (
         f"warm re-render should be >=5x faster: cold {cold_s:.3f}s "
         f"vs warm {warm_s:.3f}s")
+
+
+def test_indexed_warm_lookup_beats_per_key(benchmark, tmp_path):
+    """Warm hit resolution through get_many + the per-shard sidecar
+    index must beat plain per-key JSON reads on the dense Figure 2
+    campaign — the ROADMAP "parallel parent-side cache lookup" win."""
+    root = tmp_path / "cache"
+
+    def dense_sweep(store):
+        start = time.perf_counter()
+        series = figure2_sweep(step_ms=DENSE_STEP_MS, stop_ms=400,
+                               seed=SEED, store=store)
+        return series, time.perf_counter() - start
+
+    def best_warm(use_index):
+        elapsed = []
+        series = None
+        for _ in range(TIMING_ROUNDS):
+            store = CampaignStore(root, use_index=use_index)
+            series, seconds = dense_sweep(store)
+            assert store.stats.misses == 0
+            assert store.stats.hits == DENSE_RUNS
+            elapsed.append(seconds)
+        return series, min(elapsed)
+
+    def run_comparison():
+        cold, _ = dense_sweep(CampaignStore(root))
+        # One priming pass builds the sidecar indexes, so both timed
+        # paths then resolve against identical on-disk state.
+        dense_sweep(CampaignStore(root))
+        indexed, indexed_s = best_warm(use_index=True)
+        perkey, perkey_s = best_warm(use_index=False)
+        return cold, indexed, indexed_s, perkey, perkey_s
+
+    cold, indexed, indexed_s, perkey, perkey_s = benchmark.pedantic(
+        run_comparison, rounds=1, iterations=1)
+
+    # Both lookup paths are byte-identical to the cold execution.
+    cold_text = render_figure2(cold)
+    assert render_figure2(indexed) == cold_text
+    assert render_figure2(perkey) == cold_text
+
+    record_timing("figure2_store_warm_indexed", indexed_s,
+                  {"runs": DENSE_RUNS, "step_ms": DENSE_STEP_MS})
+    record_timing("figure2_store_warm_perkey", perkey_s,
+                  {"runs": DENSE_RUNS, "step_ms": DENSE_STEP_MS})
+    emit("campaign_store_indexed_lookup",
+         f"dense figure2 warm lookup over {DENSE_RUNS} cached runs:\n"
+         f"per-key reads {perkey_s * 1000:.1f} ms -> sidecar index "
+         f"{indexed_s * 1000:.1f} ms "
+         f"({perkey_s / indexed_s:.2f}x)")
+    assert indexed_s < perkey_s, (
+        f"indexed warm lookup should beat per-key reads: "
+        f"indexed {indexed_s * 1000:.1f} ms vs per-key "
+        f"{perkey_s * 1000:.1f} ms")

@@ -11,12 +11,15 @@ Python library:
   every measured client and resolver,
 * :mod:`repro.testbed` / :mod:`repro.webtool` — the paper's two
   measurement setups,
-* :mod:`repro.analysis` — table/figure regeneration.
+* :mod:`repro.analysis` — table/figure regeneration,
+* :mod:`repro.experiments` — the unified Experiment API: every
+  artifact as a registered plan/execute/render experiment behind one
+  Session.
 """
 
 __version__ = "1.1.0"
 
 __all__ = [
-    "analysis", "clients", "conformance", "core", "dns", "resolvers",
-    "simnet", "testbed", "transport", "webtool",
+    "analysis", "clients", "conformance", "core", "dns", "experiments",
+    "resolvers", "simnet", "testbed", "transport", "webtool",
 ]

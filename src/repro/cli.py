@@ -1,16 +1,24 @@
-"""Command-line interface: regenerate any table or figure.
+"""Command-line interface: one generic dispatcher over the registry.
+
+Every artifact is a registered :class:`~repro.experiments.Experiment`;
+the CLI is a thin shell around the registry.  ``repro ls`` lists the
+catalogue, ``repro run <name>`` runs any experiment generically, and
+every historical command (``repro table2``, ``repro figure2``, …)
+survives as an alias whose flags are generated from the same knob
+declarations — so the aliases are byte-identical to ``repro run`` by
+construction.
 
 Examples::
 
+    python -m repro ls
     python -m repro table1
-    python -m repro table2 --seed 1
+    python -m repro run table2 --repetitions 5
     python -m repro table3 --repetitions 64
-    python -m repro figure2 --step 25
     python -m repro --workers 8 figure2 --step 5
     python -m repro --cache-dir ~/.cache/repro figure2 --step 5
-    python -m repro figure5
-    python -m repro delayed-a
-    python -m repro trace --delay-ms 400
+    python -m repro fingerprint "Chrome 130.0" --json
+    python -m repro fingerprint --diff "Chrome 88.0" "Chrome 130.0"
+    python -m repro cache gc
 """
 
 from __future__ import annotations
@@ -19,6 +27,13 @@ import argparse
 import os
 import sys
 from typing import List, Optional
+
+from .experiments import (Session, all_experiments, get_experiment,
+                          knob_mapping)
+
+#: Experiments re-exported here for backwards compatibility with the
+#: pre-registry CLI module layout.
+from .experiments import FIGURE5_CLIENTS, TABLE2_WEB_ENTRIES  # noqa: F401
 
 
 def _store_from(args: argparse.Namespace):
@@ -32,255 +47,85 @@ def _store_from(args: argparse.Namespace):
     return CampaignStore(args.cache_dir)
 
 
-def _report_cache(store) -> None:
-    """One summary line per campaign so warm re-renders are visible
-    (and scriptable: CI asserts on the hit counters)."""
-    if store is not None:
-        print(f"[cache] {store.stats.summary()} root={store.root}")
+def _session_from(args: argparse.Namespace, experiment) -> Session:
+    """One Session per invocation: global flags + the experiment's
+    declared knobs resolved from the parsed namespace."""
+    return Session(seed=args.seed, workers=args.workers,
+                   store=_store_from(args),
+                   knobs=knob_mapping(experiment, vars(args)))
 
 
-def _cmd_table1(args: argparse.Namespace) -> None:
-    from .analysis import render_table, table1_parameters
-
-    headers, rows = table1_parameters()
-    print(render_table(headers, rows,
-                       title="Table 1: HE parameters across versions"))
-
-
-def _cmd_table2(args: argparse.Namespace) -> None:
-    from .analysis import render_table2, table2_features
-    from .webtool import UAEntry, WebCampaign
-
-    store = _store_from(args)
-    web = None
-    if not args.no_web:
-        campaign = WebCampaign(seed=args.seed + 1,
-                               repetitions=args.repetitions)
-        web = campaign.run(
-            entries=tuple(UAEntry(*entry) for entry in TABLE2_WEB_ENTRIES),
-            workers=args.workers, store=store)
-    rows = table2_features(seed=args.seed, web_campaign=web,
-                           workers=args.workers, store=store)
-    print(render_table2(rows))
-    _report_cache(store)
+def _run_experiment(experiment, args: argparse.Namespace) -> None:
+    """The one generic dispatch path: execute, render, print the
+    artifact, then print the session's cache summary exactly once."""
+    session = _session_from(args, experiment)
+    artifact = experiment.run(session)
+    if getattr(args, "json", False) and artifact.data is not None:
+        print(artifact.json_text())
+    else:
+        print(artifact.text)
+    cache_line = session.cache_line()
+    if cache_line is not None:
+        print(cache_line)
 
 
-def _cmd_table3(args: argparse.Namespace) -> None:
-    from .analysis import render_table3, table3_resolvers
-
-    store = _store_from(args)
-    rows = table3_resolvers(seed=args.seed,
-                            share_repetitions=args.repetitions,
-                            delay_repetitions=max(3, args.repetitions // 20),
-                            workers=args.workers, store=store)
-    print(render_table3(rows))
-    _report_cache(store)
-
-
-def _cmd_table4(args: argparse.Namespace) -> None:
-    from .analysis import render_table4, table4_inventory
-
-    print(render_table4(table4_inventory(seed=args.seed)))
-
-
-def _cmd_table5(args: argparse.Namespace) -> None:
-    from .analysis import render_table, table5_matrix
-    from .webtool import TABLE5_MATRIX, WebCampaign
-
-    store = _store_from(args)
-    campaign = WebCampaign(seed=args.seed, repetitions=args.repetitions)
-    result = campaign.run(entries=TABLE5_MATRIX, workers=args.workers,
-                          store=store)
-    headers, rows = table5_matrix(result)
-    print(render_table(headers, rows,
-                       title="Table 5: web-measured OS/browser matrix"))
-    print(f"\n{len(result)} sessions, {result.combinations()} "
-          "OS/browser combinations")
-    _report_cache(store)
-
-
-def _cmd_figure2(args: argparse.Namespace) -> None:
-    from .analysis import figure2_sweep, render_figure2
-
-    store = _store_from(args)
-    series = figure2_sweep(step_ms=args.step, stop_ms=args.stop,
-                           seed=args.seed, workers=args.workers,
-                           store=store)
-    print(render_figure2(series))
-    _report_cache(store)
-
-
-def _cmd_figure4(args: argparse.Namespace) -> None:
-    from .clients import get_profile
-    from .webtool import (WebToolDeployment, WebToolSession,
-                          render_session_ladder)
-
-    deployment = WebToolDeployment(seed=args.seed)
-    for name, version in (("Chrome", "130.0"), ("Safari", "17.6")):
-        session = WebToolSession(deployment, get_profile(name, version))
-        print(render_session_ladder(session.run()))
-        print()
-
-
-#: The client/version rows of the Figure 5 rendering (shared with
-#: ``repro cache gc``'s live-key planning).
-FIGURE5_CLIENTS = (
-    ("wget", "1.21.3"), ("curl", "7.88.1"), ("Safari", "17.6"),
-    ("Firefox", "132.0"), ("Edge", "130.0"), ("Chromium", "130.0"),
-    ("Chrome", "130.0"))
-
-
-def _cmd_figure5(args: argparse.Namespace) -> None:
-    from .analysis import figure5_attempts, render_figure5
-    from .clients import get_profile
-
-    clients = [get_profile(n, v) for n, v in FIGURE5_CLIENTS]
-    store = _store_from(args)
-    series = figure5_attempts(clients, seed=args.seed,
-                              workers=args.workers, store=store)
-    print(render_figure5(series))
-    _report_cache(store)
-
-
-def _cmd_delayed_a(args: argparse.Namespace) -> None:
-    from .clients import Client, get_profile
-    from .dns import RdataType
-    from .testbed.topology import LocalTestbed
-
-    print("A record delayed 2 s; IPv6 and AAAA fully healthy:\n")
-    for name, version, flag in (("Chrome", "130.0", False),
-                                ("Firefox", "132.0", False),
-                                ("Safari", "17.6", False),
-                                ("Chrome", "130.0", True)):
-        testbed = LocalTestbed(seed=args.seed)
-        testbed.set_dns_delay(RdataType.A, 2.0)
-        client = Client(testbed.client, get_profile(name, version),
-                        testbed.resolver_addresses[:1], hev3_flag=flag)
-        result = testbed.sim.run_until(
-            client.fetch("www.he-test.example"))
-        label = f"{name} {version}" + (" +HEv3 flag" if flag else "")
-        print(f"  {label:<26} connected after "
-              f"{result.he.time_to_connect * 1000:7.1f} ms via "
-              f"{result.used_family.label}")
-
-
-#: The UA combinations the Table 2 web-validation campaign visits
-#: (shared with ``repro cache gc``'s live-key planning).
-TABLE2_WEB_ENTRIES = (
-    ("Linux", "", "Chrome", "130.0.0"),
-    ("Linux", "", "Chromium", "130.0.0"),
-    ("Windows", "10", "Edge", "130.0.0"),
-    ("Linux", "", "Firefox", "132.0"),
-    ("Mac OS X", "10.15.7", "Safari", "17.6"),
-)
+def _cmd_experiment(args: argparse.Namespace) -> None:
+    _run_experiment(get_experiment(args.experiment_name), args)
 
 
 def _cmd_fingerprint(args: argparse.Namespace) -> None:
-    from .clients.registry import resolve_profiles
-    from .conformance import (fingerprint_client, fingerprints_to_json,
-                              render_fingerprint, scenario_battery)
-
-    store = _store_from(args)
-    battery = scenario_battery(stop_ms=args.stop)
-    try:
-        profiles = resolve_profiles(args.client)
-    except KeyError as exc:
-        raise SystemExit(str(exc))
-    unsupported = [p.full_name for p in profiles
-                   if not p.supports_local_tests]
-    profiles = [p for p in profiles if p.supports_local_tests]
-    if not profiles:
-        raise SystemExit(
-            f"{', '.join(unsupported)} cannot run on the local testbed "
-            "(mobile browsers are web-tool only); nothing to fingerprint")
-    fingerprints = [
-        fingerprint_client(profile, seed=args.seed, store=store,
-                           workers=args.workers, battery=battery)
-        for profile in profiles]
-    if args.json:
-        print(fingerprints_to_json(fingerprints))
-    else:
-        print("\n\n".join(render_fingerprint(fp) for fp in fingerprints))
-    _report_cache(store)
-
-
-def _cmd_conformance(args: argparse.Namespace) -> None:
-    from .clients.registry import local_testbed_clients
-    from .conformance import (fingerprint_client, fingerprints_to_json,
-                              render_conformance_summary,
-                              render_scenario_catalog, scenario_battery)
-
-    battery = scenario_battery(stop_ms=args.stop)
-    if args.list:
-        print(render_scenario_catalog(battery))
+    """``repro fingerprint``: one client's report, or ``--diff`` drift
+    between two clients (the fingerprint-diff experiment)."""
+    if args.diff is not None:
+        args.client_a, args.client_b = args.diff
+        _run_experiment(get_experiment("fingerprint-diff"), args)
         return
+    if args.client is None:
+        raise SystemExit("repro fingerprint: a client selector is "
+                         "required (or use --diff CLIENT_A CLIENT_B)")
+    _run_experiment(get_experiment("fingerprint"), args)
+
+
+def _cmd_ls(args: argparse.Namespace) -> None:
+    """List the registry: every experiment with its paper reference
+    and the number of distinct store keys its plan references."""
+    from .analysis import render_table
+
     store = _store_from(args)
-    fingerprints = [
-        fingerprint_client(profile, seed=args.seed, store=store,
-                           workers=args.workers, battery=battery)
-        for profile in local_testbed_clients()]
-    if args.json:
-        print(fingerprints_to_json(fingerprints))
-    else:
-        print(render_conformance_summary(fingerprints))
-    _report_cache(store)
+    rows = []
+    for experiment in all_experiments():
+        session = Session(seed=args.seed, workers=args.workers,
+                          store=store,
+                          knobs=experiment.default_knobs())
+        planned = experiment.planned_keys(session)
+        rows.append([experiment.name, experiment.paper or None,
+                     str(planned) if planned else None,
+                     experiment.title])
+    print(render_table(
+        ["Experiment", "Paper", "Planned keys", "Description"], rows,
+        title="Registered experiments"))
+    print(f"\n{len(rows)} experiments registered")
 
 
 def _cmd_cache_gc(args: argparse.Namespace) -> None:
-    """Mark-and-sweep the campaign store against the keys the current
-    CLI campaigns (tables, figures, conformance, web, resolvers) would
-    reference with the given seed and options."""
-    from .analysis import (figure2_runner, figure5_runner,
-                           table2_local_runner, table3_store_keys)
-    from .clients.registry import (figure2_clients, get_profile,
-                                   local_testbed_clients, table2_clients)
-    from .conformance import ConformanceProbe, scenario_battery
-    from .webtool import TABLE5_MATRIX, UAEntry, WebCampaign
-
+    """Mark-and-sweep the campaign store against the union of every
+    registered experiment's planned keys — an experiment in the
+    registry can never be silently collected."""
     store = _store_from(args)
     if store is None:
         raise SystemExit("cache gc needs --cache-dir (or $REPRO_CACHE_DIR)")
-    seed = args.seed
+    overrides = {
+        "figure2": {"step": args.step, "stop": args.stop},
+        "table3": {"repetitions": args.table3_repetitions},
+    }
     live: "set[str]" = set()
-    live.update(figure2_runner(figure2_clients(), step_ms=args.step,
-                               stop_ms=args.stop, seed=seed).store_keys())
-    figure5_profiles = [get_profile(n, v) for n, v in FIGURE5_CLIENTS]
-    live.update(figure5_runner(figure5_profiles, seed=seed).store_keys())
-    for profile in table2_clients():
-        if profile.supports_local_tests:
-            live.update(table2_local_runner(profile, seed=seed)
-                        .store_keys())
-    live.update(table3_store_keys(
-        seed=seed, share_repetitions=args.table3_repetitions,
-        delay_repetitions=max(3, args.table3_repetitions // 20)))
-    battery = scenario_battery()
-    for profile in local_testbed_clients():
-        probe = ConformanceProbe(profile, seed=seed, store=store,
-                                 battery=battery)
-        live.update(probe.store_keys())
-    live.update(WebCampaign(seed=seed + 1, repetitions=10).store_keys(
-        tuple(UAEntry(*entry) for entry in TABLE2_WEB_ENTRIES)))
-    live.update(WebCampaign(seed=seed, repetitions=5).store_keys(
-        TABLE5_MATRIX))
+    for experiment in all_experiments():
+        knobs = experiment.default_knobs()
+        knobs.update(overrides.get(experiment.name, {}))
+        session = Session(seed=args.seed, store=store, knobs=knobs)
+        live.update(experiment.plan(session))
     stats = store.gc(live)
     print(f"[cache gc] {stats.summary()} root={store.root}")
-
-
-def _cmd_trace(args: argparse.Namespace) -> None:
-    from .core import rfc8305_params
-    from .core.engine import HappyEyeballsEngine
-    from .dns.stub import StubResolver
-    from .testbed.topology import LocalTestbed
-
-    testbed = LocalTestbed(seed=args.seed)
-    testbed.delay_ipv6_tcp(args.delay_ms / 1000.0)
-    stub = StubResolver(testbed.client, testbed.resolver_addresses[:1],
-                        timeout=3600.0, retries=0)
-    engine = HappyEyeballsEngine(testbed.client, stub, rfc8305_params())
-    result = testbed.sim.run_until(engine.connect("www.he-test.example"))
-    print(result.trace.render())
-    print(f"\nwinner: {result.winning_family.label}, "
-          f"time to connect {result.time_to_connect * 1000:.1f} ms")
 
 
 def positive_int(value: str) -> int:
@@ -288,6 +133,20 @@ def positive_int(value: str) -> int:
     if workers < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1: {value}")
     return workers
+
+
+def _add_experiment_args(parser: argparse.ArgumentParser, experiment,
+                         required_positionals: bool = False) -> None:
+    """Materialize an experiment's knobs (plus ``--json`` when it has
+    a machine-readable form) on ``parser``."""
+    for knob in experiment.knobs:
+        knob.add_to_parser(parser, required=required_positionals)
+    if experiment.json_capable:
+        parser.add_argument("--json", action="store_true",
+                            help="machine-readable report instead of "
+                                 "the table")
+    parser.set_defaults(fn=_cmd_experiment,
+                        experiment_name=experiment.name)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -313,66 +172,74 @@ def build_parser() -> argparse.ArgumentParser:
                              "directory is configured")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("table1", help="HE parameter comparison"
-                   ).set_defaults(fn=_cmd_table1)
-    p2 = sub.add_parser("table2", help="client HE feature matrix")
-    p2.add_argument("--repetitions", type=int, default=10)
-    p2.add_argument("--no-web", action="store_true",
-                    help="skip the web-validation campaign")
-    p2.set_defaults(fn=_cmd_table2)
-    p3 = sub.add_parser("table3", help="resolver IPv6 usage")
-    p3.add_argument("--repetitions", type=int, default=160)
-    p3.set_defaults(fn=_cmd_table3)
-    sub.add_parser("table4", help="open resolver inventory"
-                   ).set_defaults(fn=_cmd_table4)
-    p5 = sub.add_parser("table5", help="web campaign UA matrix")
-    p5.add_argument("--repetitions", type=int, default=5)
-    p5.set_defaults(fn=_cmd_table5)
+    # -- generic registry verbs ------------------------------------------------
 
-    pf2 = sub.add_parser("figure2", help="CAD sweep per client version")
-    pf2.add_argument("--step", type=int, default=25,
-                     help="delay step in ms (paper: 5)")
-    pf2.add_argument("--stop", type=int, default=400)
-    pf2.set_defaults(fn=_cmd_figure2)
-    sub.add_parser("figure4", help="web tool ladders"
-                   ).set_defaults(fn=_cmd_figure4)
-    sub.add_parser("figure5", help="address selection attempts"
-                   ).set_defaults(fn=_cmd_figure5)
-    sub.add_parser("delayed-a", help="the §5.2 delayed-A pathology"
-                   ).set_defaults(fn=_cmd_delayed_a)
-    pt = sub.add_parser("trace", help="one HE run's event trace")
-    pt.add_argument("--delay-ms", type=int, default=400)
-    pt.set_defaults(fn=_cmd_trace)
+    sub.add_parser(
+        "ls",
+        help="list every registered experiment with its paper "
+             "reference and planned key count").set_defaults(fn=_cmd_ls)
+
+    p_run = sub.add_parser(
+        "run", help="run any registered experiment by name")
+    run_sub = p_run.add_subparsers(dest="experiment_name",
+                                   required=True, metavar="experiment")
+    for experiment in all_experiments():
+        p_exp = run_sub.add_parser(experiment.name,
+                                   help=experiment.title)
+        for knob in experiment.knobs:
+            knob.add_to_parser(p_exp)
+        p_exp.add_argument("--json", action="store_true",
+                           help="machine-readable artifact when the "
+                                "experiment provides one")
+        p_exp.set_defaults(fn=_cmd_experiment,
+                           experiment_name=experiment.name)
+
+    # -- legacy command aliases (same names, same flags, same bytes) -----------
+
+    for name, help_text in (
+            ("table1", "HE parameter comparison"),
+            ("table2", "client HE feature matrix"),
+            ("table3", "resolver IPv6 usage"),
+            ("table4", "open resolver inventory"),
+            ("table5", "web campaign UA matrix"),
+            ("figure2", "CAD sweep per client version"),
+            ("figure4", "web tool ladders"),
+            ("figure5", "address selection attempts"),
+            ("delayed-a", "the §5.2 delayed-A pathology"),
+            ("trace", "one HE run's event trace"),
+            ("conformance",
+             "fingerprint every local-testbed client and print the "
+             "conformance summary")):
+        _add_experiment_args(sub.add_parser(name, help=help_text),
+                             get_experiment(name))
 
     pfp = sub.add_parser(
         "fingerprint",
         help="probe one client with the conformance scenario battery "
              "and print its RFC 8305 fingerprint report")
-    pfp.add_argument("client",
+    # The positional stays required here (``repro run fingerprint``
+    # defaults to 'all'): omit it only together with ``--diff``.
+    pfp.add_argument("client", nargs="?", default=None,
                      help="client selector: 'Name version', 'Name' "
                           "(latest), or 'all'")
-    pfp.add_argument("--stop", type=int, default=400,
-                     help="CAD sweep upper bound in ms (default 400)")
+    for knob in get_experiment("fingerprint").knobs:
+        if knob.name != "client":
+            knob.add_to_parser(pfp)
     pfp.add_argument("--json", action="store_true",
                      help="machine-readable report instead of the table")
+    pfp.add_argument("--diff", nargs=2,
+                     metavar=("CLIENT_A", "CLIENT_B"), default=None,
+                     help="diff two clients' fingerprints into a "
+                          "drift report (the fingerprint-diff "
+                          "experiment)")
     pfp.set_defaults(fn=_cmd_fingerprint)
-
-    pcf = sub.add_parser(
-        "conformance",
-        help="fingerprint every local-testbed client and print the "
-             "conformance summary")
-    pcf.add_argument("--stop", type=int, default=400)
-    pcf.add_argument("--json", action="store_true")
-    pcf.add_argument("--list", action="store_true",
-                     help="print the scenario catalog and exit")
-    pcf.set_defaults(fn=_cmd_conformance)
 
     pcache = sub.add_parser("cache", help="campaign store maintenance")
     cache_sub = pcache.add_subparsers(dest="cache_command", required=True)
     pgc = cache_sub.add_parser(
         "gc",
-        help="drop store entries unreferenced by the current campaign "
-             "digests and print the reclaimed bytes")
+        help="drop store entries unreferenced by any registered "
+             "experiment's plan and print the reclaimed bytes")
     pgc.add_argument("--step", type=int, default=25,
                      help="figure2 step whose keys stay live (default 25)")
     pgc.add_argument("--stop", type=int, default=400)

@@ -14,6 +14,8 @@ RFC 8305 MUST/SHOULD deviation flags
 :mod:`repro.conformance.report`).
 """
 
+from .drift import (DriftRow, FingerprintDiff, diff_fingerprints,
+                    fingerprint_diff_to_dict, render_fingerprint_diff)
 from .fingerprint import (ClientFingerprint, Deviation, ParameterVerdict,
                           Requirement, assemble_fingerprint,
                           fingerprint_client, outcomes_from_records)
@@ -26,11 +28,13 @@ from .scenarios import (RFC8305Parameter, Scenario, scenario_battery,
                         scenario_by_name)
 
 __all__ = [
-    "ClientFingerprint", "ConformanceProbe", "Deviation",
-    "ParameterVerdict", "RFC8305Parameter", "Requirement", "Scenario",
-    "ScenarioOutcome", "assemble_fingerprint", "fingerprint_client",
-    "fingerprint_to_dict", "fingerprints_to_json",
-    "outcomes_from_records", "refinement_window",
-    "render_conformance_summary", "render_fingerprint",
+    "ClientFingerprint", "ConformanceProbe", "Deviation", "DriftRow",
+    "FingerprintDiff", "ParameterVerdict", "RFC8305Parameter",
+    "Requirement", "Scenario", "ScenarioOutcome",
+    "assemble_fingerprint", "diff_fingerprints", "fingerprint_client",
+    "fingerprint_diff_to_dict", "fingerprint_to_dict",
+    "fingerprints_to_json", "outcomes_from_records",
+    "refinement_window", "render_conformance_summary",
+    "render_fingerprint", "render_fingerprint_diff",
     "render_scenario_catalog", "scenario_battery", "scenario_by_name",
 ]

@@ -151,27 +151,28 @@ class ConformanceProbe:
     def store_keys(self) -> "Iterator[str]":
         """Content address of every run the battery would reference.
 
-        Coarse keys are enumerable unconditionally.  Fine keys exist
-        only once the coarse pass ran, so they are resolved *from the
-        store*: when every coarse record of an adaptive scenario is
-        cached, the same pure refinement logic reproduces the fine
-        window — without executing anything.  ``repro cache gc`` uses
-        this to keep a warm conformance battery alive.
+        Coarse keys are enumerable unconditionally — with no store
+        attached (``repro ls`` planning a cold catalogue), they are
+        all there is.  Fine keys exist only once the coarse pass ran,
+        so they are resolved *from the store*: when every coarse
+        record of an adaptive scenario is cached, the same pure
+        refinement logic reproduces the fine window — without
+        executing anything.  ``repro cache gc`` uses this to keep a
+        warm conformance battery alive.
         """
-        if self.store is None:
-            raise ValueError("store_keys() needs a store attached")
         for scenario in self.battery:
             runner = TestRunner([self.profile], [scenario.case],
                                 seed=self.seed, store=self.store)
             keys = list(runner.store_keys())
             yield from keys
-            if not scenario.adaptive:
+            if not scenario.adaptive or self.store is None:
                 continue
-            cached = [self.store.get_record(key) for key in keys]
-            if any(record is None for record in cached):
+            cached_map = self.store.get_many_records(keys)
+            if len(cached_map) < len(keys):
                 continue  # cold coarse pass: fine window unknowable
-            outcome = ScenarioOutcome(scenario=scenario,
-                                      records=list(cached))
+            outcome = ScenarioOutcome(
+                scenario=scenario,
+                records=[cached_map[key] for key in keys])
             window = refinement_window(
                 outcome.family_series, scenario.coarse_step_ms,
                 max(scenario.case.sweep))

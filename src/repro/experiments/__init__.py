@@ -1,0 +1,35 @@
+"""The unified Experiment API.
+
+Every artifact the reproduction produces — tables, figures,
+conformance reports, diagnostics — is a first-class, enumerable
+:class:`Experiment` living in one process-wide registry:
+
+* :meth:`Experiment.plan` enumerates the content address of every
+  campaign run the experiment would reference (pure — nothing
+  executes), which powers ``repro ls`` key counts, batch warm-run
+  lookups, and a ``repro cache gc`` that can never silently collect a
+  registered experiment's entries;
+* :meth:`Experiment.execute` runs the measurement through one shared
+  :class:`Session` (seed, workers, campaign store);
+* :meth:`Experiment.render` turns the result into an
+  :class:`Artifact` (text + optional machine-readable JSON).
+
+Registering a new experiment (subclass + :func:`register`) is all it
+takes to surface it in the CLI — ``repro ls``, ``repro run <name>``,
+and gc liveness come from the registry, not from command plumbing.
+
+Importing this package loads the built-in catalogue
+(:mod:`repro.experiments.catalog`).
+"""
+
+from .base import Artifact, Experiment, Knob, Session, knob_mapping
+from .registry import (all_experiments, experiment_names, get_experiment,
+                       register)
+from . import catalog  # noqa: F401  (registers the built-in catalogue)
+from .catalog import FIGURE5_CLIENTS, TABLE2_WEB_ENTRIES
+
+__all__ = [
+    "Artifact", "Experiment", "FIGURE5_CLIENTS", "Knob", "Session",
+    "TABLE2_WEB_ENTRIES", "all_experiments", "experiment_names",
+    "get_experiment", "knob_mapping", "register",
+]

@@ -1,0 +1,202 @@
+"""The Experiment API: Session, Knob, Artifact, Experiment.
+
+Every artifact the reproduction can produce — the paper's tables and
+figures, the conformance battery, diagnostic traces — is an
+:class:`Experiment`: a named, registered object with three separable
+phases:
+
+* :meth:`Experiment.plan` — the content address of every campaign run
+  the experiment would reference, **without executing anything**.
+  ``repro cache gc`` marks the union of all registered plans as live,
+  so a newly registered experiment can never be silently collected,
+  and warm runs can resolve the whole key universe in one batch
+  (:meth:`~repro.testbed.store.CampaignStore.get_many`).
+* :meth:`Experiment.execute` — run the measurement and return a
+  result object (pure data, no I/O besides the campaign store).
+* :meth:`Experiment.render` — turn a result into an :class:`Artifact`
+  (text, optionally with a machine-readable JSON form).
+
+A single :class:`Session` carries everything an invocation shares —
+seed, worker count, campaign store, and the experiment's knob values —
+replacing the per-command ``(seed, workers, cache_dir)`` threading the
+CLI used to hand-wire.  The session also owns cache-summary reporting,
+so worker-merged store counters are printed exactly once per
+invocation instead of being copy-pasted into every command.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, Iterator, Mapping, Optional,
+                    Tuple)
+
+from ..testbed.store import CampaignStore
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One declared experiment parameter, CLI-mappable.
+
+    Knobs are the single source of truth for an experiment's options:
+    the generic ``repro run <name>`` verb *and* the legacy command
+    alias both generate their argparse arguments from the same
+    declarations, which is what keeps them flag-compatible and
+    byte-identical.
+    """
+
+    name: str
+    type: Callable[[str], Any] = int
+    default: Any = None
+    help: str = ""
+    #: ``store_true`` boolean switch (``--no-web`` style).
+    flag: bool = False
+    #: Positional argument (``repro fingerprint <client>`` style).
+    positional: bool = False
+    metavar: Optional[str] = None
+
+    @property
+    def option(self) -> str:
+        """The CLI spelling: ``delay_ms`` → ``--delay-ms``."""
+        return "--" + self.name.replace("_", "-")
+
+    def add_to_parser(self, parser, required: bool = False) -> None:
+        """Materialize this knob on an argparse parser."""
+        if self.positional:
+            if required:
+                parser.add_argument(self.name, help=self.help,
+                                    metavar=self.metavar or self.name)
+            else:
+                parser.add_argument(self.name, nargs="?",
+                                    default=self.default, help=self.help,
+                                    metavar=self.metavar or self.name)
+        elif self.flag:
+            parser.add_argument(self.option, dest=self.name,
+                                action="store_true", help=self.help)
+        else:
+            parser.add_argument(self.option, dest=self.name,
+                                type=self.type, default=self.default,
+                                help=self.help, metavar=self.metavar)
+
+
+@dataclass
+class Artifact:
+    """What an experiment renders: text, plus an optional JSON form."""
+
+    text: str
+    #: JSON-serializable machine-readable form, or None when the
+    #: experiment has no meaningful one (``--json`` then falls back
+    #: to the text rendering).
+    data: Any = None
+
+    def json_text(self, indent: int = 2) -> str:
+        """Deterministic JSON (sorted keys — byte-identical across
+        serial, parallel, and warm-cache invocations)."""
+        return json.dumps(self.data, indent=indent, sort_keys=True)
+
+
+@dataclass
+class Session:
+    """Everything one experiment invocation shares.
+
+    Replaces the per-command ``(seed, workers, cache_dir)`` threading:
+    experiments read their inputs from here, and the CLI (or any other
+    host — tests, notebooks, batch drivers) builds exactly one Session
+    per invocation.
+    """
+
+    seed: int = 0
+    workers: Optional[int] = None
+    store: Optional[CampaignStore] = None
+    knobs: Dict[str, Any] = field(default_factory=dict)
+
+    def knob(self, name: str, default: Any = None) -> Any:
+        """The invocation's value for ``name``, else ``default``.
+
+        ``None`` stored under a knob (an argparse default that was
+        never overridden) also falls back — so experiment defaults
+        hold unless the caller actually set something.
+        """
+        value = self.knobs.get(name)
+        return default if value is None else value
+
+    def with_knobs(self, **overrides: Any) -> "Session":
+        """A session sharing seed/workers/store with knobs replaced —
+        how ``repro cache gc`` plans every experiment at its own
+        defaults (plus targeted overrides) against one store."""
+        return Session(seed=self.seed, workers=self.workers,
+                       store=self.store, knobs=dict(overrides))
+
+    def cache_line(self) -> Optional[str]:
+        """The one-per-invocation ``[cache]`` summary, or None.
+
+        Worker handles merge their counters into ``store.stats``
+        inside the campaign helpers; this is the single place the
+        merged totals get rendered.  A session whose store was never
+        touched (e.g. ``conformance --list``) reports nothing, so
+        pure commands stay byte-identical with and without a
+        configured cache directory.
+        """
+        store = self.store
+        if store is None:
+            return None
+        if store.stats.lookups == 0 and store.stats.stores == 0:
+            return None
+        return f"[cache] {store.stats.summary()} root={store.root}"
+
+
+class Experiment:
+    """Base class: one registered, enumerable, runnable artifact.
+
+    Subclasses declare metadata as class attributes and implement
+    :meth:`execute` / :meth:`render`; :meth:`plan` defaults to an
+    empty plan (pure experiments reference no campaign store keys).
+    """
+
+    #: Registry name (also the ``repro run <name>`` spelling).
+    name: str = ""
+    #: One-line description (CLI help and ``repro ls``).
+    title: str = ""
+    #: Where in the paper (or RFC) this artifact comes from.
+    paper: str = ""
+    #: Declared parameters, in CLI order.
+    knobs: Tuple[Knob, ...] = ()
+    #: Whether render() produces a machine-readable Artifact.data.
+    json_capable: bool = False
+
+    def default_knobs(self) -> Dict[str, Any]:
+        return {knob.name: knob.default for knob in self.knobs}
+
+    # -- the three phases ------------------------------------------------------
+
+    def plan(self, session: Session) -> Iterator[str]:
+        """Every store key this experiment's campaigns would
+        reference under ``session`` — pure, no execution."""
+        return iter(())
+
+    def execute(self, session: Session) -> Any:
+        raise NotImplementedError
+
+    def render(self, result: Any) -> Artifact:
+        raise NotImplementedError
+
+    # -- conveniences ----------------------------------------------------------
+
+    def run(self, session: Session) -> Artifact:
+        """execute + render in one call (the common host path)."""
+        return self.render(self.execute(session))
+
+    def planned_keys(self, session: Session) -> int:
+        """Distinct planned keys under ``session`` (``repro ls``)."""
+        return len(set(self.plan(session)))
+
+
+def knob_mapping(experiment: Experiment,
+                 values: Mapping[str, Any]) -> Dict[str, Any]:
+    """The experiment's declared knobs resolved against ``values``
+    (undeclared names in ``values`` are ignored)."""
+    resolved = experiment.default_knobs()
+    for name in resolved:
+        if name in values and values[name] is not None:
+            resolved[name] = values[name]
+    return resolved

@@ -1,0 +1,557 @@
+"""The registered experiment catalogue: every artifact, one registry.
+
+Each entry ports one former hand-wired CLI command onto the
+:class:`~repro.experiments.base.Experiment` contract — declared knobs,
+a pure :meth:`plan`, an :meth:`execute` producing data, a
+:meth:`render` producing the byte-identical artifact text the old
+command printed.  Heavy modules import *inside* the phase methods, so
+building the catalogue (parser construction, ``repro ls``) stays as
+light as the old lazy-importing CLI.
+
+Adding a scenario to the framework is now one subclass + one
+:func:`~repro.experiments.registry.register` call: the CLI verbs
+(``repro ls``, ``repro run``), key planning, and ``repro cache gc``
+liveness all pick it up from the registry with no plumbing changes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List
+
+from .base import Artifact, Experiment, Knob, Session
+from .registry import register
+
+#: The UA combinations the Table 2 web-validation campaign visits
+#: (planned by the table2 experiment, kept live by ``repro cache gc``).
+TABLE2_WEB_ENTRIES = (
+    ("Linux", "", "Chrome", "130.0.0"),
+    ("Linux", "", "Chromium", "130.0.0"),
+    ("Windows", "10", "Edge", "130.0.0"),
+    ("Linux", "", "Firefox", "132.0"),
+    ("Mac OS X", "10.15.7", "Safari", "17.6"),
+)
+
+#: The client/version rows of the Figure 5 rendering.
+FIGURE5_CLIENTS = (
+    ("wget", "1.21.3"), ("curl", "7.88.1"), ("Safari", "17.6"),
+    ("Firefox", "132.0"), ("Edge", "130.0"), ("Chromium", "130.0"),
+    ("Chrome", "130.0"))
+
+
+# --------------------------------------------------------------------------
+# tables
+# --------------------------------------------------------------------------
+
+
+class Table1Experiment(Experiment):
+    name = "table1"
+    title = "HE parameter comparison across versions"
+    paper = "Table 1"
+    json_capable = True
+
+    def execute(self, session: Session) -> Any:
+        from ..analysis import table1_parameters
+
+        return table1_parameters()
+
+    def render(self, result: Any) -> Artifact:
+        from ..analysis import render_table
+
+        headers, rows = result
+        return Artifact(
+            text=render_table(headers, rows,
+                              title="Table 1: HE parameters across "
+                                    "versions"),
+            data={"headers": headers, "rows": rows})
+
+
+class Table2Experiment(Experiment):
+    name = "table2"
+    title = "client HE feature matrix"
+    paper = "Table 2"
+    knobs = (
+        Knob("repetitions", type=int, default=10,
+             help="web-validation sessions per UA entry"),
+        Knob("no_web", flag=True, default=False,
+             help="skip the web-validation campaign"),
+    )
+
+    def execute(self, session: Session) -> Any:
+        from ..analysis import table2_features
+        from ..webtool import UAEntry, WebCampaign
+
+        web = None
+        if not session.knob("no_web", False):
+            campaign = WebCampaign(
+                seed=session.seed + 1,
+                repetitions=session.knob("repetitions", 10))
+            web = campaign.run(
+                entries=tuple(UAEntry(*entry)
+                              for entry in TABLE2_WEB_ENTRIES),
+                workers=session.workers, store=session.store)
+        return table2_features(seed=session.seed, web_campaign=web,
+                               workers=session.workers,
+                               store=session.store)
+
+    def render(self, result: Any) -> Artifact:
+        from ..analysis import render_table2
+
+        return Artifact(text=render_table2(result))
+
+    def plan(self, session: Session) -> Iterator[str]:
+        from ..analysis import table2_local_runner
+        from ..clients.registry import table2_clients
+        from ..webtool import UAEntry, WebCampaign
+
+        for profile in table2_clients():
+            if profile.supports_local_tests:
+                yield from table2_local_runner(
+                    profile, seed=session.seed).store_keys()
+        yield from WebCampaign(
+            seed=session.seed + 1,
+            repetitions=session.knob("repetitions", 10)).store_keys(
+                tuple(UAEntry(*entry) for entry in TABLE2_WEB_ENTRIES))
+
+
+class Table3Experiment(Experiment):
+    name = "table3"
+    title = "resolver IPv6 usage"
+    paper = "Table 3"
+    knobs = (Knob("repetitions", type=int, default=160,
+                  help="share-campaign repetitions per resolver"),)
+
+    def _repetitions(self, session: Session) -> "tuple":
+        share = session.knob("repetitions", 160)
+        return share, max(3, share // 20)
+
+    def execute(self, session: Session) -> Any:
+        from ..analysis import table3_resolvers
+
+        share, delay = self._repetitions(session)
+        return table3_resolvers(seed=session.seed,
+                                share_repetitions=share,
+                                delay_repetitions=delay,
+                                workers=session.workers,
+                                store=session.store)
+
+    def render(self, result: Any) -> Artifact:
+        from ..analysis import render_table3
+
+        return Artifact(text=render_table3(result))
+
+    def plan(self, session: Session) -> Iterator[str]:
+        from ..analysis import table3_store_keys
+
+        share, delay = self._repetitions(session)
+        return iter(table3_store_keys(seed=session.seed,
+                                      share_repetitions=share,
+                                      delay_repetitions=delay))
+
+
+class Table4Experiment(Experiment):
+    name = "table4"
+    title = "open resolver inventory"
+    paper = "Table 4"
+
+    def execute(self, session: Session) -> Any:
+        from ..analysis import table4_inventory
+
+        return table4_inventory(seed=session.seed)
+
+    def render(self, result: Any) -> Artifact:
+        from ..analysis import render_table4
+
+        return Artifact(text=render_table4(result))
+
+
+class Table5Experiment(Experiment):
+    name = "table5"
+    title = "web campaign UA matrix"
+    paper = "Table 5"
+    knobs = (Knob("repetitions", type=int, default=5,
+                  help="sessions per OS/browser combination"),)
+
+    def execute(self, session: Session) -> Any:
+        from ..webtool import TABLE5_MATRIX, WebCampaign
+
+        campaign = WebCampaign(seed=session.seed,
+                               repetitions=session.knob("repetitions", 5))
+        return campaign.run(entries=TABLE5_MATRIX,
+                            workers=session.workers, store=session.store)
+
+    def render(self, result: Any) -> Artifact:
+        from ..analysis import render_table, table5_matrix
+
+        headers, rows = table5_matrix(result)
+        table = render_table(headers, rows,
+                             title="Table 5: web-measured OS/browser "
+                                   "matrix")
+        return Artifact(
+            text=(f"{table}\n\n{len(result)} sessions, "
+                  f"{result.combinations()} OS/browser combinations"))
+
+    def plan(self, session: Session) -> Iterator[str]:
+        from ..webtool import TABLE5_MATRIX, WebCampaign
+
+        return iter(WebCampaign(
+            seed=session.seed,
+            repetitions=session.knob("repetitions", 5))
+            .store_keys(TABLE5_MATRIX))
+
+
+# --------------------------------------------------------------------------
+# figures
+# --------------------------------------------------------------------------
+
+
+class Figure2Experiment(Experiment):
+    name = "figure2"
+    title = "CAD sweep per client version"
+    paper = "Figure 2"
+    knobs = (
+        Knob("step", type=int, default=25,
+             help="delay step in ms (paper: 5)"),
+        Knob("stop", type=int, default=400,
+             help="sweep upper bound in ms"),
+    )
+
+    def execute(self, session: Session) -> Any:
+        from ..analysis import figure2_sweep
+
+        return figure2_sweep(step_ms=session.knob("step", 25),
+                             stop_ms=session.knob("stop", 400),
+                             seed=session.seed, workers=session.workers,
+                             store=session.store)
+
+    def render(self, result: Any) -> Artifact:
+        from ..analysis import render_figure2
+
+        return Artifact(text=render_figure2(result))
+
+    def plan(self, session: Session) -> Iterator[str]:
+        from ..analysis import figure2_runner
+        from ..clients.registry import figure2_clients
+
+        return figure2_runner(figure2_clients(),
+                              step_ms=session.knob("step", 25),
+                              stop_ms=session.knob("stop", 400),
+                              seed=session.seed).store_keys()
+
+
+class Figure4Experiment(Experiment):
+    name = "figure4"
+    title = "web tool ladders"
+    paper = "Figure 4"
+
+    def execute(self, session: Session) -> Any:
+        from ..clients import get_profile
+        from ..webtool import WebToolDeployment, WebToolSession
+
+        deployment = WebToolDeployment(seed=session.seed)
+        return [WebToolSession(deployment,
+                               get_profile(name, version)).run()
+                for name, version in (("Chrome", "130.0"),
+                                      ("Safari", "17.6"))]
+
+    def render(self, result: Any) -> Artifact:
+        from ..webtool import render_session_ladder
+
+        return Artifact(text="\n\n".join(render_session_ladder(session)
+                                         for session in result) + "\n")
+
+
+class Figure5Experiment(Experiment):
+    name = "figure5"
+    title = "address selection attempts"
+    paper = "Figure 5"
+
+    def _clients(self) -> List:
+        from ..clients import get_profile
+
+        return [get_profile(name, version)
+                for name, version in FIGURE5_CLIENTS]
+
+    def execute(self, session: Session) -> Any:
+        from ..analysis import figure5_attempts
+
+        return figure5_attempts(self._clients(), seed=session.seed,
+                                workers=session.workers,
+                                store=session.store)
+
+    def render(self, result: Any) -> Artifact:
+        from ..analysis import render_figure5
+
+        return Artifact(text=render_figure5(result))
+
+    def plan(self, session: Session) -> Iterator[str]:
+        from ..analysis import figure5_runner
+
+        return figure5_runner(self._clients(),
+                              seed=session.seed).store_keys()
+
+
+# --------------------------------------------------------------------------
+# diagnostics
+# --------------------------------------------------------------------------
+
+
+class DelayedAExperiment(Experiment):
+    name = "delayed-a"
+    title = "the §5.2 delayed-A pathology"
+    paper = "§5.2"
+
+    def execute(self, session: Session) -> Any:
+        from ..clients import Client, get_profile
+        from ..dns import RdataType
+        from ..testbed.topology import LocalTestbed
+
+        rows = []
+        for name, version, flag in (("Chrome", "130.0", False),
+                                    ("Firefox", "132.0", False),
+                                    ("Safari", "17.6", False),
+                                    ("Chrome", "130.0", True)):
+            testbed = LocalTestbed(seed=session.seed)
+            testbed.set_dns_delay(RdataType.A, 2.0)
+            client = Client(testbed.client, get_profile(name, version),
+                            testbed.resolver_addresses[:1],
+                            hev3_flag=flag)
+            result = testbed.sim.run_until(
+                client.fetch("www.he-test.example"))
+            label = f"{name} {version}" + (" +HEv3 flag" if flag else "")
+            rows.append((label, result.he.time_to_connect * 1000,
+                         result.used_family.label))
+        return rows
+
+    def render(self, result: Any) -> Artifact:
+        lines = [f"  {label:<26} connected after {ms:7.1f} ms via "
+                 f"{family}" for label, ms, family in result]
+        return Artifact(
+            text="A record delayed 2 s; IPv6 and AAAA fully healthy:"
+                 "\n\n" + "\n".join(lines))
+
+
+class TraceExperiment(Experiment):
+    name = "trace"
+    title = "one HE run's event trace"
+    paper = "App. Figure 3"
+    knobs = (Knob("delay_ms", type=int, default=400,
+                  help="configured IPv6 TCP delay in ms"),)
+
+    def execute(self, session: Session) -> Any:
+        from ..core import rfc8305_params
+        from ..core.engine import HappyEyeballsEngine
+        from ..dns.stub import StubResolver
+        from ..testbed.topology import LocalTestbed
+
+        testbed = LocalTestbed(seed=session.seed)
+        testbed.delay_ipv6_tcp(session.knob("delay_ms", 400) / 1000.0)
+        stub = StubResolver(testbed.client,
+                            testbed.resolver_addresses[:1],
+                            timeout=3600.0, retries=0)
+        engine = HappyEyeballsEngine(testbed.client, stub,
+                                     rfc8305_params())
+        return testbed.sim.run_until(
+            engine.connect("www.he-test.example"))
+
+    def render(self, result: Any) -> Artifact:
+        return Artifact(
+            text=(f"{result.trace.render()}\n\nwinner: "
+                  f"{result.winning_family.label}, time to connect "
+                  f"{result.time_to_connect * 1000:.1f} ms"))
+
+
+# --------------------------------------------------------------------------
+# conformance
+# --------------------------------------------------------------------------
+
+
+def _fingerprint_profiles(selector: str) -> List:
+    """Local-testbed profiles for a CLI selector, with the same error
+    text the old ``repro fingerprint`` command produced."""
+    from ..clients.registry import resolve_profiles
+
+    try:
+        profiles = resolve_profiles(selector)
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+    unsupported = [p.full_name for p in profiles
+                   if not p.supports_local_tests]
+    profiles = [p for p in profiles if p.supports_local_tests]
+    if not profiles:
+        raise SystemExit(
+            f"{', '.join(unsupported)} cannot run on the local testbed "
+            "(mobile browsers are web-tool only); nothing to fingerprint")
+    return profiles
+
+
+class FingerprintExperiment(Experiment):
+    name = "fingerprint"
+    title = "RFC 8305 fingerprint report for one client"
+    paper = "§4.3, RFC 8305"
+    json_capable = True
+    knobs = (
+        Knob("client", type=str, default="all", positional=True,
+             help="client selector: 'Name version', 'Name' (latest), "
+                  "or 'all'"),
+        Knob("stop", type=int, default=400,
+             help="CAD sweep upper bound in ms (default 400)"),
+    )
+
+    def execute(self, session: Session) -> Any:
+        from ..conformance import fingerprint_client, scenario_battery
+
+        battery = scenario_battery(stop_ms=session.knob("stop", 400))
+        return [fingerprint_client(profile, seed=session.seed,
+                                   store=session.store,
+                                   workers=session.workers,
+                                   battery=battery)
+                for profile in _fingerprint_profiles(
+                    session.knob("client", "all"))]
+
+    def render(self, result: Any) -> Artifact:
+        from ..conformance import fingerprint_to_dict, render_fingerprint
+
+        return Artifact(
+            text="\n\n".join(render_fingerprint(fp) for fp in result),
+            data=[fingerprint_to_dict(fp) for fp in result])
+
+    def plan(self, session: Session) -> Iterator[str]:
+        from ..conformance import ConformanceProbe, scenario_battery
+
+        battery = scenario_battery(stop_ms=session.knob("stop", 400))
+        for profile in _fingerprint_profiles(
+                session.knob("client", "all")):
+            probe = ConformanceProbe(profile, seed=session.seed,
+                                     store=session.store,
+                                     battery=battery)
+            yield from probe.store_keys()
+
+
+class ConformanceExperiment(Experiment):
+    name = "conformance"
+    title = "conformance summary across every local-testbed client"
+    paper = "§4.3, RFC 8305"
+    json_capable = True
+    knobs = (
+        Knob("stop", type=int, default=400,
+             help="CAD sweep upper bound in ms"),
+        Knob("list", flag=True, default=False,
+             help="print the scenario catalog and exit"),
+    )
+
+    def execute(self, session: Session) -> Any:
+        from ..clients.registry import local_testbed_clients
+        from ..conformance import fingerprint_client, scenario_battery
+
+        battery = scenario_battery(stop_ms=session.knob("stop", 400))
+        if session.knob("list", False):
+            return {"catalog": battery}
+        return {"fingerprints": [
+            fingerprint_client(profile, seed=session.seed,
+                               store=session.store,
+                               workers=session.workers, battery=battery)
+            for profile in local_testbed_clients()]}
+
+    def render(self, result: Any) -> Artifact:
+        from ..conformance import (fingerprint_to_dict,
+                                   render_conformance_summary,
+                                   render_scenario_catalog)
+
+        if "catalog" in result:
+            return Artifact(
+                text=render_scenario_catalog(result["catalog"]))
+        fingerprints = result["fingerprints"]
+        return Artifact(
+            text=render_conformance_summary(fingerprints),
+            data=[fingerprint_to_dict(fp) for fp in fingerprints])
+
+    def plan(self, session: Session) -> Iterator[str]:
+        from ..clients.registry import local_testbed_clients
+        from ..conformance import ConformanceProbe, scenario_battery
+
+        battery = scenario_battery(stop_ms=session.knob("stop", 400))
+        for profile in local_testbed_clients():
+            probe = ConformanceProbe(profile, seed=session.seed,
+                                     store=session.store,
+                                     battery=battery)
+            yield from probe.store_keys()
+
+
+class FingerprintDiffExperiment(Experiment):
+    name = "fingerprint-diff"
+    title = "what changed between two clients' fingerprints"
+    paper = "§6 (longitudinal), RFC 8305"
+    json_capable = True
+    knobs = (
+        Knob("client_a", type=str, default=None, positional=True,
+             metavar="client-a",
+             help="baseline client selector ('Name version')"),
+        Knob("client_b", type=str, default=None, positional=True,
+             metavar="client-b",
+             help="comparison client selector ('Name version')"),
+        Knob("stop", type=int, default=400,
+             help="CAD sweep upper bound in ms"),
+    )
+
+    def _profiles(self, session: Session) -> List:
+        selectors = (session.knob("client_a"), session.knob("client_b"))
+        if not all(selectors):
+            raise SystemExit(
+                "fingerprint-diff needs two client selectors "
+                "(e.g. repro fingerprint --diff 'Chrome 88.0' "
+                "'Chrome 130.0')")
+        profiles = []
+        for selector in selectors:
+            matches = _fingerprint_profiles(selector)
+            if len(matches) != 1:
+                raise SystemExit(
+                    f"selector {selector!r} must match exactly one "
+                    f"client, got {len(matches)}")
+            profiles.append(matches[0])
+        return profiles
+
+    def execute(self, session: Session) -> Any:
+        from ..conformance import (diff_fingerprints, fingerprint_client,
+                                   scenario_battery)
+
+        battery = scenario_battery(stop_ms=session.knob("stop", 400))
+        first, second = [
+            fingerprint_client(profile, seed=session.seed,
+                               store=session.store,
+                               workers=session.workers, battery=battery)
+            for profile in self._profiles(session)]
+        return diff_fingerprints(first, second)
+
+    def render(self, result: Any) -> Artifact:
+        from ..conformance import (fingerprint_diff_to_dict,
+                                   render_fingerprint_diff)
+
+        return Artifact(text=render_fingerprint_diff(result),
+                        data=fingerprint_diff_to_dict(result))
+
+    def plan(self, session: Session) -> Iterator[str]:
+        from ..conformance import ConformanceProbe, scenario_battery
+
+        if not (session.knob("client_a") and session.knob("client_b")):
+            return  # no clients selected: nothing beyond other plans
+        battery = scenario_battery(stop_ms=session.knob("stop", 400))
+        for profile in self._profiles(session):
+            probe = ConformanceProbe(profile, seed=session.seed,
+                                     store=session.store,
+                                     battery=battery)
+            yield from probe.store_keys()
+
+
+# --------------------------------------------------------------------------
+# registration (presentation order: tables, figures, diagnostics,
+# conformance)
+# --------------------------------------------------------------------------
+
+for _experiment in (Table1Experiment(), Table2Experiment(),
+                    Table3Experiment(), Table4Experiment(),
+                    Table5Experiment(), Figure2Experiment(),
+                    Figure4Experiment(), Figure5Experiment(),
+                    DelayedAExperiment(), TraceExperiment(),
+                    FingerprintExperiment(), ConformanceExperiment(),
+                    FingerprintDiffExperiment()):
+    register(_experiment)

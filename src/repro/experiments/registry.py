@@ -1,0 +1,55 @@
+"""The process-wide experiment registry.
+
+One flat namespace of every :class:`~repro.experiments.base.Experiment`
+the package knows how to produce.  Registration order is presentation
+order (``repro ls`` lists the catalogue the way the paper does:
+tables, figures, diagnostics, conformance).  The registry is the
+*only* authority on what exists: the CLI dispatches through it, and
+``repro cache gc`` computes its live-key universe as the union of
+every registered experiment's plan — so registering an experiment is
+all it takes to make it runnable, listable, and gc-safe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from .base import Experiment
+
+_REGISTRY: "Dict[str, Experiment]" = {}
+_ORDER: "List[str]" = []
+
+
+def register(experiment: Experiment) -> Experiment:
+    """Add an experiment to the registry (import-time, once).
+
+    Raises :class:`ValueError` on a duplicate name — two experiments
+    silently shadowing each other would make ``repro run`` ambiguous
+    and gc planning wrong.
+    """
+    if not experiment.name:
+        raise ValueError("experiment needs a non-empty name")
+    if experiment.name in _REGISTRY:
+        raise ValueError(
+            f"experiment {experiment.name!r} is already registered")
+    _REGISTRY[experiment.name] = experiment
+    _ORDER.append(experiment.name)
+    return experiment
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up one experiment; KeyError lists the valid names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(_ORDER)
+        raise KeyError(f"no experiment named {name!r} (known: {known})")
+
+
+def all_experiments() -> "List[Experiment]":
+    """Every registered experiment, in registration order."""
+    return [_REGISTRY[name] for name in _ORDER]
+
+
+def experiment_names() -> "Iterator[str]":
+    return iter(_ORDER)

@@ -354,12 +354,20 @@ def run_resolver_campaign(behavior: ResolverBehavior,
     which other delays share the campaign.
     """
     result = ResolverCampaignResult(behavior_name=behavior.name)
+    cached_runs: "dict" = {}
+    if store is not None:
+        # Resolve every hit of the campaign in one batch (per-shard
+        # sidecar index reads instead of one JSON read per run).
+        cached_runs = store.get_many(
+            resolver_campaign_keys(behavior, delays_ms, repetitions,
+                                   seed),
+            decode_observation)
     for delay_ms in delays_ms:
         for repetition in range(repetitions):
             key = (resolver_run_key(behavior, seed, delay_ms, repetition)
                    if store is not None else None)
             if store is not None:
-                cached = store.get(key, decode_observation)
+                cached = cached_runs.pop(key, None)
                 if cached is not None:
                     result.observations.append(cached)
                     continue

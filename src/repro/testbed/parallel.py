@@ -27,6 +27,7 @@ from typing import (TYPE_CHECKING, Dict, Iterator, List, Sequence,
 from dataclasses import dataclass
 
 from ..fanout import shared_map
+from .store import decode_record
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .runner import ResultSet, RunRecord, TestRunner
@@ -127,17 +128,17 @@ class CampaignExecutor:
         return results
 
     def stream(self) -> "Iterator[RunRecord]":
-        """Records in enumeration order; cache hits resolved lazily.
+        """Records in enumeration order; hits resolved parent-side.
 
-        With a store on the runner, the parent first *plans* with a
-        cheap existence check per spec (no entry is read or decoded
-        yet) and chunks only the apparent misses onto the pool.  During
-        the merge, hits are read one at a time as they are yielded —
-        never materialized in bulk, so warm streaming stays bounded in
-        memory like the serial path.  An entry that planned as a hit
-        but reads back invalid (corrupted meanwhile) falls back to an
-        inline fresh execution.  Fresh records are written back by the
-        parent as they are merged — a single writer, so worker
+        With a store on the runner, the parent resolves every cache
+        hit up front through :meth:`~repro.testbed.store.CampaignStore
+        .get_many` — one sidecar-index read per touched shard instead
+        of one stat + JSON read per spec — and chunks only the misses
+        onto the pool.  A corrupted or torn entry simply fails the
+        batch lookup for its key and re-executes (and re-stores) like
+        any other miss.  Resolved hits are popped as they are merged,
+        so memory decays as the stream drains; fresh records are
+        written back by the parent — a single writer, so worker
         processes never touch the cache.
         """
         runner = self.runner
@@ -147,31 +148,15 @@ class CampaignExecutor:
             yield from self._execute_pending(specs)
             return
         keys = spec_keys(runner, specs)
-        is_pending: "List[bool]" = []
-        pending: "List[RunSpec]" = []
-        for spec, key in zip(specs, keys):
-            miss = not store.has(key)
-            is_pending.append(miss)
-            if miss:
-                # has() is a stat, not a lookup; count the planned
-                # miss here so parallel totals match the serial path.
-                store.stats.misses += 1
-                pending.append(spec)
+        prefetched = store.get_many(keys, decode_record)
+        pending = [spec for spec, key in zip(specs, keys)
+                   if key not in prefetched]
         fresh = self._execute_pending(pending)
-        for index, spec in enumerate(specs):
-            if is_pending[index]:
+        for spec, key in zip(specs, keys):
+            record = prefetched.pop(key, None)
+            if record is None:
                 record = next(fresh)
-                store.put_record(keys[index], record)
-            else:
-                record = store.get_record(keys[index])
-                if record is None:
-                    # Planned as a hit, but the entry is gone or
-                    # invalid: execute inline and repair it.
-                    record = runner.run_single(
-                        runner.cases[spec.case_index],
-                        runner.clients[spec.client_index],
-                        spec.value_ms, spec.repetition)
-                    store.put_record(keys[index], record)
+                store.put_record(key, record)
             yield record
 
     def _execute_pending(self, specs: "List[RunSpec]"

@@ -10,8 +10,9 @@ Campaigns can be consumed three ways:
 * :meth:`TestRunner.run` — materialize every record in a
   :class:`ResultSet` (the historical interface);
 * :meth:`TestRunner.stream` — an iterator of records in deterministic
-  enumeration order, so million-run campaigns never hold every
-  :class:`RunRecord` in memory;
+  enumeration order, so cold million-run campaigns never hold every
+  :class:`RunRecord` in memory (warm cache hits resolve in one batch
+  and drain as the stream advances);
 * either of the above with a :class:`~repro.testbed.store.CampaignStore`
   attached, in which case runs whose coordinates and configuration are
   unchanged come back from the content-addressed cache instead of
@@ -34,7 +35,7 @@ from ..simnet.capture import PacketCapture
 from .config import SweepSpec, TestCaseConfig, TestCaseKind
 from .inference import CaptureObservation
 from .modules import AddressSelectionModule, CaptureModule, modules_for
-from .store import CampaignStore, config_digest
+from .store import CampaignStore, config_digest, decode_record
 from .topology import LocalTestbed
 
 
@@ -322,9 +323,13 @@ class TestRunner:
         """The campaign as an iterator, in enumeration order.
 
         The streaming interface never materializes the full record
-        list: consumers aggregate incrementally (see
-        :class:`StreamingResultSet`), so arbitrarily large campaigns
-        run in bounded memory.
+        list on the *execution* path: consumers aggregate
+        incrementally (see :class:`StreamingResultSet`), so cold
+        campaigns run in bounded memory regardless of size.  With a
+        store attached, cache *hits* are resolved in one batch up
+        front (the sidecar-index fast path) and popped as the stream
+        drains — warm memory is proportional to the resolved hit
+        count, traded deliberately for index-speed lookups.
         """
         if workers is not None:
             if workers < 1:
@@ -336,14 +341,33 @@ class TestRunner:
         return self._stream_serial()
 
     def _stream_serial(self) -> "Iterator[RunRecord]":
+        if self.store is None:
+            for case in self.cases:
+                for profile in self.clients:
+                    for value_ms in case.sweep:
+                        for repetition in range(case.repetitions):
+                            yield self.run_single(case, profile, value_ms,
+                                                  repetition)
+            return
+        # Plan the campaign's full key universe up front and resolve
+        # every hit in one batch — per-shard sidecar index reads
+        # instead of one JSON stat/read per key.  Hits are popped as
+        # they are yielded, so memory decays as the stream drains.
+        prefetched = self.store.get_many(self.store_keys(), decode_record)
         for case in self.cases:
             for profile in self.clients:
                 digest = self.config_digest_for(case, profile)
                 for value_ms in case.sweep:
                     for repetition in range(case.repetitions):
-                        yield self.run_cached(case, profile, value_ms,
-                                              repetition,
-                                              config_digest=digest)
+                        key = self.store_key_for(case, profile, value_ms,
+                                                 repetition,
+                                                 config_digest=digest)
+                        record = prefetched.pop(key, None)
+                        if record is None:
+                            record = self.run_single(case, profile,
+                                                     value_ms, repetition)
+                            self.store.put_record(key, record)
+                        yield record
 
     # -- caching ------------------------------------------------------------------
 

@@ -33,8 +33,8 @@ import os
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import (Any, Callable, Iterable, Iterator, Optional,
-                    TYPE_CHECKING, Tuple, TypeVar, Union)
+from typing import (Any, Callable, Dict, Iterable, Iterator, List,
+                    Optional, TYPE_CHECKING, Tuple, TypeVar, Union)
 
 from .. import __version__
 from ..simnet.addr import Family
@@ -46,6 +46,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Bump when the entry layout or record encoding changes; old entries
 #: then read as invalid and re-execute instead of mis-decoding.
 STORE_FORMAT = 1
+
+#: Bump when the sidecar index layout changes; old index files then
+#: read as invalid and batch lookups fall back to per-key reads (the
+#: entry files remain the source of truth either way).
+INDEX_FORMAT = 1
 
 #: Folded into every cache key alongside the configuration digest:
 #: caching is only sound while the *code* producing a run is unchanged,
@@ -186,9 +191,14 @@ class CampaignStore:
     to fresh execution on anything unexpected.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: Union[str, Path],
+                 use_index: bool = True) -> None:
         self.root = Path(root)
         self.stats = CacheStats()
+        #: Batch lookups (:meth:`get_many`) consult the per-shard
+        #: sidecar index when True; False forces per-key reads (the
+        #: benchmark baseline, and an escape hatch).
+        self.use_index = use_index
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CampaignStore({str(self.root)!r}, {self.stats.summary()})"
@@ -265,6 +275,143 @@ class CampaignStore:
             raise
         self.stats.stores += 1
 
+    # -- batch lookup + sidecar index ------------------------------------------
+
+    def _index_path(self, shard: str) -> Path:
+        """Sidecar index for one shard, kept *outside* the shard
+        directory (``root/.index/<shard>.json``) so writing an index
+        never bumps the shard's own mtime — the freshness marker."""
+        return self.root / ".index" / f"{shard}.json"
+
+    def _load_index(self, shard: str) -> Optional[dict]:
+        """The shard's indexed payloads, or None.
+
+        An index is served only when it is *provably fresh*: it
+        records the shard directory's ``st_mtime_ns`` from before its
+        payloads were listed, and any entry written or removed since
+        bumps the directory mtime.  A stale, corrupt, missing, or
+        format-mismatched index is simply ignored — the entry files
+        stay the source of truth and per-key reads take over.
+        """
+        try:
+            data = json.loads(self._index_path(shard)
+                              .read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if (not isinstance(data, dict)
+                or data.get("index_format") != INDEX_FORMAT
+                or data.get("store_format") != STORE_FORMAT
+                or not isinstance(data.get("entries"), dict)):
+            return None
+        try:
+            dir_mtime_ns = (self.root / shard).stat().st_mtime_ns
+        except OSError:
+            return None
+        if data.get("dir_mtime_ns") != dir_mtime_ns:
+            return None  # entries changed since the index was built
+        return data["entries"]
+
+    def _build_index(self, shard: str) -> Optional[dict]:
+        """Read every valid entry of a shard once and persist the
+        sidecar index; returns the payload mapping (or None when the
+        shard does not exist).  Invalid entries are skipped — absent
+        from the index, they keep falling back to per-key reads,
+        which count them truthfully.  The recorded directory mtime is
+        sampled *before* listing, so a concurrent writer can only make
+        the index look stale, never serve missing entries as misses.
+        """
+        shard_dir = self.root / shard
+        try:
+            dir_mtime_ns = shard_dir.stat().st_mtime_ns
+        except OSError:
+            return None
+        entries: dict = {}
+        for path in shard_dir.glob("*.json"):
+            if path.name.startswith(".tmp-"):
+                continue
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if (isinstance(data, dict)
+                    and data.get("format") == STORE_FORMAT
+                    and data.get("complete") is True
+                    and "payload" in data):
+                entries[path.stem] = data["payload"]
+        index = {"index_format": INDEX_FORMAT,
+                 "store_format": STORE_FORMAT,
+                 "dir_mtime_ns": dir_mtime_ns, "entries": entries}
+        index_path = self._index_path(shard)
+        try:
+            index_path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=str(index_path.parent),
+                                            prefix=".tmp-",
+                                            suffix=".json")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(index, handle, sort_keys=True)
+                os.replace(tmp_name, index_path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass  # an unwritable index is a perf loss, not an error
+        return entries
+
+    def get_many(self, keys: "Iterable[str]",
+                 decode: "Callable[[Any], Decoded]"
+                 ) -> "Dict[str, Decoded]":
+        """Batch lookup: decoded payloads for every key that hits.
+
+        Keys are grouped by shard and each touched shard resolves
+        through its sidecar index — one index read (or one rebuild
+        pass) per shard instead of one ``stat`` + JSON read per key,
+        which is what makes warm million-run campaigns resolve their
+        hits at directory speed, not entry speed.  Keys the index
+        cannot vouch for fall back to :meth:`get` one at a time, so
+        counters (hits / misses / invalid) are identical to a pure
+        per-key resolution; keys absent from the result are misses.
+        """
+        out: "Dict[str, Decoded]" = {}
+        by_shard: "Dict[str, List[str]]" = {}
+        for key in keys:
+            by_shard.setdefault(key[:2], []).append(key)
+        for shard, shard_keys in by_shard.items():
+            indexed: Optional[dict] = None
+            if self.use_index:
+                indexed = self._load_index(shard)
+                if indexed is None and any(
+                        self.has(key) for key in shard_keys):
+                    # Build only when the shard can actually serve a
+                    # requested key: a miss-heavy campaign over a big
+                    # store must not read (and duplicate) every entry
+                    # just to conclude its own keys are new.  The
+                    # existence probe is one stat per requested key —
+                    # exactly the old per-spec planning cost, paid
+                    # only on shards with no fresh index.
+                    indexed = self._build_index(shard)
+            for key in shard_keys:
+                if indexed is not None and key in indexed:
+                    try:
+                        decoded = decode(indexed[key])
+                    except Exception:
+                        pass  # undecodable: per-key read settles it
+                    else:
+                        self.stats.hits += 1
+                        out[key] = decoded
+                        continue
+                value = self.get(key, decode)
+                if value is not None:
+                    out[key] = value
+        return out
+
+    def get_many_records(self, keys: "Iterable[str]"
+                         ) -> "Dict[str, RunRecord]":
+        return self.get_many(keys, decode_record)
+
     # -- RunRecord convenience -------------------------------------------------
 
     def get_record(self, key: str) -> "Optional[RunRecord]":
@@ -306,6 +453,7 @@ class CampaignStore:
         """
         live = set(live_keys)
         stats = GCStats()
+        dirty_shards: "set[str]" = set()
         for key, path in self.entries():
             size = path.stat().st_size
             if key in live:
@@ -315,16 +463,43 @@ class CampaignStore:
             path.unlink()
             stats.removed += 1
             stats.reclaimed_bytes += size
+            dirty_shards.add(path.parent.name)
         if self.root.is_dir():
             for shard in self.root.iterdir():
-                if not shard.is_dir():
+                if not shard.is_dir() or shard.name == ".index":
                     continue
                 for stale in shard.glob(".tmp-*"):
                     stats.reclaimed_bytes += stale.stat().st_size
                     stale.unlink()
                     stats.removed_tmp += 1
+                    dirty_shards.add(shard.name)
                 try:
                     shard.rmdir()  # only succeeds when emptied
+                except OSError:
+                    pass
+            # Sidecar indexes are derived data: drop the ones whose
+            # shard changed (or vanished) in this sweep — staleness
+            # detection would ignore them anyway — and keep the still
+            # fresh ones warm.  The next batch lookup rebuilds what is
+            # missing from the surviving entries.
+            index_dir = self.root / ".index"
+            if index_dir.is_dir():
+                for index_file in index_dir.iterdir():
+                    shard = index_file.name.split(".")[0]
+                    if not shard:
+                        # .tmp-* dropping from a crashed index writer.
+                        stats.reclaimed_bytes += \
+                            index_file.stat().st_size
+                        index_file.unlink()
+                        stats.removed_tmp += 1
+                    elif (shard in dirty_shards
+                            or not (self.root / shard).is_dir()):
+                        stats.reclaimed_bytes += \
+                            index_file.stat().st_size
+                        index_file.unlink()
+                        stats.removed_index += 1
+                try:
+                    index_dir.rmdir()  # only succeeds when emptied
                 except OSError:
                     pass
         return stats
@@ -339,6 +514,7 @@ class GCStats:
     removed: int = 0
     reclaimed_bytes: int = 0
     removed_tmp: int = 0
+    removed_index: int = 0
 
     def summary(self) -> str:
         return (f"kept={self.kept} ({self.kept_bytes} B) "

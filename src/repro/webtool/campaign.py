@@ -261,11 +261,18 @@ class WebCampaign:
             [None] * len(entries)
         keys: List[Optional[str]] = [None] * len(entries)
         pending: List[int] = []
+        cached_entries: dict = {}
+        if store is not None:
+            keys = [store.key("web-campaign", self.seed, entry, reps,
+                              self.conditions) for entry in entries]
+            # One batch lookup over the whole matrix: warm campaigns
+            # resolve through the per-shard sidecar index.
+            cached_entries = store.get_many(
+                [key for key in keys if key is not None],
+                _decode_sessions)
         for index, entry in enumerate(entries):
             if store is not None:
-                keys[index] = store.key("web-campaign", self.seed, entry,
-                                        reps, self.conditions)
-                cached = store.get(keys[index], _decode_sessions)
+                cached = cached_entries.get(keys[index])
                 if cached is not None:
                     entry_sessions[index] = cached
                     continue

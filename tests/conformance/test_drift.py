@@ -1,0 +1,113 @@
+"""Fingerprint drift: pairing, change detection, rendering."""
+
+from repro.conformance import (ClientFingerprint, Deviation,
+                               ParameterVerdict, RFC8305Parameter,
+                               Requirement, diff_fingerprints,
+                               fingerprint_diff_to_dict,
+                               render_fingerprint_diff)
+
+
+def verdict(parameter, scenario, implemented=True, measured=None,
+            nominal=None):
+    return ParameterVerdict(parameter=parameter, scenario=scenario,
+                            implemented=implemented,
+                            measured_ms=measured, nominal_ms=nominal)
+
+
+def fingerprint(client, verdicts, deviations=()):
+    return ClientFingerprint(client=client, engine_family="test",
+                             verdicts=list(verdicts),
+                             deviations=list(deviations))
+
+
+CAD = RFC8305Parameter.CONNECTION_ATTEMPT_DELAY
+RD = RFC8305Parameter.RESOLUTION_DELAY
+
+
+class TestDiffFingerprints:
+    def test_identical_fingerprints_have_no_drift(self):
+        make = lambda: fingerprint("A 1.0", [
+            verdict(CAD, "sweep", measured=250.0),
+            verdict(RD, "delayed-aaaa", implemented=False)])
+        diff = diff_fingerprints(make(), make())
+        assert not diff.has_drift
+        assert diff.changed_rows == []
+        assert len(diff.rows) == 2
+
+    def test_measured_drift_detected_with_delta(self):
+        diff = diff_fingerprints(
+            fingerprint("A 1.0", [verdict(CAD, "sweep", measured=200.0)]),
+            fingerprint("A 2.0", [verdict(CAD, "sweep", measured=300.0)]))
+        [row] = diff.rows
+        assert row.changed
+        assert row.measured_delta_ms == 100.0
+        assert diff.has_drift
+
+    def test_sub_tolerance_drift_ignored(self):
+        diff = diff_fingerprints(
+            fingerprint("A 1.0", [verdict(CAD, "sweep", measured=250.0)]),
+            fingerprint("A 2.0", [verdict(CAD, "sweep", measured=250.5)]))
+        assert not diff.rows[0].changed
+        assert not diff.has_drift
+
+    def test_implementation_flip_detected(self):
+        diff = diff_fingerprints(
+            fingerprint("A 1.0", [verdict(RD, "delayed-aaaa",
+                                          implemented=False)]),
+            fingerprint("A 2.0", [verdict(RD, "delayed-aaaa",
+                                          implemented=True,
+                                          measured=50.0)]))
+        assert diff.rows[0].changed
+
+    def test_one_sided_verdicts_are_changes(self):
+        diff = diff_fingerprints(
+            fingerprint("A 1.0", [verdict(CAD, "sweep", measured=250.0)]),
+            fingerprint("A 2.0", [verdict(CAD, "sweep", measured=250.0),
+                                  verdict(RD, "delayed-aaaa")]))
+        assert len(diff.rows) == 2
+        assert not diff.rows[0].changed
+        assert diff.rows[1].changed  # only B produced it
+
+    def test_deviation_churn(self):
+        gained = Deviation(Requirement.SHOULD, "RFC 8305 §5", "new flag")
+        lost = Deviation(Requirement.MUST, "RFC 8305 §4", "old flag")
+        shared = Deviation(Requirement.SHOULD, "RFC 8305 §3", "both")
+        diff = diff_fingerprints(
+            fingerprint("A 1.0", [], deviations=[lost, shared]),
+            fingerprint("A 2.0", [], deviations=[shared, gained]))
+        assert diff.deviations_added == [gained]
+        assert diff.deviations_removed == [lost]
+        assert diff.has_drift
+
+
+class TestDriftRendering:
+    def drifted(self):
+        return diff_fingerprints(
+            fingerprint("A 1.0", [verdict(CAD, "sweep", measured=200.0)],
+                        deviations=[Deviation(Requirement.SHOULD,
+                                              "RFC 8305 §5", "old")]),
+            fingerprint("A 2.0", [verdict(CAD, "sweep", measured=300.0)],
+                        deviations=[Deviation(Requirement.SHOULD,
+                                              "RFC 8305 §5", "new")]))
+
+    def test_render_flags_changes_and_churn(self):
+        text = render_fingerprint_diff(self.drifted())
+        assert "Fingerprint drift: A 1.0 -> A 2.0" in text
+        assert "CHANGED" in text
+        assert "+100.0 ms" in text
+        assert "deviations gained by A 2.0:" in text
+        assert "deviations resolved since A 1.0:" in text
+        assert "1 of 1 verdicts drifted; +1/-1 deviations" in text
+
+    def test_render_no_drift(self):
+        same = fingerprint("A 1.0",
+                           [verdict(CAD, "sweep", measured=250.0)])
+        text = render_fingerprint_diff(diff_fingerprints(same, same))
+        assert "no behavioural drift" in text
+
+    def test_json_form_is_deterministic(self):
+        data = fingerprint_diff_to_dict(self.drifted())
+        assert data["client_a"] == "A 1.0"
+        assert data["has_drift"] is True
+        assert data["rows"][0]["measured_delta_ms"] == 100.0
+        assert data["deviations_added"][0]["description"] == "new"

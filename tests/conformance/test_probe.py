@@ -110,7 +110,15 @@ class TestKeyPlanning:
         # Cold store: only the enumerable coarse keys are planned.
         assert len(planned) == len(scenario.case.sweep)
 
-    def test_store_keys_requires_a_store(self):
-        probe = ConformanceProbe(get_profile("curl", "7.88.1"))
-        with pytest.raises(ValueError):
-            list(probe.store_keys())
+    def test_storeless_planning_yields_coarse_keys_only(self):
+        """Without a store (``repro ls`` on a cold catalogue) the
+        plan is exactly the enumerable coarse keys of the battery."""
+        profile = get_profile("curl", "7.88.1")
+        battery = [scenario_by_name("v6-delay-sweep"),
+                   scenario_by_name("v6-blackhole")]
+        probe = ConformanceProbe(profile, battery=battery)
+        planned = list(probe.store_keys())
+        expected = sum(len(s.case.sweep) * s.case.repetitions
+                       for s in battery)
+        assert len(planned) == expected
+        assert len(set(planned)) == expected

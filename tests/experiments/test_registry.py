@@ -1,0 +1,188 @@
+"""The Experiment API registry contract.
+
+Every registered experiment must plan deterministically, plan purely
+(no execution, no writes), key-space itself disjointly from the others
+(or overlap *intentionally*, asserted below), and — for store-backed
+experiments — cover every key its execution stores, so a warm store
+replays with zero misses and ``repro cache gc`` can never collect a
+registered experiment's entries.
+"""
+
+import itertools
+
+import pytest
+
+from repro.experiments import (Artifact, Experiment, Knob, Session,
+                               all_experiments, get_experiment, register)
+from repro.testbed import CampaignStore
+
+#: Cheap knob overrides so contract tests execute in seconds; shapes
+#: (key structure, case names, store usage) are unchanged by these.
+FAST_KNOBS = {
+    "table2": {"repetitions": 1},
+    "table3": {"repetitions": 2},
+    "table5": {"repetitions": 1},
+    "figure2": {"step": 200},
+    "fingerprint": {"client": "curl 7.88.1", "stop": 100},
+    "conformance": {"stop": 100},
+    "fingerprint-diff": {"client_a": "curl 7.88.1",
+                         "client_b": "wget 1.21.3", "stop": 100},
+}
+
+#: Experiments whose campaigns go through the store.
+STORE_BACKED = ("table2", "table3", "table5", "figure2", "figure5",
+                "fingerprint", "conformance", "fingerprint-diff")
+
+#: Pairs whose plans may intentionally share keys: fingerprint
+#: defaults to 'all' local clients — exactly the conformance battery —
+#: and fingerprint-diff probes two of those clients with the same
+#: scenario cases.  Every other pair must be disjoint.
+ALLOWED_OVERLAPS = {
+    frozenset({"fingerprint", "conformance"}),
+    frozenset({"fingerprint", "fingerprint-diff"}),
+    frozenset({"conformance", "fingerprint-diff"}),
+}
+
+
+def session_for(experiment, store=None, seed=0, fast=True):
+    knobs = experiment.default_knobs()
+    if fast:
+        knobs.update(FAST_KNOBS.get(experiment.name, {}))
+    return Session(seed=seed, store=store, knobs=knobs)
+
+
+class TestCatalogue:
+    def test_catalogue_is_complete(self):
+        names = [experiment.name for experiment in all_experiments()]
+        assert len(names) >= 12
+        for expected in ("table1", "table2", "table3", "table4",
+                         "table5", "figure2", "figure4", "figure5",
+                         "delayed-a", "trace", "fingerprint",
+                         "conformance", "fingerprint-diff"):
+            assert expected in names
+
+    def test_metadata_declared(self):
+        for experiment in all_experiments():
+            assert experiment.name
+            assert experiment.title
+            assert experiment.paper
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register(get_experiment("table1"))
+
+    def test_unnamed_registration_rejected(self):
+        with pytest.raises(ValueError, match="non-empty name"):
+            register(Experiment())
+
+    def test_unknown_name_lists_the_catalogue(self):
+        with pytest.raises(KeyError, match="table1"):
+            get_experiment("figure9")
+
+
+class TestPlanning:
+    def test_plans_are_deterministic(self):
+        for experiment in all_experiments():
+            session = session_for(experiment)
+            assert (list(experiment.plan(session))
+                    == list(experiment.plan(session))), experiment.name
+
+    def test_plan_is_pure(self, tmp_path):
+        """Planning executes nothing: no entries appear, no counters
+        move past lookups, and an attached store stays empty."""
+        store = CampaignStore(tmp_path)
+        for experiment in all_experiments():
+            list(experiment.plan(session_for(experiment, store=store)))
+        assert store.stats.stores == 0
+        assert list(store.entries()) == []
+
+    def test_key_spaces_disjoint_except_declared(self):
+        """Key collisions across experiments would make gc liveness
+        and warm-run attribution ambiguous — every overlap must be
+        intentional and asserted here."""
+        plans = {}
+        for experiment in all_experiments():
+            plans[experiment.name] = set(
+                experiment.plan(session_for(experiment, fast=False)))
+        for left, right in itertools.combinations(sorted(plans), 2):
+            if frozenset({left, right}) not in ALLOWED_OVERLAPS:
+                shared = plans[left] & plans[right]
+                assert not shared, (left, right, len(shared))
+        # The default fingerprint plan ('all' clients, same battery)
+        # is exactly the conformance plan.
+        assert plans["fingerprint"] == plans["conformance"]
+        # fingerprint-diff probes two 'all' clients over the same
+        # scenario cases: a shrunken sweep plans a key subset.
+        diff = get_experiment("fingerprint-diff")
+        diff_plan = set(diff.plan(session_for(diff)))
+        assert diff_plan and diff_plan <= plans["fingerprint"]
+
+    def test_default_fingerprint_diff_plans_nothing(self):
+        experiment = get_experiment("fingerprint-diff")
+        assert list(experiment.plan(
+            session_for(experiment, fast=False))) == []
+
+
+class TestExecutionContract:
+    @pytest.mark.parametrize("name", STORE_BACKED)
+    def test_plan_covers_execution_and_warm_run_hits(self, tmp_path,
+                                                     name):
+        """The gc-safety contract, per experiment: a cold execution
+        stores only planned keys, and a warm re-execution resolves
+        entirely from the store (zero misses, byte-identical)."""
+        experiment = get_experiment(name)
+        cold_store = CampaignStore(tmp_path)
+        cold = experiment.run(session_for(experiment, store=cold_store))
+        assert cold_store.stats.stores > 0
+        on_disk = {key for key, _ in cold_store.entries()}
+        planned = set(experiment.plan(
+            session_for(experiment, store=CampaignStore(tmp_path))))
+        assert on_disk <= planned
+        warm_store = CampaignStore(tmp_path)
+        warm = experiment.run(session_for(experiment, store=warm_store))
+        assert warm_store.stats.misses == 0
+        assert warm_store.stats.hits > 0
+        assert warm.text == cold.text
+
+    def test_renders_are_artifacts(self, tmp_path):
+        for name in ("table1", "table4", "trace", "delayed-a"):
+            experiment = get_experiment(name)
+            artifact = experiment.run(session_for(experiment))
+            assert isinstance(artifact, Artifact)
+            assert artifact.text
+
+    def test_json_capable_experiments_carry_data(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        experiment = get_experiment("fingerprint")
+        artifact = experiment.run(session_for(experiment, store=store))
+        assert artifact.data is not None
+        assert artifact.json_text().startswith("[")
+
+
+class TestSession:
+    def test_knob_fallback(self):
+        session = Session(knobs={"step": 5, "flagged": False})
+        assert session.knob("step", 25) == 5
+        assert session.knob("missing", 25) == 25
+        assert session.knob("flagged", True) is False
+
+    def test_with_knobs_shares_context(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        base = Session(seed=7, workers=2, store=store)
+        derived = base.with_knobs(step=5)
+        assert derived.seed == 7
+        assert derived.workers == 2
+        assert derived.store is store
+        assert derived.knobs == {"step": 5}
+
+    def test_cache_line_only_after_activity(self, tmp_path):
+        session = Session(store=CampaignStore(tmp_path))
+        assert session.cache_line() is None
+        session.store.get_record(CampaignStore.key("x"))
+        line = session.cache_line()
+        assert line is not None and line.startswith("[cache] ")
+        assert Session().cache_line() is None
+
+    def test_knob_declarations_drive_cli_options(self):
+        knob = Knob("delay_ms", type=int, default=400)
+        assert knob.option == "--delay-ms"

@@ -1,8 +1,134 @@
 """Smoke tests for the command-line interface."""
 
+import pathlib
+
 import pytest
 
 from repro.cli import build_parser, main
+
+GOLDENS = pathlib.Path(__file__).resolve().parent / "goldens"
+
+
+class TestGoldenArtifacts:
+    """The registry-dispatched CLI reproduces the pre-registry output
+    byte for byte (goldens captured from the hand-wired commands)."""
+
+    @pytest.mark.parametrize("argv, golden", [
+        (["table1"], "table1.txt"),
+        (["table4"], "table4.txt"),
+        (["figure2", "--step", "400"], "figure2_step400.txt"),
+        (["figure4"], "figure4.txt"),
+        (["figure5"], "figure5.txt"),
+        (["delayed-a"], "delayed_a.txt"),
+        (["trace", "--delay-ms", "400"], "trace_400.txt"),
+        (["conformance", "--list"], "conformance_list.txt"),
+        (["fingerprint", "curl 7.88.1"], "fingerprint_curl.txt"),
+    ])
+    def test_byte_identical_to_golden(self, capsys, argv, golden):
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert out == (GOLDENS / golden).read_text(encoding="utf-8")
+
+
+class TestCliRegistry:
+    def test_ls_enumerates_the_catalogue(self, capsys):
+        assert main(["ls"]) == 0
+        out = capsys.readouterr().out
+        assert "Registered experiments" in out
+        for name in ("table1", "table5", "figure2", "delayed-a",
+                     "fingerprint", "conformance", "fingerprint-diff"):
+            assert name in out
+        count = int(out.strip().splitlines()[-1].split()[0])
+        assert count >= 12
+
+    def test_ls_plans_key_counts(self, capsys):
+        assert main(["ls"]) == 0
+        out = capsys.readouterr().out
+        figure2_row = [line for line in out.splitlines()
+                       if line.startswith("figure2 ")][0]
+        assert "289" in figure2_row  # 17 clients x 17 sweep values
+
+    @pytest.mark.parametrize("argv", [
+        ["table1"],
+        ["figure2", "--step", "400"],
+        ["trace", "--delay-ms", "400"],
+        ["conformance", "--list"],
+    ])
+    def test_run_verb_matches_legacy_alias(self, capsys, argv):
+        assert main(argv) == 0
+        legacy = capsys.readouterr().out
+        assert main(["run", *argv]) == 0
+        assert capsys.readouterr().out == legacy
+
+    def test_run_verb_matches_alias_warm_cached(self, capsys, tmp_path):
+        argv = ["--cache-dir", str(tmp_path), "figure2", "--step", "400"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        legacy = capsys.readouterr().out
+        assert main(["--cache-dir", str(tmp_path), "run", "figure2",
+                     "--step", "400"]) == 0
+        assert capsys.readouterr().out == legacy
+
+    def test_run_unknown_experiment_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "figure9"])
+
+    def test_run_json_falls_back_to_text_without_data(self, capsys):
+        assert main(["run", "table4", "--json"]) == 0
+        assert "Table 4" in capsys.readouterr().out
+
+    def test_cache_line_printed_exactly_once(self, capsys, tmp_path):
+        assert main(["--cache-dir", str(tmp_path), "figure2",
+                     "--step", "400"]) == 0
+        out = capsys.readouterr().out
+        cache_lines = [line for line in out.splitlines()
+                       if line.startswith("[cache]")]
+        assert len(cache_lines) == 1
+
+    def test_pure_commands_print_no_cache_line(self, capsys, tmp_path,
+                                               monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["table1"]) == 0
+        assert "[cache]" not in capsys.readouterr().out
+        assert main(["conformance", "--list"]) == 0
+        assert "[cache]" not in capsys.readouterr().out
+
+
+class TestCliFingerprintDiff:
+    def test_diff_renders_drift_table(self, capsys, tmp_path):
+        assert main(["--cache-dir", str(tmp_path), "fingerprint",
+                     "--diff", "curl 7.88.1", "wget 1.21.3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fingerprint drift: curl 7.88.1 -> wget 1.21.3" in out
+        assert "CHANGED" in out
+
+    def test_diff_json_and_run_verb_identity(self, capsys, tmp_path):
+        import json
+
+        argv = ["--cache-dir", str(tmp_path)]
+        diff_args = ["--diff", "curl 7.88.1", "wget 1.21.3", "--json"]
+        assert main([*argv, "fingerprint", *diff_args]) == 0
+        capsys.readouterr()  # cold run warms the store
+        assert main([*argv, "fingerprint", *diff_args]) == 0
+        legacy = capsys.readouterr().out
+        data = json.loads("\n".join(
+            line for line in legacy.splitlines()
+            if not line.startswith("[cache]")))
+        assert data["client_a"] == "curl 7.88.1"
+        assert data["has_drift"] is True
+        # Warm on both paths, so even the cache counters agree.
+        assert main([*argv, "run", "fingerprint-diff", "curl 7.88.1",
+                     "wget 1.21.3", "--json"]) == 0
+        assert capsys.readouterr().out == legacy
+
+    def test_fingerprint_without_client_or_diff_errors(self):
+        with pytest.raises(SystemExit, match="client selector"):
+            main(["fingerprint"])
+
+    def test_diff_rejects_ambiguous_selector(self):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["fingerprint", "--diff", "all", "curl 7.88.1"])
 
 
 class TestCli:

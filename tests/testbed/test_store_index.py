@@ -1,0 +1,205 @@
+"""Batch lookup (get_many) and the per-shard sidecar index."""
+
+import json
+
+from repro.clients import get_profile
+from repro.testbed import CampaignStore, TestRunner
+from repro.testbed.config import SweepSpec, TestCaseConfig, TestCaseKind
+from repro.testbed.store import decode_record
+
+
+def small_runner(store=None, seed=5):
+    case = TestCaseConfig(name="cad",
+                          kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
+                          sweep=SweepSpec.fixed(0, 150, 400),
+                          repetitions=2)
+    return TestRunner([get_profile("curl", "7.88.1")], [case],
+                      seed=seed, store=store)
+
+
+def populate(tmp_path):
+    """Cold-run a small campaign; returns its keys in order."""
+    runner = small_runner(store=CampaignStore(tmp_path))
+    runner.run()
+    return list(runner.store_keys())
+
+
+def index_files(tmp_path):
+    return sorted((tmp_path / ".index").glob("*.json"))
+
+
+class TestGetMany:
+    def test_matches_per_key_lookup(self, tmp_path):
+        keys = populate(tmp_path)
+        indexed = CampaignStore(tmp_path)
+        perkey = CampaignStore(tmp_path, use_index=False)
+        got_indexed = indexed.get_many(keys, decode_record)
+        got_perkey = perkey.get_many(keys, decode_record)
+        assert got_indexed == got_perkey
+        assert set(got_indexed) == set(keys)
+        assert indexed.stats.hits == len(keys)
+        assert indexed.stats.misses == 0
+        assert perkey.stats.hits == len(keys)
+
+    def test_absent_keys_count_as_misses(self, tmp_path):
+        keys = populate(tmp_path)
+        store = CampaignStore(tmp_path)
+        ghost = CampaignStore.key("never-stored")
+        got = store.get_many(keys + [ghost], decode_record)
+        assert ghost not in got
+        assert store.stats.hits == len(keys)
+        assert store.stats.misses == 1
+
+    def test_empty_store_is_all_misses(self, tmp_path):
+        store = CampaignStore(tmp_path / "empty")
+        runner = small_runner()
+        keys = list(runner.store_keys())
+        assert store.get_many(keys, decode_record) == {}
+        assert store.stats.misses == len(keys)
+        assert not index_files(tmp_path / "empty")
+
+
+class TestSidecarIndex:
+    def test_missing_index_is_rebuilt(self, tmp_path):
+        keys = populate(tmp_path)
+        assert not index_files(tmp_path)  # cold run built no index
+        CampaignStore(tmp_path).get_many(keys, decode_record)
+        built = index_files(tmp_path)
+        assert built  # batch lookup persisted the sidecars
+        # A later handle serves every hit from the fresh sidecars.
+        warm = CampaignStore(tmp_path)
+        assert set(warm.get_many(keys, decode_record)) == set(keys)
+        assert warm.stats.hits == len(keys)
+        assert warm.stats.misses == 0
+
+    def test_stale_index_is_ignored(self, tmp_path):
+        """An index whose shard changed since it was built (directory
+        mtime mismatch) is ignored: lookups read the entry files."""
+        keys = populate(tmp_path)
+        store = CampaignStore(tmp_path)
+        truth = store.get_many(keys, decode_record)  # builds sidecars
+        victim_key = keys[0]
+        shard = victim_key[:2]
+        index_path = tmp_path / ".index" / f"{shard}.json"
+        index = json.loads(index_path.read_text(encoding="utf-8"))
+        # Tamper the indexed payload *and* change the shard (a new
+        # entry bumps the directory mtime) — the stale sidecar must
+        # not be believed.
+        index["entries"][victim_key]["value_ms"] = 99999
+        index_path.write_text(json.dumps(index), encoding="utf-8")
+        newcomer = shard + "0" * 62
+        (tmp_path / shard / f"{newcomer}.json").write_text(
+            "{}", encoding="utf-8")
+        reread = CampaignStore(tmp_path).get_many(keys, decode_record)
+        assert reread[victim_key] == truth[victim_key]
+        assert reread[victim_key].value_ms != 99999
+
+    def test_corrupt_index_falls_back_safely(self, tmp_path):
+        keys = populate(tmp_path)
+        store = CampaignStore(tmp_path)
+        truth = store.get_many(keys, decode_record)
+        for index_path in index_files(tmp_path):
+            index_path.write_text("{ not json", encoding="utf-8")
+        fresh = CampaignStore(tmp_path)
+        assert fresh.get_many(keys, decode_record) == truth
+        assert fresh.stats.hits == len(keys)
+        assert fresh.stats.misses == 0
+
+    def test_invalid_entry_excluded_from_index(self, tmp_path):
+        """A corrupt entry file never reaches the sidecar: its key
+        keeps falling back to a per-key read that counts truthfully."""
+        keys = populate(tmp_path)
+        store = CampaignStore(tmp_path)
+        victim = store._path(keys[0])
+        victim.write_text("{ not json", encoding="utf-8")
+        fresh = CampaignStore(tmp_path)
+        got = fresh.get_many(keys, decode_record)
+        assert keys[0] not in got
+        assert fresh.stats.invalid == 1
+        assert fresh.stats.misses == 1
+        assert fresh.stats.hits == len(keys) - 1
+
+    def test_all_miss_lookup_builds_no_index(self, tmp_path):
+        """A campaign whose keys are all new must not pay for (or
+        duplicate on disk) an index of unrelated existing entries."""
+        populate(tmp_path)
+        other = small_runner(seed=99)  # disjoint key universe
+        other_keys = list(other.store_keys())
+        store = CampaignStore(tmp_path)
+        assert store.get_many(other_keys, decode_record) == {}
+        assert store.stats.misses == len(other_keys)
+        assert not index_files(tmp_path)
+
+    def test_gc_sweeps_crashed_index_writer_droppings(self, tmp_path):
+        keys = populate(tmp_path)
+        store = CampaignStore(tmp_path)
+        store.get_many(keys, decode_record)  # builds sidecars
+        orphan = tmp_path / ".index" / ".tmp-dead.json"
+        orphan.write_text("{", encoding="utf-8")
+        stats = store.gc(keys)
+        assert stats.removed_tmp == 1
+        assert not orphan.exists()
+
+    def test_index_not_listed_as_entries(self, tmp_path):
+        keys = populate(tmp_path)
+        store = CampaignStore(tmp_path)
+        store.get_many(keys, decode_record)  # builds sidecars
+        assert {key for key, _ in store.entries()} == set(keys)
+
+    def test_gc_keeps_fresh_sidecars_when_nothing_removed(self,
+                                                          tmp_path):
+        keys = populate(tmp_path)
+        store = CampaignStore(tmp_path)
+        store.get_many(keys, decode_record)  # builds sidecars
+        built = index_files(tmp_path)
+        assert built
+        stats = store.gc(keys)
+        assert stats.removed == 0
+        assert stats.kept == len(keys)
+        assert stats.removed_index == 0
+        assert index_files(tmp_path) == built  # still fresh, still warm
+        warm = CampaignStore(tmp_path)
+        assert set(warm.get_many(keys, decode_record)) == set(keys)
+        assert warm.stats.misses == 0
+
+    def test_gc_drops_sidecars_of_swept_shards(self, tmp_path):
+        keys = populate(tmp_path)
+        store = CampaignStore(tmp_path)
+        store.get_many(keys, decode_record)  # builds sidecars
+        stats = store.gc(keys[1:])  # evict exactly one entry
+        assert stats.removed == 1
+        assert stats.removed_index >= 1
+        swept_shard = keys[0][:2]
+        assert not (tmp_path / ".index" / f"{swept_shard}.json").exists()
+        # Surviving keys still resolve; the evicted one is a miss.
+        warm = CampaignStore(tmp_path)
+        got = warm.get_many(keys, decode_record)
+        assert set(got) == set(keys[1:])
+        assert warm.stats.misses == 1
+
+
+class TestRunnerBatchPath:
+    def test_serial_warm_stream_uses_batch_hits(self, tmp_path):
+        cold = small_runner(store=CampaignStore(tmp_path)).run()
+        warm_store = CampaignStore(tmp_path)
+        warm = small_runner(store=warm_store).run()
+        assert warm.records == cold.records
+        assert warm_store.stats.hits == len(cold)
+        assert warm_store.stats.misses == 0
+        assert index_files(tmp_path)  # the warm stream built sidecars
+
+    def test_parallel_warm_stream_identical(self, tmp_path):
+        cold = small_runner(store=CampaignStore(tmp_path)).run()
+        warm_store = CampaignStore(tmp_path)
+        warm = small_runner(store=warm_store).run(workers=2)
+        assert warm.records == cold.records
+        assert warm_store.stats.hits == len(cold)
+        assert warm_store.stats.misses == 0
+
+    def test_disabled_index_still_correct(self, tmp_path):
+        cold = small_runner(store=CampaignStore(tmp_path)).run()
+        warm_store = CampaignStore(tmp_path, use_index=False)
+        warm = small_runner(store=warm_store).run()
+        assert warm.records == cold.records
+        assert warm_store.stats.hits == len(cold)
+        assert not index_files(tmp_path)
