@@ -88,8 +88,38 @@ def _cmd_fingerprint(args: argparse.Namespace) -> None:
 
 def _cmd_ls(args: argparse.Namespace) -> None:
     """List the registry: every experiment with its paper reference
-    and the number of distinct store keys its plan references."""
+    and the number of distinct store keys its plan references.  With
+    ``--clients``, list the client registry instead — one row per
+    profile, with per-stage policy summaries and the nominal RFC 8305
+    parameters, all read straight from the PolicyStack declarations."""
     from .analysis import render_table
+
+    if getattr(args, "clients", False):
+        from .clients.registry import all_profiles
+
+        rows = []
+        for profile in all_profiles():
+            summaries = dict(profile.stack.stage_summaries())
+            nominal_cad = profile.nominal_cad
+            nominal_rd = profile.nominal_rd
+            rows.append([
+                profile.full_name,
+                profile.engine_family,
+                profile.os_hint,
+                summaries["resolution"],
+                summaries["sorting"],
+                summaries["racing"],
+                (f"{nominal_cad * 1000:.0f} ms"
+                 if nominal_cad is not None else None),
+                (f"{nominal_rd * 1000:.0f} ms"
+                 if nominal_rd is not None else None),
+            ])
+        print(render_table(
+            ["Client", "Engine", "OS", "Resolution", "Sorting", "Racing",
+             "CAD", "RD"], rows,
+            title="Client registry: policy stacks per profile"))
+        print(f"\n{len(rows)} clients registered")
+        return
 
     store = _store_from(args)
     rows = []
@@ -174,10 +204,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     # -- generic registry verbs ------------------------------------------------
 
-    sub.add_parser(
+    p_ls = sub.add_parser(
         "ls",
         help="list every registered experiment with its paper "
-             "reference and planned key count").set_defaults(fn=_cmd_ls)
+             "reference and planned key count")
+    p_ls.add_argument("--clients", action="store_true",
+                      help="list the client registry instead: per-stage "
+                           "policy summaries and nominal RFC 8305 "
+                           "parameters from the PolicyStack declarations")
+    p_ls.set_defaults(fn=_cmd_ls)
 
     p_run = sub.add_parser(
         "run", help="run any registered experiment by name")

@@ -12,7 +12,9 @@ from .icpr import (AKAMAI_EGRESS, CLOUDFLARE_EGRESS, EGRESS_OPERATORS,
                    EgressOperatorProfile, ICPREgressNode, ICPRRelayClient,
                    ICPRRelayService)
 from .profile import (ClientProfile, SERIAL_CAD, chromium_params,
-                      curl_params, gecko_params, webkit_params, wget_params)
+                      chromium_stack, curl_params, curl_stack,
+                      gecko_params, gecko_stack, hev3_reference_stack,
+                      webkit_params, webkit_stack, wget_params, wget_stack)
 from .registry import (all_profiles, figure2_clients, get_profile,
                        local_testbed_clients, resolve_profiles,
                        table2_clients)
@@ -22,7 +24,9 @@ __all__ = [
     "ClientProfile", "EGRESS_OPERATORS", "EgressOperatorProfile",
     "FetchResult", "ICPREgressNode", "ICPRRelayClient",
     "ICPRRelayService", "SERIAL_CAD", "all_profiles",
-    "chromium_params", "curl_params", "figure2_clients", "gecko_params",
-    "get_profile", "local_testbed_clients", "resolve_profiles",
-    "table2_clients", "webkit_params", "wget_params",
+    "chromium_params", "chromium_stack", "curl_params", "curl_stack",
+    "figure2_clients", "gecko_params", "gecko_stack",
+    "get_profile", "hev3_reference_stack", "local_testbed_clients",
+    "resolve_profiles", "table2_clients", "webkit_params", "webkit_stack",
+    "wget_params", "wget_stack",
 ]

@@ -66,7 +66,7 @@ class Client:
         self._rng = host.sim.derive_rng(
             f"client:{profile.full_name}:{host.name}")
         self.engine = HappyEyeballsEngine(
-            host, self.stub, self.profile.params,
+            host, self.stub, self.profile.stack,
             history=history, query_first=self.profile.query_first,
             attempt_timeout=attempt_timeout)
         if self.profile.outlier_probability > 0.0:
@@ -81,23 +81,23 @@ class Client:
         profile = self.profile
         base_connect = self.engine._connect_body
 
-        # Patch the engine by wrapping its racer construction: simplest
-        # robust hook is a cad_provider on a subclassed racer, so we
-        # wrap HappyEyeballsEngine._connect_body's racer via params.
-        # Instead, we perturb per-connect by swapping params.
+        # Perturb per-connect by swapping the racing stage only: the
+        # resolution and sorting declarations (including the per-OS
+        # sortlist) must survive an outlier untouched.
         def perturbed_connect(hostname, port, trace):
-            params = profile.params
+            stack = profile.stack
             if self._rng.random() < profile.outlier_probability:
-                params = params.with_overrides(
+                racing = stack.racing
+                stack = stack.with_racing(
                     connection_attempt_delay=(
-                        params.connection_attempt_delay
+                        racing.connection_attempt_delay
                         + self._rng.uniform(0.0, profile.outlier_extra_cad)))
-            original = self.engine.params
-            self.engine.params = params
+            original = self.engine.stack
+            self.engine.stack = stack
             try:
                 result = yield from base_connect(hostname, port, trace)
             finally:
-                self.engine.params = original
+                self.engine.stack = original
             return result
 
         self.engine._connect_body = perturbed_connect

@@ -1,9 +1,12 @@
-"""Client behaviour profiles.
+"""Client behaviour profiles as policy-stack compositions.
 
 A :class:`ClientProfile` is the externally observable fingerprint of
-one client implementation + version: its Happy Eyeballs parameters
-(or lack thereof), DNS query order, attempt budget, and measurement
-quirks (Firefox's occasional late fallbacks, Safari's dynamic CAD).
+one client implementation + version.  Since the staged redesign its
+behaviour is declared as a :class:`~repro.core.policy.PolicyStack` —
+resolution, sorting, and racing stages composed per client — while the
+historical flat :class:`~repro.core.params.HEParams` bag survives as a
+derived, byte-identical view (``profile.params``), so everything
+written against the bag (goldens, digests, analysis) is unchanged.
 The registry in :mod:`repro.clients.registry` instantiates one profile
 per client/version measured in the paper; the testbed and web tool
 treat them as black boxes.
@@ -11,27 +14,40 @@ treat them as black boxes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
-from ..core.params import HEParams, InterlaceStrategy, ResolutionPolicy
+from ..core.params import (HEParams, HEVersion, InterlaceStrategy,
+                           ResolutionPolicy)
+from ..core.policy import (PolicyStack, RacingStage, ResolutionStage,
+                           SortingStage)
 from ..dns.rdata import RdataType
 
 #: Marker CAD for clients that never race (no Happy Eyeballs): the next
 #: attempt starts only after the previous one fails.
 SERIAL_CAD = 2.0e5
 
+#: Engine families a profile may declare (the paper's client taxonomy
+#: plus the HEv3 draft reference implementation).
+ENGINE_FAMILIES = ("chromium", "gecko", "webkit", "curl", "wget",
+                   "reference")
+
 
 @dataclass(frozen=True)
 class ClientProfile:
-    """One client implementation/version as a measurable black box."""
+    """One client implementation/version as a measurable black box.
+
+    Either ``params`` (legacy) or ``stack`` (staged) may be given; the
+    missing form is derived, and when both are given they must agree —
+    the stack is the source of truth, the bag its compatibility view.
+    """
 
     name: str
     version: str
     released: str  # "YYYY-MM" as shown on the Figure 2 axis
-    engine_family: str  # chromium | gecko | webkit | curl | wget
+    engine_family: str  # chromium | gecko | webkit | curl | wget | reference
     kind: str  # browser | mobile-browser | cli
-    params: HEParams
+    params: Optional[HEParams] = None
     query_first: RdataType = RdataType.AAAA
     implements_happy_eyeballs: bool = True
     outlier_probability: float = 0.0  # Firefox: rare late IPv4 fallback
@@ -41,13 +57,26 @@ class ClientProfile:
     supports_web_tests: bool = True
     os_hint: str = "Linux"
     notes: str = ""
+    stack: Optional[PolicyStack] = None
 
     def __post_init__(self) -> None:
-        if self.engine_family not in ("chromium", "gecko", "webkit",
-                                      "curl", "wget"):
+        if self.engine_family not in ENGINE_FAMILIES:
             raise ValueError(f"unknown engine family {self.engine_family!r}")
         if not 0.0 <= self.outlier_probability <= 1.0:
             raise ValueError("outlier_probability must be a probability")
+        if self.params is None and self.stack is None:
+            raise ValueError(
+                f"{self.name} {self.version}: a profile needs a policy "
+                "stack (or a legacy HEParams bag)")
+        if self.stack is None:
+            object.__setattr__(self, "stack",
+                               PolicyStack.from_heparams(self.params))
+        elif self.params is None:
+            object.__setattr__(self, "params", self.stack.params())
+        elif self.stack.params() != self.params:
+            raise ValueError(
+                f"{self.name} {self.version}: params and stack disagree "
+                "— drop one (the stack is the source of truth)")
 
     @property
     def full_name(self) -> str:
@@ -60,17 +89,20 @@ class ClientProfile:
 
     @property
     def nominal_cad(self) -> Optional[float]:
-        """The fixed CAD in seconds, or None when dynamic / absent."""
+        """The fixed CAD in seconds, or None when dynamic / serial /
+        absent (the SERIAL_CAD marker is not a real stagger delay)."""
         if not self.implements_happy_eyeballs:
             return None
-        if self.params.dynamic_cad:
+        racing = self.stack.racing
+        if racing.dynamic_cad or racing.serial:
             return None
-        return self.params.connection_attempt_delay
+        return racing.connection_attempt_delay
 
     @property
     def implements_resolution_delay(self) -> bool:
-        return (self.params.resolution_policy is ResolutionPolicy.HE_V2
-                and self.params.resolution_delay is not None)
+        resolution = self.stack.resolution
+        return (resolution.mode is ResolutionPolicy.HE_V2
+                and resolution.resolution_delay is not None)
 
     @property
     def nominal_rd(self) -> Optional[float]:
@@ -84,7 +116,12 @@ class ClientProfile:
             return None
         if not self.implements_resolution_delay:
             return None
-        return self.params.resolution_delay
+        return self.stack.resolution.resolution_delay
+
+    def with_stack(self, stack: PolicyStack) -> "ClientProfile":
+        """This profile with a replacement policy stack (the derived
+        ``params`` view is recomputed to keep both forms consistent)."""
+        return replace(self, stack=stack, params=stack.params())
 
     def with_hev3_flag(self) -> "ClientProfile":
         """The profile with Chromium's HEv3 feature flag enabled.
@@ -95,40 +132,49 @@ class ClientProfile:
         if not self.hev3_flag_available:
             raise ValueError(
                 f"{self.full_name} has no HEv3 feature flag")
-        flagged = self.params.with_overrides(
-            resolution_policy=ResolutionPolicy.HE_V2,
-            resolution_delay=0.050)
-        return replace(self, params=flagged,
+        flagged = self.stack.with_resolution(
+            mode=ResolutionPolicy.HE_V2, resolution_delay=0.050)
+        return replace(self.with_stack(flagged),
                        notes=(self.notes + " [HEv3 flag]").strip())
 
 
-def chromium_params(cad: float = 0.300) -> HEParams:
+# --------------------------------------------------------------------------
+# per-engine-family stack compositions
+# --------------------------------------------------------------------------
+
+
+def chromium_stack(cad: float = 0.300,
+                   sortlist: Optional[str] = "linux") -> PolicyStack:
     """Chromium-family behaviour: fixed 300 ms CAD, no RD, HEv1-style.
 
     The 300 ms constant is in the Chromium source; the delayed-A stall
     comes from waiting for both DNS answers with no own timeout.
     """
-    return HEParams(
-        connection_attempt_delay=cad,
-        resolution_delay=None,
-        resolution_policy=ResolutionPolicy.WAIT_BOTH,
-        interlace=InterlaceStrategy.SEQUENTIAL,
-        max_attempts_per_family=1,
+    return PolicyStack(
+        resolution=ResolutionStage(mode=ResolutionPolicy.WAIT_BOTH,
+                                   resolution_delay=None),
+        sorting=SortingStage(interlace=InterlaceStrategy.SEQUENTIAL,
+                             sortlist=sortlist),
+        racing=RacingStage(connection_attempt_delay=cad,
+                           max_attempts_per_family=1),
     )
 
 
-def gecko_params(cad: float = 0.250) -> HEParams:
+def gecko_stack(cad: float = 0.250,
+                sortlist: Optional[str] = "linux") -> PolicyStack:
     """Firefox: the RFC-recommended 250 ms CAD, otherwise HEv1-style."""
-    return HEParams(
-        connection_attempt_delay=cad,
-        resolution_delay=None,
-        resolution_policy=ResolutionPolicy.WAIT_BOTH,
-        interlace=InterlaceStrategy.SEQUENTIAL,
-        max_attempts_per_family=1,
+    return PolicyStack(
+        resolution=ResolutionStage(mode=ResolutionPolicy.WAIT_BOTH,
+                                   resolution_delay=None),
+        sorting=SortingStage(interlace=InterlaceStrategy.SEQUENTIAL,
+                             sortlist=sortlist),
+        racing=RacingStage(connection_attempt_delay=cad,
+                           max_attempts_per_family=1),
     )
 
 
-def webkit_params(maximum_cad: float = 2.0) -> HEParams:
+def webkit_stack(maximum_cad: float = 2.0,
+                 sortlist: Optional[str] = "macos") -> PolicyStack:
     """Safari: full HEv2 — dynamic CAD, 50 ms RD, FAFC 2, interlacing.
 
     With no connection history (the pristine local testbed) the dynamic
@@ -136,40 +182,83 @@ def webkit_params(maximum_cad: float = 2.0) -> HEParams:
     measures a constant 2 s (§5.1).  ``maximum_cad=1.0`` models the
     observed iOS preference for lower values.
     """
-    return HEParams(
-        dynamic_cad=True,
-        connection_attempt_delay=0.250,  # unused while dynamic
-        minimum_cad=0.010,
-        recommended_cad=0.100,
-        maximum_cad=maximum_cad,
-        resolution_delay=0.050,
-        resolution_policy=ResolutionPolicy.HE_V2,
-        interlace=InterlaceStrategy.FIRST_FAMILY_BURST,
-        first_address_family_count=2,
+    return PolicyStack(
+        resolution=ResolutionStage(mode=ResolutionPolicy.HE_V2,
+                                   resolution_delay=0.050),
+        sorting=SortingStage(
+            interlace=InterlaceStrategy.FIRST_FAMILY_BURST,
+            first_address_family_count=2, sortlist=sortlist),
+        racing=RacingStage(dynamic_cad=True,
+                           connection_attempt_delay=0.250,  # unused: dynamic
+                           minimum_cad=0.010, recommended_cad=0.100,
+                           maximum_cad=maximum_cad),
     )
 
 
-def curl_params() -> HEParams:
+def curl_stack(sortlist: Optional[str] = "linux") -> PolicyStack:
     """curl: the smallest fixed CAD observed, 200 ms (a curl default)."""
-    return HEParams(
-        connection_attempt_delay=0.200,
-        resolution_delay=None,
-        resolution_policy=ResolutionPolicy.WAIT_BOTH,
-        interlace=InterlaceStrategy.SEQUENTIAL,
-        max_attempts_per_family=1,
+    return PolicyStack(
+        resolution=ResolutionStage(mode=ResolutionPolicy.WAIT_BOTH,
+                                   resolution_delay=None),
+        sorting=SortingStage(interlace=InterlaceStrategy.SEQUENTIAL,
+                             sortlist=sortlist),
+        racing=RacingStage(connection_attempt_delay=0.200,
+                           max_attempts_per_family=1),
     )
 
 
-def wget_params() -> HEParams:
+def wget_stack(sortlist: Optional[str] = "rfc3484") -> PolicyStack:
     """wget: no Happy Eyeballs at all — strictly serial attempts.
 
     It resolves both families, prefers IPv6, and only ever moves to the
     next address when the current attempt fails outright; with impaired
-    IPv6 it "fails without using the provided IPv4 addresses".
+    IPv6 it "fails without using the provided IPv4 addresses".  Its
+    destination ordering is the legacy RFC 3484 sortlist (pre-6724
+    getaddrinfo), which still ranks ULA and site-local space above
+    IPv4 — exactly what the sortlist battery discriminates.
     """
-    return HEParams(
-        connection_attempt_delay=SERIAL_CAD,
-        resolution_delay=None,
-        resolution_policy=ResolutionPolicy.WAIT_BOTH,
-        interlace=InterlaceStrategy.SEQUENTIAL,
+    return PolicyStack(
+        resolution=ResolutionStage(mode=ResolutionPolicy.WAIT_BOTH,
+                                   resolution_delay=None),
+        sorting=SortingStage(interlace=InterlaceStrategy.SEQUENTIAL,
+                             sortlist=sortlist),
+        racing=RacingStage(connection_attempt_delay=SERIAL_CAD),
     )
+
+
+def hev3_reference_stack() -> PolicyStack:
+    """The HEv3 draft as a client: SVCB consumption + QUIC racing."""
+    return PolicyStack(
+        resolution=ResolutionStage(mode=ResolutionPolicy.HE_V2,
+                                   resolution_delay=0.050, use_svcb=True),
+        sorting=SortingStage(interlace=InterlaceStrategy.RFC8305,
+                             first_address_family_count=1,
+                             sortlist="rfc6724"),
+        racing=RacingStage(connection_attempt_delay=0.250, race_quic=True),
+        version=HEVersion.V3,
+    )
+
+
+# --------------------------------------------------------------------------
+# legacy HEParams views (compatibility shims over the stacks)
+# --------------------------------------------------------------------------
+
+
+def chromium_params(cad: float = 0.300) -> HEParams:
+    return chromium_stack(cad).params()
+
+
+def gecko_params(cad: float = 0.250) -> HEParams:
+    return gecko_stack(cad).params()
+
+
+def webkit_params(maximum_cad: float = 2.0) -> HEParams:
+    return webkit_stack(maximum_cad).params()
+
+
+def curl_params() -> HEParams:
+    return curl_stack().params()
+
+
+def wget_params() -> HEParams:
+    return wget_stack().params()

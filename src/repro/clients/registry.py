@@ -3,7 +3,12 @@
 Figure 2 sweeps 17 client versions on the local testbed; Table 2
 evaluates nine clients; Table 5 lists the browser/OS combinations seen
 by the web tool.  This registry is the single source of truth for all
-of them.
+of them.  Every profile is declared as a
+:class:`~repro.core.policy.PolicyStack` composition — per-engine
+resolution/sorting/racing stages with a per-OS RFC 6724 sortlist —
+and the registry additionally carries the HEv3 draft reference client
+(QUIC racing + SVCB consumption) the protocol-racing battery
+discriminates against.
 """
 
 from __future__ import annotations
@@ -11,8 +16,19 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..dns.rdata import RdataType
-from .profile import (ClientProfile, chromium_params, curl_params,
-                      gecko_params, webkit_params, wget_params)
+from .profile import (ClientProfile, chromium_stack, curl_stack,
+                      gecko_stack, hev3_reference_stack, webkit_stack,
+                      wget_stack)
+
+
+def _sortlist_for_os(os_hint: str) -> str:
+    """The per-OS RFC 6724 policy table a client inherits."""
+    lowered = os_hint.lower()
+    if "windows" in lowered:
+        return "windows"
+    if "mac" in lowered or "ios" in lowered:
+        return "macos"
+    return "linux"  # Linux and Android ship glibc/bionic ~ RFC 6724
 
 
 def _chromium(name: str, version: str, released: str,
@@ -20,7 +36,8 @@ def _chromium(name: str, version: str, released: str,
               os_hint: str = "Linux") -> ClientProfile:
     return ClientProfile(
         name=name, version=version, released=released,
-        engine_family="chromium", kind=kind, params=chromium_params(),
+        engine_family="chromium", kind=kind,
+        stack=chromium_stack(sortlist=_sortlist_for_os(os_hint)),
         query_first=RdataType.AAAA, hev3_flag_available=hev3_flag,
         supports_local_tests=kind != "mobile-browser",
         os_hint=os_hint,
@@ -31,7 +48,8 @@ def _firefox(version: str, released: str,
              os_hint: str = "Linux") -> ClientProfile:
     return ClientProfile(
         name="Firefox", version=version, released=released,
-        engine_family="gecko", kind="browser", params=gecko_params(),
+        engine_family="gecko", kind="browser",
+        stack=gecko_stack(sortlist=_sortlist_for_os(os_hint)),
         # Table 2 marks Firefox's AAAA-first as "not observed": its
         # query order follows the OS stub resolver, observed A-first.
         query_first=RdataType.A,
@@ -47,7 +65,8 @@ def _safari(version: str, released: str, mobile: bool = False
         version=version, released=released,
         engine_family="webkit",
         kind="mobile-browser" if mobile else "browser",
-        params=webkit_params(maximum_cad=1.0 if mobile else 2.0),
+        stack=webkit_stack(maximum_cad=1.0 if mobile else 2.0,
+                           sortlist="macos"),
         query_first=RdataType.AAAA,
         supports_local_tests=not mobile,
         os_hint="iOS" if mobile else "Mac OS X 10.15.7",
@@ -81,15 +100,23 @@ _PROFILES: List[ClientProfile] = [
     # -- command-line tools ---------------------------------------------------
     ClientProfile(
         name="curl", version="7.88.1", released="02-2023",
-        engine_family="curl", kind="cli", params=curl_params(),
+        engine_family="curl", kind="cli", stack=curl_stack(),
         query_first=RdataType.AAAA, supports_web_tests=False,
         notes="CAD 200 ms (--happy-eyeballs-timeout-ms default)"),
     ClientProfile(
         name="wget", version="1.21.3", released="02-2022",
-        engine_family="wget", kind="cli", params=wget_params(),
+        engine_family="wget", kind="cli", stack=wget_stack(),
         query_first=RdataType.A, implements_happy_eyeballs=False,
         supports_web_tests=False,
         notes="no HE: serial attempts, no IPv4 fallback under delay"),
+    # -- the HEv3 draft as a client -------------------------------------------
+    ClientProfile(
+        name="hev3-reference", version="draft-07", released="05-2025",
+        engine_family="reference", kind="cli",
+        stack=hev3_reference_stack(),
+        query_first=RdataType.AAAA, supports_web_tests=False,
+        notes="draft-ietf-happy-happyeyeballs-v3 reference: SVCB/HTTPS "
+              "consumption + QUIC racing"),
 ]
 
 _BY_KEY: Dict[str, ClientProfile] = {

@@ -22,10 +22,11 @@ from .fingerprint import (ClientFingerprint, Deviation, ParameterVerdict,
 from .probe import (ConformanceProbe, ScenarioOutcome,
                     refinement_window)
 from .report import (fingerprint_to_dict, fingerprints_to_json,
-                     render_conformance_summary, render_fingerprint,
-                     render_scenario_catalog)
-from .scenarios import (RFC8305Parameter, Scenario, scenario_battery,
-                        scenario_by_name)
+                     render_battery_summary, render_conformance_summary,
+                     render_fingerprint, render_scenario_catalog)
+from .scenarios import (RFC8305Parameter, Scenario, hev3_battery,
+                        scenario_battery, scenario_by_name,
+                        sortlist_battery, svcb_battery)
 
 __all__ = [
     "ClientFingerprint", "ConformanceProbe", "Deviation", "DriftRow",
@@ -33,8 +34,10 @@ __all__ = [
     "Requirement", "Scenario", "ScenarioOutcome",
     "assemble_fingerprint", "diff_fingerprints", "fingerprint_client",
     "fingerprint_diff_to_dict", "fingerprint_to_dict",
-    "fingerprints_to_json", "outcomes_from_records",
-    "refinement_window", "render_conformance_summary",
-    "render_fingerprint", "render_fingerprint_diff",
-    "render_scenario_catalog", "scenario_battery", "scenario_by_name",
+    "fingerprints_to_json", "hev3_battery", "outcomes_from_records",
+    "refinement_window", "render_battery_summary",
+    "render_conformance_summary", "render_fingerprint",
+    "render_fingerprint_diff", "render_scenario_catalog",
+    "scenario_battery", "scenario_by_name", "sortlist_battery",
+    "svcb_battery",
 ]

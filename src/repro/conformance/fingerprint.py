@@ -175,8 +175,8 @@ def _judge_cad(fingerprint: ClientFingerprint, profile: ClientProfile,
         parameter=RFC8305Parameter.CONNECTION_ATTEMPT_DELAY,
         scenario=scenario.name)
     verdict.implemented = bool(cads) and fallback_seen
-    nominal = profile.nominal_cad
-    if nominal is not None and nominal < 100.0:  # SERIAL_CAD marker is huge
+    nominal = profile.nominal_cad  # None for dynamic/serial/no-HE stacks
+    if nominal is not None:
         verdict.nominal_ms = nominal * 1000.0
     if verdict.implemented:
         verdict.measured_ms = median(cads) * 1000.0
@@ -393,6 +393,136 @@ def _judge_retry(fingerprint: ClientFingerprint, profile: ClientProfile,
                  f"({established}/{total} repetitions established)")
 
 
+def _judge_protocol_racing(fingerprint: ClientFingerprint,
+                           profile: ClientProfile,
+                           outcome: ScenarioOutcome) -> None:
+    """HEv3 racing stage: QUIC raced when advertised, TCP fallback
+    when the QUIC path dies."""
+    from ..simnet.packet import Protocol
+
+    scenario = outcome.scenario
+    verdict = ParameterVerdict(
+        parameter=RFC8305Parameter.PROTOCOL_RACING,
+        scenario=scenario.name)
+    raced = any(r.attempts_quic > 0 for r in outcome.records)
+    winners = [r.winning_protocol for r in outcome.records
+               if r.winning_protocol is not None]
+    established = len(winners)
+    total = len(outcome.records)
+    declares_quic = profile.stack.racing.race_quic
+    durations = [r.duration_s for r in outcome.records
+                 if r.duration_s is not None]
+    if durations:
+        verdict.measured_ms = median(durations) * 1000.0
+    if scenario.name == "quic-advertised":
+        verdict.implemented = bool(raced and winners and all(
+            protocol is Protocol.QUIC for protocol in winners))
+        if verdict.implemented:
+            verdict.detail = "raced QUIC and established over it"
+        elif raced:
+            verdict.detail = "raced QUIC but established over TCP"
+        else:
+            verdict.detail = "never attempted QUIC (TCP only)"
+    else:  # quic-blackholed
+        survived = established == total and total > 0 and all(
+            protocol is Protocol.TCP for protocol in winners)
+        verdict.implemented = raced and survived
+        if verdict.implemented:
+            verdict.detail = ("raced QUIC into the blackhole, fell "
+                              "back to TCP")
+        elif raced:
+            verdict.detail = "raced QUIC but never completed over TCP"
+        else:
+            verdict.detail = "no QUIC attempt (plain TCP connect)"
+        if declares_quic and raced and not survived:
+            _deviate(fingerprint, Requirement.MUST, scenario.rfc_clause,
+                     "cannot reach the host over TCP when the "
+                     "advertised QUIC path is blackholed")
+        if total and established != total:
+            _deviate(fingerprint, Requirement.MUST, scenario.rfc_clause,
+                     f"only {established}/{total} repetitions "
+                     "established with QUIC blackholed")
+    fingerprint.verdicts.append(verdict)
+    if declares_quic and not raced:
+        _deviate(fingerprint, Requirement.SHOULD, scenario.rfc_clause,
+                 "declares QUIC racing but never attempted QUIC "
+                 "although the HTTPS record advertised h3")
+
+
+def _judge_svcb(fingerprint: ClientFingerprint, profile: ClientProfile,
+                outcome: ScenarioOutcome) -> None:
+    """HEv3 resolution stage: SVCB/HTTPS record consumption."""
+    scenario = outcome.scenario
+    verdict = ParameterVerdict(
+        parameter=RFC8305Parameter.SVCB_DISCOVERY,
+        scenario=scenario.name)
+    queried = [r.queried_https for r in outcome.records]
+    asked = bool(queried) and all(queried)
+    declares_svcb = profile.stack.resolution.use_svcb
+    if scenario.name == "https-query":
+        verdict.implemented = asked
+        verdict.detail = ("sent the HTTPS (type-65) query" if asked
+                          else "never asked for HTTPS records")
+    else:  # svcb-alt-port
+        advertised = scenario.case.service.https_port
+        ports = [r.first_attempt_port for r in outcome.records
+                 if r.first_attempt_port is not None]
+        honored = bool(ports) and all(port == advertised
+                                      for port in ports)
+        verdict.implemented = asked and honored
+        if verdict.implemented:
+            verdict.detail = f"connected to the advertised :{advertised}"
+        elif asked:
+            verdict.detail = (f"queried HTTPS but connected to "
+                              f":{ports[0] if ports else '?'}")
+            if declares_svcb:
+                _deviate(fingerprint, Requirement.SHOULD,
+                         scenario.rfc_clause,
+                         f"consumes HTTPS records but ignores the "
+                         f"advertised port {advertised}")
+        else:
+            verdict.detail = (f"stayed on :{ports[0]}" if ports
+                              else "no attempt observed")
+    fingerprint.verdicts.append(verdict)
+
+
+def _judge_sorting(fingerprint: ClientFingerprint, profile: ClientProfile,
+                   outcome: ScenarioOutcome) -> None:
+    """Sorting stage: which sortlist ordered the destination set.
+
+    RFC 6724's table puts IPv4 (precedence 35) above every special
+    prefix the battery serves, so the conforming first attempt is
+    IPv4; a legacy RFC 3484 ordering leads with the special-prefix
+    IPv6 destination instead.
+    """
+    scenario = outcome.scenario
+    verdict = ParameterVerdict(
+        parameter=RFC8305Parameter.DESTINATION_SORTING,
+        scenario=scenario.name)
+    first_families = [r.first_attempt_family for r in outcome.records
+                      if r.first_attempt_family is not None]
+    established = sum(1 for r in outcome.records
+                      if r.winning_family is not None)
+    total = len(outcome.records)
+    if not first_families:
+        verdict.detail = "no connection attempt observed"
+        fingerprint.verdicts.append(verdict)
+        return
+    leads_v4 = all(family is Family.V4 for family in first_families)
+    verdict.implemented = leads_v4
+    prefix = scenario.name.split("-vs-")[0]
+    verdict.detail = (
+        f"first attempt {first_families[0].label} "
+        f"({'RFC 6724 order' if leads_v4 else f'{prefix} above IPv4'}); "
+        f"{established}/{total} established")
+    fingerprint.verdicts.append(verdict)
+    if not leads_v4:
+        _deviate(fingerprint, Requirement.SHOULD, scenario.rfc_clause,
+                 f"destination sorting ranks {prefix} space above "
+                 "IPv4 (legacy RFC 3484 sortlist, not the RFC 6724 "
+                 "default policy table)")
+
+
 _JUDGES = {
     RFC8305Parameter.CONNECTION_ATTEMPT_DELAY: _judge_cad,
     RFC8305Parameter.RESOLUTION_DELAY: _judge_rd,
@@ -400,4 +530,7 @@ _JUDGES = {
     RFC8305Parameter.FIRST_ADDRESS_FAMILY: _judge_first_family,
     RFC8305Parameter.FALLBACK: _judge_fallback,
     RFC8305Parameter.RETRY_ROBUSTNESS: _judge_retry,
+    RFC8305Parameter.PROTOCOL_RACING: _judge_protocol_racing,
+    RFC8305Parameter.SVCB_DISCOVERY: _judge_svcb,
+    RFC8305Parameter.DESTINATION_SORTING: _judge_sorting,
 }

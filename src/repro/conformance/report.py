@@ -80,6 +80,43 @@ def render_conformance_summary(
         title="Conformance summary: RFC 8305 across clients")
 
 
+def render_battery_summary(title: str,
+                           fingerprints: "Sequence[ClientFingerprint]",
+                           battery: "Sequence[Scenario]") -> str:
+    """One scenario battery across clients: per-stage verdict matrix.
+
+    One column per scenario (✓/✗ for the per-stage verdict, the
+    measured value when one exists), one row per client — how the
+    HEv3/SVCB/sortlist batteries show that the policy stages actually
+    discriminate.
+    """
+    headers = ["Client", "Stage"] + [s.name for s in battery]
+    rows = []
+    for fingerprint in fingerprints:
+        cells = []
+        stages = sorted({s.discriminates.stage for s in battery})
+        for scenario in battery:
+            verdict = fingerprint.verdict_for(scenario.discriminates,
+                                              scenario.name)
+            if verdict is None:
+                cells.append(None)
+                continue
+            mark = render_mark(verdict.implemented)
+            measured = _ms(verdict.measured_ms)
+            cells.append(f"{mark} {measured}" if measured else mark)
+        rows.append([fingerprint.client, "/".join(stages)] + cells)
+    lines = [render_table(headers, rows, title=title), ""]
+    for fingerprint in fingerprints:
+        relevant = [d for d in fingerprint.deviations]
+        for deviation in relevant:
+            lines.append(f"  {fingerprint.client}: "
+                         f"[{deviation.requirement.value}] "
+                         f"{deviation.clause} — {deviation.description}")
+    if len(lines) == 2:
+        lines.append("deviations: (none)")
+    return "\n".join(lines)
+
+
 def render_scenario_catalog(battery: "Sequence[Scenario]") -> str:
     """The battery as a table (README / ``repro conformance --list``)."""
     headers = ["Scenario", "Discriminates", "Impairment", "Sweep",

@@ -19,8 +19,8 @@ from typing import Optional, Tuple
 
 from ..simnet.addr import Family
 from ..simnet.packet import Protocol
-from ..testbed.config import (ImpairmentSpec, SweepSpec, TestCaseConfig,
-                              TestCaseKind)
+from ..testbed.config import (ImpairmentSpec, ServiceSpec, SweepSpec,
+                              TestCaseConfig, TestCaseKind)
 
 #: Case-name prefix: conformance cases share the campaign store with
 #: every other campaign, so their names must not collide.
@@ -28,7 +28,8 @@ CASE_PREFIX = "conf-"
 
 
 class RFC8305Parameter(enum.Enum):
-    """The RFC 8305 knobs a scenario can discriminate."""
+    """The RFC 8305 (and HEv3 / RFC 6724) knobs a scenario can
+    discriminate — one per policy stage the staged client API models."""
 
     CONNECTION_ATTEMPT_DELAY = "connection-attempt-delay"
     RESOLUTION_DELAY = "resolution-delay"
@@ -36,6 +37,12 @@ class RFC8305Parameter(enum.Enum):
     FIRST_ADDRESS_FAMILY = "first-address-family"
     FALLBACK = "fallback"
     RETRY_ROBUSTNESS = "retry-robustness"
+    #: HEv3 racing stage: does the client race QUIC when advertised?
+    PROTOCOL_RACING = "protocol-racing"
+    #: HEv3 resolution stage: does the client consume SVCB/HTTPS records?
+    SVCB_DISCOVERY = "svcb-discovery"
+    #: Sorting stage: which RFC 6724 sortlist orders the destinations?
+    DESTINATION_SORTING = "destination-sorting"
 
     @property
     def short(self) -> str:
@@ -46,6 +53,24 @@ class RFC8305Parameter(enum.Enum):
             "FIRST_ADDRESS_FAMILY": "first family",
             "FALLBACK": "fallback",
             "RETRY_ROBUSTNESS": "retry",
+            "PROTOCOL_RACING": "quic racing",
+            "SVCB_DISCOVERY": "svcb",
+            "DESTINATION_SORTING": "sortlist",
+        }[self.name]
+
+    @property
+    def stage(self) -> str:
+        """The policy stage the parameter belongs to (report grouping)."""
+        return {
+            "CONNECTION_ATTEMPT_DELAY": "racing",
+            "RESOLUTION_DELAY": "resolution",
+            "RESOLUTION_POLICY": "resolution",
+            "FIRST_ADDRESS_FAMILY": "sorting",
+            "FALLBACK": "racing",
+            "RETRY_ROBUSTNESS": "racing",
+            "PROTOCOL_RACING": "racing",
+            "SVCB_DISCOVERY": "resolution",
+            "DESTINATION_SORTING": "sorting",
         }[self.name]
 
 
@@ -76,9 +101,12 @@ class Scenario:
             return "A answer delayed by sweep value"
         if self.case.kind is TestCaseKind.CONNECTION_ATTEMPT_DELAY:
             return "IPv6 TCP delayed by sweep value"
-        if not self.case.impairments:
+        parts = [spec.label() for spec in self.case.impairments]
+        if self.case.service is not None:
+            parts.append(self.case.service.label())
+        if not parts:
             return "none (pristine dual stack)"
-        return "; ".join(spec.label() for spec in self.case.impairments)
+        return "; ".join(parts)
 
 
 def scenario_battery(stop_ms: int = 400, coarse_step_ms: int = 50,
@@ -222,6 +250,141 @@ def scenario_battery(stop_ms: int = 400, coarse_step_ms: int = 50,
                     family=Family.V6, protocol=Protocol.TCP,
                     rate_bps=1000.0, name="v6-rate-1k"),)),
         ),
+    )
+
+
+def hev3_battery(repetitions: int = 1) -> "Tuple[Scenario, ...]":
+    """The HEv3/QUIC protocol-racing battery (racing stage).
+
+    Both scenarios publish an HTTPS record advertising h3 alongside
+    http/1.1 and answer QUIC on the web port; the second blackholes
+    the QUIC return path so a racing client must fall back to TCP
+    within its own CAD.  Clients that never query HTTPS (every
+    pre-HEv3 client) connect plain TCP — the per-stage verdicts
+    discriminate exactly that.
+    """
+    return (
+        Scenario(
+            name="quic-advertised",
+            discriminates=RFC8305Parameter.PROTOCOL_RACING,
+            rfc_clause="HEv3 §2, §4",
+            description="HTTPS record advertises h3 and the server "
+                        "answers QUIC: an HEv3 client prefers the QUIC "
+                        "candidate; everything else stays on TCP.",
+            case=TestCaseConfig(
+                name=CASE_PREFIX + "quic-advertised",
+                kind=TestCaseKind.IMPAIRMENT,
+                sweep=SweepSpec.fixed(0),
+                repetitions=repetitions,
+                service=ServiceSpec(https_alpn=("h3", "http/1.1"),
+                                    quic_listener=True)),
+        ),
+        Scenario(
+            name="quic-blackholed",
+            discriminates=RFC8305Parameter.PROTOCOL_RACING,
+            rfc_clause="HEv3 §4",
+            description="The same advertisement with the QUIC return "
+                        "path dropped: a racing client must still "
+                        "reach the host over TCP one CAD later.",
+            case=TestCaseConfig(
+                name=CASE_PREFIX + "quic-blackholed",
+                kind=TestCaseKind.IMPAIRMENT,
+                sweep=SweepSpec.fixed(0),
+                repetitions=repetitions,
+                service=ServiceSpec(https_alpn=("h3", "http/1.1"),
+                                    quic_listener=True),
+                impairments=(ImpairmentSpec(
+                    protocol=Protocol.QUIC, loss=1.0,
+                    name="quic-blackhole"),)),
+        ),
+    )
+
+
+def svcb_battery(repetitions: int = 1) -> "Tuple[Scenario, ...]":
+    """The SVCB/HTTPS-record battery (resolution stage).
+
+    Discriminates whether a client *asks* for HTTPS records at all,
+    and whether it honors an advertised alternative port.
+    """
+    return (
+        Scenario(
+            name="https-query",
+            discriminates=RFC8305Parameter.SVCB_DISCOVERY,
+            rfc_clause="HEv3 §3, RFC 9460",
+            description="A plain HTTPS record is published: does the "
+                        "client even send the type-65 query?",
+            case=TestCaseConfig(
+                name=CASE_PREFIX + "https-query",
+                kind=TestCaseKind.IMPAIRMENT,
+                sweep=SweepSpec.fixed(0),
+                repetitions=repetitions,
+                service=ServiceSpec(https_alpn=("http/1.1",))),
+        ),
+        Scenario(
+            name="svcb-alt-port",
+            discriminates=RFC8305Parameter.SVCB_DISCOVERY,
+            rfc_clause="HEv3 §3, RFC 9460 §7.2",
+            description="The HTTPS record advertises port 8443 (also "
+                        "served): an SVCB-consuming client connects "
+                        "there, everything else stays on :80.",
+            case=TestCaseConfig(
+                name=CASE_PREFIX + "svcb-alt-port",
+                kind=TestCaseKind.IMPAIRMENT,
+                sweep=SweepSpec.fixed(0),
+                repetitions=repetitions,
+                service=ServiceSpec(https_alpn=("http/1.1",),
+                                    https_port=8443)),
+        ),
+    )
+
+
+#: The special-prefix destinations of the sortlist battery, answered
+#: alongside the standard IPv4 server address and attached to the
+#: server node so either choice connects.
+SORTLIST_DESTINATIONS = {
+    "ula-vs-ipv4": "fd00:db8:cafe::10",       # ULA fc00::/7
+    "site-local-vs-ipv4": "fec0:db8::10",     # deprecated site-local
+    "teredo-vs-ipv4": "2001:0:db8::10",       # Teredo 2001::/32
+}
+
+
+def sortlist_battery(repetitions: int = 1) -> "Tuple[Scenario, ...]":
+    """The per-OS RFC 6724 sortlist battery (sorting stage).
+
+    Each scenario answers the test hostname with one special-prefix
+    IPv6 destination plus the ordinary IPv4 one, both responsive.  An
+    RFC 6724 sortlist puts IPv4 (precedence 35) above ULA (3),
+    site-local (1), and Teredo (5); the legacy RFC 3484 table ranks
+    all three *above* IPv4 — so the family of the first wire attempt
+    reads the client's policy table straight off the capture.
+    """
+    from ..testbed.topology import SERVER_V4
+
+    def scenario(name: str, description: str) -> Scenario:
+        return Scenario(
+            name=name,
+            discriminates=RFC8305Parameter.DESTINATION_SORTING,
+            rfc_clause="RFC 8305 §4, RFC 6724 §2.1",
+            description=description,
+            case=TestCaseConfig(
+                name=CASE_PREFIX + name,
+                kind=TestCaseKind.IMPAIRMENT,
+                sweep=SweepSpec.fixed(0),
+                repetitions=repetitions,
+                service=ServiceSpec(addresses=(
+                    SORTLIST_DESTINATIONS[name], SERVER_V4))),
+        )
+
+    return (
+        scenario("ula-vs-ipv4",
+                 "ULA vs IPv4: RFC 6724 prefers IPv4 over fc00::/7; "
+                 "RFC 3484-era sortlists still lead with the ULA."),
+        scenario("site-local-vs-ipv4",
+                 "Deprecated site-local vs IPv4: precedence 1 under "
+                 "RFC 6724, above IPv4 under RFC 3484."),
+        scenario("teredo-vs-ipv4",
+                 "Teredo vs IPv4: transitional space is precedence 5 "
+                 "under RFC 6724; legacy tables have no Teredo row."),
     )
 
 

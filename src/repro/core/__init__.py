@@ -15,11 +15,16 @@ from .interlace import (apply_interlace, interlace_first_family_burst,
 from .params import (HEParams, HEVersion, InterlaceStrategy,
                      RFC_PARAMETER_SETS, ResolutionPolicy, hev3_draft_params,
                      rfc6555_params, rfc8305_params)
+from .policy import (PolicyStack, RacingStage, ResolutionStage,
+                     SortingStage, coerce_stack)
 from .racing import (AllAttemptsFailed, AttemptOutcome, AttemptRecord,
                      ConnectionRacer, NEVER_CAD, RaceDeadlineExceeded,
                      RaceResult)
 from .resolution import ResolutionOutcome, resolve_addresses
-from .sortlist import AddressHistory, HistoryStore, order_addresses
+from .sortlist import (AddressHistory, HistoryStore, POLICY_TABLES,
+                       PolicyEntry, PolicyTable, common_prefix_len,
+                       order_addresses, policy_table, scope_of,
+                       select_source)
 from .svcb import (ServiceCandidate, candidates_from_addresses,
                    candidates_from_svcb, order_candidates)
 
@@ -28,11 +33,14 @@ __all__ = [
     "CachedOutcome", "ConnectionRacer", "HEEvent", "HEEventKind", "HEParams",
     "HEResult", "HETrace", "HEVersion", "HappyEyeballsEngine",
     "HappyEyeballsError", "HistoryStore", "InterlaceStrategy", "NEVER_CAD",
-    "OutcomeCache", "RFC_PARAMETER_SETS", "RaceDeadlineExceeded",
-    "RaceResult", "ResolutionOutcome", "ResolutionPolicy",
-    "ServiceCandidate", "apply_interlace", "candidates_from_addresses",
-    "candidates_from_svcb", "hev3_draft_params",
+    "OutcomeCache", "POLICY_TABLES", "PolicyEntry", "PolicyStack",
+    "PolicyTable", "RFC_PARAMETER_SETS", "RaceDeadlineExceeded",
+    "RaceResult", "RacingStage", "ResolutionOutcome", "ResolutionPolicy",
+    "ResolutionStage", "ServiceCandidate", "SortingStage",
+    "apply_interlace", "candidates_from_addresses", "candidates_from_svcb",
+    "coerce_stack", "common_prefix_len", "hev3_draft_params",
     "interlace_first_family_burst", "interlace_rfc8305",
     "interlace_sequential", "order_addresses", "order_candidates",
-    "resolve_addresses", "rfc6555_params", "rfc8305_params",
+    "policy_table", "resolve_addresses", "rfc6555_params", "rfc8305_params",
+    "scope_of", "select_source",
 ]

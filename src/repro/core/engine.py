@@ -1,36 +1,43 @@
-"""The Happy Eyeballs engine: resolution → selection → racing.
+"""The Happy Eyeballs engine: a thin driver over a PolicyStack.
 
-:class:`HappyEyeballsEngine` glues the phase implementations together
-exactly as Figure 1 depicts: issue the AAAA/A (and, for HEv3, HTTPS)
-queries, run the resolution policy, order and interlace the addresses,
-then race connection attempts one CAD apart.  Every observable the
-paper measures — query order, RD behaviour, attempt schedule, winner —
-comes out in the :class:`~repro.core.events.HETrace` and the
+:class:`HappyEyeballsEngine` walks the stages exactly as Figure 1
+depicts and RFC 8305 phrases them: the **resolution** stage issues the
+AAAA/A (and, for HEv3, HTTPS) queries and decides when connecting
+starts; the **sorting** stage orders and interlaces the destinations
+(family preference or an explicit RFC 6724 sortlist); the **racing**
+stage builds the raceable candidates (per-family caps, QUIC-vs-TCP
+expansion) and staggers attempts one CAD apart.  The engine itself
+only carries the host plumbing — caches, tracing, late-answer feeds —
+while every behavioural decision lives in the
+:class:`~repro.core.policy.PolicyStack` stages.
+
+Engines accept either a stack or a legacy
+:class:`~repro.core.params.HEParams` bag (coerced via
+:func:`~repro.core.policy.coerce_stack`); every observable the paper
+measures — query order, RD behaviour, attempt schedule, winner — comes
+out in the :class:`~repro.core.events.HETrace` and the
 :class:`HEResult`.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Union
 
-from ..simnet.addr import Family, IPAddress
+from ..simnet.addr import Family
 from ..simnet.host import Host
-from ..simnet.packet import Protocol
 from ..simnet.process import Process
-from ..dns.rdata import RdataType, SVCB
-from ..dns.stub import DualLookup, StubResolver
+from ..dns.rdata import RdataType
+from ..dns.stub import StubResolver
 from .cache import OutcomeCache
 from .events import HEEventKind, HETrace
-from .interlace import apply_interlace
-from .params import HEParams, ResolutionPolicy
-from .racing import (AllAttemptsFailed, AttemptRecord, ConnectionRacer,
-                     NEVER_CAD, RaceResult)
-from .resolution import ResolutionOutcome, resolve_addresses
-from .sortlist import HistoryStore, order_addresses
-from .svcb import (ServiceCandidate, candidates_from_addresses,
-                   candidates_from_svcb, order_candidates)
+from .params import HEParams
+from .policy import PolicyStack, coerce_stack
+from .racing import AttemptRecord, ConnectionRacer, RaceResult
+from .resolution import ResolutionOutcome
+from .sortlist import HistoryStore
+from .svcb import candidates_from_addresses
+
 
 class HappyEyeballsError(Exception):
     """Engine-level failure (no addresses, all attempts failed)."""
@@ -78,7 +85,8 @@ class HEResult:
 class HappyEyeballsEngine:
     """A configurable Happy Eyeballs implementation on one host."""
 
-    def __init__(self, host: Host, stub: StubResolver, params: HEParams,
+    def __init__(self, host: Host, stub: StubResolver,
+                 params: Union[HEParams, PolicyStack],
                  cache: Optional[OutcomeCache] = None,
                  history: Optional[HistoryStore] = None,
                  query_first: RdataType = RdataType.AAAA,
@@ -86,13 +94,22 @@ class HappyEyeballsEngine:
                  overall_deadline: Optional[float] = None) -> None:
         self.host = host
         self.stub = stub
-        self.params = params
+        self.stack = coerce_stack(params)
         self.cache = cache if cache is not None else OutcomeCache(
-            ttl=params.outcome_cache_ttl)
+            ttl=self.stack.racing.outcome_cache_ttl)
         self.history = history
         self.query_first = query_first
         self.attempt_timeout = attempt_timeout
         self.overall_deadline = overall_deadline
+
+    @property
+    def params(self) -> HEParams:
+        """The legacy flat-parameter view of the engine's stack."""
+        return self.stack.params()
+
+    @params.setter
+    def params(self, value: Union[HEParams, PolicyStack]) -> None:
+        self.stack = coerce_stack(value)
 
     # -- public API ---------------------------------------------------------
 
@@ -110,37 +127,35 @@ class HappyEyeballsEngine:
                                trace if trace is not None else HETrace()),
             name=f"he-connect:{hostname}")
 
-    # -- the run -------------------------------------------------------------
+    # -- the stage driver ----------------------------------------------------
 
     def _connect_body(self, hostname: str, port: int, trace: HETrace):
         sim = self.host.sim
-        params = self.params
+        stack = self.stack
         result = HEResult(hostname=hostname, port=port, started_at=sim.now,
                           trace=trace)
         trace.record(sim.now, HEEventKind.CONNECT_REQUESTED,
                      hostname=hostname, port=port,
-                     version=params.version.short)
+                     version=stack.version.short)
 
-        preferred = params.preferred_family
+        biased_family: Optional[Family] = None
         cached = self.cache.lookup(hostname, sim.now)
         if cached is not None:
             # RFC 6555 §4.1: bias toward the family that last won.
-            preferred = cached.family
+            biased_family = cached.family
             trace.record(sim.now, HEEventKind.CACHE_HIT,
                          address=str(cached.address),
                          family=cached.family.label)
 
-        # -- resolution phase ------------------------------------------------
+        # -- resolution stage -------------------------------------------------
         dual = self.stub.lookup_dual(hostname, first=self.query_first)
         trace.record(sim.now, HEEventKind.QUERY_SENT,
                      first=self.query_first.name,
                      order="AAAA,A" if self.query_first is RdataType.AAAA
                      else "A,AAAA")
-        https_process = None
-        if params.use_svcb:
-            https_process = self.stub.query(hostname, RdataType.HTTPS)
+        https_process = stack.resolution.query_https(self.stub, hostname)
 
-        resolution = yield from resolve_addresses(sim, dual, params, trace)
+        resolution = yield from stack.resolution.resolve(sim, dual, trace)
         result.resolution = resolution
         if not resolution.has_addresses:
             result.finished_at = sim.now
@@ -149,30 +164,25 @@ class HappyEyeballsEngine:
                          reason=result.error)
             raise HappyEyeballsError(
                 f"resolution of {hostname!r} yielded no addresses", result)
+        svcb_records = stack.resolution.harvest_svcb(https_process)
 
-        # -- selection phase ---------------------------------------------------
-        svcb_records: List[SVCB] = []
-        if https_process is not None and https_process.triggered:
-            try:
-                https_response = https_process.value
-            except Exception:  # noqa: BLE001 - HTTPS lookup is best-effort
-                https_response = None
-            if https_response is not None:
-                svcb_records = [
-                    rr.rdata for rr in https_response.answers
-                    if rr.rtype in (RdataType.HTTPS, RdataType.SVCB)]
-        candidates = self._build_candidates(
-            resolution.addresses, svcb_records, port, preferred)
+        # -- sorting stage ----------------------------------------------------
+        ordered = stack.sorting.select(resolution.addresses,
+                                       history=self.history, now=sim.now,
+                                       biased_family=biased_family)
+
+        # -- racing stage -----------------------------------------------------
+        candidates = stack.racing.build_candidates(
+            ordered, svcb_records, port, stack.sorting,
+            use_svcb=stack.resolution.use_svcb)
         trace.record(sim.now, HEEventKind.ADDRESSES_SELECTED,
                      count=len(candidates),
                      order=",".join(c.family.label[3] + ":" + str(c.address)
                                     for c in candidates[:12]))
-
-        # -- racing phase -----------------------------------------------------------
-        racer = ConnectionRacer(self.host, params, trace=trace,
-                                history=self.history,
-                                attempt_timeout=self.attempt_timeout)
-        self._arm_late_answers(racer, resolution, port, preferred, trace)
+        racer = stack.racing.racer(self.host, trace=trace,
+                                   history=self.history,
+                                   attempt_timeout=self.attempt_timeout)
+        self._arm_late_answers(racer, resolution, port, biased_family, trace)
         try:
             race = yield from racer.run(candidates,
                                         deadline=self.overall_deadline)
@@ -192,47 +202,12 @@ class HappyEyeballsEngine:
                               sim.now)
         return result
 
-    # -- candidate construction -----------------------------------------------------
-
-    def _build_candidates(self, addresses: Sequence[IPAddress],
-                          svcb_records: Sequence[SVCB], port: int,
-                          preferred: Family) -> List[ServiceCandidate]:
-        params = self.params
-        ordered = order_addresses(addresses, preferred_family=preferred,
-                                  history=self.history, now=self.host.sim.now)
-        ordered = apply_interlace(
-            ordered, params.interlace, preferred=preferred,
-            first_count=params.first_address_family_count)
-        ordered = self._cap_per_family(ordered)
-
-        if params.use_svcb and svcb_records:
-            candidates = candidates_from_svcb(svcb_records, ordered, port)
-            if params.race_quic:
-                return order_candidates(candidates, params)
-            candidates = [c for c in candidates
-                          if c.protocol is Protocol.TCP]
-            return order_candidates(candidates, params)
-        return candidates_from_addresses(ordered, port)
-
-    def _cap_per_family(self, ordered: Sequence[IPAddress]
-                        ) -> List[IPAddress]:
-        cap = self.params.max_attempts_per_family
-        if cap is None:
-            return list(ordered)
-        kept: List[IPAddress] = []
-        counts = {Family.V4: 0, Family.V6: 0}
-        for address in ordered:
-            family = Family.V6 if address.version == 6 else Family.V4
-            if counts[family] < cap:
-                counts[family] += 1
-                kept.append(address)
-        return kept
-
     # -- late answers ------------------------------------------------------------------
 
     def _arm_late_answers(self, racer: ConnectionRacer,
                           resolution: ResolutionOutcome, port: int,
-                          preferred: Family, trace: HETrace) -> None:
+                          biased_family: Optional[Family],
+                          trace: HETrace) -> None:
         """Feed addresses that arrive mid-race into the racer.
 
         RFC 8305 §3: when the RD expires and connecting starts with IPv4
@@ -243,6 +218,9 @@ class HappyEyeballsEngine:
             return
         known = set(resolution.addresses)
         sim = self.host.sim
+        stack = self.stack
+        preferred = (biased_family if biased_family is not None
+                     else stack.sorting.preferred_family)
 
         def feed(event):
             def watcher():
@@ -252,10 +230,8 @@ class HappyEyeballsEngine:
                 if not answer.usable or not fresh:
                     return
                 known.update(fresh)
-                ordered = apply_interlace(
-                    fresh, self.params.interlace, preferred=preferred,
-                    first_count=self.params.first_address_family_count)
-                ordered = self._cap_per_family(ordered)
+                ordered = stack.sorting.interleave_late(fresh, preferred)
+                ordered = stack.racing.cap_per_family(ordered)
                 if not ordered:
                     return
                 trace.record(sim.now, HEEventKind.LATE_ADDRESSES_ADDED,

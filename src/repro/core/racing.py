@@ -26,6 +26,9 @@ from .params import HEParams
 from .sortlist import HistoryStore
 from .svcb import ServiceCandidate
 
+if False:  # typing only, avoids a policy<->racing import cycle
+    from .policy import RacingStage  # noqa: F401
+
 
 #: CAD at or above this threshold means "never stagger": the next
 #: attempt starts only when the previous one fails (wget-style serial
@@ -109,9 +112,14 @@ CadProvider = Callable[[int, ServiceCandidate], float]
 
 
 class ConnectionRacer:
-    """Runs one staggered race on a host."""
+    """Runs one staggered race on a host.
 
-    def __init__(self, host: Host, params: HEParams,
+    ``params`` is anything exposing the CAD schedule fields — a legacy
+    :class:`HEParams` bag or the :class:`~repro.core.policy.RacingStage`
+    of a policy stack (the stage is the canonical driver now).
+    """
+
+    def __init__(self, host: Host, params: "HEParams | RacingStage",
                  trace: Optional[HETrace] = None,
                  history: Optional[HistoryStore] = None,
                  cad_provider: Optional[CadProvider] = None,

@@ -101,12 +101,14 @@ def candidates_from_svcb(records: Sequence[SVCB],
 
 
 def order_candidates(candidates: Sequence[ServiceCandidate],
-                     params: HEParams) -> List[ServiceCandidate]:
+                     params) -> List[ServiceCandidate]:
     """HEv3 ordering: protocol preference, then family interlacing.
 
     Candidates are bucketed by ``(ech, protocol)`` preference; within a
-    bucket the address families are interlaced per the parameters, so
-    the result still guarantees fast cross-family fallback.
+    bucket the address families are interlaced per the parameters
+    (``params`` is an :class:`HEParams` bag or the ``SortingStage`` of
+    a policy stack — both expose the interlace fields), so the result
+    still guarantees fast cross-family fallback.
     """
     buckets: dict = {}
     for candidate in candidates:

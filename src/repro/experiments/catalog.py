@@ -477,6 +477,75 @@ class ConformanceExperiment(Experiment):
             yield from probe.store_keys()
 
 
+class StageBatteryExperiment(Experiment):
+    """One policy-stage scenario battery across every local client.
+
+    Base for the three batteries the staged client API lights up:
+    subclasses pick the battery constructor; plan/execute/render ride
+    the same probe + store machinery as the main conformance battery,
+    so cold==warm byte-identity and gc liveness hold by construction.
+    """
+
+    json_capable = True
+    battery_name = ""  # subclass: hev3 | svcb | sortlist
+
+    def _battery(self):
+        from .. import conformance
+
+        return getattr(conformance, f"{self.battery_name}_battery")()
+
+    def execute(self, session: Session) -> Any:
+        from ..clients.registry import local_testbed_clients
+        from ..conformance import fingerprint_client
+
+        battery = self._battery()
+        return {"battery": battery, "fingerprints": [
+            fingerprint_client(profile, seed=session.seed,
+                               store=session.store,
+                               workers=session.workers, battery=battery)
+            for profile in local_testbed_clients()]}
+
+    def render(self, result: Any) -> Artifact:
+        from ..conformance import fingerprint_to_dict, render_battery_summary
+
+        return Artifact(
+            text=render_battery_summary(self.title, result["fingerprints"],
+                                        result["battery"]),
+            data=[fingerprint_to_dict(fp)
+                  for fp in result["fingerprints"]])
+
+    def plan(self, session: Session) -> Iterator[str]:
+        from ..clients.registry import local_testbed_clients
+        from ..conformance import ConformanceProbe
+
+        battery = self._battery()
+        for profile in local_testbed_clients():
+            probe = ConformanceProbe(profile, seed=session.seed,
+                                     store=session.store, battery=battery)
+            yield from probe.store_keys()
+
+
+class HEv3BatteryExperiment(StageBatteryExperiment):
+    name = "conformance-hev3"
+    title = "HEv3/QUIC protocol-racing battery (racing stage)"
+    paper = "HEv3 §2, §4"
+    battery_name = "hev3"
+
+
+class SvcbBatteryExperiment(StageBatteryExperiment):
+    name = "conformance-svcb"
+    title = "SVCB/HTTPS-record discovery battery (resolution stage)"
+    paper = "HEv3 §3, RFC 9460"
+    battery_name = "svcb"
+
+
+class SortlistBatteryExperiment(StageBatteryExperiment):
+    name = "conformance-sortlist"
+    title = "per-OS RFC 6724 sortlist battery (sorting stage)"
+    paper = "RFC 8305 §4, RFC 6724"
+    battery_name = "sortlist"
+
+
 class FingerprintDiffExperiment(Experiment):
     name = "fingerprint-diff"
     title = "what changed between two clients' fingerprints"
@@ -553,5 +622,7 @@ for _experiment in (Table1Experiment(), Table2Experiment(),
                     Figure4Experiment(), Figure5Experiment(),
                     DelayedAExperiment(), TraceExperiment(),
                     FingerprintExperiment(), ConformanceExperiment(),
+                    HEv3BatteryExperiment(), SvcbBatteryExperiment(),
+                    SortlistBatteryExperiment(),
                     FingerprintDiffExperiment()):
     register(_experiment)

@@ -96,6 +96,50 @@ class ImpairmentSpec:
 
 
 @dataclass(frozen=True)
+class ServiceSpec:
+    """Declarative server-side service discovery for one test case.
+
+    The setup-stage equivalent of the HEv3 testbed additions: publish
+    an HTTPS (SVCB) record for the test hostname, answer QUIC, serve an
+    alternative port, or answer the hostname with an explicit address
+    set (per-OS sortlist scenarios use ULA/site-local/Teredo space
+    attached to the server node).  Consumed by
+    :class:`~repro.testbed.modules.ServiceModule`.
+    """
+
+    #: ALPN tokens advertised in the published HTTPS record; empty
+    #: means no HTTPS record is published.
+    https_alpn: "Tuple[str, ...]" = ()
+    #: Alternative port advertised in the HTTPS record (and served).
+    https_port: Optional[int] = None
+    #: Answer QUIC Initials on the web port(s).
+    quic_listener: bool = False
+    #: Explicit destination addresses for the test hostname (attached
+    #: to the server node so they answer); empty keeps the standard
+    #: dual-stack pair.
+    addresses: "Tuple[str, ...]" = ()
+
+    def __post_init__(self) -> None:
+        if self.https_port is not None and not 1 <= self.https_port <= 65535:
+            raise ValueError(f"bad https_port: {self.https_port!r}")
+        if self.https_port is not None and not self.https_alpn:
+            raise ValueError("https_port needs an HTTPS record "
+                             "(set https_alpn)")
+
+    def label(self) -> str:
+        parts = []
+        if self.https_alpn:
+            parts.append("https-rr=" + "+".join(self.https_alpn))
+        if self.https_port is not None:
+            parts.append(f"port={self.https_port}")
+        if self.quic_listener:
+            parts.append("quic")
+        if self.addresses:
+            parts.append(f"addrs={len(self.addresses)}")
+        return ",".join(parts) or "no-op"
+
+
+@dataclass(frozen=True)
 class SweepSpec:
     """A sweep over the test-run configuration variable (delay in ms).
 
@@ -165,6 +209,9 @@ class TestCaseConfig:
     #: Declarative shaping applied at every run (any kind may stack
     #: impairments; an IMPAIRMENT-kind case typically has only these).
     impairments: Tuple[ImpairmentSpec, ...] = ()
+    #: Server-side service discovery (HTTPS records, QUIC listener,
+    #: explicit destination address sets) applied at every run.
+    service: Optional[ServiceSpec] = None
 
     def __post_init__(self) -> None:
         if self.repetitions < 1:

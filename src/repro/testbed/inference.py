@@ -82,20 +82,24 @@ class CaptureObservation:
     """
 
     __slots__ = (
-        "established_family", "first_attempt_v4_at", "first_attempt_v6_at",
-        "first_attempt_at", "attempt_sequence", "attempts_per_family",
+        "established_family", "established_protocol", "first_attempt_v4_at",
+        "first_attempt_v6_at", "first_attempt_at", "first_attempt_port",
+        "attempt_sequence", "attempts_per_family", "attempts_quic",
         "dns_observations", "dns_payloads_decoded", "dns_payloads_interned",
     )
 
     def __init__(self, capture: PacketCapture,
                  decode_dns: bool = True) -> None:
         established: Optional[Family] = None
+        established_protocol: Optional[Protocol] = None
         first_v4: Optional[float] = None
         first_v6: Optional[float] = None
         first_any: Optional[float] = None
+        first_port: Optional[int] = None
         sequence: List[Tuple[float, Family]] = []
         seen_attempts = set()
         per_family = {Family.V4: 0, Family.V6: 0}
+        quic_attempts = 0
         seen_addresses = set()
         queries: Dict[Tuple[int, RdataType], float] = {}
         order: List[Tuple[int, RdataType, float]] = []
@@ -114,11 +118,13 @@ class CaptureObservation:
                             and packet.quic_type is not None
                             and packet.quic_type.value == "handshake")):
                     established = packet.family
+                    established_protocol = packet.protocol
             elif packet.is_connection_attempt:
                 family = packet.family
                 timestamp = frame.timestamp
                 if first_any is None:
                     first_any = timestamp
+                    first_port = packet.dport
                 if family is Family.V6:
                     if first_v6 is None:
                         first_v6 = timestamp
@@ -128,6 +134,8 @@ class CaptureObservation:
                 if key not in seen_attempts:
                     seen_attempts.add(key)
                     sequence.append((timestamp, family))
+                    if packet.protocol is Protocol.QUIC:
+                        quic_attempts += 1
                 address = (packet.dst, packet.dport)
                 if address not in seen_addresses:
                     seen_addresses.add(address)
@@ -161,11 +169,14 @@ class CaptureObservation:
                 responses.setdefault((message.id, rtype), frame.timestamp)
 
         self.established_family = established
+        self.established_protocol = established_protocol
         self.first_attempt_v4_at = first_v4
         self.first_attempt_v6_at = first_v6
         self.first_attempt_at = first_any
+        self.first_attempt_port = first_port
         self.attempt_sequence = sequence
         self.attempts_per_family = per_family
+        self.attempts_quic = quic_attempts
         self.dns_observations = [
             DnsObservation(rtype=rtype, query_at=sent_at,
                            response_at=responses.get((message_id, rtype)))
@@ -190,6 +201,13 @@ class CaptureObservation:
     def query_order(self) -> List[RdataType]:
         """Record types in the order their first queries were sent."""
         return [obs.rtype for obs in self.dns_observations]
+
+    @property
+    def queried_https(self) -> bool:
+        """Did the client send an HTTPS (SVCB) query?  The HEv3
+        discovery observable; always False without DNS decoding."""
+        return any(obs.rtype is RdataType.HTTPS
+                   for obs in self.dns_observations)
 
     @property
     def aaaa_first(self) -> Optional[bool]:

@@ -16,7 +16,8 @@ from typing import List, Optional
 from ..dns.rdata import RdataType
 from ..simnet.capture import PacketCapture
 from ..simnet.netem import NetemFilter, NetemRule, NetemSpec
-from .config import ImpairmentSpec, TestCaseConfig, TestCaseKind
+from .config import (ImpairmentSpec, ServiceSpec, TestCaseConfig,
+                     TestCaseKind)
 from .topology import LocalTestbed
 
 
@@ -130,6 +131,50 @@ class ImpairmentModule(SetupModule):
             testbed.clear_dns_delays()
 
 
+class ServiceModule(SetupModule):
+    """Applies a case's :class:`~repro.testbed.config.ServiceSpec`.
+
+    Registers a dedicated hostname for the run and, per the spec:
+    answers it with an explicit address set (attached to the server
+    node so the addresses respond — the sortlist scenarios), publishes
+    an HTTPS/SVCB record (the HEv3 discovery scenarios), serves an
+    alternative web port, and answers QUIC Initials on the web port(s).
+    """
+
+    name = "service-discovery"
+
+    def __init__(self) -> None:
+        self.last_hostname: Optional[str] = None
+
+    def on_run_start(self, testbed, case, value_ms, run_label):
+        spec = case.service
+        if spec is None:
+            return
+        from ..dns.rdata import HTTPS
+        from ..dns.name import DNSName
+        from .topology import SERVER_V4, SERVER_V6, WEB_PORT, EchoWebServer
+
+        label = f"svc-{run_label}"
+        addresses = spec.addresses or (SERVER_V6, SERVER_V4)
+        self.last_hostname = testbed.add_domain(label, list(addresses))
+        from ..simnet.addr import parse_address
+
+        for address in spec.addresses:
+            if parse_address(address) not in testbed.server_iface.addresses:
+                testbed.attach_server_address(address)
+        if spec.https_alpn:
+            record = HTTPS.service(
+                priority=1, target=DNSName.root(), alpn=spec.https_alpn,
+                port=spec.https_port)
+            testbed.zone.add(label, record)
+        if spec.https_port is not None:
+            EchoWebServer(testbed.server, spec.https_port).start()
+        if spec.quic_listener:
+            testbed.server.quic.listen(WEB_PORT)
+            if spec.https_port is not None:
+                testbed.server.quic.listen(spec.https_port)
+
+
 class CaptureModule(SetupModule):
     """start capture.sh / stop capture.sh on the client node."""
 
@@ -155,6 +200,8 @@ def modules_for(case: TestCaseConfig) -> List[SetupModule]:
         chain.append(DnsDelayModule())
     if case.kind is TestCaseKind.ADDRESS_SELECTION:
         chain.append(AddressSelectionModule())
+    if case.service is not None:
+        chain.append(ServiceModule())
     if case.impairments:
         chain.append(ImpairmentModule())
     chain.append(CaptureModule())

@@ -32,9 +32,11 @@ from ..core.sortlist import HistoryStore
 from ..seeding import stable_run_seed
 from ..simnet.addr import Family
 from ..simnet.capture import PacketCapture
+from ..simnet.packet import Protocol
 from .config import SweepSpec, TestCaseConfig, TestCaseKind
 from .inference import CaptureObservation
-from .modules import AddressSelectionModule, CaptureModule, modules_for
+from .modules import (AddressSelectionModule, CaptureModule, ServiceModule,
+                      modules_for)
 from .store import CampaignStore, config_digest, decode_record
 from .topology import LocalTestbed
 
@@ -58,14 +60,23 @@ class RunRecord:
     completed: bool
     error: Optional[str] = None
     winning_family: Optional[Family] = None
+    winning_protocol: Optional[Protocol] = None
     cad_s: Optional[float] = None
     rd_s: Optional[float] = None
     time_to_first_attempt_s: Optional[float] = None
     aaaa_first: Optional[bool] = None
+    queried_https: bool = False
     attempts: List[Tuple[float, Family]] = field(default_factory=list)
     attempts_v4: int = 0
     attempts_v6: int = 0
+    attempts_quic: int = 0
+    first_attempt_port: Optional[int] = None
     duration_s: Optional[float] = None
+
+    @property
+    def first_attempt_family(self) -> Optional[Family]:
+        """Family of the first wire attempt — the sortlist observable."""
+        return self.attempts[0][1] if self.attempts else None
 
 
 # -- aggregation helpers (shared by ResultSet and StreamingResultSet) ----------
@@ -480,6 +491,11 @@ class TestRunner:
                 if isinstance(module, AddressSelectionModule):
                     assert module.last_hostname is not None
                     return module.last_hostname
+        if case.service is not None:
+            for module in modules:
+                if isinstance(module, ServiceModule):
+                    assert module.last_hostname is not None
+                    return module.last_hostname
         # Unique per sweep value, deliberately *shared* across
         # repetitions: every run gets a fresh testbed (no cross-run
         # DNS caching to defeat), and a repetition-independent qname —
@@ -507,10 +523,14 @@ class TestRunner:
         """
         observation = CaptureObservation(capture)
         record.winning_family = observation.established_family
+        record.winning_protocol = observation.established_protocol
         record.cad_s = observation.cad
         record.rd_s = observation.resolution_delay
         record.time_to_first_attempt_s = observation.time_to_first_attempt
         record.aaaa_first = observation.aaaa_first
+        record.queried_https = observation.queried_https
         record.attempts = observation.attempt_sequence
         record.attempts_v4 = observation.attempts_per_family[Family.V4]
         record.attempts_v6 = observation.attempts_per_family[Family.V6]
+        record.attempts_quic = observation.attempts_quic
+        record.first_attempt_port = observation.first_attempt_port

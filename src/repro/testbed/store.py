@@ -38,6 +38,7 @@ from typing import (Any, Callable, Dict, Iterable, Iterator, List,
 
 from .. import __version__
 from ..simnet.addr import Family
+from ..simnet.packet import Protocol
 from .config import TestCaseKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -45,12 +46,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Bump when the entry layout or record encoding changes; old entries
 #: then read as invalid and re-execute instead of mis-decoding.
-STORE_FORMAT = 1
+#: Format 2: records carry the policy-stage observables
+#: (winning_protocol, queried_https, attempts_quic, first_attempt_port).
+STORE_FORMAT = 2
 
 #: Bump when the sidecar index layout changes; old index files then
 #: read as invalid and batch lookups fall back to per-key reads (the
 #: entry files remain the source of truth either way).
-INDEX_FORMAT = 1
+#: Format 2: freshness is a per-shard *generation counter* stamped into
+#: the index and bumped on every entry write/remove — not the shard
+#: directory mtime, which every write used to invalidate wholesale.
+INDEX_FORMAT = 2
 
 #: Folded into every cache key alongside the configuration digest:
 #: caching is only sound while the *code* producing a run is unchanged,
@@ -108,14 +114,20 @@ def encode_record(record: "RunRecord") -> dict:
         "error": record.error,
         "winning_family": (record.winning_family.name
                            if record.winning_family is not None else None),
+        "winning_protocol": (record.winning_protocol.value
+                             if record.winning_protocol is not None
+                             else None),
         "cad_s": record.cad_s,
         "rd_s": record.rd_s,
         "time_to_first_attempt_s": record.time_to_first_attempt_s,
         "aaaa_first": record.aaaa_first,
+        "queried_https": record.queried_https,
         "attempts": [[timestamp, family.name]
                      for timestamp, family in record.attempts],
         "attempts_v4": record.attempts_v4,
         "attempts_v6": record.attempts_v6,
+        "attempts_quic": record.attempts_quic,
+        "first_attempt_port": record.first_attempt_port,
         "duration_s": record.duration_s,
     }
 
@@ -137,14 +149,22 @@ def decode_record(data: dict) -> "RunRecord":
         error=data["error"],
         winning_family=(Family[data["winning_family"]]
                         if data["winning_family"] is not None else None),
+        winning_protocol=(Protocol(data["winning_protocol"])
+                          if data.get("winning_protocol") is not None
+                          else None),
         cad_s=opt_float(data["cad_s"]),
         rd_s=opt_float(data["rd_s"]),
         time_to_first_attempt_s=opt_float(data["time_to_first_attempt_s"]),
         aaaa_first=data["aaaa_first"],
+        queried_https=bool(data.get("queried_https", False)),
         attempts=[(float(timestamp), Family[family])
                   for timestamp, family in data["attempts"]],
         attempts_v4=int(data["attempts_v4"]),
         attempts_v6=int(data["attempts_v6"]),
+        attempts_quic=int(data.get("attempts_quic", 0)),
+        first_attempt_port=(int(data["first_attempt_port"])
+                            if data.get("first_attempt_port") is not None
+                            else None),
         duration_s=opt_float(data["duration_s"]),
     )
 
@@ -199,6 +219,16 @@ class CampaignStore:
         #: sidecar index when True; False forces per-key reads (the
         #: benchmark baseline, and an escape hatch).
         self.use_index = use_index
+        #: Per-shard in-memory index mirror kept generation-consistent
+        #: by this handle's own writes, so hot mixed read/write
+        #: campaigns never rebuild an index they just extended.
+        self._mem_index: "Dict[str, dict]" = {}
+        #: Shards whose in-memory index is ahead of the sidecar file.
+        self._dirty_index: "set[str]" = set()
+        #: Full index rebuild passes (every entry of a shard re-read);
+        #: the generation counter exists to keep this flat under mixed
+        #: read/write load, which the store benchmark asserts.
+        self.index_rebuilds = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CampaignStore({str(self.root)!r}, {self.stats.summary()})"
@@ -256,7 +286,13 @@ class CampaignStore:
     def put(self, key: str, payload: Any) -> None:
         """Atomically persist ``payload`` (JSON-serializable) under
         ``key``; the ``complete`` marker goes in with the same write,
-        so a torn write can never read as a valid entry."""
+        so a torn write can never read as a valid entry.
+
+        Every write bumps the shard's generation counter and — when
+        this handle holds the shard's index in memory — extends that
+        index in place, so a warm campaign that interleaves writes
+        keeps batch-lookup speed instead of rebuilding per batch.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"format": STORE_FORMAT, "complete": True, "key": key,
@@ -274,25 +310,109 @@ class CampaignStore:
                 pass
             raise
         self.stats.stores += 1
+        shard = key[:2]
+        cached = self._mem_index.get(shard)
+        if cached is not None:
+            # Extend the tracked index in place; the generation-file
+            # write is deferred to the next batch flush, so the hot
+            # write path costs one dir stat, not a counter rename.
+            cached["entries"][key] = payload
+            cached["pending"] += 1
+            cached["dir_mtime_ns"] = self._dir_mtime_ns(shard)
+            self._dirty_index.add(shard)
+        elif self._index_path(shard).is_file():
+            # Someone else's sidecar covers this shard: invalidate it
+            # the cheap way (its stamped generation falls behind).
+            self._bump_generation(shard)
+        # else: no index exists anywhere for this shard — nothing to
+        # invalidate or extend; cold campaigns pay one stat per write.
 
     # -- batch lookup + sidecar index ------------------------------------------
 
     def _index_path(self, shard: str) -> Path:
         """Sidecar index for one shard, kept *outside* the shard
-        directory (``root/.index/<shard>.json``) so writing an index
-        never bumps the shard's own mtime — the freshness marker."""
+        directory (``root/.index/<shard>.json``) next to the shard's
+        generation counter (``<shard>.gen``)."""
         return self.root / ".index" / f"{shard}.json"
+
+    def _generation_path(self, shard: str) -> Path:
+        return self.root / ".index" / f"{shard}.gen"
+
+    def _dir_mtime_ns(self, shard: str) -> Optional[int]:
+        try:
+            return (self.root / shard).stat().st_mtime_ns
+        except OSError:
+            return None
+
+    def _generation(self, shard: str) -> int:
+        """The shard's current generation (0 before any counted write)."""
+        try:
+            return int(self._generation_path(shard)
+                       .read_text(encoding="ascii"))
+        except (OSError, ValueError):
+            return 0
+
+    def _write_generation(self, shard: str, generation: int) -> None:
+        """Persist the counter (atomic rename: never a torn read)."""
+        path = self._generation_path(shard)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                            prefix=".tmp-", suffix=".gen")
+            try:
+                with os.fdopen(fd, "w", encoding="ascii") as handle:
+                    handle.write(str(generation))
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass  # an uncounted write degrades to an index rebuild
+        return None
+
+    def _bump_generation(self, shard: str) -> int:
+        """Advance the shard's generation counter (entry write/remove).
+
+        Concurrent writers may collapse a bump (read-modify-write
+        race); that can only make an index *look* fresh while missing
+        a key — and keys absent from an index always fall back to
+        per-key reads, so lookups stay correct either way.
+        """
+        generation = self._generation(shard) + 1
+        self._write_generation(shard, generation)
+        return generation
 
     def _load_index(self, shard: str) -> Optional[dict]:
         """The shard's indexed payloads, or None.
 
-        An index is served only when it is *provably fresh*: it
-        records the shard directory's ``st_mtime_ns`` from before its
-        payloads were listed, and any entry written or removed since
-        bumps the directory mtime.  A stale, corrupt, missing, or
+        An index is served only when it is *provably current* on two
+        independent signals: its stamped ``generation`` must equal the
+        shard's counter (every entry write/remove through the store
+        bumps it — but a writer that holds the index in memory
+        re-stamps it as it extends it, which is how hot mixed
+        read/write campaigns keep batch-lookup speed without rebuild
+        churn), and its recorded ``dir_mtime_ns`` must equal the shard
+        directory's (which catches *out-of-band* entry additions and
+        deletions that never touched the counter — manual pruning,
+        partial cache syncs).  A stale, corrupt, missing, or
         format-mismatched index is simply ignored — the entry files
         stay the source of truth and per-key reads take over.
         """
+        current = self._generation(shard)
+        dir_mtime_ns = self._dir_mtime_ns(shard)
+        if dir_mtime_ns is None:
+            return None
+        cached = self._mem_index.get(shard)
+        if (cached is not None and cached["generation"] == current
+                and cached["dir_mtime_ns"] == dir_mtime_ns):
+            # ``generation`` is the last *flushed* value; our own
+            # unflushed writes live in ``pending`` and are already in
+            # ``entries``, so a matching file counter means nobody
+            # else wrote and the mirror is complete.
+            return cached["entries"]
         try:
             data = json.loads(self._index_path(shard)
                               .read_text(encoding="utf-8"))
@@ -301,14 +421,14 @@ class CampaignStore:
         if (not isinstance(data, dict)
                 or data.get("index_format") != INDEX_FORMAT
                 or data.get("store_format") != STORE_FORMAT
-                or not isinstance(data.get("entries"), dict)):
+                or not isinstance(data.get("entries"), dict)
+                or data.get("generation") != current
+                or data.get("dir_mtime_ns") != dir_mtime_ns):
             return None
-        try:
-            dir_mtime_ns = (self.root / shard).stat().st_mtime_ns
-        except OSError:
-            return None
-        if data.get("dir_mtime_ns") != dir_mtime_ns:
-            return None  # entries changed since the index was built
+        self._mem_index[shard] = {"generation": current, "pending": 0,
+                                  "dir_mtime_ns": dir_mtime_ns,
+                                  "entries": data["entries"]}
+        self._dirty_index.discard(shard)
         return data["entries"]
 
     def _build_index(self, shard: str) -> Optional[dict]:
@@ -316,14 +436,19 @@ class CampaignStore:
         sidecar index; returns the payload mapping (or None when the
         shard does not exist).  Invalid entries are skipped — absent
         from the index, they keep falling back to per-key reads,
-        which count them truthfully.  The recorded directory mtime is
+        which count them truthfully.  The stamped generation is
         sampled *before* listing, so a concurrent writer can only make
         the index look stale, never serve missing entries as misses.
         """
         shard_dir = self.root / shard
-        try:
-            dir_mtime_ns = shard_dir.stat().st_mtime_ns
-        except OSError:
+        if not shard_dir.is_dir():
+            return None
+        # Both freshness markers are sampled *before* listing, so a
+        # concurrent writer can only make the index look stale, never
+        # serve missing entries as misses.
+        generation = self._generation(shard)
+        dir_mtime_ns = self._dir_mtime_ns(shard)
+        if dir_mtime_ns is None:
             return None
         entries: dict = {}
         for path in shard_dir.glob("*.json"):
@@ -338,9 +463,20 @@ class CampaignStore:
                     and data.get("complete") is True
                     and "payload" in data):
                 entries[path.stem] = data["payload"]
+        self.index_rebuilds += 1
+        self._mem_index[shard] = {"generation": generation, "pending": 0,
+                                  "dir_mtime_ns": dir_mtime_ns,
+                                  "entries": entries}
+        self._dirty_index.discard(shard)
+        self._write_index(shard, generation, dir_mtime_ns, entries)
+        return entries
+
+    def _write_index(self, shard: str, generation: int,
+                     dir_mtime_ns: int, entries: dict) -> None:
         index = {"index_format": INDEX_FORMAT,
                  "store_format": STORE_FORMAT,
-                 "dir_mtime_ns": dir_mtime_ns, "entries": entries}
+                 "generation": generation, "dir_mtime_ns": dir_mtime_ns,
+                 "entries": entries}
         index_path = self._index_path(shard)
         try:
             index_path.parent.mkdir(parents=True, exist_ok=True)
@@ -359,7 +495,24 @@ class CampaignStore:
                 raise
         except OSError:
             pass  # an unwritable index is a perf loss, not an error
-        return entries
+
+    def _flush_index(self, shard: str) -> None:
+        """Persist a put-extended in-memory index (once per batch, not
+        once per write) so other handles inherit the warm index too.
+        The deferred counter bumps land in the same flush: the file
+        advances by ``pending`` and the sidecar is stamped to match."""
+        cached = self._mem_index.get(shard)
+        if cached is None or shard not in self._dirty_index:
+            return
+        if cached["generation"] != self._generation(shard):
+            return  # someone else wrote meanwhile; let them rebuild
+        if cached["pending"]:
+            cached["generation"] += cached["pending"]
+            cached["pending"] = 0
+            self._write_generation(shard, cached["generation"])
+        self._write_index(shard, cached["generation"],
+                          cached["dir_mtime_ns"], cached["entries"])
+        self._dirty_index.discard(shard)
 
     def get_many(self, keys: "Iterable[str]",
                  decode: "Callable[[Any], Decoded]"
@@ -382,6 +535,7 @@ class CampaignStore:
         for shard, shard_keys in by_shard.items():
             indexed: Optional[dict] = None
             if self.use_index:
+                self._flush_index(shard)
                 indexed = self._load_index(shard)
                 if indexed is None and any(
                         self.has(key) for key in shard_keys):
@@ -454,6 +608,8 @@ class CampaignStore:
         live = set(live_keys)
         stats = GCStats()
         dirty_shards: "set[str]" = set()
+        self._mem_index.clear()
+        self._dirty_index.clear()
         for key, path in self.entries():
             size = path.stat().st_size
             if key in live:
@@ -477,11 +633,19 @@ class CampaignStore:
                     shard.rmdir()  # only succeeds when emptied
                 except OSError:
                     pass
+            # Every sweep-touched shard gets a generation bump so any
+            # index built before the sweep — on disk, or in another
+            # handle's memory — reads as stale rather than serving
+            # removed entries.
+            for shard in dirty_shards:
+                if (self.root / shard).is_dir():
+                    self._bump_generation(shard)
             # Sidecar indexes are derived data: drop the ones whose
             # shard changed (or vanished) in this sweep — staleness
             # detection would ignore them anyway — and keep the still
-            # fresh ones warm.  The next batch lookup rebuilds what is
-            # missing from the surviving entries.
+            # fresh ones warm.  Generation counters survive for
+            # surviving shards (they are the staleness authority) and
+            # go with their shard otherwise.
             index_dir = self.root / ".index"
             if index_dir.is_dir():
                 for index_file in index_dir.iterdir():
@@ -492,8 +656,15 @@ class CampaignStore:
                             index_file.stat().st_size
                         index_file.unlink()
                         stats.removed_tmp += 1
-                    elif (shard in dirty_shards
-                            or not (self.root / shard).is_dir()):
+                        continue
+                    shard_gone = not (self.root / shard).is_dir()
+                    if index_file.suffix == ".gen":
+                        if shard_gone:
+                            stats.reclaimed_bytes += \
+                                index_file.stat().st_size
+                            index_file.unlink()
+                            stats.removed_index += 1
+                    elif shard in dirty_shards or shard_gone:
                         stats.reclaimed_bytes += \
                             index_file.stat().st_size
                         index_file.unlink()

@@ -39,8 +39,33 @@ class TestCatalog:
             assert scenario.description
 
     def test_all_parameters_discriminated(self):
+        from repro.conformance import (hev3_battery, sortlist_battery,
+                                       svcb_battery)
+
         covered = {s.discriminates for s in scenario_battery()}
+        assert covered == set(RFC8305Parameter) - {
+            RFC8305Parameter.PROTOCOL_RACING,
+            RFC8305Parameter.SVCB_DISCOVERY,
+            RFC8305Parameter.DESTINATION_SORTING,
+        }
+        for battery in (hev3_battery(), svcb_battery(),
+                        sortlist_battery()):
+            covered |= {s.discriminates for s in battery}
         assert covered == set(RFC8305Parameter)
+
+    def test_stage_batteries_have_unique_case_names(self):
+        from repro.conformance import (hev3_battery, sortlist_battery,
+                                       svcb_battery)
+
+        names = [s.case.name for battery in
+                 (scenario_battery(), hev3_battery(), svcb_battery(),
+                  sortlist_battery()) for s in battery]
+        assert len(names) == len(set(names))
+        assert all(name.startswith("conf-") for name in names)
+
+    def test_every_parameter_maps_to_a_stage(self):
+        for parameter in RFC8305Parameter:
+            assert parameter.stage in ("resolution", "sorting", "racing")
 
     def test_adaptive_scenarios_carry_both_steps(self):
         for scenario in scenario_battery():

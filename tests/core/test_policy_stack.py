@@ -1,0 +1,182 @@
+"""The staged PolicyStack API and its HEParams compatibility contract."""
+
+import dataclasses
+
+import pytest
+
+from repro.clients import (ClientProfile, all_profiles, chromium_params,
+                           chromium_stack, get_profile, wget_stack)
+from repro.core import (HEParams, HEVersion, HappyEyeballsEngine,
+                        InterlaceStrategy, PolicyStack, RFC_PARAMETER_SETS,
+                        RacingStage, ResolutionPolicy, ResolutionStage,
+                        SortingStage, coerce_stack, hev3_draft_params,
+                        rfc6555_params, rfc8305_params)
+from repro.dns.stub import StubResolver
+from repro.simnet.addr import Family
+from repro.testbed.topology import LocalTestbed
+
+
+class TestRoundTrip:
+    """from_heparams(p).params() == p — what keeps goldens valid."""
+
+    @pytest.mark.parametrize("params", [
+        *RFC_PARAMETER_SETS,
+        HEParams(connection_attempt_delay=0.123, dynamic_cad=True,
+                 minimum_cad=0.02, recommended_cad=0.2, maximum_cad=1.5,
+                 resolution_delay=None,
+                 preferred_family=Family.V4,
+                 interlace=InterlaceStrategy.FIRST_FAMILY_BURST,
+                 resolution_policy=ResolutionPolicy.FIRST_USABLE,
+                 outcome_cache_ttl=42.0, race_quic=True, use_svcb=True,
+                 first_address_family_count=3,
+                 max_attempts_per_family=2),
+    ])
+    def test_arbitrary_params_round_trip(self, params):
+        assert PolicyStack.from_heparams(params).params() == params
+
+    def test_every_registry_profile_view_is_consistent(self):
+        for profile in all_profiles():
+            assert profile.stack.params() == profile.params
+
+    def test_legacy_param_helpers_are_stack_views(self):
+        assert chromium_params() == chromium_stack().params()
+        # The sortlist is stack-only: it never leaks into the view.
+        assert chromium_stack(sortlist="windows").params() == \
+            chromium_stack(sortlist=None).params()
+
+    def test_version_survives(self):
+        assert PolicyStack.from_heparams(
+            hev3_draft_params()).version is HEVersion.V3
+        assert PolicyStack.from_heparams(
+            rfc6555_params()).version is HEVersion.V1
+
+
+class TestProfileConsistency:
+    def test_profile_from_params_derives_the_stack(self):
+        profile = ClientProfile(
+            name="x", version="1", released="01-2025",
+            engine_family="curl", kind="cli", params=rfc8305_params())
+        assert profile.stack == PolicyStack.from_heparams(rfc8305_params())
+
+    def test_profile_from_stack_derives_the_params(self):
+        profile = ClientProfile(
+            name="x", version="1", released="01-2025",
+            engine_family="curl", kind="cli", stack=wget_stack())
+        assert profile.params == wget_stack().params()
+
+    def test_profile_needs_one_form(self):
+        with pytest.raises(ValueError, match="policy stack"):
+            ClientProfile(name="x", version="1", released="01-2025",
+                          engine_family="curl", kind="cli")
+
+    def test_disagreeing_forms_rejected(self):
+        with pytest.raises(ValueError, match="disagree"):
+            ClientProfile(name="x", version="1", released="01-2025",
+                          engine_family="curl", kind="cli",
+                          params=rfc8305_params(), stack=wget_stack())
+
+    def test_hev3_flag_keeps_the_sortlist(self):
+        chrome = get_profile("Chrome", "130.0")
+        flagged = chrome.with_hev3_flag()
+        assert flagged.stack.resolution.mode is ResolutionPolicy.HE_V2
+        assert flagged.stack.resolution.resolution_delay == 0.050
+        assert flagged.stack.sorting.sortlist == \
+            chrome.stack.sorting.sortlist
+        assert flagged.params == flagged.stack.params()
+
+    def test_unknown_sortlist_rejected_at_declaration(self):
+        with pytest.raises(KeyError, match="policy table"):
+            SortingStage(sortlist="beos")
+
+
+class TestStageDeclarations:
+    def test_stage_summaries_are_declarative(self):
+        stack = get_profile("hev3-reference").stack
+        summaries = dict(stack.stage_summaries())
+        assert set(summaries) == {"resolution", "sorting", "racing"}
+        assert "svcb" in summaries["resolution"]
+        assert "sortlist=rfc6724" in summaries["sorting"]
+        assert "quic" in summaries["racing"]
+        assert "rd=50ms" in summaries["resolution"]
+
+    def test_serial_marker_summarized(self):
+        assert "serial" in wget_stack().racing.summary()
+        assert wget_stack().racing.serial
+
+    def test_stage_validation(self):
+        with pytest.raises(ValueError):
+            RacingStage(connection_attempt_delay=0.0)
+        with pytest.raises(ValueError):
+            RacingStage(minimum_cad=0.5, recommended_cad=0.1)
+        with pytest.raises(ValueError):
+            ResolutionStage(resolution_delay=-1.0)
+        with pytest.raises(ValueError):
+            SortingStage(first_address_family_count=0)
+
+    def test_with_stage_helpers(self):
+        stack = chromium_stack()
+        assert stack.with_racing(connection_attempt_delay=0.1) \
+            .racing.connection_attempt_delay == 0.1
+        assert stack.with_resolution(use_svcb=True).resolution.use_svcb
+        assert stack.with_sorting(sortlist=None).sorting.sortlist is None
+        # The original is untouched (frozen composition).
+        assert stack.racing.connection_attempt_delay == 0.300
+
+
+class TestEngineDriver:
+    def connect(self, policy):
+        testbed = LocalTestbed(seed=7)
+        stub = StubResolver(testbed.client, testbed.resolver_addresses[:1],
+                            timeout=3600.0, retries=0)
+        engine = HappyEyeballsEngine(testbed.client, stub, policy)
+        result = testbed.sim.run_until(
+            engine.connect("www.he-test.example"))
+        return engine, result
+
+    def test_engine_accepts_either_form(self):
+        params = rfc8305_params()
+        _, from_params = self.connect(params)
+        _, from_stack = self.connect(PolicyStack.from_heparams(params))
+        assert from_params.winning_family is from_stack.winning_family
+        assert from_params.time_to_connect == from_stack.time_to_connect
+        assert len(from_params.attempts) == len(from_stack.attempts)
+
+    def test_params_property_is_the_stack_view(self):
+        engine, _ = self.connect(rfc8305_params())
+        assert engine.params == rfc8305_params()
+        assert engine.stack == coerce_stack(rfc8305_params())
+        engine.params = rfc6555_params()
+        assert engine.stack.version is HEVersion.V1
+
+    def test_trace_version_comes_from_the_stack(self):
+        _, result = self.connect(hev3_draft_params())
+        first = result.trace.events[0]
+        assert first.detail["version"] == "HEv3"
+
+
+class TestClientStackThreading:
+    def test_client_engine_runs_the_profile_stack(self):
+        from repro.clients import Client
+
+        testbed = LocalTestbed(seed=3)
+        chrome = get_profile("Chrome", "130.0")
+        client = Client(testbed.client, chrome,
+                        testbed.resolver_addresses[:1])
+        assert client.engine.stack == chrome.stack
+        assert client.engine.stack.sorting.sortlist == "linux"
+
+    def test_outlier_wrapper_preserves_the_sortlist(self):
+        from repro.clients import Client
+
+        testbed = LocalTestbed(seed=3)
+        firefox = get_profile("Firefox", "132.0")
+        assert firefox.outlier_probability > 0
+        client = Client(testbed.client, firefox,
+                        testbed.resolver_addresses[:1])
+        result = testbed.sim.run_until(
+            client.connect("www.he-test.example"))
+        assert result.success
+        # After the (possibly perturbed) connect, the engine is back
+        # on the declared stack, sortlist included.
+        assert client.engine.stack == firefox.stack
+        assert client.engine.stack.sorting.sortlist == "linux"

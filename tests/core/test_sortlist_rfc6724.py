@@ -1,0 +1,188 @@
+"""RFC 6724 sortlist machinery: tables, scopes, source selection.
+
+The per-OS policy tables must yield exactly the orderings documented
+in :mod:`repro.core.sortlist` — these are the regressions the sortlist
+scenario battery rests on.
+"""
+
+import pytest
+
+from repro.core.sortlist import (LINUX_TABLE, MACOS_TABLE, POLICY_TABLES,
+                                 RFC3484_TABLE, RFC6724_TABLE,
+                                 SCOPE_GLOBAL, SCOPE_LINK_LOCAL,
+                                 SCOPE_SITE_LOCAL, WINDOWS_TABLE,
+                                 HistoryStore, PolicyEntry, PolicyTable,
+                                 common_prefix_len, order_addresses,
+                                 policy_table, scope_of, select_source)
+from repro.simnet.addr import Family, parse_address
+
+#: The documented destination set, in DNS answer order.
+ULA = "fd00:db8:cafe::10"
+SITE_LOCAL = "fec0:db8::10"
+TEREDO = "2001:0:db8::10"
+SIX_TO_FOUR = "2002:c000:0204::10"
+GLOBAL_V6 = "2001:db8:1::10"
+V4 = "192.0.2.10"
+DESTINATIONS = (ULA, SITE_LOCAL, TEREDO, SIX_TO_FOUR, GLOBAL_V6, V4)
+
+
+def ordering(table):
+    return list(order_addresses(DESTINATIONS, policy=table))
+
+
+def parsed(addresses):
+    return [parse_address(a) for a in addresses]
+
+
+class TestPolicyTableLookup:
+    def test_longest_prefix_match_wins(self):
+        # ::ffff:0:0/96 (35) must beat the ::/0 catch-all (40).
+        assert RFC6724_TABLE.precedence(V4) == 35
+        assert RFC6724_TABLE.label(V4) == 4
+        # Teredo 2001::/32 (5) must beat ::/0 — but 2001:db8:: is
+        # outside 2001::/32 and falls through to the catch-all.
+        assert RFC6724_TABLE.precedence(TEREDO) == 5
+        assert RFC6724_TABLE.precedence(GLOBAL_V6) == 40
+
+    def test_loopback_is_most_preferred(self):
+        assert RFC6724_TABLE.precedence("::1") == 50
+
+    def test_ula_and_site_local_rank_below_ipv4(self):
+        assert RFC6724_TABLE.precedence(ULA) == 3
+        assert RFC6724_TABLE.precedence(SITE_LOCAL) == 1
+        assert RFC6724_TABLE.precedence(V4) > RFC6724_TABLE.precedence(ULA)
+
+    def test_rfc3484_has_no_ula_row(self):
+        # Legacy tables fall through to ::/0 — ULA above IPv4.
+        assert RFC3484_TABLE.precedence(ULA) == 40
+        assert RFC3484_TABLE.precedence(V4) == 10
+
+    def test_table_overrides_replace_and_extend(self):
+        custom = RFC6724_TABLE.with_overrides(
+            "custom",
+            PolicyEntry("fc00::/7", 45, 13),          # replace
+            PolicyEntry("2001:db8:1::/48", 60, 7))    # extend
+        assert custom.precedence(ULA) == 45
+        assert custom.precedence(GLOBAL_V6) == 60  # longest prefix
+        assert custom.precedence(V4) == 35  # untouched rows survive
+        assert len(custom.entries) == len(RFC6724_TABLE.entries) + 1
+
+    def test_registry_and_unknown_names(self):
+        for name in ("rfc6724", "rfc3484", "linux", "windows", "macos"):
+            assert policy_table(name).name == name
+            assert name in POLICY_TABLES
+        with pytest.raises(KeyError, match="rfc6724"):
+            policy_table("solaris")
+
+
+class TestScopeComparison:
+    @pytest.mark.parametrize("address, scope", [
+        ("fe80::1", SCOPE_LINK_LOCAL),
+        ("::1", SCOPE_LINK_LOCAL),      # RFC 6724 §3.1
+        ("fec0::1", SCOPE_SITE_LOCAL),
+        (ULA, SCOPE_GLOBAL),            # ULAs are global scope
+        (GLOBAL_V6, SCOPE_GLOBAL),
+        ("169.254.9.9", SCOPE_LINK_LOCAL),
+        ("127.0.0.1", SCOPE_LINK_LOCAL),
+        (V4, SCOPE_GLOBAL),
+        ("ff02::1", 0x2),               # multicast: scope nibble
+        ("ff05::1", 0x5),
+    ])
+    def test_scope_of(self, address, scope):
+        assert scope_of(address) == scope
+
+    def test_common_prefix_len(self):
+        assert common_prefix_len("2001:db8::1", "2001:db8::1") == 128
+        assert common_prefix_len("2001:db8::", "2001:db9::") == 31
+        assert common_prefix_len("192.0.2.1", "192.0.2.2") == 96 + 30
+
+
+class TestSourceSelection:
+    SOURCES = ("fd00:db8:cafe::1", "2001:db8:1::1")
+
+    def test_ula_destination_selects_ula_source(self):
+        # Rule 6: matching label keeps ULA talking to ULA.
+        chosen = select_source(ULA, self.SOURCES)
+        assert str(chosen) == "fd00:db8:cafe::1"
+
+    def test_global_destination_selects_global_source(self):
+        chosen = select_source(GLOBAL_V6, self.SOURCES)
+        assert str(chosen) == "2001:db8:1::1"
+
+    def test_destination_itself_wins(self):
+        chosen = select_source(GLOBAL_V6, (ULA, GLOBAL_V6))
+        assert chosen == parse_address(GLOBAL_V6)
+
+    def test_scope_rule_prefers_matching_scope(self):
+        # Link-local destination: the link-local source is the
+        # smallest adequate scope (Rule 2).
+        chosen = select_source("fe80::9", ("fe80::1", "2001:db8:1::1"))
+        assert str(chosen) == "fe80::1"
+        # Global destination: a link-local source is inadequate.
+        chosen = select_source(GLOBAL_V6, ("fe80::1", "2001:db8:1::1"))
+        assert str(chosen) == "2001:db8:1::1"
+
+    def test_longest_prefix_breaks_remaining_ties(self):
+        chosen = select_source("2001:db8:1::9",
+                               ("2001:db8:2::1", "2001:db8:1::1"))
+        assert str(chosen) == "2001:db8:1::1"
+
+    def test_family_mismatch_yields_none(self):
+        assert select_source(V4, self.SOURCES) is None
+        assert select_source(V4, ("192.0.2.1", ULA)) == \
+            parse_address("192.0.2.1")
+
+
+class TestDocumentedPerOsOrderings:
+    """Each per-OS table yields the module-documented ordering."""
+
+    RFC6724_ORDER = [GLOBAL_V6, V4, SIX_TO_FOUR, TEREDO, ULA, SITE_LOCAL]
+
+    def test_rfc6724(self):
+        assert ordering(RFC6724_TABLE) == parsed(self.RFC6724_ORDER)
+
+    def test_linux_matches_rfc6724(self):
+        assert ordering(LINUX_TABLE) == parsed(self.RFC6724_ORDER)
+
+    def test_windows_matches_rfc6724(self):
+        assert ordering(WINDOWS_TABLE) == parsed(self.RFC6724_ORDER)
+
+    def test_macos_demotes_transition_space(self):
+        assert ordering(MACOS_TABLE) == parsed(
+            [GLOBAL_V6, V4, ULA, SIX_TO_FOUR, TEREDO, SITE_LOCAL])
+
+    def test_rfc3484_ranks_legacy_space_above_ipv4(self):
+        assert ordering(RFC3484_TABLE) == parsed(
+            [ULA, SITE_LOCAL, TEREDO, GLOBAL_V6, SIX_TO_FOUR, V4])
+
+
+class TestOrderAddressesPolicyMode:
+    def test_biased_family_outranks_the_table(self):
+        # RFC 6555 §4.1 cache bias: IPv4 won last time, lead with it —
+        # even under a table that would rank global v6 first.
+        ordered = order_addresses((GLOBAL_V6, V4), policy=RFC6724_TABLE,
+                                  biased_family=Family.V4)
+        assert [str(a) for a in ordered] == [V4, GLOBAL_V6]
+
+    def test_history_failures_demote_within_precedence(self):
+        history = HistoryStore()
+        history.record_failure("2001:db8:1::10", now=1.0)
+        ordered = order_addresses(
+            ("2001:db8:1::10", "2001:db8:1::20"), history=history,
+            now=2.0, policy=RFC6724_TABLE)
+        assert [str(a) for a in ordered] == \
+            ["2001:db8:1::20", "2001:db8:1::10"]
+
+    def test_dns_order_is_the_final_tiebreaker(self):
+        ordered = order_addresses(
+            ("2001:db8:1::b", "2001:db8:1::a"), policy=RFC6724_TABLE)
+        assert [str(a) for a in ordered] == \
+            ["2001:db8:1::b", "2001:db8:1::a"]
+
+    def test_legacy_mode_is_untouched_by_policy_machinery(self):
+        ordered = order_addresses((V4, GLOBAL_V6),
+                                  preferred_family=Family.V6)
+        assert [str(a) for a in ordered] == [GLOBAL_V6, V4]
+        ordered = order_addresses((V4, GLOBAL_V6),
+                                  preferred_family=Family.V4)
+        assert [str(a) for a in ordered] == [V4, GLOBAL_V6]

@@ -31,7 +31,9 @@ FAST_KNOBS = {
 
 #: Experiments whose campaigns go through the store.
 STORE_BACKED = ("table2", "table3", "table5", "figure2", "figure5",
-                "fingerprint", "conformance", "fingerprint-diff")
+                "fingerprint", "conformance", "fingerprint-diff",
+                "conformance-hev3", "conformance-svcb",
+                "conformance-sortlist")
 
 #: Pairs whose plans may intentionally share keys: fingerprint
 #: defaults to 'all' local clients — exactly the conformance battery —

@@ -41,6 +41,29 @@ class TestCliRegistry:
         count = int(out.strip().splitlines()[-1].split()[0])
         assert count >= 12
 
+    def test_ls_registers_the_stage_batteries(self, capsys):
+        assert main(["ls"]) == 0
+        out = capsys.readouterr().out
+        for name in ("conformance-hev3", "conformance-svcb",
+                     "conformance-sortlist"):
+            assert name in out
+
+    def test_ls_clients_lists_policy_stacks(self, capsys):
+        assert main(["ls", "--clients"]) == 0
+        out = capsys.readouterr().out
+        assert "Client registry: policy stacks per profile" in out
+        # Per-stage summaries come straight from the declarations.
+        assert "sortlist=linux" in out
+        assert "sortlist=rfc3484" in out
+        assert "sortlist=macos" in out
+        assert "cad=dyn(10/100/2000ms)" in out
+        assert "serial" in out
+        assert "hev3-reference draft-07" in out
+        assert "rd=50ms svcb" in out
+        count = int(out.strip().splitlines()[-1].split()[0])
+        from repro.clients import all_profiles
+        assert count == len(all_profiles())
+
     def test_ls_plans_key_counts(self, capsys):
         assert main(["ls"]) == 0
         out = capsys.readouterr().out

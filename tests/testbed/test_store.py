@@ -241,10 +241,10 @@ class TestCacheInvalidation:
             dataclasses.replace(base_profile, version="131.0"),
             dataclasses.replace(base_profile, os_hint="Windows"),
             dataclasses.replace(base_profile, outlier_probability=0.5),
-            dataclasses.replace(
-                base_profile,
-                params=dataclasses.replace(
-                    base_profile.params, connection_attempt_delay=0.123)),
+            base_profile.with_stack(base_profile.stack.with_racing(
+                connection_attempt_delay=0.123)),
+            base_profile.with_stack(base_profile.stack.with_sorting(
+                sortlist="rfc3484")),
         ]
         for changed in changed_profiles:
             assert runner.store_key_for(case, changed, 150, 0) != \

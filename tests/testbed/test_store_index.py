@@ -73,8 +73,8 @@ class TestSidecarIndex:
         assert warm.stats.misses == 0
 
     def test_stale_index_is_ignored(self, tmp_path):
-        """An index whose shard changed since it was built (directory
-        mtime mismatch) is ignored: lookups read the entry files."""
+        """An index whose shard changed since it was built (generation
+        counter mismatch) is ignored: lookups read the entry files."""
         keys = populate(tmp_path)
         store = CampaignStore(tmp_path)
         truth = store.get_many(keys, decode_record)  # builds sidecars
@@ -82,17 +82,89 @@ class TestSidecarIndex:
         shard = victim_key[:2]
         index_path = tmp_path / ".index" / f"{shard}.json"
         index = json.loads(index_path.read_text(encoding="utf-8"))
-        # Tamper the indexed payload *and* change the shard (a new
-        # entry bumps the directory mtime) — the stale sidecar must
-        # not be believed.
+        # Tamper the indexed payload *and* change the shard (an entry
+        # write through put() bumps the generation counter) — the
+        # stale sidecar must not be believed.
         index["entries"][victim_key]["value_ms"] = 99999
         index_path.write_text(json.dumps(index), encoding="utf-8")
         newcomer = shard + "0" * 62
-        (tmp_path / shard / f"{newcomer}.json").write_text(
-            "{}", encoding="utf-8")
+        CampaignStore(tmp_path).put(newcomer, {"unrelated": True})
         reread = CampaignStore(tmp_path).get_many(keys, decode_record)
         assert reread[victim_key] == truth[victim_key]
         assert reread[victim_key].value_ms != 99999
+
+    def test_generation_survives_interleaved_writes(self, tmp_path):
+        """The ROADMAP perf item: a handle that writes through the
+        store keeps its index generation-consistent, so hot mixed
+        read/write campaigns never rebuild the sidecar per batch."""
+        keys = populate(tmp_path)
+        store = CampaignStore(tmp_path)
+        truth = store.get_many(keys, decode_record)  # one build pass
+        builds = store.index_rebuilds
+        assert builds >= 1
+        shard = keys[0][:2]
+        extra = []
+        for nibble in "0123456789abcdef":
+            newcomer = shard + nibble * 62
+            store.put(newcomer, dict(
+                json.loads(store._path(keys[0])
+                           .read_text(encoding="utf-8"))["payload"]))
+            extra.append(newcomer)
+            got = store.get_many(keys + extra, decode_record)
+            assert set(got) == set(keys + extra)
+        # Every interleaved batch was served without a single rebuild.
+        assert store.index_rebuilds == builds
+        assert store.get_many(keys, decode_record) == truth
+        # A later handle inherits the flushed, generation-stamped
+        # sidecar: warm again, still no rebuild.
+        fresh = CampaignStore(tmp_path)
+        assert set(fresh.get_many(keys + extra, decode_record)) \
+            == set(keys + extra)
+        assert fresh.index_rebuilds == 0
+        assert fresh.stats.misses == 0
+
+    def test_out_of_band_deletion_invalidates_the_index(self, tmp_path):
+        """An entry removed behind the store's back (manual pruning,
+        partial sync) never bumps the generation — the directory-mtime
+        cross-check must catch it, keeping get_many and get agreeing."""
+        keys = populate(tmp_path)
+        store = CampaignStore(tmp_path)
+        store.get_many(keys, decode_record)  # builds sidecars
+        victim = store._path(keys[0])
+        victim.unlink()
+        fresh = CampaignStore(tmp_path)
+        got = fresh.get_many(keys, decode_record)
+        assert keys[0] not in got
+        assert fresh.stats.misses == 1
+        assert fresh.get(keys[0], decode_record) is None
+
+    def test_out_of_band_addition_is_served(self, tmp_path):
+        """An entry file dropped in without put() still resolves —
+        via index rebuild or per-key fallback, never a false miss."""
+        keys = populate(tmp_path)
+        store = CampaignStore(tmp_path)
+        truth = store.get_many(keys, decode_record)  # builds sidecars
+        source = store._path(keys[0])
+        newcomer = keys[0][:2] + "e" * 62
+        data = json.loads(source.read_text(encoding="utf-8"))
+        data["key"] = newcomer
+        (source.parent / f"{newcomer}.json").write_text(
+            json.dumps(data), encoding="utf-8")
+        fresh = CampaignStore(tmp_path)
+        got = fresh.get_many(keys + [newcomer], decode_record)
+        assert got[newcomer] == truth[keys[0]]
+        assert fresh.stats.misses == 0
+
+    def test_gc_bumps_generation_of_swept_shards(self, tmp_path):
+        """An index built before a gc sweep — held by another handle —
+        must not serve removed entries afterwards."""
+        keys = populate(tmp_path)
+        holder = CampaignStore(tmp_path)
+        holder.get_many(keys, decode_record)  # builds + caches indexes
+        CampaignStore(tmp_path).gc(keys[1:])  # evict exactly one entry
+        got = holder.get_many(keys, decode_record)
+        assert keys[0] not in got
+        assert set(got) == set(keys[1:])
 
     def test_corrupt_index_falls_back_safely(self, tmp_path):
         keys = populate(tmp_path)
