@@ -16,6 +16,7 @@ from ..clients.registry import figure2_clients
 from ..simnet.addr import Family
 from ..testbed.config import (SweepSpec, TestCaseConfig, TestCaseKind,
                               address_selection_case)
+from ..testbed.resilience import Resilience
 from ..testbed.runner import (StreamingResultSet, TestRunner,
                               series_flap_window)
 from ..testbed.store import CampaignStore
@@ -61,20 +62,23 @@ class Figure2Series:
 
 def figure2_runner(profiles: Sequence[ClientProfile], step_ms: int = 5,
                    stop_ms: int = 400, seed: int = 0,
-                   store: Optional[CampaignStore] = None) -> TestRunner:
+                   store: Optional[CampaignStore] = None,
+                   resilience: Optional[Resilience] = None) -> TestRunner:
     """The Figure 2 campaign runner (shared by the sweep and by
     ``repro cache gc``'s key planning)."""
     case = TestCaseConfig(name="figure2",
                           kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
                           sweep=SweepSpec.range(0, stop_ms, step_ms))
-    return TestRunner(list(profiles), [case], seed=seed, store=store)
+    return TestRunner(list(profiles), [case], seed=seed, store=store,
+                      resilience=resilience)
 
 
 def figure2_sweep(clients: Optional[Sequence[ClientProfile]] = None,
                   step_ms: int = 5, stop_ms: int = 400,
                   seed: int = 0,
                   workers: Optional[int] = None,
-                  store: Optional[CampaignStore] = None
+                  store: Optional[CampaignStore] = None,
+                  resilience: Optional[Resilience] = None
                   ) -> List[Figure2Series]:
     """Run the Figure 2 campaign: delay sweep per client version.
 
@@ -91,7 +95,7 @@ def figure2_sweep(clients: Optional[Sequence[ClientProfile]] = None,
     """
     profiles = list(clients) if clients is not None else figure2_clients()
     runner = figure2_runner(profiles, step_ms=step_ms, stop_ms=stop_ms,
-                            seed=seed, store=store)
+                            seed=seed, store=store, resilience=resilience)
     aggregate = StreamingResultSet.consume(runner.stream(workers=workers))
     series: List[Figure2Series] = []
     for profile in profiles:
@@ -151,17 +155,20 @@ class Figure5Series:
 
 def figure5_runner(clients: Sequence[ClientProfile],
                    addresses_per_family: int = 10, seed: int = 0,
-                   store: Optional[CampaignStore] = None) -> TestRunner:
+                   store: Optional[CampaignStore] = None,
+                   resilience: Optional[Resilience] = None) -> TestRunner:
     """The Figure 5 campaign runner (shared with cache gc planning)."""
     case = address_selection_case(addresses_per_family)
-    return TestRunner(list(clients), [case], seed=seed, store=store)
+    return TestRunner(list(clients), [case], seed=seed, store=store,
+                      resilience=resilience)
 
 
 def figure5_attempts(clients: Sequence[ClientProfile],
                      addresses_per_family: int = 10,
                      seed: int = 0,
                      workers: Optional[int] = None,
-                     store: Optional[CampaignStore] = None
+                     store: Optional[CampaignStore] = None,
+                     resilience: Optional[Resilience] = None
                      ) -> List[Figure5Series]:
     """Run the address-selection case and extract attempt sequences.
 
@@ -169,7 +176,7 @@ def figure5_attempts(clients: Sequence[ClientProfile],
     retained, never the records themselves.
     """
     runner = figure5_runner(clients, addresses_per_family, seed=seed,
-                            store=store)
+                            store=store, resilience=resilience)
     families_by_client: Dict[str, List[Family]] = {}
     for record in runner.stream(workers=workers):
         if record.client not in families_by_client:

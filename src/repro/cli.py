@@ -47,19 +47,77 @@ def _store_from(args: argparse.Namespace):
     return CampaignStore(args.cache_dir)
 
 
+def _resilience_from(args: argparse.Namespace, store,
+                     experiment_name: str):
+    """The fault-tolerant runtime bundle for this invocation, or None.
+
+    Any of ``--retries/--entry-timeout/--fault-plan/--resume`` makes
+    resilience *explicit* (the ``[faults]`` summary prints).  A plain
+    cached run still gets an implicit bundle whose only job is the
+    crash-safe campaign journal — execution stays on the legacy fast
+    path and the output stays byte-identical, but a killed invocation
+    becomes resumable.
+    """
+    retries = getattr(args, "retries", None)
+    entry_timeout = getattr(args, "entry_timeout", None)
+    fault_plan_text = getattr(args, "fault_plan", None)
+    resume = bool(getattr(args, "resume", False))
+    explicit = (retries is not None or entry_timeout is not None
+                or fault_plan_text is not None or resume)
+    if resume and store is None:
+        raise SystemExit("repro: --resume needs --cache-dir (or "
+                         "$REPRO_CACHE_DIR): the campaign journal "
+                         "lives in the store")
+    if store is None and not explicit:
+        return None
+    from .testbed.resilience import (CampaignJournal, Resilience,
+                                     RetryPolicy)
+
+    plan = None
+    if fault_plan_text:
+        from .faults import FaultPlan, FaultPlanError
+
+        try:
+            plan = FaultPlan.parse(fault_plan_text, seed=args.seed)
+        except FaultPlanError as exc:
+            raise SystemExit(f"repro: bad --fault-plan: {exc}")
+    try:
+        policy = RetryPolicy(retries=retries if retries is not None else 0,
+                             entry_timeout=entry_timeout,
+                             backoff_seed=args.seed)
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}")
+    journal = None
+    if store is not None:
+        journal = CampaignJournal(
+            store.root / ".journal" / f"{experiment_name}.log")
+        if plan is not None:
+            store.fault_plan = plan
+    return Resilience(policy=policy, fault_plan=plan, journal=journal,
+                      resume=resume, explicit=explicit)
+
+
 def _session_from(args: argparse.Namespace, experiment) -> Session:
     """One Session per invocation: global flags + the experiment's
     declared knobs resolved from the parsed namespace."""
+    store = _store_from(args)
     return Session(seed=args.seed, workers=args.workers,
-                   store=_store_from(args),
-                   knobs=knob_mapping(experiment, vars(args)))
+                   store=store,
+                   knobs=knob_mapping(experiment, vars(args)),
+                   resilience=_resilience_from(args, store,
+                                               experiment.name))
 
 
 def _run_experiment(experiment, args: argparse.Namespace) -> None:
     """The one generic dispatch path: execute, render, print the
-    artifact, then print the session's cache summary exactly once."""
+    artifact, then print the session's cache summary exactly once
+    (and the fault summary, when resilience was requested)."""
     session = _session_from(args, experiment)
-    artifact = experiment.run(session)
+    try:
+        artifact = experiment.run(session)
+    finally:
+        if session.resilience is not None:
+            session.resilience.close()
     if getattr(args, "json", False) and artifact.data is not None:
         print(artifact.json_text())
     else:
@@ -67,6 +125,11 @@ def _run_experiment(experiment, args: argparse.Namespace) -> None:
     cache_line = session.cache_line()
     if cache_line is not None:
         print(cache_line)
+    for line in session.fault_detail_lines():
+        print(line)
+    fault_line = session.fault_line()
+    if fault_line is not None:
+        print(fault_line)
 
 
 def _cmd_experiment(args: argparse.Namespace) -> None:
@@ -200,6 +263,29 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cache", action="store_true",
                         help="run everything fresh even when a cache "
                              "directory is configured")
+    parser.add_argument("--retries", type=int, default=None,
+                        metavar="N",
+                        help="re-execute each failed campaign entry up "
+                             "to N times with seeded exponential "
+                             "backoff before recording it as a failure "
+                             "(default: fail fast)")
+    parser.add_argument("--entry-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-entry watchdog: a campaign run that "
+                             "exceeds this is killed (the worker pool "
+                             "is respawned) and charged a failed "
+                             "attempt; needs --workers >= 2 to preempt")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip campaign entries already recorded in "
+                             "the store's crash-safe journal (requires "
+                             "--cache-dir; journaled keys lost from the "
+                             "store re-execute)")
+    parser.add_argument("--fault-plan", default=None, metavar="SPEC",
+                        help="chaos testing: inject deterministic "
+                             "faults, e.g. 'crash:0.3,corrupt:0.5' "
+                             "(kind[:rate[:attempts[:hang_s]]], comma-"
+                             "separated; kinds: crash, hang, corrupt, "
+                             "partial, io-error)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     # -- generic registry verbs ------------------------------------------------

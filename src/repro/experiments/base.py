@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, Iterator, Mapping, Optional,
                     Tuple)
 
+from ..testbed.resilience import Resilience
 from ..testbed.store import CampaignStore
 
 
@@ -109,6 +110,11 @@ class Session:
     workers: Optional[int] = None
     store: Optional[CampaignStore] = None
     knobs: Dict[str, Any] = field(default_factory=dict)
+    #: The fault-tolerant runtime bundle (retry policy, fault plan,
+    #: campaign journal, resume mode) — None runs every campaign in
+    #: the historical fail-fast mode.  Campaign experiments thread
+    #: this into their :class:`~repro.testbed.runner.TestRunner`.
+    resilience: Optional[Resilience] = None
 
     def knob(self, name: str, default: Any = None) -> Any:
         """The invocation's value for ``name``, else ``default``.
@@ -125,7 +131,8 @@ class Session:
         how ``repro cache gc`` plans every experiment at its own
         defaults (plus targeted overrides) against one store."""
         return Session(seed=self.seed, workers=self.workers,
-                       store=self.store, knobs=dict(overrides))
+                       store=self.store, knobs=dict(overrides),
+                       resilience=self.resilience)
 
     def cache_line(self) -> Optional[str]:
         """The one-per-invocation ``[cache]`` summary, or None.
@@ -143,6 +150,27 @@ class Session:
         if store.stats.lookups == 0 and store.stats.stores == 0:
             return None
         return f"[cache] {store.stats.summary()} root={store.root}"
+
+    def fault_line(self) -> Optional[str]:
+        """The one-per-invocation ``[faults]`` summary, or None.
+
+        Printed only when resilience was *explicitly* requested (a
+        retry/timeout/fault-plan/resume flag) and the runtime actually
+        observed something — a plain cached run stays byte-identical
+        to its pre-resilience output.
+        """
+        res = self.resilience
+        if res is None or not res.explicit or not res.manifest.touched:
+            return None
+        return f"[faults] {res.manifest.summary()}"
+
+    def fault_detail_lines(self) -> "list[str]":
+        """Per-failure detail lines for graceful degradation (empty
+        when every entry completed)."""
+        res = self.resilience
+        if res is None or not res.explicit:
+            return []
+        return res.manifest.failure_lines()
 
 
 class Experiment:

@@ -221,7 +221,8 @@ class Figure2Experiment(Experiment):
         return figure2_sweep(step_ms=session.knob("step", 25),
                              stop_ms=session.knob("stop", 400),
                              seed=session.seed, workers=session.workers,
-                             store=session.store)
+                             store=session.store,
+                             resilience=session.resilience)
 
     def render(self, result: Any) -> Artifact:
         from ..analysis import render_figure2
@@ -276,7 +277,8 @@ class Figure5Experiment(Experiment):
 
         return figure5_attempts(self._clients(), seed=session.seed,
                                 workers=session.workers,
-                                store=session.store)
+                                store=session.store,
+                                resilience=session.resilience)
 
     def render(self, result: Any) -> Artifact:
         from ..analysis import render_figure5

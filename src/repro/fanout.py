@@ -14,6 +14,12 @@ campaign, then Table 2 features, then a figure sweep — three pools in
 one CLI invocation).  :func:`shared_pool` keeps a single executor
 alive for the process and hands it to every campaign, so pool start-up
 amortizes across entry points and repeated campaigns.
+
+Dispatch is per-future (:func:`shared_map` submits one task per
+payload instead of ``pool.map``), which is what lets the resilient
+campaign runtime (:mod:`repro.testbed.resilience`) retry individual
+payloads, watchdog hung entries, and — via :func:`abandon_shared_pool`
+— walk away from a wedged pool without waiting on its corpse.
 """
 
 from __future__ import annotations
@@ -28,6 +34,10 @@ Result = TypeVar("Result")
 
 _shared_pool = None
 _shared_pool_workers = 0
+#: The atexit teardown is registered at most once per process:
+#: ``atexit.register`` does not deduplicate, so a shutdown + recreate
+#: cycle (tests, pool-respawn recovery) must not stack a second hook.
+_atexit_registered = False
 
 
 def shared_pool(workers: int):
@@ -39,7 +49,7 @@ def shared_pool(workers: int):
     existing pool and simply leaves the extra workers idle — idle
     workers cost nothing, while pool start-up does not.
     """
-    global _shared_pool, _shared_pool_workers
+    global _shared_pool, _shared_pool_workers, _atexit_registered
     if workers < 1:
         raise ValueError(f"workers must be >= 1: {workers}")
     if _shared_pool is None or _shared_pool_workers < workers:
@@ -47,11 +57,12 @@ def shared_pool(workers: int):
 
         if _shared_pool is not None:
             _shared_pool.shutdown(wait=True)
-        else:
-            # First pool of the process: make sure it is torn down
-            # cleanly at exit instead of by garbage collection during
-            # interpreter shutdown.
+        if not _atexit_registered:
+            # Tear the pool down cleanly at exit instead of by garbage
+            # collection during interpreter shutdown — once, however
+            # many shutdown/recreate cycles the process goes through.
             atexit.register(shutdown_shared_pool)
+            _atexit_registered = True
         _shared_pool = ProcessPoolExecutor(max_workers=workers)
         _shared_pool_workers = workers
     return _shared_pool
@@ -66,20 +77,49 @@ def shutdown_shared_pool() -> None:
         _shared_pool_workers = 0
 
 
+def abandon_shared_pool() -> None:
+    """Discard the shared pool *without waiting for its workers*.
+
+    The recovery path for a wedged pool: a hung worker would make
+    :func:`shutdown_shared_pool`'s ``wait=True`` block forever, so the
+    resilient runtime cancels the queue, terminates the worker
+    processes best-effort, and leaves the executor for the collector.
+    The next :func:`shared_pool` call starts fresh.
+    """
+    global _shared_pool, _shared_pool_workers
+    pool = _shared_pool
+    _shared_pool = None
+    _shared_pool_workers = 0
+    if pool is None:
+        return
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:  # racing its own exit is fine
+            pass
+
+
 def shared_map(fn: "Callable[[Payload], Result]",
                payloads: "Sequence[Payload]",
                workers: int) -> "Iterator[Result]":
-    """``pool.map`` over the shared pool, in payload order.
+    """Map over the shared pool, yielding results in payload order.
 
-    A crashed worker breaks a ``ProcessPoolExecutor`` permanently; the
-    broken pool is discarded here so the *next* campaign starts fresh
-    instead of inheriting the wreck.
+    One future per payload (not ``pool.map``), so failures stay
+    attributable to individual payloads.  A crashed worker breaks a
+    ``ProcessPoolExecutor`` permanently; the broken pool is discarded
+    here so the *next* campaign starts fresh instead of inheriting the
+    wreck — retrying within the campaign is the resilient runtime's
+    job (:mod:`repro.testbed.resilience`), not this primitive's.
     """
     from concurrent.futures.process import BrokenProcessPool
 
     pool = shared_pool(workers)
     try:
-        yield from pool.map(fn, payloads)
+        futures = [pool.submit(fn, payload) for payload in payloads]
+        for future in futures:
+            yield future.result()
     except BrokenProcessPool:
         shutdown_shared_pool()
         raise

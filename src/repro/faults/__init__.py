@@ -1,0 +1,15 @@
+"""Deterministic fault injection for the campaign runtime.
+
+See :mod:`repro.faults.plan` for the model.  The package exists so
+chaos tooling (CLI ``--fault-plan``, spec ``faults`` stanzas, the
+robustness battery) shares one vocabulary of injectable faults.
+"""
+
+from .plan import (ENTRY_KINDS, STORE_KINDS, WRITE_KINDS, FaultKind,
+                   FaultPlan, FaultPlanError, FaultSpec, InjectedFault,
+                   inject_entry_fault)
+
+__all__ = [
+    "ENTRY_KINDS", "STORE_KINDS", "WRITE_KINDS", "FaultKind", "FaultPlan",
+    "FaultPlanError", "FaultSpec", "InjectedFault", "inject_entry_fault",
+]

@@ -30,3 +30,33 @@ def stable_run_seed(*parts: SeedPart) -> int:
     """
     canonical = "\x1f".join(f"{type(p).__name__}:{p!r}" for p in parts)
     return zlib.crc32(canonical.encode("utf-8")) & _SEED_MASK
+
+
+def stable_unit(*parts: SeedPart) -> float:
+    """A deterministic uniform draw in ``[0, 1)`` from ``parts``.
+
+    The fault-injection and retry machinery needs reproducible
+    pseudo-randomness (which entries a fault plan targets, how much
+    jitter a retry sleeps) that is identical across interpreter
+    invocations and pool workers — same contract as
+    :func:`stable_run_seed`, rescaled to the unit interval.
+    """
+    return stable_run_seed(*parts) / float(_SEED_MASK + 1)
+
+
+def backoff_jitter(seed: int, attempt: int, base: float = 0.05,
+                   cap: float = 2.0) -> float:
+    """Seconds to sleep before retry ``attempt`` (0-based): seeded,
+    bounded exponential backoff with jitter.
+
+    The window doubles per attempt from ``base`` up to ``cap``; the
+    delay is drawn uniformly from the upper half of the window
+    (``[window/2, window)``), so retries neither stampede in lockstep
+    nor collapse to zero.  The draw is a pure function of
+    ``(seed, attempt)``, which makes every retry schedule replayable —
+    a chaos run and its re-run back off at the exact same instants.
+    """
+    if attempt < 0:
+        raise ValueError(f"attempt must be >= 0: {attempt}")
+    window = min(cap, base * (2 ** attempt))
+    return window * (0.5 + 0.5 * stable_unit(seed, "backoff", attempt))

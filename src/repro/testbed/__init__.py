@@ -19,6 +19,9 @@ from .modules import (AddressSelectionModule, CaptureModule, DnsDelayModule,
                       ImpairmentModule, NetemModule, SetupModule,
                       modules_for)
 from .parallel import CampaignExecutor, RunSpec, enumerate_specs, spec_keys
+from .resilience import (CampaignJournal, FailureEntry, FaultManifest,
+                         Resilience, RetryPolicy, failure_record,
+                         is_harness_failure, resilient_map)
 from .runner import (NonMonotonicSeriesError, ResultSet, RunRecord,
                      StreamingResultSet, TestRunner, majority_family,
                      series_flap_window)
@@ -29,10 +32,12 @@ from .topology import (EchoExchange, EchoWebServer, LocalTestbed,
 
 __all__ = [
     "AddressSelectionModule", "CacheStats", "CampaignExecutor",
-    "CampaignSpec", "CampaignStore", "CaptureModule", "CaptureObservation",
-    "DnsDelayModule", "ImpairmentModule", "ImpairmentSpec",
-    "NonMonotonicSeriesError", "RunSpec",
-    "SpecError", "StreamingResultSet", "run_campaign_spec",
+    "CampaignJournal", "CampaignSpec", "CampaignStore", "CaptureModule",
+    "CaptureObservation", "DnsDelayModule", "FailureEntry",
+    "FaultManifest", "ImpairmentModule", "ImpairmentSpec",
+    "NonMonotonicSeriesError", "Resilience", "RetryPolicy", "RunSpec",
+    "SpecError", "StreamingResultSet", "failure_record",
+    "is_harness_failure", "resilient_map", "run_campaign_spec",
     "EchoExchange", "EchoWebServer", "LocalTestbed", "NetemModule",
     "ResultSet", "RunRecord", "SetupModule", "SweepSpec", "TEST_DOMAIN",
     "TestCaseConfig", "TestCaseKind", "TestRunner", "WEB_PORT",

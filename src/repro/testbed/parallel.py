@@ -27,6 +27,7 @@ from typing import (TYPE_CHECKING, Dict, Iterator, List, Sequence,
 from dataclasses import dataclass
 
 from ..fanout import shared_map
+from .resilience import failure_record, resilient_map
 from .store import decode_record
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -101,6 +102,33 @@ def _execute_chunk(payload: "Tuple[TestRunner, Sequence[RunSpec]]"
     return records
 
 
+def _execute_entry(payload: "Tuple[TestRunner, RunSpec]",
+                   attempt: int) -> "RunRecord":
+    """Worker entry point for resilient dispatch: one spec, one run.
+
+    Per-entry (not per-chunk) so that a crash, hang, or retry stays
+    attributable to a single spec.  The attempt number comes from the
+    parent's dispatcher and gates the fault plan — a crash spec with
+    ``attempts=1`` kills this worker on attempt 0 and runs clean on
+    the retry, which is what makes chaos campaigns heal into
+    byte-identical results.
+    """
+    runner, spec = payload
+    case = runner.cases[spec.case_index]
+    profile = runner.clients[spec.client_index]
+    res = getattr(runner, "resilience", None)
+    if res is not None and res.fault_plan is not None:
+        fault = res.fault_plan.entry_fault(
+            (case.name, profile.full_name, spec.value_ms,
+             spec.repetition), attempt)
+        if fault is not None:
+            from ..faults import inject_entry_fault
+
+            inject_entry_fault(fault, in_worker=True)
+    return runner.run_single(case, profile, spec.value_ms,
+                             spec.repetition)
+
+
 class CampaignExecutor:
     """Fans a :class:`TestRunner` campaign out over worker processes."""
 
@@ -144,6 +172,7 @@ class CampaignExecutor:
         runner = self.runner
         specs = enumerate_specs(runner)
         store = runner.store
+        res = getattr(runner, "resilience", None)
         if store is None:
             yield from self._execute_pending(specs)
             return
@@ -154,16 +183,31 @@ class CampaignExecutor:
         fresh = self._execute_pending(pending)
         for spec, key in zip(specs, keys):
             record = prefetched.pop(key, None)
+            if res is not None:
+                res.note_lookup(key, hit=record is not None)
             if record is None:
                 record = next(fresh)
-                store.put_record(key, record)
+                if res is not None:
+                    res.store_fresh(store, key, record)
+                else:
+                    store.put_record(key, record)
             yield record
 
     def _execute_pending(self, specs: "List[RunSpec]"
                          ) -> "Iterator[RunRecord]":
         """Execute specs in order — over the shared pool when there is
         enough work to split, serially otherwise (a fully warm
-        campaign has no pending specs and never touches the pool)."""
+        campaign has no pending specs and never touches the pool).
+
+        A resilient runner routes through :func:`resilient_map`
+        instead of the chunked fast path: per-entry futures cost more
+        pickling, but are what make crashes attributable, hangs
+        preemptible, and retries per-spec.
+        """
+        res = getattr(self.runner, "resilience", None)
+        if res is not None and res.wants_resilient_dispatch and specs:
+            yield from self._execute_resilient(specs)
+            return
         chunks = self._chunked(specs) if specs else []
         if len(chunks) <= 1 or self.workers == 1:
             for chunk in chunks:
@@ -175,3 +219,27 @@ class CampaignExecutor:
         for chunk_records in shared_map(_execute_chunk, payloads,
                                         self.workers):
             yield from chunk_records
+
+    def _execute_resilient(self, specs: "List[RunSpec]"
+                           ) -> "Iterator[RunRecord]":
+        runner = self.runner
+        res = runner.resilience
+        assert res is not None
+        res.manifest.dispatched += len(specs)
+        payloads = [(runner, spec) for spec in specs]
+
+        def describe(payload: "Tuple[TestRunner, RunSpec]") -> str:
+            _, spec = payload
+            case = runner.cases[spec.case_index]
+            profile = runner.clients[spec.client_index]
+            return (f"{case.name}/{profile.full_name}"
+                    f"/v{spec.value_ms}/r{spec.repetition}")
+
+        def fallback(payload, failure):
+            _, spec = payload
+            return failure_record(runner.cases[spec.case_index],
+                                  runner.clients[spec.client_index],
+                                  spec.value_ms, spec.repetition, failure)
+
+        yield from resilient_map(_execute_entry, payloads, self.workers,
+                                 res, describe, fallback)

@@ -1,0 +1,572 @@
+"""Fault-tolerant campaign runtime: retries, journal, failure manifest.
+
+Blackbox measurement pipelines are only trustworthy when the harness
+itself tolerates and reports faults.  Before this module, one crashed
+worker broke the shared ``ProcessPoolExecutor`` and aborted the whole
+campaign — discarding every completed result — a killed CLI invocation
+could not resume, and a hung run wedged the campaign forever.  The
+pieces here defend each of those seams:
+
+* :class:`RetryPolicy` — bounded retries with seeded exponential
+  backoff + jitter (:func:`repro.seeding.backoff_jitter`), so retry
+  schedules are deterministic and replayable.
+* :func:`resilient_map` — per-future dispatch over the shared pool: a
+  ``BrokenProcessPool`` respawns the pool and re-dispatches only the
+  unfinished payloads; a per-entry watchdog (``entry_timeout``)
+  converts hung payloads into recorded failures instead of wedged
+  campaigns.
+* :class:`CampaignJournal` — an append-only log of completed store
+  keys, flushed per append, so a SIGKILLed campaign resumes
+  (``--resume``) with zero re-executions of journaled work.
+* :class:`FaultManifest` — graceful degradation: a campaign that
+  exhausts an entry's retry budget completes anyway, with the failure
+  (payload, attempts, last error, elapsed) recorded and surfaced in a
+  ``[faults]`` summary line next to ``[cache]``.
+
+The crash-attribution problem: when a pool breaks, *every* in-flight
+future fails with ``BrokenProcessPool`` — the culprit is
+indistinguishable from its innocent pool-mates.  Charging everyone an
+attempt would let one persistent crasher exhaust its neighbours'
+retry budgets; charging no one would let it crash-loop forever.  The
+dispatcher therefore re-dispatches break survivors in a *settle*
+phase (no new payloads join until the survivors clear): a recoverable
+crasher heals on its next attempt and nobody is charged, while a pool
+that breaks *again* during settle can only have been broken by a
+survivor — so all of them are charged, bounding persistent crashers
+by the retry budget without ever spuriously failing an innocent.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Any, Callable, Dict, Iterator, List, Optional,
+                    Sequence, Set, TYPE_CHECKING, Tuple, Union)
+
+from ..faults import FaultPlan
+from ..seeding import backoff_jitter, stable_run_seed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..clients.profile import ClientProfile
+    from .config import TestCaseConfig
+    from .runner import RunRecord
+
+#: Error prefix marking a record synthesized by the harness for an
+#: entry whose retry budget ran out — such records are *yielded* (the
+#: campaign degrades gracefully) but never stored or journaled, so a
+#: later run retries the entry instead of caching the failure.
+HARNESS_ERROR_PREFIX = "harness:"
+
+_KEY_LINE = re.compile(r"^[0-9a-f]{64}$")
+
+
+# -- policy & manifest ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the runtime fights for each entry."""
+
+    #: Re-executions allowed per entry beyond the first attempt.
+    retries: int = 0
+    #: Per-entry watchdog in seconds: a dispatched entry that has not
+    #: completed within this budget is treated as hung — the pool is
+    #: abandoned (hung workers are terminated best-effort) and the
+    #: entry charged a failed attempt.  None disables the watchdog.
+    #: Serial execution cannot preempt itself, so the watchdog needs
+    #: ``workers >= 2``; serially, injected hangs degrade to slow
+    #: transient failures.
+    entry_timeout: Optional[float] = None
+    #: Backoff window parameters (see :func:`~repro.seeding
+    #: .backoff_jitter`): the window doubles from ``backoff_base`` per
+    #: attempt, capped at ``backoff_cap`` seconds.
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    #: Folded with the entry label into the jitter draw, so two
+    #: campaigns with the same seed back off identically.
+    backoff_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0: {self.retries}")
+        if self.entry_timeout is not None and self.entry_timeout <= 0:
+            raise ValueError(
+                f"entry_timeout must be > 0: {self.entry_timeout}")
+
+    def backoff_for(self, label: str, attempt: int) -> float:
+        """The deterministic sleep before retry ``attempt`` of the
+        entry called ``label`` (0-based: first retry sleeps ~base)."""
+        return backoff_jitter(stable_run_seed(self.backoff_seed, label),
+                              attempt, base=self.backoff_base,
+                              cap=self.backoff_cap)
+
+
+@dataclass
+class FailureEntry:
+    """One entry that exhausted its retry budget."""
+
+    label: str
+    attempts: int
+    error: str
+    elapsed_s: float
+
+    def line(self) -> str:
+        return (f"[faults] failed {self.label} attempts={self.attempts} "
+                f"elapsed={self.elapsed_s:.3f}s error={self.error}")
+
+
+@dataclass
+class FaultManifest:
+    """Everything the resilient runtime observed in one invocation.
+
+    Parent-side only (workers never mutate it), so unlike
+    :class:`~repro.testbed.store.CacheStats` it needs no merge step.
+    """
+
+    failures: List[FailureEntry] = field(default_factory=list)
+    #: Entries executed under the resilient runtime (fresh work only).
+    dispatched: int = 0
+    #: Re-dispatches charged against entry retry budgets.
+    retries: int = 0
+    #: ``BrokenProcessPool`` events survived.
+    pool_breaks: int = 0
+    #: Pools replaced (breaks + watchdog abandonments).
+    respawns: int = 0
+    #: Entries converted to failed attempts by the watchdog.
+    hang_timeouts: int = 0
+    #: Store writes that errored and were skipped (degraded caching).
+    store_write_errors: int = 0
+    #: Keys appended to the campaign journal this invocation.
+    journaled: int = 0
+    #: Journaled keys served from the store under ``--resume``.
+    resumed: int = 0
+    #: Journaled keys the store could no longer serve (re-executed).
+    journal_stale: int = 0
+
+    @property
+    def touched(self) -> bool:
+        return bool(self.failures or self.dispatched or self.retries
+                    or self.pool_breaks or self.respawns
+                    or self.hang_timeouts or self.store_write_errors
+                    or self.journaled or self.resumed
+                    or self.journal_stale)
+
+    def summary(self) -> str:
+        return (f"failures={len(self.failures)} retries={self.retries} "
+                f"pool-breaks={self.pool_breaks} respawns={self.respawns} "
+                f"hangs={self.hang_timeouts} "
+                f"store-write-errors={self.store_write_errors} "
+                f"journaled={self.journaled} resumed={self.resumed} "
+                f"stale={self.journal_stale}")
+
+    def failure_lines(self, limit: int = 20) -> List[str]:
+        lines = [entry.line() for entry in self.failures[:limit]]
+        if len(self.failures) > limit:
+            lines.append(f"[faults] ... and "
+                         f"{len(self.failures) - limit} more failures")
+        return lines
+
+
+# -- campaign journal ----------------------------------------------------------
+
+
+class CampaignJournal:
+    """Append-only log of completed (durably stored) campaign keys.
+
+    One key per line, flushed per append, so every journaled key
+    survives a SIGKILL of the campaign process.  Appends happen only
+    *after* the store write succeeds, which gives the resume
+    invariant: journaled ⊆ durable, so ``--resume`` re-executes
+    nothing it journaled.  A torn final line (the kill landed mid
+    write) is simply ignored on load — as is any line that does not
+    look like a store key, so a corrupted journal degrades to a
+    smaller resume set, never to wrong results.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = None
+        #: Keys appended through this handle (not the on-disk total).
+        self.appended = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CampaignJournal({str(self.path)!r})"
+
+    def load(self) -> Set[str]:
+        """Every complete, well-formed key line currently on disk."""
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return set()
+        complete, newline, _torn_tail = text.rpartition("\n")
+        if not newline:
+            return set()
+        return {line for line in complete.split("\n")
+                if _KEY_LINE.match(line)}
+
+    def record(self, key: str) -> None:
+        """Append one completed key; the line is flushed to the OS
+        before returning, so a process kill cannot lose it."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(key + "\n")
+        self._handle.flush()
+        self.appended += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            except OSError:
+                pass
+            self._handle.close()
+            self._handle = None
+
+    # The journal rides on the runner into pool workers (workers never
+    # write it); the open handle stays parent-side.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_handle"] = None
+        return state
+
+
+# -- the bundle ----------------------------------------------------------------
+
+
+@dataclass
+class Resilience:
+    """Everything the fault-tolerant runtime threads through a
+    campaign: policy, fault plan, journal, and the manifest that
+    accumulates what actually happened."""
+
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    fault_plan: Optional[FaultPlan] = None
+    journal: Optional[CampaignJournal] = None
+    #: ``--resume``: count journaled keys served from the store and
+    #: flag journaled keys the store lost.
+    resume: bool = False
+    #: Whether the user asked for resilience (controls the ``[faults]``
+    #: line); a store-only session journals silently.
+    explicit: bool = True
+    manifest: FaultManifest = field(default_factory=FaultManifest)
+    _resumable: Optional[frozenset] = field(default=None, repr=False)
+
+    @property
+    def wants_resilient_dispatch(self) -> bool:
+        """Whether execution must route through the retrying
+        dispatcher; journaling alone keeps the legacy fast path."""
+        return (self.policy.retries > 0
+                or self.policy.entry_timeout is not None
+                or self.fault_plan is not None)
+
+    def resumable_keys(self) -> frozenset:
+        """The journal's key set, loaded once before this campaign's
+        own appends so resume accounting reflects prior invocations."""
+        if self._resumable is None:
+            if self.resume and self.journal is not None:
+                self._resumable = frozenset(self.journal.load())
+            else:
+                self._resumable = frozenset()
+        return self._resumable
+
+    # -- store-merge hooks (shared by the serial and parallel loops) -----------
+
+    def note_lookup(self, key: str, hit: bool) -> None:
+        """Resume accounting for one planned key."""
+        if not self.resume or key not in self.resumable_keys():
+            return
+        if hit:
+            self.manifest.resumed += 1
+        else:
+            self.manifest.journal_stale += 1
+
+    def store_fresh(self, store, key: str, record: "RunRecord") -> None:
+        """Persist + journal one freshly executed record.
+
+        Harness-failure records are never stored (a later run must
+        retry, not replay the failure); store write errors degrade to
+        an uncached record instead of aborting the campaign.
+        """
+        if is_harness_failure(record):
+            return
+        try:
+            store.put_record(key, record)
+        except OSError:
+            self.manifest.store_write_errors += 1
+            return
+        if self.journal is not None:
+            self.journal.record(key)
+            self.manifest.journaled += 1
+
+    def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
+
+
+# -- failure records -----------------------------------------------------------
+
+
+def failure_record(case: "TestCaseConfig", profile: "ClientProfile",
+                   value_ms: int, repetition: int,
+                   failure: FailureEntry) -> "RunRecord":
+    """The degraded-mode record for an entry the harness gave up on —
+    shaped like any incomplete run so aggregation handles it, marked
+    with :data:`HARNESS_ERROR_PREFIX` so it is never cached."""
+    from .runner import RunRecord
+
+    return RunRecord(
+        case=case.name, kind=case.kind, client=profile.full_name,
+        value_ms=value_ms, repetition=repetition, completed=False,
+        error=(f"{HARNESS_ERROR_PREFIX} {failure.error} "
+               f"(attempts={failure.attempts})"))
+
+
+def is_harness_failure(record: "RunRecord") -> bool:
+    return (record.error is not None
+            and record.error.startswith(HARNESS_ERROR_PREFIX))
+
+
+# -- serial retry loop ---------------------------------------------------------
+
+
+def execute_with_retries(execute: "Callable[[int], Any]", label: str,
+                         resilience: Resilience
+                         ) -> "Tuple[Any, Optional[FailureEntry]]":
+    """Run ``execute(attempt)`` under the retry policy, in-process.
+
+    Returns ``(value, None)`` on success or ``(None, failure)`` once
+    the budget is exhausted.  ``KeyboardInterrupt``/``SystemExit``
+    always propagate — resilience is for the harness's faults, not
+    for overriding the operator.
+    """
+    policy = resilience.policy
+    manifest = resilience.manifest
+    start = time.monotonic()
+    attempt = 0
+    while True:
+        try:
+            return execute(attempt), None
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            attempt += 1
+            error = str(exc) or type(exc).__name__
+            if attempt > policy.retries:
+                failure = FailureEntry(
+                    label=label, attempts=attempt, error=error,
+                    elapsed_s=time.monotonic() - start)
+                manifest.failures.append(failure)
+                return None, failure
+            manifest.retries += 1
+            delay = policy.backoff_for(label, attempt - 1)
+            if delay > 0:
+                time.sleep(delay)
+
+
+# -- parallel resilient dispatch -----------------------------------------------
+
+
+def resilient_map(fn: "Callable[[Any, int], Any]",
+                  payloads: "Sequence[Any]", workers: int,
+                  resilience: Resilience,
+                  describe: "Callable[[Any], str]",
+                  fallback: "Callable[[Any, FailureEntry], Any]"
+                  ) -> "Iterator[Any]":
+    """Per-future map over the shared pool, yielding results in
+    payload order, surviving crashes and hangs.
+
+    ``fn(payload, attempt)`` runs in a pool worker; the attempt number
+    is threaded through so seeded fault plans target deterministically.
+    At most ``workers`` payloads are in flight (a sliding window), so
+    the per-entry watchdog measures actual execution time, not queue
+    time.  Recovery behavior:
+
+    * **worker crash** (``BrokenProcessPool``): the pool is respawned
+      and only unfinished payloads re-dispatch.  Survivors advance
+      their fault-targeting attempt but are charged a retry only if
+      the pool breaks *again* while they settle (see module docstring).
+    * **entry hang** (watchdog): the overdue entries are charged a
+      failed attempt, the pool is abandoned without waiting
+      (:func:`~repro.fanout.abandon_shared_pool`), and everything
+      unfinished re-dispatches.
+    * **entry exception**: charged against that entry alone; the pool
+      keeps running.
+
+    An entry that exhausts ``policy.retries`` resolves to
+    ``fallback(payload, failure)`` — the campaign completes with a
+    failure manifest instead of aborting.
+    """
+    from concurrent.futures import FIRST_COMPLETED, wait
+    from concurrent.futures.process import BrokenProcessPool
+
+    from ..fanout import (abandon_shared_pool, shared_pool,
+                          shutdown_shared_pool)
+
+    policy = resilience.policy
+    manifest = resilience.manifest
+    n = len(payloads)
+    results: "Dict[int, Any]" = {}
+    resolved = 0
+    next_yield = 0
+    charged = [0] * n
+    fault_attempt = [0] * n
+    first_dispatch: "List[Optional[float]]" = [None] * n
+    ready_at = [0.0] * n
+    pending: "List[int]" = list(range(n))
+    inflight: "Dict[Any, int]" = {}
+    submitted_at: "Dict[Any, float]" = {}
+    #: After an unattributed pool break: the survivor indices that
+    #: must settle before new payloads dispatch (None = normal mode).
+    settling: "Optional[Set[int]]" = None
+
+    def resolve(index: int, value: Any) -> None:
+        nonlocal resolved
+        results[index] = value
+        resolved += 1
+
+    def charge(index: int, error: str) -> None:
+        """One failed attempt attributed to ``index`` itself."""
+        charged[index] += 1
+        fault_attempt[index] += 1
+        if charged[index] > policy.retries:
+            started = first_dispatch[index]
+            failure = FailureEntry(
+                label=describe(payloads[index]), attempts=charged[index],
+                error=error,
+                elapsed_s=(time.monotonic() - started
+                           if started is not None else 0.0))
+            manifest.failures.append(failure)
+            resolve(index, fallback(payloads[index], failure))
+        else:
+            manifest.retries += 1
+            ready_at[index] = time.monotonic() + policy.backoff_for(
+                describe(payloads[index]), charged[index] - 1)
+            pending.append(index)
+
+    def on_pool_break() -> None:
+        """Respawn after ``BrokenProcessPool``: every in-flight future
+        is doomed; survivors re-dispatch (settle phase decides who, if
+        anyone, gets charged — see module docstring)."""
+        nonlocal settling
+        manifest.pool_breaks += 1
+        manifest.respawns += 1
+        survivors = sorted(inflight.values())
+        in_settle = settling is not None
+        inflight.clear()
+        submitted_at.clear()
+        for index in survivors:
+            if in_settle:
+                # charge() advances the fault-targeting attempt too.
+                charge(index, "worker crashed (pool broke repeatedly "
+                              "while settling)")
+            else:
+                fault_attempt[index] += 1
+                pending.append(index)
+        settling = {index for index in survivors
+                    if index not in results}
+        shutdown_shared_pool()
+
+    while resolved < n or next_yield < n:
+        while next_yield in results:
+            value = results.pop(next_yield)
+            next_yield += 1
+            yield value
+        if next_yield >= n:
+            break
+        now = time.monotonic()
+        if settling is not None and not (settling & set(pending)) \
+                and not (settling & set(inflight.values())):
+            settling = None  # survivors cleared: back to normal mode
+        dispatchable = sorted(
+            index for index in pending
+            if ready_at[index] <= now
+            and (settling is None or index in settling))
+        dispatched_any = False
+        while dispatchable and len(inflight) < max(1, workers):
+            index = dispatchable.pop(0)
+            pending.remove(index)
+            if first_dispatch[index] is None:
+                first_dispatch[index] = time.monotonic()
+            pool = shared_pool(workers)
+            try:
+                future = pool.submit(fn, payloads[index],
+                                     fault_attempt[index])
+            except BrokenProcessPool:
+                pending.append(index)
+                on_pool_break()
+                break
+            inflight[future] = index
+            submitted_at[future] = time.monotonic()
+            dispatched_any = True
+        if not inflight:
+            if pending:
+                # Everyone is backing off (or settling members are
+                # waiting on their backoff): sleep to the earliest
+                # ready time instead of spinning.
+                gate = [ready_at[index] for index in pending
+                        if settling is None or index in settling]
+                if not gate:
+                    gate = [ready_at[index] for index in pending]
+                pause = max(0.0, min(gate) - time.monotonic())
+                if pause > 0 and not dispatched_any:
+                    time.sleep(min(pause, 0.05))
+            continue
+        timeout = None
+        if policy.entry_timeout is not None:
+            deadline = (min(submitted_at[f] for f in inflight)
+                        + policy.entry_timeout)
+            timeout = max(0.0, deadline - time.monotonic())
+        done, _ = wait(set(inflight), timeout=timeout,
+                       return_when=FIRST_COMPLETED)
+        if done:
+            broke = False
+            for future in done:
+                index = inflight.pop(future)
+                submitted_at.pop(future, None)
+                try:
+                    value = future.result()
+                except BrokenProcessPool:
+                    # Handled once for the whole break below: put this
+                    # future's index back so on_pool_break sees it.
+                    inflight[future] = index
+                    broke = True
+                except Exception as exc:
+                    if settling is not None:
+                        settling.discard(index)
+                    charge(index, str(exc) or type(exc).__name__)
+                else:
+                    if settling is not None:
+                        settling.discard(index)
+                    resolve(index, value)
+            if broke:
+                on_pool_break()
+            continue
+        # Watchdog: the wait timed out — charge every overdue entry,
+        # abandon the wedged pool, re-dispatch everything unfinished.
+        now = time.monotonic()
+        overdue = [future for future, started in submitted_at.items()
+                   if policy.entry_timeout is not None
+                   and now - started >= policy.entry_timeout]
+        if not overdue:
+            continue  # spurious wake (e.g. clamped timeout)
+        manifest.respawns += 1
+        survivors = []
+        for future, index in list(inflight.items()):
+            if future in overdue:
+                manifest.hang_timeouts += 1
+                if settling is not None:
+                    settling.discard(index)
+                charge(index, f"entry exceeded the "
+                              f"{policy.entry_timeout:.3f}s watchdog")
+            else:
+                survivors.append(index)
+        inflight.clear()
+        submitted_at.clear()
+        for index in survivors:
+            pending.append(index)  # healthy: uncharged, same attempt
+        abandon_shared_pool()

@@ -37,6 +37,7 @@ from .config import SweepSpec, TestCaseConfig, TestCaseKind
 from .inference import CaptureObservation
 from .modules import (AddressSelectionModule, CaptureModule, ServiceModule,
                       modules_for)
+from .resilience import Resilience, execute_with_retries, failure_record
 from .store import CampaignStore, config_digest, decode_record
 from .topology import LocalTestbed
 
@@ -300,7 +301,8 @@ class TestRunner:
                  cases: Sequence[TestCaseConfig], seed: int = 0,
                  resolver_timeout: float = 5.0,
                  hev3_flag: bool = False,
-                 store: Optional[CampaignStore] = None) -> None:
+                 store: Optional[CampaignStore] = None,
+                 resilience: "Optional[Resilience]" = None) -> None:
         if not clients:
             raise ValueError("runner needs at least one client profile")
         if not cases:
@@ -311,6 +313,10 @@ class TestRunner:
         self.resolver_timeout = resolver_timeout
         self.hev3_flag = hev3_flag
         self.store = store
+        #: Fault-tolerant runtime bundle (retry policy, fault plan,
+        #: campaign journal) — None keeps the historical fail-fast
+        #: behavior on every path.
+        self.resilience = resilience
 
     # -- campaign --------------------------------------------------------------
 
@@ -357,14 +363,15 @@ class TestRunner:
                 for profile in self.clients:
                     for value_ms in case.sweep:
                         for repetition in range(case.repetitions):
-                            yield self.run_single(case, profile, value_ms,
-                                                  repetition)
+                            yield self._execute_serial(case, profile,
+                                                       value_ms, repetition)
             return
         # Plan the campaign's full key universe up front and resolve
         # every hit in one batch — per-shard sidecar index reads
         # instead of one JSON stat/read per key.  Hits are popped as
         # they are yielded, so memory decays as the stream drains.
         prefetched = self.store.get_many(self.store_keys(), decode_record)
+        res = self.resilience
         for case in self.cases:
             for profile in self.clients:
                 digest = self.config_digest_for(case, profile)
@@ -374,11 +381,51 @@ class TestRunner:
                                                  repetition,
                                                  config_digest=digest)
                         record = prefetched.pop(key, None)
+                        if res is not None:
+                            res.note_lookup(key, hit=record is not None)
                         if record is None:
-                            record = self.run_single(case, profile,
-                                                     value_ms, repetition)
-                            self.store.put_record(key, record)
+                            record = self._execute_serial(
+                                case, profile, value_ms, repetition)
+                            if res is not None:
+                                res.store_fresh(self.store, key, record)
+                            else:
+                                self.store.put_record(key, record)
                         yield record
+
+    def _execute_serial(self, case: TestCaseConfig,
+                        profile: ClientProfile, value_ms: int,
+                        repetition: int) -> RunRecord:
+        """One in-process run, through the retry loop when a resilient
+        runtime with retries/faults is attached.
+
+        Injected faults fire with ``in_worker=False`` — a "worker
+        crash" is simulated as a raised exception, since the serial
+        worker *is* the campaign.  Entries that exhaust the retry
+        budget degrade to a harness-failure record instead of aborting
+        the campaign.
+        """
+        res = self.resilience
+        if res is None or not res.wants_resilient_dispatch:
+            return self.run_single(case, profile, value_ms, repetition)
+        res.manifest.dispatched += 1
+        coords = (case.name, profile.full_name, value_ms, repetition)
+        label = f"{case.name}/{profile.full_name}/v{value_ms}/r{repetition}"
+
+        def execute(attempt: int) -> RunRecord:
+            plan = res.fault_plan
+            if plan is not None:
+                spec = plan.entry_fault(coords, attempt)
+                if spec is not None:
+                    from ..faults import inject_entry_fault
+
+                    inject_entry_fault(spec, in_worker=False)
+            return self.run_single(case, profile, value_ms, repetition)
+
+        record, failure = execute_with_retries(execute, label, res)
+        if failure is not None:
+            record = failure_record(case, profile, value_ms, repetition,
+                                    failure)
+        return record
 
     # -- caching ------------------------------------------------------------------
 

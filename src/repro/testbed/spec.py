@@ -33,9 +33,11 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 from ..clients.profile import ClientProfile
 from ..clients.registry import get_profile
 from ..dns.rdata import RdataType
+from ..faults import FaultPlan, FaultPlanError
 from ..simnet.addr import Family
 from ..simnet.packet import Protocol
 from .config import ImpairmentSpec, SweepSpec, TestCaseConfig, TestCaseKind
+from .resilience import Resilience, RetryPolicy
 from .runner import ResultSet, TestRunner
 from .store import CampaignStore
 
@@ -170,6 +172,12 @@ class CampaignSpec:
     resolver_timeout: float = 5.0
     workers: Optional[int] = None
     cache_dir: Optional[str] = None
+    #: Fault-tolerance stanzas: per-entry retry budget, per-entry
+    #: watchdog in seconds, and a chaos fault plan (the declarative
+    #: twin of the CLI's ``--retries/--entry-timeout/--fault-plan``).
+    retries: int = 0
+    entry_timeout: Optional[float] = None
+    faults: Optional[FaultPlan] = None
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
@@ -179,22 +187,64 @@ class CampaignSpec:
             raise SpecError("campaign needs at least one test case")
         workers = data.get("workers")
         cache_dir = data.get("cache_dir")
+        seed = int(data.get("seed", 0))
+        entry_timeout = data.get("entry_timeout")
+        retries = int(data.get("retries", 0))
+        if retries < 0:
+            raise SpecError(f"retries must be >= 0: {retries}")
+        faults = data.get("faults")
+        plan = None
+        if faults is not None:
+            # Either a plan string ("crash:0.3,corrupt:0.5") or a
+            # stanza {"plan": "...", "seed": N}; the plan seed
+            # defaults to the campaign seed so chaos replays with it.
+            if isinstance(faults, str):
+                faults = {"plan": faults}
+            if not isinstance(faults, Mapping) or "plan" not in faults:
+                raise SpecError(
+                    f"faults stanza needs a 'plan' string: {faults!r}")
+            try:
+                plan = FaultPlan.parse(str(faults["plan"]),
+                                       seed=int(faults.get("seed", seed)))
+            except FaultPlanError as exc:
+                raise SpecError(f"bad fault plan: {exc}") from exc
         return cls(
             clients=[parse_client(c) for c in data["clients"]],
             cases=[parse_case(c) for c in data["cases"]],
-            seed=int(data.get("seed", 0)),
+            seed=seed,
             resolver_timeout=float(data.get("resolver_timeout", 5.0)),
             workers=int(workers) if workers is not None else None,
             cache_dir=str(cache_dir) if cache_dir is not None else None,
+            retries=retries,
+            entry_timeout=(float(entry_timeout)
+                           if entry_timeout is not None else None),
+            faults=plan,
         )
+
+    def build_resilience(self) -> Optional[Resilience]:
+        """The resilient-runtime bundle this spec asks for, or None
+        when every stanza is at its fail-fast default."""
+        if not (self.retries or self.entry_timeout or self.faults):
+            return None
+        try:
+            policy = RetryPolicy(retries=self.retries,
+                                 entry_timeout=self.entry_timeout,
+                                 backoff_seed=self.seed)
+        except ValueError as exc:
+            raise SpecError(str(exc)) from exc
+        return Resilience(policy=policy, fault_plan=self.faults)
 
     def build_runner(self, store: Optional[CampaignStore] = None
                      ) -> TestRunner:
         if store is None and self.cache_dir:
             store = CampaignStore(self.cache_dir)
+        resilience = self.build_resilience()
+        if (store is not None and resilience is not None
+                and resilience.fault_plan is not None):
+            store.fault_plan = resilience.fault_plan
         return TestRunner(self.clients, self.cases, seed=self.seed,
                           resolver_timeout=self.resolver_timeout,
-                          store=store)
+                          store=store, resilience=resilience)
 
     def total_runs(self) -> int:
         return len(self.clients) * sum(

@@ -180,10 +180,19 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     invalid: int = 0
+    #: Content-invalid entries moved aside to ``.quarantine/`` (a
+    #: subset of ``invalid``: unreadable-but-maybe-fine files stay put).
+    quarantined: int = 0
 
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
+
+    @property
+    def entries_invalid(self) -> int:
+        """Corrupt/partial entries rejected on read (alias of
+        ``invalid`` under the name the ``[cache]`` line reports)."""
+        return self.invalid
 
     def merge(self, other: "CacheStats") -> None:
         """Fold counters from another handle in (e.g. a worker's
@@ -192,10 +201,12 @@ class CacheStats:
         self.misses += other.misses
         self.stores += other.stores
         self.invalid += other.invalid
+        self.quarantined += other.quarantined
 
     def summary(self) -> str:
         return (f"hits={self.hits} misses={self.misses} "
-                f"stores={self.stores} invalid={self.invalid}")
+                f"stores={self.stores} entries_invalid={self.invalid} "
+                f"quarantined={self.quarantined}")
 
 
 class CampaignStore:
@@ -215,6 +226,10 @@ class CampaignStore:
                  use_index: bool = True) -> None:
         self.root = Path(root)
         self.stats = CacheStats()
+        #: Chaos harness hook (:class:`~repro.faults.FaultPlan`): when
+        #: set, targeted reads raise-as-miss and targeted writes tear,
+        #: exactly as crashing hardware would.  None in production.
+        self.fault_plan = None
         #: Batch lookups (:meth:`get_many`) consult the per-shard
         #: sidecar index when True; False forces per-key reads (the
         #: benchmark baseline, and an escape hatch).
@@ -259,14 +274,29 @@ class CampaignStore:
         Unreadable files, bad JSON, format mismatches, missing
         completeness markers, and decoder failures all count as
         ``invalid`` misses — the caller re-executes and overwrites.
+        Entries whose *content* is provably bad (torn JSON, wrong
+        format, no completeness marker, undecodable payload) are
+        additionally quarantined: moved to ``root/.quarantine/`` so
+        they stop shadowing the slot and stay available for forensics.
+        Unreadable files (transient ``OSError``) are left in place —
+        the next read may succeed.
         """
+        if self._maybe_read_fault(key):
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
         path = self._path(key)
         try:
             data = json.loads(path.read_text(encoding="utf-8"))
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (OSError, ValueError):
+        except OSError:
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        except ValueError:
+            self._quarantine(key, path)
             self.stats.invalid += 1
             self.stats.misses += 1
             return None
@@ -279,9 +309,44 @@ class CampaignStore:
             else:
                 self.stats.hits += 1
                 return decoded
+        self._quarantine(key, path)
         self.stats.invalid += 1
         self.stats.misses += 1
         return None
+
+    def _quarantine(self, key: str, path: Path) -> None:
+        """Move a content-invalid entry to ``root/.quarantine/<shard>/``.
+
+        Leaving a corrupt entry at its addressed path makes every
+        future campaign re-reject it (an ``invalid`` miss per lookup,
+        forever, since the re-executed write may land elsewhere first
+        or the campaign may be read-only); deleting it destroys the
+        evidence.  Quarantine does neither: the slot frees up for the
+        re-executed write and the bytes survive for inspection.  GC
+        never enters dot-directories, so quarantined entries outlive
+        sweeps until an operator removes them.
+        """
+        shard = key[:2]
+        dest = self.root / ".quarantine" / shard / path.name
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            return  # can't move it: degrade to a plain invalid miss
+        self.stats.quarantined += 1
+        # The shard changed out from under any index: drop our mirror
+        # and bump the generation so sidecars read as stale.
+        self._mem_index.pop(shard, None)
+        self._dirty_index.discard(shard)
+        self._bump_generation(shard)
+
+    def _maybe_read_fault(self, key: str) -> bool:
+        """Chaos-only: whether an injected transient read error fires
+        for ``key`` (the caller counts it as an invalid miss)."""
+        plan = self.fault_plan
+        if plan is None:
+            return False
+        return plan.store_fault("read", key) is not None
 
     def put(self, key: str, payload: Any) -> None:
         """Atomically persist ``payload`` (JSON-serializable) under
@@ -293,6 +358,12 @@ class CampaignStore:
         index in place, so a warm campaign that interleaves writes
         keeps batch-lookup speed instead of rebuilding per batch.
         """
+        plan = self.fault_plan
+        if plan is not None:
+            spec = plan.store_fault("write", key)
+            if spec is not None:
+                self._faulted_write(key, spec, payload)
+                return
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"format": STORE_FORMAT, "complete": True, "key": key,
@@ -326,6 +397,34 @@ class CampaignStore:
             self._bump_generation(shard)
         # else: no index exists anywhere for this shard — nothing to
         # invalidate or extend; cold campaigns pay one stat per write.
+
+    def _faulted_write(self, key: str, spec, payload: Any) -> None:
+        """Chaos-only: replace an entry write with what a dying writer
+        leaves behind.
+
+        ``io-error`` raises before touching disk (a full filesystem, a
+        yanked mount).  ``corrupt`` writes truncated garbage and
+        ``partial`` a structurally valid entry with no completeness
+        marker — both written *directly*, no temp file, no rename, no
+        generation bump, no index extension: the precise disk state a
+        writer killed mid-write produces, which is what the quarantine
+        path and the resume machinery must recover from.
+        """
+        from ..faults import FaultKind
+
+        if spec.kind is FaultKind.IO_ERROR:
+            raise OSError(f"injected store write error ({key[:12]}...)")
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if spec.kind is FaultKind.CORRUPT_WRITE:
+            text = f'{{"format": {STORE_FORMAT}, "complete": tru'
+        else:  # PARTIAL_WRITE: valid JSON, incomplete entry
+            text = json.dumps({"format": STORE_FORMAT, "key": key,
+                               "payload": payload}, sort_keys=True)
+        path.write_text(text, encoding="utf-8")
+        # The writer believed it stored the entry — count it so the
+        # chaos battery can see the lie in the counters.
+        self.stats.stores += 1
 
     # -- batch lookup + sidecar index ------------------------------------------
 
@@ -548,6 +647,10 @@ class CampaignStore:
                     # only on shards with no fresh index.
                     indexed = self._build_index(shard)
             for key in shard_keys:
+                if self._maybe_read_fault(key):
+                    self.stats.invalid += 1
+                    self.stats.misses += 1
+                    continue
                 if indexed is not None and key in indexed:
                     try:
                         decoded = decode(indexed[key])
@@ -622,7 +725,11 @@ class CampaignStore:
             dirty_shards.add(path.parent.name)
         if self.root.is_dir():
             for shard in self.root.iterdir():
-                if not shard.is_dir() or shard.name == ".index":
+                # Dot-directories are off limits to the sweep: .index
+                # is handled below, and .quarantine/.journal must
+                # survive gc (quarantined evidence and resume state
+                # are not cache entries).
+                if not shard.is_dir() or shard.name.startswith("."):
                     continue
                 for stale in shard.glob(".tmp-*"):
                     stats.reclaimed_bytes += stale.stat().st_size

@@ -118,6 +118,75 @@ class TestCliRegistry:
         assert "[cache]" not in capsys.readouterr().out
 
 
+class TestCliResilience:
+    def strip_runtime_lines(self, text: str) -> str:
+        return "\n".join(line for line in text.splitlines()
+                         if not line.startswith(("[cache]", "[faults]")))
+
+    def test_resume_requires_cache_dir(self):
+        with pytest.raises(SystemExit, match="--resume needs"):
+            main(["--resume", "figure2", "--step", "400"])
+
+    def test_bad_fault_plan_errors(self):
+        with pytest.raises(SystemExit, match="unknown fault kind"):
+            main(["--fault-plan", "meteor:0.5", "figure2",
+                  "--step", "400"])
+
+    def test_negative_retries_errors(self):
+        with pytest.raises(SystemExit, match="retries"):
+            main(["--retries", "-1", "figure2", "--step", "400"])
+
+    def test_chaos_run_is_byte_identical(self, capsys, tmp_path):
+        """The headline invariant, end to end through the CLI: a
+        figure rendered under an injected crash+corruption plan with
+        retries matches the fault-free rendering byte for byte."""
+        assert main(["figure2", "--step", "400"]) == 0
+        clean = capsys.readouterr().out
+        assert main(["--cache-dir", str(tmp_path), "--workers", "2",
+                     "--retries", "2", "--fault-plan",
+                     "crash:0.3,corrupt:0.5", "figure2",
+                     "--step", "400"]) == 0
+        chaos = capsys.readouterr().out
+        assert (self.strip_runtime_lines(chaos)
+                == self.strip_runtime_lines(clean))
+        assert any(line.startswith("[faults]")
+                   for line in chaos.splitlines())
+        # Warm rerun quarantines the torn entries and still matches.
+        assert main(["--cache-dir", str(tmp_path), "--retries", "2",
+                     "figure2", "--step", "400"]) == 0
+        warm = capsys.readouterr().out
+        assert (self.strip_runtime_lines(warm)
+                == self.strip_runtime_lines(clean))
+        assert "quarantined=" in warm
+
+    def test_resumed_campaign_is_byte_identical(self, capsys, tmp_path):
+        assert main(["figure2", "--step", "400"]) == 0
+        clean = capsys.readouterr().out
+        argv = ["--cache-dir", str(tmp_path), "--retries", "1",
+                "figure2", "--step", "400"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        journal = tmp_path / ".journal" / "figure2.log"
+        assert journal.is_file()
+        assert main(["--resume", *argv]) == 0
+        resumed = capsys.readouterr().out
+        assert (self.strip_runtime_lines(resumed)
+                == self.strip_runtime_lines(clean))
+        assert "resumed=" in resumed
+        assert "misses=0" in resumed
+
+    def test_plain_cached_run_prints_no_faults_line(self, capsys,
+                                                    tmp_path):
+        """Resilience flags opt into the ``[faults]`` line; a plain
+        cached invocation stays byte-identical to its pre-resilience
+        output (the store-only journal is silent)."""
+        argv = ["--cache-dir", str(tmp_path), "figure2", "--step", "400"]
+        assert main(argv) == 0
+        assert "[faults]" not in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "[faults]" not in capsys.readouterr().out
+
+
 class TestCliFingerprintDiff:
     def test_diff_renders_drift_table(self, capsys, tmp_path):
         assert main(["--cache-dir", str(tmp_path), "fingerprint",

@@ -58,6 +58,56 @@ class TestSpecParsing:
             CampaignSpec.from_dict({
                 "clients": [{"name": "curl"}], "cases": []})
 
+    def test_resilience_stanzas(self):
+        spec = CampaignSpec.from_dict({
+            "clients": [{"name": "curl", "version": "7.88.1"}],
+            "cases": [{"kind": "cad", "sweep": {"values": [100]}}],
+            "seed": 7, "retries": 2, "entry_timeout": 30.0,
+            "faults": "crash:0.3,corrupt:0.5",
+        })
+        res = spec.build_resilience()
+        assert res.policy.retries == 2
+        assert res.policy.entry_timeout == 30.0
+        assert res.policy.backoff_seed == 7
+        assert res.fault_plan.seed == 7  # chaos replays with the seed
+        assert len(res.fault_plan.specs) == 2
+        # The fault-plan stanza form can pin its own seed.
+        spec = CampaignSpec.from_dict({
+            "clients": [{"name": "curl", "version": "7.88.1"}],
+            "cases": [{"kind": "cad", "sweep": {"values": [100]}}],
+            "faults": {"plan": "hang:0.2:1:0.4", "seed": 11},
+        })
+        assert spec.faults.seed == 11
+        assert spec.faults.specs[0].hang_s == 0.4
+
+    def test_default_spec_builds_no_resilience(self):
+        spec = CampaignSpec.from_dict({
+            "clients": [{"name": "curl", "version": "7.88.1"}],
+            "cases": [{"kind": "cad", "sweep": {"values": [100]}}],
+        })
+        assert spec.build_resilience() is None
+
+    def test_bad_resilience_stanzas_rejected(self):
+        base = {"clients": [{"name": "curl", "version": "7.88.1"}],
+                "cases": [{"kind": "cad", "sweep": {"values": [100]}}]}
+        with pytest.raises(SpecError, match="retries"):
+            CampaignSpec.from_dict({**base, "retries": -1})
+        with pytest.raises(SpecError, match="bad fault plan"):
+            CampaignSpec.from_dict({**base, "faults": "meteor:0.5"})
+        with pytest.raises(SpecError, match="'plan' string"):
+            CampaignSpec.from_dict({**base, "faults": {"seed": 3}})
+
+    def test_chaos_spec_matches_fault_free_execution(self):
+        base = {
+            "seed": 13,
+            "clients": [{"name": "curl", "version": "7.88.1"}],
+            "cases": [{"kind": "cad", "sweep": {"values": [150, 250]}}],
+        }
+        clean = run_campaign_spec(base)
+        chaos = run_campaign_spec({**base, "retries": 2,
+                                   "faults": "crash:1.0"})
+        assert chaos.records == clean.records
+
     def test_end_to_end_execution(self):
         results = run_campaign_spec({
             "seed": 13,

@@ -2,6 +2,7 @@
 
 import dataclasses
 import json
+import pathlib
 
 import pytest
 
@@ -355,6 +356,80 @@ class TestCorruptEntries:
         warm = small_runner(store=warm_store).run()
         assert warm.records == cold.records
         assert warm_store.stats.invalid == 1
+
+
+class TestQuarantine:
+    """Content-invalid entries are moved aside, not just skipped:
+    the evidence survives for postmortems and the bad file can never
+    shadow its repaired replacement."""
+
+    def populate(self, tmp_path) -> ResultSet:
+        return small_runner(store=CampaignStore(tmp_path)).run()
+
+    def corrupt_one(self, tmp_path) -> str:
+        victim = entry_paths(CampaignStore(tmp_path))[0]
+        victim.write_text("{ not json", encoding="utf-8")
+        return victim.stem
+
+    def test_corrupt_entry_is_quarantined(self, tmp_path):
+        cold = self.populate(tmp_path)
+        key = self.corrupt_one(tmp_path)
+        warm_store = CampaignStore(tmp_path)
+        warm = small_runner(store=warm_store).run()
+        assert warm.records == cold.records
+        assert warm_store.stats.quarantined == 1
+        assert warm_store.stats.invalid == 1
+        moved = tmp_path / ".quarantine" / key[:2] / f"{key}.json"
+        assert moved.is_file()
+        assert moved.read_text(encoding="utf-8") == "{ not json"
+        # The re-execution rewrote the entry in place: pure hits next.
+        repaired = CampaignStore(tmp_path)
+        small_runner(store=repaired).run()
+        assert repaired.stats.hits == len(cold)
+        assert repaired.stats.quarantined == 0
+
+    def test_unreadable_entry_is_not_quarantined(self, tmp_path,
+                                                 monkeypatch):
+        """A transient read error (permissions, NFS hiccup) proves
+        nothing about the entry's content — leave it in place."""
+        cold = self.populate(tmp_path)
+        victim = entry_paths(CampaignStore(tmp_path))[0]
+        original = pathlib.Path.read_text
+
+        def flaky(self, *args, **kwargs):
+            if self == victim:
+                raise OSError("injected transient read error")
+            return original(self, *args, **kwargs)
+
+        warm_store = CampaignStore(tmp_path)
+        monkeypatch.setattr(pathlib.Path, "read_text", flaky)
+        warm = small_runner(store=warm_store).run()
+        monkeypatch.undo()
+        assert warm.records == cold.records
+        assert warm_store.stats.invalid == 1
+        assert warm_store.stats.quarantined == 0
+        assert victim.is_file()
+        assert not (tmp_path / ".quarantine").exists()
+
+    def test_gc_leaves_quarantine_intact(self, tmp_path):
+        self.populate(tmp_path)
+        key = self.corrupt_one(tmp_path)
+        warm_store = CampaignStore(tmp_path)
+        small_runner(store=warm_store).run()
+        moved = tmp_path / ".quarantine" / key[:2] / f"{key}.json"
+        assert moved.is_file()
+        gc_store = CampaignStore(tmp_path)
+        stats = gc_store.gc(live_keys=[])  # collect *everything* live
+        assert stats.removed > 0
+        assert moved.is_file()  # ... except the quarantined evidence
+        assert list(gc_store.entries()) == []
+
+    def test_quarantined_entries_never_enumerate(self, tmp_path):
+        cold = self.populate(tmp_path)
+        self.corrupt_one(tmp_path)
+        warm_store = CampaignStore(tmp_path)
+        small_runner(store=warm_store).run()
+        assert len(list(warm_store.entries())) == len(cold)
 
 
 class _SpeclessRunner:
