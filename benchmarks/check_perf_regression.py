@@ -1,0 +1,60 @@
+"""CI perf gate for the simulator core.
+
+Re-measures the headline workload (the cold Figure 2 step-10 grid, 697
+runs — the same thing ``bench_simnet_core.py`` records as
+``figure2_runs_per_second``) and fails when it is more than 30% slower
+than the best committed sample in ``results/bench_timings.json``.
+
+The committed samples come from the same machine class as CI, and the
+measurement takes the best of three to damp shared-runner noise, so a
+30% threshold catches wholesale regressions (an accidentally quadratic
+scheduler, a dropped cache) without tripping on load jitter.  Exits 0
+with a notice when no baseline has been committed yet.
+"""
+
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis import figure2_sweep  # noqa: E402
+
+TIMINGS_PATH = (pathlib.Path(__file__).resolve().parent
+                / "results" / "bench_timings.json")
+THRESHOLD = 1.30
+
+
+def main() -> int:
+    try:
+        timings = json.loads(TIMINGS_PATH.read_text(encoding="utf-8"))
+    except (FileNotFoundError, ValueError):
+        timings = {}
+    samples = timings.get("figure2_runs_per_second", [])
+    if not samples:
+        print("[perf-gate] no committed figure2_runs_per_second "
+              "baseline; skipping")
+        return 0
+    baseline = min(sample["seconds"] for sample in samples)
+
+    figure2_sweep(step_ms=25)  # warm imports and wire caches
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        figure2_sweep(step_ms=10)
+        best = min(best, time.perf_counter() - t0)
+
+    ratio = best / baseline
+    print(f"[perf-gate] measured {best:.3f}s vs committed best "
+          f"{baseline:.3f}s ({ratio:.2f}x, threshold {THRESHOLD:.2f}x)")
+    if ratio > THRESHOLD:
+        print("[perf-gate] FAIL: simulator core regressed by "
+              f"{(ratio - 1) * 100:.0f}% on the figure2 grid")
+        return 1
+    print("[perf-gate] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

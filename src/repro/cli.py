@@ -113,9 +113,16 @@ def _run_experiment(experiment, args: argparse.Namespace) -> None:
     artifact, then print the session's cache summary exactly once
     (and the fault summary, when resilience was requested)."""
     session = _session_from(args, experiment)
+    profiler = None
+    if getattr(args, "profile", False):
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         artifact = experiment.run(session)
     finally:
+        if profiler is not None:
+            profiler.disable()
         if session.resilience is not None:
             session.resilience.close()
     if getattr(args, "json", False) and artifact.data is not None:
@@ -130,6 +137,10 @@ def _run_experiment(experiment, args: argparse.Namespace) -> None:
     fault_line = session.fault_line()
     if fault_line is not None:
         print(fault_line)
+    if profiler is not None:
+        import pstats
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(30)
 
 
 def _cmd_experiment(args: argparse.Namespace) -> None:
@@ -280,6 +291,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "the store's crash-safe journal (requires "
                              "--cache-dir; journaled keys lost from the "
                              "store re-execute)")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the experiment under cProfile and "
+                             "print the hottest call sites (cumulative "
+                             "time) to stderr after the artifact")
     parser.add_argument("--fault-plan", default=None, metavar="SPEC",
                         help="chaos testing: inject deterministic "
                              "faults, e.g. 'crash:0.3,corrupt:0.5' "

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
-from ..simnet.addr import Family
+from ..simnet.addr import Family, address_str
 from ..simnet.host import Host
 from ..simnet.process import Process
 from ..dns.rdata import RdataType
@@ -144,7 +144,7 @@ class HappyEyeballsEngine:
             # RFC 6555 §4.1: bias toward the family that last won.
             biased_family = cached.family
             trace.record(sim.now, HEEventKind.CACHE_HIT,
-                         address=str(cached.address),
+                         address=address_str(cached.address),
                          family=cached.family.label)
 
         # -- resolution stage -------------------------------------------------
@@ -177,7 +177,7 @@ class HappyEyeballsEngine:
             use_svcb=stack.resolution.use_svcb)
         trace.record(sim.now, HEEventKind.ADDRESSES_SELECTED,
                      count=len(candidates),
-                     order=",".join(c.family.label[3] + ":" + str(c.address)
+                     order=",".join(c.family.label[3] + ":" + address_str(c.address)
                                     for c in candidates[:12]))
         racer = stack.racing.racer(self.host, trace=trace,
                                    history=self.history,

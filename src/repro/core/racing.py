@@ -17,7 +17,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
-from ..simnet.addr import Family
+from ..simnet.addr import Family, address_str
 from ..simnet.host import Host, NoRouteError
 from ..simnet.packet import Protocol
 from ..transport.errors import ConnectError, ConnectionAborted
@@ -261,7 +261,7 @@ class ConnectionRacer:
         record = AttemptRecord(index=index, candidate=candidate,
                                started_at=sim.now)
         self._trace(HEEventKind.ATTEMPT_STARTED, index=index,
-                    address=str(candidate.address),
+                    address=address_str(candidate.address),
                     family=candidate.family.label,
                     protocol=candidate.protocol.value)
         try:
@@ -302,7 +302,7 @@ class ConnectionRacer:
                 record.finished_at = self.host.sim.now
                 self._trace(HEEventKind.ATTEMPT_ABORTED,
                             index=record.index,
-                            address=str(record.candidate.address))
+                            address=address_str(record.candidate.address))
                 connection.abort()
         active.clear()
 
@@ -311,11 +311,11 @@ class ConnectionRacer:
     def _on_win(self, record: AttemptRecord, connection) -> None:
         sim = self.host.sim
         self._trace(HEEventKind.ATTEMPT_SUCCEEDED, index=record.index,
-                    address=str(record.candidate.address),
+                    address=address_str(record.candidate.address),
                     family=record.family.label,
                     elapsed_ms=(record.elapsed or 0.0) * 1000.0)
         self._trace(HEEventKind.CONNECTION_WON,
-                    address=str(record.candidate.address),
+                    address=address_str(record.candidate.address),
                     family=record.family.label,
                     protocol=record.protocol.value)
         if self.history is not None and record.elapsed is not None:
@@ -325,7 +325,7 @@ class ConnectionRacer:
     def _on_failure(self, record: AttemptRecord,
                     error: Optional[Exception]) -> None:
         self._trace(HEEventKind.ATTEMPT_FAILED, index=record.index,
-                    address=str(record.candidate.address),
+                    address=address_str(record.candidate.address),
                     family=record.family.label,
                     error=type(error).__name__ if error else "unknown")
         if self.history is not None:

@@ -35,6 +35,12 @@ _PARAM_LABEL = re.compile(
     re.IGNORECASE)
 
 
+#: Memo for :meth:`TestParams.parse_label`, keyed by raw label bytes.
+#: ``False`` marks labels that are not parameter labels.
+_PARSE_LABEL_CACHE: "dict" = {}
+_PARSE_LABEL_CACHE_CAP = 65536
+
+
 @dataclass(frozen=True)
 class TestParams:
     """Per-query test parameters carried in the first qname label."""
@@ -56,12 +62,22 @@ class TestParams:
 
     @classmethod
     def parse_label(cls, label: bytes) -> Optional["TestParams"]:
+        # Memoized: every query against the same test name re-parses the
+        # same first label, and the regex dominates the serve path.
+        cached = _PARSE_LABEL_CACHE.get(label)
+        if cached is not None:
+            return cached or None
         match = _PARAM_LABEL.match(label)
         if match is None:
-            return None
-        return cls(delay_ms=int(match.group("ms")),
-                   delayed_rtype=match.group("rtype").decode().lower(),
-                   nonce=match.group("nonce").decode().lower())
+            params = None
+        else:
+            params = cls(delay_ms=int(match.group("ms")),
+                         delayed_rtype=match.group("rtype").decode().lower(),
+                         nonce=match.group("nonce").decode().lower())
+        if len(_PARSE_LABEL_CACHE) >= _PARSE_LABEL_CACHE_CAP:
+            _PARSE_LABEL_CACHE.clear()
+        _PARSE_LABEL_CACHE[label] = params if params is not None else False
+        return params
 
     def applies_to(self, qtype: RdataType) -> bool:
         if self.delayed_rtype == "none":
@@ -98,6 +114,16 @@ class QueryLogEntry:
 #: Classic DNS/UDP payload ceiling; larger answers are truncated and
 #: the client retries over TCP (RFC 1035 §4.2.1).
 MAX_UDP_PAYLOAD = 512
+
+#: Process-wide UDP response-wire cache keyed by
+#: (max_udp_payload, zone content keys, query wire minus the id).
+#: Campaign sweeps rebuild identical zones and replay identical queries
+#: every run; only the 16-bit id differs, and a response echoes it in
+#: its first two bytes, so the id-stripped tail can be shared.  Keys
+#: compare by value (tuple/bytes equality), so a hash collision cannot
+#: produce a wrong answer.
+_RESPONSE_WIRE_CACHE: "dict" = {}
+_RESPONSE_WIRE_CACHE_CAP = 65536
 
 
 class AuthoritativeServer:
@@ -185,7 +211,7 @@ class AuthoritativeServer:
 
     def _handle(self, datagram: Datagram, sock: UDPSocket) -> None:
         try:
-            query = DNSMessage.decode(datagram.payload)
+            query = DNSMessage.decode_interned(datagram.payload)
         except Exception:
             return  # malformed: drop, like a hardened server
         if query.qr or not query.questions:
@@ -199,15 +225,28 @@ class AuthoritativeServer:
             client_port=datagram.sport,
             server_address=datagram.dst))
 
-        response = self._build_response(query)
-        delay = self._response_delay(question.name, question.rtype)
-        payload = response.encode()
-        if len(payload) > self.max_udp_payload:
-            # Too big for UDP: answer with just the question + TC bit.
-            truncated = query.make_response(aa=response.aa)
-            truncated.tc = True
-            payload = truncated.encode()
+        wire = datagram.payload
+        key = (self.max_udp_payload,
+               tuple(zone._content_key for zone in self.zones), wire[2:])
+        cached = _RESPONSE_WIRE_CACHE.get(key)
+        if cached is None:
+            response = self._build_response(query)
+            payload = response.encode()
+            was_truncated = len(payload) > self.max_udp_payload
+            if was_truncated:
+                # Too big for UDP: answer with just the question + TC bit.
+                truncated = query.make_response(aa=response.aa)
+                truncated.tc = True
+                payload = truncated.encode()
+            if len(_RESPONSE_WIRE_CACHE) >= _RESPONSE_WIRE_CACHE_CAP:
+                _RESPONSE_WIRE_CACHE.clear()
+            _RESPONSE_WIRE_CACHE[key] = (payload[2:], was_truncated)
+        else:
+            tail, was_truncated = cached
+            payload = wire[:2] + tail
+        if was_truncated:
             self.truncated_responses += 1
+        delay = self._response_delay(question.name, question.rtype)
         if delay > 0:
             self.host.sim.schedule(delay, self._send_reply, sock, payload,
                                    datagram)
@@ -254,7 +293,7 @@ class AuthoritativeServer:
                     break
                 wire, buffer = buffer[2:2 + length], buffer[2 + length:]
                 try:
-                    query = DNSMessage.decode(wire)
+                    query = DNSMessage.decode_interned(wire)
                 except Exception:
                     return
                 if query.qr or not query.questions:

@@ -20,6 +20,38 @@ from .rdata import (CompressionTable, OPT, Rdata, RdataClass, RdataType,
 
 HEADER_LENGTH = 12
 
+#: Process-wide intern table for :meth:`DNSMessage.decode_interned`.
+#: Separate from the capture-analysis interning in
+#: :mod:`repro.testbed.inference`, which keeps its own hit counters.
+_INTERN_TABLE: "dict[bytes, DNSMessage]" = {}
+_INTERN_TABLE_CAP = 65536
+
+#: Wire templates for plain queries, keyed by (qname, qtype, rd).  Only
+#: the 16-bit id differs between two queries for the same name/type, so
+#: the tail of the wire can be encoded once and reused.
+_QUERY_WIRE_CACHE: "dict" = {}
+_QUERY_WIRE_CACHE_CAP = 65536
+
+
+def encode_query_wire(name: "DNSName", rtype: "RdataType", query_id: int,
+                      rd: bool = True) -> bytes:
+    """Wire bytes of ``DNSMessage.make_query(...).encode()``, memoized.
+
+    Byte-identical to encoding the message: the id occupies exactly the
+    first two bytes of the header, so a per-(name, type, rd) template is
+    stamped with the id.
+    """
+    key = (name, rtype, rd)
+    template = _QUERY_WIRE_CACHE.get(key)
+    if template is None:
+        template = DNSMessage.make_query(name, rtype, 0, rd=rd).encode()
+        if len(_QUERY_WIRE_CACHE) >= _QUERY_WIRE_CACHE_CAP:
+            _QUERY_WIRE_CACHE.clear()
+        _QUERY_WIRE_CACHE[key] = template
+    if not 0 <= query_id <= 0xFFFF:
+        raise MessageError(f"bad message id {query_id}")
+    return query_id.to_bytes(2, "big") + template[2:]
+
 
 class Opcode(enum.IntEnum):
     QUERY = 0
@@ -196,6 +228,30 @@ class DNSMessage:
             for record in section:
                 out += record.encode(compression, len(out))
         return bytes(out)
+
+    @classmethod
+    def decode_interned(cls, wire: bytes) -> "DNSMessage":
+        """Decode ``wire``, sharing one decoded message per distinct payload.
+
+        Simulated campaigns decode the same handful of wire payloads
+        over and over (the same queries and responses recur across every
+        run of a sweep), so this is a decode-free fast path: the first
+        decode of a payload is cached process-wide and returned for
+        every later occurrence.
+
+        The returned message is **shared and must be treated as
+        read-only** — use plain :meth:`decode` anywhere the caller
+        mutates the result (e.g. a resolver stamping flags onto an
+        upstream response).  The table is bounded and cleared on
+        overflow; decode failures are not cached.
+        """
+        message = _INTERN_TABLE.get(wire)
+        if message is None:
+            message = cls.decode(wire)
+            if len(_INTERN_TABLE) >= _INTERN_TABLE_CAP:
+                _INTERN_TABLE.clear()
+            _INTERN_TABLE[wire] = message
+        return message
 
     @classmethod
     def decode(cls, wire: bytes) -> "DNSMessage":

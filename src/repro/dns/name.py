@@ -17,10 +17,18 @@ MAX_NAME_LENGTH = 255
 _POINTER_MASK = 0xC0
 
 
+#: Bounded memo for :meth:`DNSName.from_text`; simulations build the
+#: same handful of query names millions of times (every run constructs
+#: the same zone and the same queries), and names are immutable, so the
+#: instances can be shared freely.
+_FROM_TEXT_CACHE: "Dict[str, DNSName]" = {}
+_FROM_TEXT_CACHE_CAP = 65536
+
+
 class DNSName:
     """An absolute domain name (always fully qualified)."""
 
-    __slots__ = ("_labels", "_folded")
+    __slots__ = ("_labels", "_folded", "_wire")
 
     def __init__(self, labels: Iterable[bytes]) -> None:
         labels = tuple(labels)
@@ -38,23 +46,47 @@ class DNSName:
                 f"name exceeds {MAX_NAME_LENGTH} bytes on the wire")
         self._labels = labels
         self._folded = tuple(l.lower() for l in labels)
+        self._wire: Optional[bytes] = None
 
     # -- constructors --------------------------------------------------------
 
     @classmethod
     def from_text(cls, text: str) -> "DNSName":
-        """Parse ``"www.example.com"`` (trailing dot optional)."""
+        """Parse ``"www.example.com"`` (trailing dot optional, memoized)."""
+        cached = _FROM_TEXT_CACHE.get(text)
+        if cached is not None:
+            return cached
         if text in (".", ""):
-            return cls(())
-        stripped = text.rstrip(".")
-        if not stripped:
-            raise NameError_(f"bad name text: {text!r}")
-        labels = []
-        for part in stripped.split("."):
-            if not part:
-                raise NameError_(f"empty label in {text!r}")
-            labels.append(part.encode("ascii"))
-        return cls(labels)
+            name = cls(())
+        else:
+            stripped = text.rstrip(".")
+            if not stripped:
+                raise NameError_(f"bad name text: {text!r}")
+            labels = []
+            for part in stripped.split("."):
+                if not part:
+                    raise NameError_(f"empty label in {text!r}")
+                labels.append(part.encode("ascii"))
+            name = cls(labels)
+        if len(_FROM_TEXT_CACHE) >= _FROM_TEXT_CACHE_CAP:
+            _FROM_TEXT_CACHE.clear()
+        _FROM_TEXT_CACHE[text] = name
+        return name
+
+    @classmethod
+    def _from_wire_labels(cls, labels: "list[bytes]") -> "DNSName":
+        """Fast constructor for :meth:`decode`.
+
+        The decode loop has already enforced the per-label invariants
+        (non-empty, ≤63 bytes — a length byte without pointer bits can
+        say nothing else) and the total wire length, so this skips the
+        per-label validation pass of ``__init__``.
+        """
+        self = object.__new__(cls)
+        self._labels = tuple(labels)
+        self._folded = tuple(l.lower() for l in labels)
+        self._wire = None
+        return self
 
     @classmethod
     def root(cls) -> "DNSName":
@@ -76,18 +108,43 @@ class DNSName:
         return ".".join(l.decode("ascii", "replace")
                         for l in self._labels) + "."
 
+    @classmethod
+    def _compose(cls, labels: "Tuple[bytes, ...]",
+                 folded: "Tuple[bytes, ...]") -> "DNSName":
+        """Build from already-validated label tuples (no re-validation)."""
+        self = object.__new__(cls)
+        self._labels = labels
+        self._folded = folded
+        self._wire = None
+        return self
+
     def parent(self) -> "DNSName":
         if self.is_root:
             raise NameError_("root has no parent")
-        return DNSName(self._labels[1:])
+        return DNSName._compose(self._labels[1:], self._folded[1:])
 
     def prepend(self, label: Union[str, bytes]) -> "DNSName":
         if isinstance(label, str):
             label = label.encode("ascii")
-        return DNSName((label,) + self._labels)
+        if not isinstance(label, bytes):
+            raise NameError_(f"label must be bytes, got {label!r}")
+        if not label:
+            raise NameError_("empty label inside a name")
+        if len(label) > MAX_LABEL_LENGTH:
+            raise NameError_(
+                f"label exceeds {MAX_LABEL_LENGTH} bytes: {label!r}")
+        labels = (label,) + self._labels
+        if sum(len(l) + 1 for l in labels) + 1 > MAX_NAME_LENGTH:
+            raise NameError_(
+                f"name exceeds {MAX_NAME_LENGTH} bytes on the wire")
+        return DNSName._compose(labels, (label.lower(),) + self._folded)
 
     def concatenate(self, suffix: "DNSName") -> "DNSName":
-        return DNSName(self._labels + suffix.labels)
+        labels = self._labels + suffix._labels
+        if sum(len(l) + 1 for l in labels) + 1 > MAX_NAME_LENGTH:
+            raise NameError_(
+                f"name exceeds {MAX_NAME_LENGTH} bytes on the wire")
+        return DNSName._compose(labels, self._folded + suffix._folded)
 
     def is_subdomain_of(self, other: "DNSName") -> bool:
         """True if self is ``other`` or ends with ``other``'s labels."""
@@ -142,6 +199,18 @@ class DNSName:
         ``compression`` maps folded label suffixes to message offsets;
         ``offset`` is where this name starts in the message.
         """
+        if compression is None:
+            # Uncompressed wire is offset-independent; cache it on the
+            # instance (names are interned and re-encoded constantly).
+            wire = self._wire
+            if wire is None:
+                out = bytearray()
+                for label in self._labels:
+                    out.append(len(label))
+                    out += label
+                out.append(0)
+                self._wire = wire = bytes(out)
+            return wire
         out = bytearray()
         labels = self._labels
         for index in range(len(labels)):
@@ -166,14 +235,16 @@ class DNSName:
         labels = []
         jumps = 0
         cursor = offset
+        wire_length = 1
         end_offset: Optional[int] = None
         seen_pointers = set()
+        size = len(wire)
         while True:
-            if cursor >= len(wire):
+            if cursor >= size:
                 raise MessageError("truncated name")
             length = wire[cursor]
             if length & _POINTER_MASK == _POINTER_MASK:
-                if cursor + 1 >= len(wire):
+                if cursor + 1 >= size:
                     raise MessageError("truncated compression pointer")
                 pointer = ((length & ~_POINTER_MASK) << 8) | wire[cursor + 1]
                 if end_offset is None:
@@ -192,10 +263,14 @@ class DNSName:
             cursor += 1
             if length == 0:
                 break
-            if cursor + length > len(wire):
+            if cursor + length > size:
                 raise MessageError("label runs past end of message")
+            wire_length += length + 1
+            if wire_length > MAX_NAME_LENGTH:
+                raise NameError_(
+                    f"name exceeds {MAX_NAME_LENGTH} bytes on the wire")
             labels.append(wire[cursor:cursor + length])
             cursor += length
         if end_offset is None:
             end_offset = cursor
-        return cls(labels), end_offset
+        return cls._from_wire_labels(labels), end_offset

@@ -24,7 +24,8 @@ from ..transport.errors import SocketClosed
 from .cache import DNSCache
 from .errors import (NoAnswerError, NxDomainError, QueryTimeout,
                      ResolutionError, ServFailError)
-from .message import DNSMessage, Rcode, ResourceRecord
+from .message import (DNSMessage, Rcode, ResourceRecord,
+                      encode_query_wire)
 from .name import DNSName
 from .nsselect import (ConfigurableNSPolicy, GluePlan, ResolverBehavior,
                        RetryAction, ServerInfo)
@@ -127,7 +128,7 @@ class RecursiveResolver:
             except SocketClosed:
                 return
             try:
-                query = DNSMessage.decode(datagram.payload)
+                query = DNSMessage.decode_interned(datagram.payload)
             except Exception:
                 continue
             if query.qr or not query.questions:
@@ -248,7 +249,9 @@ class RecursiveResolver:
             query_id = (id(sock) ^ int(sim.now * 1e6)) & 0xFFFF
             message = DNSMessage.make_query(qname, rtype, query_id, rd=False)
             try:
-                sock.sendto(message.encode(), server.address, 53)
+                sock.sendto(
+                    encode_query_wire(qname, rtype, query_id, rd=False),
+                    server.address, 53)
             except NoRouteError:
                 # Resolver host lacks this family: the §5.3 capability
                 # gate ("cannot resolve IPv6-only delegations").
@@ -407,7 +410,7 @@ class ForwardingResolver:
             except SocketClosed:
                 return
             try:
-                query = DNSMessage.decode(datagram.payload)
+                query = DNSMessage.decode_interned(datagram.payload)
             except Exception:
                 continue
             if query.qr or not query.questions:
@@ -427,7 +430,9 @@ class ForwardingResolver:
                 return
         upstream_sock = self.host.udp.socket()
         try:
-            upstream_sock.sendto(query.encode(), self.upstream,
+            # Relay the original query bytes: re-encoding the decoded
+            # message would produce the same wire anyway.
+            upstream_sock.sendto(datagram.payload, self.upstream,
                                  self.upstream_port)
             self.forwarded += 1
             deadline = sim.timeout(self.upstream_timeout)
@@ -437,22 +442,36 @@ class ForwardingResolver:
                 if deadline in raced and receive not in raced:
                     upstream_sock.discard_waiter(receive)
                     self.servfails += 1
-                    response = query.make_response(rcode=Rcode.SERVFAIL,
-                                                   ra=True)
+                    out_wire = query.make_response(
+                        rcode=Rcode.SERVFAIL, ra=True).encode()
                     break
                 upstream = receive.value
+                wire = upstream.payload
+                if self.cache is None:
+                    # No cache to populate: validate the response via the
+                    # shared intern table (read-only) and relay the
+                    # upstream bytes with just the RA bit patched in,
+                    # skipping the decode→mutate→re-encode round trip.
+                    try:
+                        response = DNSMessage.decode_interned(wire)
+                    except Exception:
+                        continue
+                    if response.id != query.id:
+                        continue
+                    out_wire = wire[:3] + bytes((wire[3] | 0x80,)) + wire[4:]
+                    break
                 try:
-                    response = DNSMessage.decode(upstream.payload)
+                    response = DNSMessage.decode(wire)
                 except Exception:
                     continue
                 if response.id != query.id:
                     continue
                 response.ra = True
-                if self.cache is not None:
-                    self.cache.store_response(response, sim.now)
+                self.cache.store_response(response, sim.now)
+                out_wire = response.encode()
                 break
             if self._sock is not None and not self._sock.closed:
-                self._sock.sendto(response.encode(), datagram.src,
+                self._sock.sendto(out_wire, datagram.src,
                                   datagram.sport, src=datagram.dst)
         finally:
             upstream_sock.close()

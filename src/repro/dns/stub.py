@@ -22,7 +22,7 @@ from ..simnet.events import Event
 from ..simnet.host import Host
 from ..simnet.process import Process
 from .errors import QueryTimeout
-from .message import DNSMessage, Rcode
+from .message import DNSMessage, Rcode, encode_query_wire
 from .name import DNSName
 from .rdata import RdataType
 
@@ -109,7 +109,8 @@ class StubResolver:
                 for server in self.nameservers:
                     query_id = next(self._query_ids) & 0xFFFF
                     message = DNSMessage.make_query(qname, rtype, query_id)
-                    sock.sendto(message.encode(), server, self.port)
+                    sock.sendto(encode_query_wire(qname, rtype, query_id),
+                                server, self.port)
                     self.queries_sent += 1
                     deadline = sim.timeout(self.timeout)
                     while True:
@@ -120,7 +121,7 @@ class StubResolver:
                             break  # this server timed out; next one
                         datagram = receive.value
                         try:
-                            response = DNSMessage.decode(datagram.payload)
+                            response = DNSMessage.decode_interned(datagram.payload)
                         except Exception:
                             continue  # garbage; keep waiting
                         if response.id != query_id or not response.qr:
@@ -172,7 +173,7 @@ class StubResolver:
                 if len(buffer) >= 2 + length:
                     connection.close()
                     try:
-                        return DNSMessage.decode(buffer[2:2 + length])
+                        return DNSMessage.decode_interned(buffer[2:2 + length])
                     except Exception:
                         return None
 

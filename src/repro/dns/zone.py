@@ -77,6 +77,14 @@ class Zone:
         self.origin = (origin if isinstance(origin, DNSName)
                        else DNSName.from_text(origin))
         self._nodes: Dict[DNSName, Dict[RdataType, RRset]] = {}
+        # Deterministic content fingerprint: a canonical byte string
+        # over the add() log, built lazily on first use and invalidated
+        # by further adds.  Two zones built by the same construction
+        # sequence compare equal, letting response caches key on zone
+        # content across otherwise-independent simulation runs.  Bytes
+        # hash in one C pass, unlike a tuple of rdatas.
+        self._content_log: list = []
+        self._content_key_cache: Optional[bytes] = None
         self.soa = soa or SOA(
             mname=DNSName.from_text("ns1").concatenate(self.origin),
             rname=DNSName.from_text("hostmaster").concatenate(self.origin))
@@ -106,7 +114,23 @@ class Zone:
             node[rtype] = RRset(owner, rtype, ttl, [rdata])
         else:
             rrset.rdatas.append(rdata)
+        self._content_log.append((owner, rtype, ttl, rdata))
+        self._content_key_cache = None
         return self
+
+    @property
+    def _content_key(self) -> bytes:
+        key = self._content_key_cache
+        if key is None:
+            parts = [b"zone"]
+            for owner, rtype, ttl, rdata in self._content_log:
+                rdata_wire = rdata.to_wire(None, 0)
+                parts += (owner.encode(),
+                          int(rtype).to_bytes(2, "big"),
+                          ttl.to_bytes(4, "big"),
+                          len(rdata_wire).to_bytes(2, "big"), rdata_wire)
+            self._content_key_cache = key = b"".join(parts)
+        return key
 
     def add_address(self, name: Union[str, DNSName],
                     address: Union[str, IPAddress],

@@ -34,17 +34,66 @@ class Family(enum.Enum):
         return self.label
 
 
+# Simulations parse the same handful of address literals millions of
+# times (every packet hop, route lookup, and capture query goes through
+# here), so both helpers memoize.  The tables are bounded and cleared on
+# overflow — a simulation uses a few hundred distinct addresses, so the
+# caps exist only to keep pathological inputs from growing memory.
+_PARSE_CACHE: "dict[str, IPAddress]" = {}
+_FAMILY_CACHE: "dict[Union[str, IPAddress], Family]" = {}
+_ADDR_CACHE_CAP = 65536
+
+
 def parse_address(value: Union[str, IPAddress]) -> IPAddress:
-    """Parse ``value`` into an IPv4 or IPv6 address object."""
+    """Parse ``value`` into an IPv4 or IPv6 address object (memoized)."""
+    cached = _PARSE_CACHE.get(value) if type(value) is str else None
+    if cached is not None:
+        return cached
     if isinstance(value, (ipaddress.IPv4Address, ipaddress.IPv6Address)):
         return value
-    return ipaddress.ip_address(value)
+    address = ipaddress.ip_address(value)
+    if type(value) is str:
+        if len(_PARSE_CACHE) >= _ADDR_CACHE_CAP:
+            _PARSE_CACHE.clear()
+        _PARSE_CACHE[value] = address
+    return address
 
 
 def family_of(address: Union[str, IPAddress]) -> Family:
-    """Address family of ``address``."""
+    """Address family of ``address`` (memoized for strings).
+
+    Address *objects* answer via an isinstance check — cheaper than a
+    cache lookup, because :mod:`ipaddress` hashing is Python-level.
+    """
+    if isinstance(address, ipaddress.IPv4Address):
+        return Family.V4
+    if isinstance(address, ipaddress.IPv6Address):
+        return Family.V6
+    cached = _FAMILY_CACHE.get(address)
+    if cached is not None:
+        return cached
     addr = parse_address(address)
-    return Family.V4 if addr.version == 4 else Family.V6
+    family = Family.V4 if addr.version == 4 else Family.V6
+    if type(address) is str:
+        if len(_FAMILY_CACHE) >= _ADDR_CACHE_CAP:
+            _FAMILY_CACHE.clear()
+        _FAMILY_CACHE[address] = family
+    return family
+
+
+_STR_CACHE: "dict[IPAddress, str]" = {}
+
+
+def address_str(address: Union[str, IPAddress]) -> str:
+    """``str(address)``, memoized (IPv6 compression is not cheap)."""
+    if type(address) is str:
+        return address
+    cached = _STR_CACHE.get(address)
+    if cached is None:
+        if len(_STR_CACHE) >= _ADDR_CACHE_CAP:
+            _STR_CACHE.clear()
+        _STR_CACHE[address] = cached = str(address)
+    return cached
 
 
 def is_v6(address: Union[str, IPAddress]) -> bool:

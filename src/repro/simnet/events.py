@@ -29,6 +29,10 @@ class EventAlreadyTriggered(SimulationError):
 class Event:
     """A one-shot event that processes can wait on.
 
+    Slot-based: events are the densest allocation in a campaign (every
+    timeout, every process, every condition is one), so avoiding the
+    per-instance ``__dict__`` is a measurable campaign-wide win.
+
     Parameters
     ----------
     sim:
@@ -36,6 +40,9 @@ class Event:
     name:
         Optional label used in ``repr`` for debugging traces.
     """
+
+    __slots__ = ("_sim", "_name", "_value", "_exception", "_callbacks",
+                 "defused")
 
     def __init__(self, sim: "Any", name: str = "") -> None:
         self._sim = sim
@@ -145,12 +152,21 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that succeeds ``delay`` seconds after creation."""
+    """An event that succeeds ``delay`` seconds after creation.
+
+    This is the dominant scheduling pattern (every DNS query deadline,
+    retransmission timer, and Happy Eyeballs stagger is one), so the
+    fast path matters: expiry dispatches callbacks directly — no second
+    scheduler entry — and the debugging label is rendered lazily in
+    ``__repr__`` instead of being formatted on every construction.
+    """
+
+    __slots__ = ("_delay",)
 
     def __init__(self, sim: "Any", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout: {delay!r}")
-        super().__init__(sim, name=f"Timeout({delay:g})")
+        super().__init__(sim)
         self._delay = delay
         sim.schedule(delay, self._expire, value)
 
@@ -163,9 +179,18 @@ class Timeout(Event):
             self._value = value
             self._dispatch()
 
+    def __repr__(self) -> str:
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._exception is None else "failed"
+        label = self._name or f"Timeout({self._delay:g})"
+        return f"<{label} {state} at t={self._sim.now:.6f}>"
+
 
 class ConditionValue:
     """Mapping of triggered events to their values for conditions."""
+
+    __slots__ = ("events",)
 
     def __init__(self) -> None:
         self.events: List[Event] = []
@@ -191,18 +216,25 @@ class ConditionValue:
 class _Condition(Event):
     """Shared machinery for AnyOf / AllOf."""
 
+    __slots__ = ("_events", "_done")
+
     def __init__(self, sim: "Any", events: Iterable[Event], name: str) -> None:
         super().__init__(sim, name=name)
-        self._events: List[Event] = list(events)
+        self._events = children = list(events)
         self._done = ConditionValue()
-        for event in self._events:
-            if event.sim is not sim:
+        for event in children:
+            if event._sim is not sim:
                 raise SimulationError("condition mixes events of two simulators")
-        if not self._events:
+        if not children:
             self.succeed(self._done)
             return
-        for event in self._events:
-            event.add_callback(self._on_child)
+        on_child = self._on_child
+        for event in children:
+            callbacks = event._callbacks
+            if callbacks is None:
+                sim.schedule(0.0, on_child, event)
+            else:
+                callbacks.append(on_child)
 
     def _on_child(self, event: Event) -> None:
         if self.triggered:
@@ -225,6 +257,8 @@ class AnyOf(_Condition):
     of the events that had triggered by dispatch time.
     """
 
+    __slots__ = ()
+
     def __init__(self, sim: "Any", events: Iterable[Event]) -> None:
         super().__init__(sim, events, name="AnyOf")
 
@@ -235,6 +269,8 @@ class AnyOf(_Condition):
 
 class AllOf(_Condition):
     """Succeeds when all ``events`` have succeeded."""
+
+    __slots__ = ()
 
     def __init__(self, sim: "Any", events: Iterable[Event]) -> None:
         super().__init__(sim, events, name="AllOf")

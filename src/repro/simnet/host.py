@@ -52,6 +52,16 @@ class Host:
         # Preferred source addresses, per family (RFC 6724's concern;
         # configurable so tests can pin deterministic addresses).
         self.preferred_source: Dict[Family, IPAddress] = {}
+        # Hot-path caches: address ownership is checked on every
+        # received frame and routing on every sent one, so both are
+        # O(1) lookups invalidated on any address change.
+        self._address_set: "set[IPAddress]" = set()
+        # Integer forms of the owned addresses, per family: hashing an
+        # int is far cheaper than ipaddress's hex-string hash, and the
+        # receive path checks ownership for every delivered frame.
+        self._owned_v4: "set[int]" = set()
+        self._owned_v6: "set[int]" = set()
+        self._route_cache: Dict[Family, Interface] = {}
 
     # -- interfaces / addresses ------------------------------------------
 
@@ -60,14 +70,24 @@ class Host:
             raise ValueError(f"interface {name!r} exists on {self.name}")
         interface = Interface(self, name)
         self.interfaces[name] = interface
+        self._route_cache.clear()
         return interface
 
     def address_added(self, address: IPAddress, interface: Interface) -> None:
-        self.preferred_source.setdefault(family_of(address), address)
+        family = family_of(address)
+        self.preferred_source.setdefault(family, address)
+        self._address_set.add(address)
+        (self._owned_v6 if family is Family.V6
+         else self._owned_v4).add(int(address))
+        self._route_cache.clear()
 
     def address_removed(self, address: IPAddress,
                         interface: Interface) -> None:
+        self._address_set.discard(address)
         family = family_of(address)
+        (self._owned_v6 if family is Family.V6
+         else self._owned_v4).discard(int(address))
+        self._route_cache.clear()
         if self.preferred_source.get(family) == address:
             del self.preferred_source[family]
             remaining = self.addresses_of(family)
@@ -85,7 +105,11 @@ class Host:
         return [a for a in self.addresses if family_of(a) is family]
 
     def owns_address(self, address: Union[str, IPAddress]) -> bool:
-        return parse_address(address) in self.addresses
+        # Address objects (the hot path) hit the set directly; strings
+        # go through the memoized parser first.
+        if type(address) is not str:
+            return address in self._address_set
+        return parse_address(address) in self._address_set
 
     def is_dual_stack(self) -> bool:
         return bool(self.addresses_of(Family.V4)) and bool(
@@ -95,9 +119,18 @@ class Host:
 
     def route(self, dst: Union[str, IPAddress]) -> Interface:
         """Pick the outgoing interface for ``dst``."""
-        family = family_of(dst)
+        return self._route_for(family_of(dst), dst)
+
+    def _route_for(self, family: Family,
+                   dst: Union[str, IPAddress]) -> Interface:
+        cached = self._route_cache.get(family)
+        if cached is not None:
+            return cached
         for interface in self.interfaces.values():
             if interface.segment is not None and interface.addresses_of(family):
+                # Only successful lookups are cached; failures must
+                # keep re-evaluating (an address may appear later).
+                self._route_cache[family] = interface
                 return interface
         raise NoRouteError(
             f"{self.name} has no {family.label} connectivity toward {dst}")
@@ -120,10 +153,12 @@ class Host:
     # -- data path ------------------------------------------------------------
 
     def send(self, packet: Packet) -> None:
-        self.route(packet.dst).send(packet)
+        self._route_for(packet.family, packet.dst).send(packet)
 
     def receive(self, packet: Packet, interface: Interface) -> None:
-        if not self.owns_address(packet.dst):
+        owned = (self._owned_v6 if packet.family is Family.V6
+                 else self._owned_v4)
+        if packet.dst._ip not in owned:
             return  # not for us (promiscuous frames are dropped)
         handler = self._handlers.get(packet.protocol)
         if handler is not None:

@@ -72,8 +72,11 @@ class Interface:
         self._captures.remove(capture)
 
     def _tap(self, direction: Direction, packet: Packet) -> None:
+        captures = self._captures
+        if not captures:
+            return  # no tap attached: skip the clock read entirely
         now = self.host.sim.now
-        for capture in self._captures:
+        for capture in captures:
             capture.record(now, direction, packet)
 
     # -- data path -----------------------------------------------------------

@@ -219,6 +219,8 @@ class TrafficShaper:
 
     def plan(self, packet: Packet, now: float) -> Optional[float]:
         """Delivery time after shaping, or ``None`` if dropped."""
+        if not self._rules:
+            return now  # unshaped interface: the overwhelming common case
         for rule, qdisc in zip(self._rules, self._qdiscs):
             if rule.filter.matches(packet):
                 return qdisc.plan(packet, now)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Union
 
-from .addr import IPAddress, parse_address
+from .addr import Family, IPAddress, parse_address
 from .iface import Interface
 from .packet import Packet
 from .scheduler import Simulator
@@ -35,6 +35,10 @@ class NetworkSegment:
         self.propagation_delay = propagation_delay
         self._interfaces: List[Interface] = []
         self._by_address: Dict[IPAddress, Interface] = {}
+        # Integer-keyed mirrors of _by_address, per family: the
+        # forwarding hot path avoids ipaddress's hex-string __hash__.
+        self._by_ip_v4: Dict[int, Interface] = {}
+        self._by_ip_v6: Dict[int, Interface] = {}
         self.dropped_unknown_destination = 0
         self.forwarded = 0
 
@@ -55,9 +59,13 @@ class NetworkSegment:
             raise ValueError(
                 f"{address} already owned by {existing} on segment {self.name}")
         self._by_address[address] = interface
+        (self._by_ip_v6 if address.version == 6
+         else self._by_ip_v4)[int(address)] = interface
 
     def unregister_address(self, address: IPAddress) -> None:
         self._by_address.pop(address, None)
+        (self._by_ip_v6 if address.version == 6
+         else self._by_ip_v4).pop(int(address), None)
 
     def interface_for(self, address: Union[str, IPAddress]
                       ) -> Optional[Interface]:
@@ -78,15 +86,26 @@ class NetworkSegment:
         self.sim.schedule_at(arrival, self._arrive, packet)
 
     def _arrive(self, packet: Packet) -> None:
-        target = self._by_address.get(packet.dst)
+        by_ip = (self._by_ip_v6 if packet.family is Family.V6
+                 else self._by_ip_v4)
+        target = by_ip.get(packet.dst._ip)
         if target is None:
             self.dropped_unknown_destination += 1
             return  # blackholed: unresponsive address
-        delivery = target.ingress.plan(packet, self.sim.now)
+        now = self.sim.now
+        delivery = target.ingress.plan(packet, now)
         if delivery is None:
             return  # dropped by the receiver's qdisc
         self.forwarded += 1
-        self.sim.schedule_at(delivery, target.deliver, packet)
+        if delivery <= now:
+            # Unshaped ingress (the overwhelming common case): deliver
+            # in the same callback instead of burning a scheduler entry
+            # on a zero-delay hop.  Receive-side effects still dispatch
+            # through the scheduler (socket events schedule their
+            # callbacks), so cross-packet FIFO ordering is preserved.
+            target.deliver(packet)
+        else:
+            self.sim.schedule_at(delivery, target.deliver, packet)
 
 
 class Network:

@@ -13,10 +13,10 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
+from ipaddress import IPv4Address as _IPv4, IPv6Address as _IPv6
 from typing import Optional, Union
 
-from .addr import Family, IPAddress, family_of, parse_address
+from .addr import Family, IPAddress, parse_address
 
 _packet_ids = itertools.count(1)
 
@@ -61,42 +61,74 @@ class QUICPacketType(enum.Enum):
     ONE_RTT = "1rtt"
 
 
-@dataclass
 class Packet:
     """A simulated IP packet with transport headers.
 
     ``payload`` is opaque bytes (or a small application object for
-    convenience in tests).  ``meta`` is scratch space for instrumentation
-    and never influences forwarding behaviour.
+    convenience in tests) shared by reference across every hop — frames
+    are flyweights, never copied in flight.  ``meta`` is scratch space
+    for instrumentation, materialized lazily on first access because the
+    overwhelming majority of packets never carry any.
+
+    Slot-based: a campaign allocates one of these per simulated frame,
+    so dropping the per-instance ``__dict__`` and precomputing
+    ``family`` once (instead of re-deriving it from ``dst`` at every
+    filter, route, and capture touchpoint) is a packet-path-wide win.
     """
 
-    src: IPAddress
-    dst: IPAddress
-    protocol: Protocol
-    sport: int
-    dport: int
-    payload: bytes = b""
-    flags: TCPFlags = TCPFlags.NONE
-    seq: int = 0
-    ack: int = 0
-    quic_type: Optional[QUICPacketType] = None
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
-    meta: dict = field(default_factory=dict)
+    __slots__ = ("src", "dst", "protocol", "sport", "dport", "payload",
+                 "flags", "seq", "ack", "quic_type", "packet_id",
+                 "family", "_meta")
 
-    def __post_init__(self) -> None:
-        self.src = parse_address(self.src)
-        self.dst = parse_address(self.dst)
-        if family_of(self.src) is not family_of(self.dst):
+    def __init__(self, src: Union[str, IPAddress],
+                 dst: Union[str, IPAddress],
+                 protocol: Protocol, sport: int, dport: int,
+                 payload: bytes = b"", flags: TCPFlags = TCPFlags.NONE,
+                 seq: int = 0, ack: int = 0,
+                 quic_type: Optional[QUICPacketType] = None,
+                 packet_id: Optional[int] = None,
+                 meta: Optional[dict] = None) -> None:
+        # Transports hand in already-parsed address objects; the
+        # isinstance ladder classifies and validates in one pass without
+        # round-tripping through the parser on the per-packet path.
+        if not isinstance(src, (_IPv4, _IPv6)):
+            src = parse_address(src)
+        if not isinstance(dst, (_IPv4, _IPv6)):
+            dst = parse_address(dst)
+        self.src = src
+        self.dst = dst
+        if isinstance(src, _IPv4):
+            src_family = Family.V4
+            matched = isinstance(dst, _IPv4)
+        else:
+            src_family = Family.V6
+            matched = isinstance(dst, _IPv6)
+        if not matched:
             raise ValueError(
                 f"packet mixes families: {self.src} -> {self.dst}")
-        if not 0 <= self.sport <= 65535:
-            raise ValueError(f"bad source port {self.sport!r}")
-        if not 0 <= self.dport <= 65535:
-            raise ValueError(f"bad destination port {self.dport!r}")
+        if not 0 <= sport <= 65535:
+            raise ValueError(f"bad source port {sport!r}")
+        if not 0 <= dport <= 65535:
+            raise ValueError(f"bad destination port {dport!r}")
+        self.protocol = protocol
+        self.sport = sport
+        self.dport = dport
+        self.payload = payload
+        self.flags = flags
+        self.seq = seq
+        self.ack = ack
+        self.quic_type = quic_type
+        self.packet_id = next(_packet_ids) if packet_id is None else packet_id
+        self.family = src_family
+        self._meta = meta
 
     @property
-    def family(self) -> Family:
-        return family_of(self.dst)
+    def meta(self) -> dict:
+        """Instrumentation scratch space (lazily allocated)."""
+        meta = self._meta
+        if meta is None:
+            meta = self._meta = {}
+        return meta
 
     @property
     def size(self) -> int:

@@ -37,6 +37,8 @@ class Interrupt(Exception):
 class Process(Event):
     """Wraps a generator and steps it through the event loop."""
 
+    __slots__ = ("_generator", "_waiting_on", "_resume_cb")
+
     def __init__(self, sim: "Any", generator: ProcessGenerator,
                  name: str = "") -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -47,8 +49,12 @@ class Process(Event):
             generator, "__name__", "Process"))
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        # One bound method reused for every wakeup: _resume is attached
+        # as a callback on each yielded event, and rebinding it per
+        # yield is measurable across a campaign.
+        self._resume_cb = self._resume
         # Start the process at the current instant.
-        self._sim.schedule(0.0, self._resume, None)
+        self._sim.schedule(0.0, self._resume_cb, None)
 
     @property
     def is_alive(self) -> bool:
@@ -87,7 +93,11 @@ class Process(Event):
             self.fail(error)
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        callbacks = target._callbacks
+        if callbacks is None:
+            self._sim.schedule(0.0, self._resume_cb, target)
+        else:
+            callbacks.append(self._resume_cb)
 
     # -- interruption ----------------------------------------------------
 
@@ -101,7 +111,7 @@ class Process(Event):
         if self.triggered:
             return
         if self._waiting_on is not None:
-            self._waiting_on.discard_callback(self._resume)
+            self._waiting_on.discard_callback(self._resume_cb)
             self._waiting_on = None
         self._sim.schedule(0.0, self._deliver_interrupt, Interrupt(cause))
 
@@ -126,4 +136,8 @@ class Process(Event):
                 f"process {self._name!r} yielded {target!r} after interrupt"))
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        callbacks = target._callbacks
+        if callbacks is None:
+            self._sim.schedule(0.0, self._resume_cb, target)
+        else:
+            callbacks.append(self._resume_cb)

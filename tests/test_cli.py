@@ -377,3 +377,20 @@ class TestCliCache:
         args = build_parser().parse_args(["--no-cache", "table1"])
         assert args.cache_dir == str(tmp_path)
         assert args.no_cache
+
+
+class TestCliProfile:
+    def test_profile_prints_stats_to_stderr(self, capsys):
+        assert main(["--profile", "run", "table1"]) == 0
+        captured = capsys.readouterr()
+        # The artifact itself stays clean on stdout...
+        assert "Table 1" in captured.out
+        assert "cumtime" not in captured.out
+        # ...and the cProfile report (cumulative sort) goes to stderr.
+        assert "Ordered by: cumulative time" in captured.err
+        assert "ncalls" in captured.err
+
+    def test_without_flag_no_profile_output(self, capsys):
+        assert main(["run", "table1"]) == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
