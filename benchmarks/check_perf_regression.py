@@ -1,9 +1,15 @@
-"""CI perf gate for the simulator core.
+"""CI perf gate for the simulator core and the campaign store.
 
-Re-measures the headline workload (the cold Figure 2 step-10 grid, 697
-runs — the same thing ``bench_simnet_core.py`` records as
-``figure2_runs_per_second``) and fails when it is more than 30% slower
-than the best committed sample in ``results/bench_timings.json``.
+Re-measures two headline workloads and fails when either is more than
+30% slower than the best committed sample in
+``results/bench_timings.json``:
+
+* the cold Figure 2 step-10 grid, 697 runs — the same thing
+  ``bench_simnet_core.py`` records as ``figure2_runs_per_second``;
+* the packed-store fresh-handle warm resolve of the dense synthetic
+  grid — what ``bench_service.py`` records as
+  ``store_packed_vs_perfile_warm`` (the measurement is imported from
+  there, so gate and bench can never drift apart).
 
 The committed samples come from the same machine class as CI, and the
 measurement takes the best of three to damp shared-runner noise, so a
@@ -15,22 +21,22 @@ with a notice when no baseline has been committed yet.
 import json
 import pathlib
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 from repro.analysis import figure2_sweep  # noqa: E402
+
+from bench_service import measure_packed_vs_perfile  # noqa: E402
 
 TIMINGS_PATH = (pathlib.Path(__file__).resolve().parent
                 / "results" / "bench_timings.json")
 THRESHOLD = 1.30
 
 
-def main() -> int:
-    try:
-        timings = json.loads(TIMINGS_PATH.read_text(encoding="utf-8"))
-    except (FileNotFoundError, ValueError):
-        timings = {}
+def gate_simnet_core(timings) -> int:
     samples = timings.get("figure2_runs_per_second", [])
     if not samples:
         print("[perf-gate] no committed figure2_runs_per_second "
@@ -46,11 +52,50 @@ def main() -> int:
         best = min(best, time.perf_counter() - t0)
 
     ratio = best / baseline
-    print(f"[perf-gate] measured {best:.3f}s vs committed best "
+    print(f"[perf-gate] simnet: measured {best:.3f}s vs committed best "
           f"{baseline:.3f}s ({ratio:.2f}x, threshold {THRESHOLD:.2f}x)")
     if ratio > THRESHOLD:
         print("[perf-gate] FAIL: simulator core regressed by "
               f"{(ratio - 1) * 100:.0f}% on the figure2 grid")
+        return 1
+    return 0
+
+
+def gate_packed_store(timings) -> int:
+    """Relative gate: packed must keep beating per-file on the dense
+    grid.  Absolute drift against the committed sample is reported for
+    the trajectory but not failed on — a ~15 ms disk measurement on a
+    shared runner jitters far more than the 30% threshold, while the
+    packed/per-file ratio is load-immune (both sides share it)."""
+    samples = timings.get("store_packed_vs_perfile_warm", [])
+    if not samples:
+        print("[perf-gate] no committed store_packed_vs_perfile_warm "
+              "baseline; skipping")
+        return 0
+    baseline = min(sample["seconds"] for sample in samples)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        packed_s, perfile_s, entries = measure_packed_vs_perfile(
+            pathlib.Path(tmp))
+
+    print(f"[perf-gate] packed store: packed {packed_s * 1000:.1f}ms "
+          f"vs per-file {perfile_s * 1000:.1f}ms over {entries} "
+          f"entries ({perfile_s / packed_s:.2f}x; committed best "
+          f"{baseline * 1000:.1f}ms)")
+    if packed_s >= perfile_s:
+        print("[perf-gate] FAIL: packed layout no longer beats "
+              "per-file on the dense grid")
+        return 1
+    return 0
+
+
+def main() -> int:
+    try:
+        timings = json.loads(TIMINGS_PATH.read_text(encoding="utf-8"))
+    except (FileNotFoundError, ValueError):
+        timings = {}
+    failures = gate_simnet_core(timings) + gate_packed_store(timings)
+    if failures:
         return 1
     print("[perf-gate] OK")
     return 0

@@ -38,13 +38,21 @@ from .experiments import FIGURE5_CLIENTS, TABLE2_WEB_ENTRIES  # noqa: F401
 
 def _store_from(args: argparse.Namespace):
     """The campaign store selected by ``--cache-dir`` / ``--no-cache``
-    (or the ``REPRO_CACHE_DIR`` environment default), or None."""
+    (or the ``REPRO_CACHE_DIR`` environment default), or None.
+
+    ``--store-layout`` picks the on-disk layout; the default ("auto")
+    detects an existing packed store by its ``*.pack`` files and
+    otherwise keeps the historical one-JSON-file-per-entry layout, so
+    one-shot runs against a service's packed cache directory warm-hit
+    it transparently.
+    """
     if getattr(args, "no_cache", False) or not getattr(args, "cache_dir",
                                                       None):
         return None
-    from .testbed.store import CampaignStore
+    from .testbed.store import open_store
 
-    return CampaignStore(args.cache_dir)
+    return open_store(args.cache_dir,
+                      layout=getattr(args, "store_layout", "auto"))
 
 
 def _resilience_from(args: argparse.Namespace, store,
@@ -232,6 +240,89 @@ def _cmd_cache_gc(args: argparse.Namespace) -> None:
     print(f"[cache gc] {stats.summary()} root={store.root}")
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    """``repro serve``: run the long-lived campaign service.
+
+    Binds the HTTP admission endpoint over a
+    :class:`~repro.service.CampaignService` whose tiered store lives in
+    ``--cache-dir``.  The service defaults to the packed per-shard
+    store layout on a fresh cache directory; an existing per-file
+    store is detected and served as-is under ``--store-layout auto``.
+    """
+    if not getattr(args, "cache_dir", None):
+        raise SystemExit("repro serve needs --cache-dir (or "
+                         "$REPRO_CACHE_DIR): the tiered store is the "
+                         "service's whole point")
+    from .service import CampaignService
+    from .service.http import CampaignServiceServer
+
+    layout = args.store_layout
+    if layout == "auto":
+        # A service on a fresh directory should scale: default to
+        # packed unless a per-file store already lives there.
+        from pathlib import Path
+
+        root = Path(args.cache_dir)
+        has_file_shards = root.is_dir() and any(
+            child.is_dir() and len(child.name) == 2
+            for child in root.iterdir())
+        layout = "file" if has_file_shards else "packed"
+    service = CampaignService(
+        args.cache_dir, seed=args.seed, workers=args.workers,
+        retries=args.retries if args.retries is not None else 0,
+        layout=layout, lru_capacity=args.lru_capacity,
+        service_workers=args.service_workers,
+        coalesce=not args.no_coalesce)
+    server = CampaignServiceServer(service, args.host, args.port)
+    host, port = server.address
+    print(f"[serve] campaign service on http://{host}:{port} "
+          f"root={args.cache_dir} layout={layout} "
+          f"lru={args.lru_capacity}", file=sys.stderr, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+
+def _cmd_submit(args: argparse.Namespace) -> None:
+    """``repro submit <experiment> [knobs]``: send one submission to a
+    running service and reprint its artifact byte-identically (the
+    ``[service]`` accounting line goes to stderr, like ``repro run``'s
+    would-be ``[cache]`` line goes nowhere — stdout is the artifact)."""
+    from .service.http import submit_request
+
+    experiment = get_experiment(args.experiment_name)
+    knobs = {}
+    for knob in experiment.knobs:
+        value = getattr(args, knob.name, None)
+        if value is not None and value is not False:
+            knobs[knob.name] = value
+    try:
+        payload = submit_request(args.experiment_name, knobs,
+                                 host=args.host, port=args.port,
+                                 timeout=args.timeout)
+    except OSError as exc:
+        raise SystemExit(f"repro submit: {exc}")
+    if not payload.get("ok"):
+        raise SystemExit(
+            f"repro submit: {payload.get('error', 'unknown error')}")
+    if getattr(args, "json", False) and payload.get("data") is not None:
+        import json as _json
+
+        print(_json.dumps(payload["data"], indent=2, sort_keys=True))
+    else:
+        print(payload["text"])
+    print(f"[service] planned={payload['planned']} "
+          f"hits={payload['hits']} executed={payload['executed']} "
+          f"waited={payload['waited']} "
+          f"coalesced={str(payload['coalesced']).lower()}",
+          file=sys.stderr)
+
+
 def positive_int(value: str) -> int:
     workers = int(value)
     if workers < 1:
@@ -274,6 +365,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cache", action="store_true",
                         help="run everything fresh even when a cache "
                              "directory is configured")
+    parser.add_argument("--store-layout", default="auto",
+                        choices=("auto", "file", "packed"),
+                        help="campaign store on-disk layout: 'file' is "
+                             "one JSON file per entry, 'packed' is one "
+                             "append-only pack per shard (what 'repro "
+                             "serve' uses); 'auto' (default) detects an "
+                             "existing packed store and otherwise uses "
+                             "'file'")
     parser.add_argument("--retries", type=int, default=None,
                         metavar="N",
                         help="re-execute each failed campaign entry up "
@@ -369,6 +468,60 @@ def build_parser() -> argparse.ArgumentParser:
                           "drift report (the fingerprint-diff "
                           "experiment)")
     pfp.set_defaults(fn=_cmd_fingerprint)
+
+    # -- the campaign service ---------------------------------------------------
+
+    from .service.http import DEFAULT_HOST, DEFAULT_PORT
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived campaign service: HTTP admission over "
+             "a tiered (LRU + packed-shard) store with single-flight "
+             "dedup of in-flight keys")
+    p_serve.add_argument("--host", default=DEFAULT_HOST,
+                         help=f"bind address (default {DEFAULT_HOST})")
+    p_serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                         help=f"bind port (default {DEFAULT_PORT}; 0 "
+                              "picks a free one)")
+    p_serve.add_argument("--lru-capacity", type=int, default=8192,
+                         help="entries held by the in-memory tier "
+                              "(default 8192)")
+    p_serve.add_argument("--service-workers", type=positive_int,
+                         default=8,
+                         help="concurrent submissions in flight "
+                              "(default 8; campaign-level parallelism "
+                              "is the global --workers)")
+    p_serve.add_argument("--no-coalesce", action="store_true",
+                         help="do not share one execution between "
+                              "identical in-flight submissions "
+                              "(single-flight key dedup still applies)")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit one experiment to a running campaign service and "
+             "print the served artifact (byte-identical to 'repro run')")
+    submit_sub = p_submit.add_subparsers(dest="experiment_name",
+                                         required=True,
+                                         metavar="experiment")
+    for experiment in all_experiments():
+        p_exp = submit_sub.add_parser(experiment.name,
+                                      help=experiment.title)
+        for knob in experiment.knobs:
+            knob.add_to_parser(p_exp)
+        p_exp.add_argument("--json", action="store_true",
+                           help="machine-readable artifact when the "
+                                "experiment provides one")
+        p_exp.add_argument("--host", default=DEFAULT_HOST,
+                           help=f"service address (default "
+                                f"{DEFAULT_HOST})")
+        p_exp.add_argument("--port", type=int, default=DEFAULT_PORT,
+                           help=f"service port (default {DEFAULT_PORT})")
+        p_exp.add_argument("--timeout", type=float, default=600.0,
+                           help="submission timeout in seconds "
+                                "(default 600)")
+        p_exp.set_defaults(fn=_cmd_submit,
+                           experiment_name=experiment.name)
 
     pcache = sub.add_parser("cache", help="campaign store maintenance")
     cache_sub = pcache.add_subparsers(dest="cache_command", required=True)

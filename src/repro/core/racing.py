@@ -193,65 +193,91 @@ class ConnectionRacer:
             self._trace(HEEventKind.CONNECT_FAILED, reason=str(error))
             return error
 
-        while True:
-            # Start every attempt that is due.
-            while self._queue and sim.now >= next_start_at:
-                candidate = self._queue.pop(0)
-                record, watcher = self._start_attempt(
-                    len(result.attempts), candidate, connections)
-                result.attempts.append(record)
-                if watcher is not None:
-                    active[watcher] = record
-                    cad = self._cad_provider(record.index, candidate)
-                    next_start_at = sim.now + cad
-                # If the attempt failed synchronously (no route), the
-                # next candidate starts immediately: leave next_start_at.
+        # Stagger-gate and deadline timers are superseded every loop
+        # iteration (a finished attempt reshapes the wait set).  They are
+        # retained so the superseded ones can be physically cancelled —
+        # O(1) on the timer wheel — instead of lingering until they fire
+        # as no-ops, which on CAD-heavy races leaves thousands of dead
+        # wheel entries.
+        gate_timer = None
+        deadline_timer = None
+        try:
+            while True:
+                # Start every attempt that is due.
+                while self._queue and sim.now >= next_start_at:
+                    candidate = self._queue.pop(0)
+                    record, watcher = self._start_attempt(
+                        len(result.attempts), candidate, connections)
+                    result.attempts.append(record)
+                    if watcher is not None:
+                        active[watcher] = record
+                        cad = self._cad_provider(record.index, candidate)
+                        next_start_at = sim.now + cad
+                    # If the attempt failed synchronously (no route), the
+                    # next candidate starts immediately: leave next_start_at.
 
-            waits = list(active)
-            self._new_candidates_event = sim.event(name="race-new-candidates")
-            waits.append(self._new_candidates_event)
-            if self._queue and next_start_at - sim.now < NEVER_CAD:
-                waits.append(sim.timeout(max(0.0, next_start_at - sim.now)))
-            elif not self._queue and not active:
-                raise fail_race(AllAttemptsFailed(
-                    f"all {len(result.attempts)} attempts failed"))
-            if deadline_at is not None:
-                remaining = deadline_at - sim.now
-                if remaining <= 0:
+                if gate_timer is not None:
+                    gate_timer.cancel()
+                    gate_timer = None
+                if deadline_timer is not None:
+                    deadline_timer.cancel()
+                    deadline_timer = None
+                waits = list(active)
+                self._new_candidates_event = sim.event(
+                    name="race-new-candidates")
+                waits.append(self._new_candidates_event)
+                if self._queue and next_start_at - sim.now < NEVER_CAD:
+                    gate_timer = sim.timeout(
+                        max(0.0, next_start_at - sim.now))
+                    waits.append(gate_timer)
+                elif not self._queue and not active:
+                    raise fail_race(AllAttemptsFailed(
+                        f"all {len(result.attempts)} attempts failed"))
+                if deadline_at is not None:
+                    remaining = deadline_at - sim.now
+                    if remaining <= 0:
+                        raise fail_race(RaceDeadlineExceeded(
+                            f"no connection within {deadline}s"))
+                    deadline_timer = sim.timeout(remaining)
+                    waits.append(deadline_timer)
+
+                yield sim.any_of(waits)
+
+                if (deadline_at is not None and sim.now >= deadline_at
+                        and not any(w.triggered and w.value[1] is not None
+                                    for w in active)):
                     raise fail_race(RaceDeadlineExceeded(
                         f"no connection within {deadline}s"))
-                waits.append(sim.timeout(remaining))
 
-            yield sim.any_of(waits)
-
-            if (deadline_at is not None and sim.now >= deadline_at
-                    and not any(w.triggered and w.value[1] is not None
-                                for w in active)):
-                raise fail_race(RaceDeadlineExceeded(
-                    f"no connection within {deadline}s"))
-
-            # Collect finished watchers.
-            finished = [w for w in list(active) if w.triggered]
-            for watcher in finished:
-                record = active.pop(watcher)
-                _, connection, error = watcher.value
-                record.finished_at = sim.now
-                if connection is not None:
-                    record.outcome = AttemptOutcome.WON
-                    result.winner = connection
-                    result.winning_attempt = record
-                    result.finished_at = sim.now
-                    self._on_win(record, connection)
-                    self._abort_losers(record, connections, active)
-                    return result
-                if isinstance(error, ConnectionAborted):
-                    record.outcome = AttemptOutcome.ABORTED
-                else:
-                    record.outcome = AttemptOutcome.FAILED
-                    record.error = error
-                    self._on_failure(record, error)
-                    # RFC 8305 §5: a failed attempt unblocks the next.
-                    next_start_at = sim.now
+                # Collect finished watchers.
+                finished = [w for w in list(active) if w.triggered]
+                for watcher in finished:
+                    record = active.pop(watcher)
+                    _, connection, error = watcher.value
+                    record.finished_at = sim.now
+                    if connection is not None:
+                        record.outcome = AttemptOutcome.WON
+                        result.winner = connection
+                        result.winning_attempt = record
+                        result.finished_at = sim.now
+                        self._on_win(record, connection)
+                        self._abort_losers(record, connections, active)
+                        return result
+                    if isinstance(error, ConnectionAborted):
+                        record.outcome = AttemptOutcome.ABORTED
+                    else:
+                        record.outcome = AttemptOutcome.FAILED
+                        record.error = error
+                        self._on_failure(record, error)
+                        # RFC 8305 §5: a failed attempt unblocks the next.
+                        next_start_at = sim.now
+        finally:
+            # Whatever ended the race (win, failure, deadline, or an
+            # abandoned generator), drop any still-pending timers.
+            if gate_timer is not None:
+                gate_timer.cancel()
+            if deadline_timer is not None:
+                deadline_timer.cancel()
 
     # -- attempt plumbing ----------------------------------------------------------
 

@@ -161,23 +161,39 @@ class Timeout(Event):
     ``__repr__`` instead of being formatted on every construction.
     """
 
-    __slots__ = ("_delay",)
+    __slots__ = ("_delay", "_call")
 
     def __init__(self, sim: "Any", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout: {delay!r}")
         super().__init__(sim)
         self._delay = delay
-        sim.schedule(delay, self._expire, value)
+        self._call = sim.schedule(delay, self._expire, value)
 
     @property
     def delay(self) -> float:
         return self._delay
 
     def _expire(self, value: Any) -> None:
+        self._call = None
         if not self.triggered:
             self._value = value
             self._dispatch()
+
+    def cancel(self) -> bool:
+        """Physically remove the pending expiry from the timer wheel.
+
+        Superseded deadlines (a Happy Eyeballs race that resolved before
+        its stagger gate or overall deadline fired) used to sit in the
+        wheel until they expired as no-ops; the wheel's O(1) unlink makes
+        it cheaper to drop them eagerly.  Returns True when a pending
+        expiry was removed; cancelling an expired timeout is a no-op.
+        """
+        call, self._call = self._call, None
+        if call is None or self.triggered:
+            return False
+        call.cancel()
+        return True
 
     def __repr__(self) -> str:
         state = "pending"

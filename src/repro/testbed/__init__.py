@@ -26,7 +26,8 @@ from .runner import (NonMonotonicSeriesError, ResultSet, RunRecord,
                      StreamingResultSet, TestRunner, majority_family,
                      series_flap_window)
 from .spec import CampaignSpec, SpecError, run_campaign_spec
-from .store import CacheStats, CampaignStore, config_digest
+from .store import (CacheStats, CampaignStore, PackedCampaignStore,
+                    config_digest, open_store)
 from .topology import (EchoExchange, EchoWebServer, LocalTestbed,
                        TEST_DOMAIN, WEB_PORT)
 
@@ -35,7 +36,8 @@ __all__ = [
     "CampaignJournal", "CampaignSpec", "CampaignStore", "CaptureModule",
     "CaptureObservation", "DnsDelayModule", "FailureEntry",
     "FaultManifest", "ImpairmentModule", "ImpairmentSpec",
-    "NonMonotonicSeriesError", "Resilience", "RetryPolicy", "RunSpec",
+    "NonMonotonicSeriesError", "PackedCampaignStore", "Resilience",
+    "RetryPolicy", "RunSpec", "open_store",
     "SpecError", "StreamingResultSet", "failure_record",
     "is_harness_failure", "resilient_map", "run_campaign_spec",
     "EchoExchange", "EchoWebServer", "LocalTestbed", "NetemModule",

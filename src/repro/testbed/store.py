@@ -30,6 +30,7 @@ import enum
 import hashlib
 import json
 import os
+import re
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -679,6 +680,35 @@ class CampaignStore:
 
     # -- compaction ------------------------------------------------------------
 
+    def shards(self) -> "List[str]":
+        """Every shard that currently holds entries."""
+        if not self.root.is_dir():
+            return []
+        return sorted(path.name for path in self.root.iterdir()
+                      if path.is_dir() and len(path.name) == 2)
+
+    def shard_payloads(self, shard: str) -> "Dict[str, Any]":
+        """Every valid payload of one shard, keyed by entry key — the
+        bulk-preload primitive hot-shard rebalancing uses.  Does not
+        touch the lookup counters."""
+        shard_dir = self.root / shard
+        out: "Dict[str, Any]" = {}
+        if not shard_dir.is_dir():
+            return out
+        for path in sorted(shard_dir.glob("*.json")):
+            if path.name.startswith(".tmp-"):
+                continue
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if (isinstance(data, dict)
+                    and data.get("format") == STORE_FORMAT
+                    and data.get("complete") is True
+                    and "payload" in data):
+                out[path.stem] = data["payload"]
+        return out
+
     def entries(self) -> "Iterator[Tuple[str, Path]]":
         """Every ``(key, path)`` currently on disk, in sorted order.
 
@@ -798,3 +828,666 @@ class GCStats:
         return (f"kept={self.kept} ({self.kept_bytes} B) "
                 f"removed={self.removed} tmp={self.removed_tmp} "
                 f"reclaimed={self.reclaimed_bytes} B")
+
+
+# -- packed per-shard layout ---------------------------------------------------
+
+
+#: ``sort_keys`` puts ``"key"`` right after the complete/format markers,
+#: so it always lands in the first ~60 bytes of a record line; searching
+#: a bounded prefix keeps the scan O(entries), not O(bytes).
+_PACK_KEY_RE = re.compile(rb'"key": "([0-9a-f]{64})"')
+_PACK_KEY_WINDOW = 160
+
+_INVALID = object()  # decode sentinel: "slice present but not a valid entry"
+_BROKEN = object()   # read sentinel: "pack unreadable this pass"
+
+
+class PackedCampaignStore(CampaignStore):
+    """The same content-addressed cache, packed many-entries-per-file.
+
+    One JSON file per entry hits inode and ``stat`` limits long before a
+    million entries; at population scale the store must be a handful of
+    big files, not a million small ones.  This layout keeps everything
+    the per-file store promises — same keys, same record payload bytes,
+    same hit/miss/invalid/quarantine semantics — but stores each shard
+    as a single append-only ``root/<shard>.pack`` of newline-delimited
+    entry records with an in-memory ``key -> (offset, length)`` map and
+    a sidecar offset index (``root/.index/<shard>.json``) so a fresh
+    handle warms up with one index read instead of a full scan.
+
+    Durability model: records are appended with the completeness marker
+    in the same single ``write``; a writer that dies mid-append leaves a
+    *torn tail* — a final line with no newline — which the scanner
+    refuses to index and the next append heals by prefixing a newline
+    (the torn bytes become one dead, never-indexed line).  Superseding
+    writes and quarantined slices leave dead bytes behind; they are
+    tracked per shard and reclaimed by :meth:`compact_shard` or
+    :meth:`gc` (which rewrites packs instead of unlinking entry files).
+
+    Handles are not internally locked: callers that share one handle
+    across threads must serialize access (the campaign service's tiered
+    store does).  Cross-process appends are safe — ``O_APPEND`` writes
+    are atomic for record-sized lines and reconciliation rescans any
+    bytes another writer slipped in.
+    """
+
+    def __init__(self, root: Union[str, Path],
+                 use_index: bool = True) -> None:
+        super().__init__(root, use_index=use_index)
+        #: Per-shard scan state: ``offsets`` (key -> (offset, length)),
+        #: ``scanned`` (bytes covered by complete lines), ``size`` (file
+        #: size at last reconcile), ``dead`` (superseded/quarantined
+        #: bytes), ``generation`` (counter at scan time), ``dirty``
+        #: (offsets ahead of the sidecar index).
+        self._packs: "Dict[str, dict]" = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PackedCampaignStore({str(self.root)!r}, "
+                f"{self.stats.summary()})")
+
+    # -- layout ----------------------------------------------------------------
+
+    def _pack_path(self, shard: str) -> Path:
+        return self.root / f"{shard}.pack"
+
+    def shards(self) -> "List[str]":
+        if not self.root.is_dir():
+            return []
+        return sorted(path.stem for path in self.root.glob("*.pack")
+                      if not path.name.startswith(".tmp-"))
+
+    @staticmethod
+    def _encode_line(key: str, payload: Any) -> bytes:
+        entry = {"format": STORE_FORMAT, "complete": True, "key": key,
+                 "payload": payload}
+        return (json.dumps(entry, sort_keys=True) + "\n").encode("utf-8")
+
+    # -- scan / reconcile ------------------------------------------------------
+
+    def _fresh_state(self, generation: int) -> dict:
+        return {"offsets": {}, "scanned": 0, "size": 0, "dead": 0,
+                "generation": generation, "dirty": False}
+
+    def _scan_pack(self, shard: str, state: dict, start: int) -> None:
+        """Index every complete line from byte ``start`` to EOF.
+
+        Lines without an extractable key (healed torn tails, corrupt
+        appends) become dead bytes; duplicate keys keep the *last*
+        occurrence (append order is supersede order).  A trailing
+        fragment with no newline is left unscanned — ``scanned`` stops
+        at the last complete line, so the fragment is retried on the
+        next reconcile and healed by the next append.
+        """
+        try:
+            with open(self._pack_path(shard), "rb") as handle:
+                handle.seek(start)
+                data = handle.read()
+        except OSError:
+            return
+        offsets = state["offsets"]
+        pos = 0
+        while True:
+            newline = data.find(b"\n", pos)
+            if newline < 0:
+                break
+            length = newline + 1 - pos
+            match = _PACK_KEY_RE.search(
+                data, pos, min(newline, pos + _PACK_KEY_WINDOW))
+            if match is not None:
+                key = match.group(1).decode("ascii")
+                old = offsets.get(key)
+                if old is not None:
+                    state["dead"] += old[1]
+                offsets[key] = (start + pos, length)
+            else:
+                state["dead"] += length
+            pos = newline + 1
+        state["scanned"] = start + pos
+        state["size"] = start + len(data)
+
+    def _load_pack_index(self, shard: str, generation: int,
+                         size: int) -> Optional[dict]:
+        """The sidecar offset index, when it is provably usable.
+
+        ``generation`` must match the shard's counter (compaction and
+        gc bump it) and the stamped ``pack_size`` must not exceed the
+        actual file (appends since the stamp are fine — the scanner
+        resumes from ``pack_size``; a *shorter* file means a rewrite
+        the counter somehow missed, so the index is ignored)."""
+        try:
+            data = json.loads(self._index_path(shard)
+                              .read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if (not isinstance(data, dict)
+                or data.get("index_format") != INDEX_FORMAT
+                or data.get("store_format") != STORE_FORMAT
+                or data.get("layout") != "packed"
+                or data.get("generation") != generation
+                or not isinstance(data.get("pack_size"), int)
+                or data["pack_size"] > size
+                or not isinstance(data.get("offsets"), dict)):
+            return None
+        return data
+
+    def _ensure_shard(self, shard: str) -> Optional[dict]:
+        """Reconcile the in-memory state with the pack file; None when
+        the shard has no pack."""
+        try:
+            size = self._pack_path(shard).stat().st_size
+        except OSError:
+            self._packs.pop(shard, None)
+            return None
+        generation = self._generation(shard)
+        state = self._packs.get(shard)
+        if state is not None and state["generation"] == generation:
+            if size < state["scanned"]:
+                state = None  # rewritten out-of-band: full rescan
+            elif size > state["scanned"]:
+                self._scan_pack(shard, state, state["scanned"])
+                state["dirty"] = True
+                return state
+            else:
+                state["size"] = size
+                return state
+        state = self._fresh_state(generation)
+        if self.use_index:
+            sidecar = self._load_pack_index(shard, generation, size)
+            if sidecar is not None:
+                state["offsets"] = {
+                    key: (int(span[0]), int(span[1]))
+                    for key, span in sidecar["offsets"].items()}
+                state["scanned"] = sidecar["pack_size"]
+                state["size"] = sidecar["pack_size"]
+                state["dead"] = int(sidecar.get("dead", 0))
+        if state["scanned"] < size:
+            if state["scanned"] == 0 and size > 0:
+                self.index_rebuilds += 1  # a full scan is the rebuild
+            self._scan_pack(shard, state, state["scanned"])
+            state["dirty"] = True
+        self._packs[shard] = state
+        return state
+
+    def _flush_pack_index(self, shard: str, state: dict) -> None:
+        if not state["dirty"]:
+            return
+        index = {"index_format": INDEX_FORMAT,
+                 "store_format": STORE_FORMAT,
+                 "layout": "packed",
+                 "generation": state["generation"],
+                 "pack_size": state["scanned"],
+                 "dead": state["dead"],
+                 "offsets": {key: list(span)
+                             for key, span in state["offsets"].items()}}
+        index_path = self._index_path(shard)
+        try:
+            index_path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=str(index_path.parent),
+                                            prefix=".tmp-",
+                                            suffix=".json")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(index, handle, sort_keys=True)
+                os.replace(tmp_name, index_path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return  # an unwritable index is a perf loss, not an error
+        state["dirty"] = False
+
+    # -- reads -----------------------------------------------------------------
+
+    def has(self, key: str) -> bool:
+        state = self._ensure_shard(key[:2])
+        return state is not None and key in state["offsets"]
+
+    def _read_slice(self, shard: str, span: "Tuple[int, int]"
+                    ) -> Optional[bytes]:
+        try:
+            with open(self._pack_path(shard), "rb") as handle:
+                handle.seek(span[0])
+                return handle.read(span[1])
+        except OSError:
+            return None
+
+    def _decode_slice(self, key: str, raw: bytes,
+                      decode: "Callable[[Any], Decoded]") -> Any:
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return _INVALID
+        return self._decode_obj(key, data, decode)
+
+    @staticmethod
+    def _decode_obj(key: str, data: Any,
+                    decode: "Callable[[Any], Decoded]") -> Any:
+        if (isinstance(data, dict) and data.get("format") == STORE_FORMAT
+                and data.get("complete") is True
+                and data.get("key") == key and "payload" in data):
+            try:
+                return decode(data["payload"])
+            except Exception:
+                return _INVALID
+        return _INVALID
+
+    def _parse_pack_bulk(self, buffer: bytes
+                         ) -> "Optional[Tuple[List[Any], Dict[int, int]]]":
+        """One-shot parse of a clean pack: the whole file as a JSON
+        array (2-3x cheaper than a ``json.loads`` per line) plus a map
+        from line start offset to array index.  Canonical lines never
+        contain raw newline bytes (``json.dumps`` escapes them), so
+        newline really is the record separator.  Any anomaly — torn
+        tail, healed junk, foreign bytes — fails the array parse and
+        the caller falls back to validated per-slice reads."""
+        stripped = buffer.rstrip(b"\n")
+        if not stripped or buffer[-1:] != b"\n":
+            return None  # empty, or a torn tail the index skips anyway
+        try:
+            parsed = json.loads(b"[" + stripped.replace(b"\n", b",")
+                                + b"]")
+        except ValueError:
+            return None
+        starts: "Dict[int, int]" = {}
+        position = 0
+        for index, line in enumerate(stripped.split(b"\n")):
+            starts[position] = index
+            position += len(line) + 1
+        return parsed, starts
+
+    def _quarantine_slice(self, key: str, shard: str, raw: bytes,
+                          state: dict) -> None:
+        """Packed analog of :meth:`CampaignStore._quarantine`: the bad
+        bytes cannot be moved out of the pack, so they are *copied* to
+        quarantine and dropped from the offset map — the slot frees up
+        for the re-executed append and the dead bytes wait for
+        compaction."""
+        dest = self.root / ".quarantine" / shard / f"{key}.json"
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            dest.write_bytes(raw)
+        except OSError:
+            return  # can't copy it: degrade to a plain invalid miss
+        self.stats.quarantined += 1
+        span = state["offsets"].pop(key, None)
+        if span is not None:
+            state["dead"] += span[1]
+        state["dirty"] = True
+
+    def get(self, key: str,
+            decode: "Callable[[Any], Decoded]") -> Optional[Decoded]:
+        if self._maybe_read_fault(key):
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        shard = key[:2]
+        state = self._ensure_shard(shard)
+        span = None if state is None else state["offsets"].get(key)
+        if span is None:
+            self.stats.misses += 1
+            return None
+        raw = self._read_slice(shard, span)
+        if raw is None:
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        value = self._decode_slice(key, raw, decode)
+        if value is _INVALID:
+            self._quarantine_slice(key, shard, raw, state)
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def get_many(self, keys: "Iterable[str]",
+                 decode: "Callable[[Any], Decoded]"
+                 ) -> "Dict[str, Decoded]":
+        out: "Dict[str, Decoded]" = {}
+        by_shard: "Dict[str, List[str]]" = {}
+        for key in keys:
+            by_shard.setdefault(key[:2], []).append(key)
+        for shard, shard_keys in by_shard.items():
+            state = self._ensure_shard(shard)
+            if state is not None and self.use_index:
+                self._flush_pack_index(shard, state)
+            offsets = {} if state is None else state["offsets"]
+            # Dense batches slurp the whole pack in one read and slice
+            # in memory: a warm dense-grid resolve is then one syscall
+            # per shard instead of one seek+read per key.  Sparse
+            # batches keep the per-key reads (don't drag a huge pack
+            # through memory for three keys).
+            wanted = sum(offsets[key][1] for key in shard_keys
+                         if key in offsets)
+            buffer: Optional[bytes] = None
+            parsed: Optional[list] = None
+            starts: "Dict[int, int]" = {}
+            if (state is not None and wanted * 2 >= state["size"]
+                    and sum(key in offsets for key in shard_keys) >= 8):
+                try:
+                    buffer = self._pack_path(shard).read_bytes()
+                except OSError:
+                    buffer = None
+                if buffer is not None:
+                    bulk = self._parse_pack_bulk(buffer)
+                    if bulk is not None:
+                        parsed, starts = bulk
+            handle: Any = None
+            try:
+                for key in shard_keys:
+                    if self._maybe_read_fault(key):
+                        self.stats.invalid += 1
+                        self.stats.misses += 1
+                        continue
+                    span = offsets.get(key)
+                    if span is None:
+                        self.stats.misses += 1
+                        continue
+                    if parsed is not None and span[0] in starts:
+                        value = self._decode_obj(key, parsed[starts[span[0]]],
+                                                 decode)
+                        if value is _INVALID:
+                            raw = buffer[span[0]:span[0] + span[1]]
+                            self._quarantine_slice(key, shard, raw, state)
+                            self.stats.invalid += 1
+                            self.stats.misses += 1
+                            continue
+                        self.stats.hits += 1
+                        out[key] = value
+                        continue
+                    if buffer is not None and span[0] + span[1] <= len(buffer):
+                        raw = buffer[span[0]:span[0] + span[1]]
+                    else:
+                        if handle is None:
+                            try:
+                                handle = open(self._pack_path(shard), "rb")
+                            except OSError:
+                                handle = _BROKEN
+                        if handle is _BROKEN:
+                            self.stats.invalid += 1
+                            self.stats.misses += 1
+                            continue
+                        try:
+                            handle.seek(span[0])
+                            raw = handle.read(span[1])
+                        except OSError:
+                            self.stats.invalid += 1
+                            self.stats.misses += 1
+                            continue
+                    value = self._decode_slice(key, raw, decode)
+                    if value is _INVALID:
+                        self._quarantine_slice(key, shard, raw, state)
+                        self.stats.invalid += 1
+                        self.stats.misses += 1
+                        continue
+                    self.stats.hits += 1
+                    out[key] = value
+            finally:
+                if handle is not None and handle is not _BROKEN:
+                    handle.close()
+        return out
+
+    # -- writes ----------------------------------------------------------------
+
+    def put(self, key: str, payload: Any) -> None:
+        plan = self.fault_plan
+        if plan is not None:
+            spec = plan.store_fault("write", key)
+            if spec is not None:
+                self._faulted_pack_write(key, spec, payload)
+                return
+        shard = key[:2]
+        state = self._ensure_shard(shard)
+        if state is None:
+            state = self._fresh_state(self._generation(shard))
+            self._packs[shard] = state
+        line = self._encode_line(key, payload)
+        torn = state["size"] > state["scanned"]
+        buf = b"\n" + line if torn else line
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self._pack_path(shard),
+                     os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, buf)
+            # O_APPEND leaves the fd positioned at the end of *our*
+            # write even when another process appended in between, so
+            # the record's true offset is exact, not assumed.
+            end = os.lseek(fd, 0, os.SEEK_CUR)
+        finally:
+            os.close(fd)
+        start = end - len(line)
+        old = state["offsets"].get(key)
+        if old is not None:
+            state["dead"] += old[1]
+        state["offsets"][key] = (start, len(line))
+        expected = state["size"] + (1 if torn else 0)
+        if start == expected:
+            # Nobody slipped in: the healed torn bytes (if any) are
+            # one dead line and the scan frontier advances past us.
+            state["dead"] += start - state["scanned"]
+            state["scanned"] = end
+        # else: a foreign append landed first; leave ``scanned`` where
+        # it is and let the next reconcile scan the middle region.
+        state["size"] = end
+        state["dirty"] = True
+        self.stats.stores += 1
+
+    def _faulted_pack_write(self, key: str, spec, payload: Any) -> None:
+        """Chaos-only: what a dying packed writer leaves behind.
+
+        ``corrupt`` appends a truncated record with **no newline** — the
+        packed layout's torn tail, healed by the next append and never
+        indexed.  ``partial`` appends a structurally valid line with no
+        completeness marker, which scans into the offset map and is
+        quarantined on first read, exactly like the per-file layout's
+        partial entry."""
+        from ..faults import FaultKind
+
+        if spec.kind is FaultKind.IO_ERROR:
+            raise OSError(f"injected store write error ({key[:12]}...)")
+        if spec.kind is FaultKind.CORRUPT_WRITE:
+            buf = b'{"complete": tru'
+        else:  # PARTIAL_WRITE
+            buf = (json.dumps({"format": STORE_FORMAT, "key": key,
+                               "payload": payload}, sort_keys=True)
+                   + "\n").encode("utf-8")
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self._pack_path(key[:2]),
+                     os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, buf)
+        finally:
+            os.close(fd)
+        # The writer believed it stored the entry — count it so the
+        # chaos battery can see the lie in the counters.  The stale
+        # in-memory state reconciles on the next size check.
+        self.stats.stores += 1
+
+    # -- maintenance -----------------------------------------------------------
+
+    def entries(self) -> "Iterator[Tuple[str, Path]]":
+        for shard in self.shards():
+            state = self._ensure_shard(shard)
+            if state is None:
+                continue
+            path = self._pack_path(shard)
+            for key in sorted(state["offsets"]):
+                yield key, path
+
+    def shard_payloads(self, shard: str) -> "Dict[str, Any]":
+        """Every valid payload of one shard, keyed by entry key — the
+        bulk-preload primitive hot-shard rebalancing uses.  Does not
+        touch the lookup counters."""
+        state = self._ensure_shard(shard)
+        if state is None:
+            return {}
+        out: "Dict[str, Any]" = {}
+        try:
+            with open(self._pack_path(shard), "rb") as handle:
+                for key in sorted(state["offsets"]):
+                    span = state["offsets"][key]
+                    handle.seek(span[0])
+                    raw = handle.read(span[1])
+                    try:
+                        data = json.loads(raw.decode("utf-8"))
+                    except (ValueError, UnicodeDecodeError):
+                        continue
+                    if (isinstance(data, dict)
+                            and data.get("format") == STORE_FORMAT
+                            and data.get("complete") is True
+                            and data.get("key") == key
+                            and "payload" in data):
+                        out[key] = data["payload"]
+        except OSError:
+            return out
+        return out
+
+    def dead_bytes(self, shard: str) -> int:
+        state = self._ensure_shard(shard)
+        return 0 if state is None else state["dead"]
+
+    def pack_size(self, shard: str) -> int:
+        state = self._ensure_shard(shard)
+        return 0 if state is None else state["size"]
+
+    def _rewrite_pack(self, shard: str, keys: "List[str]",
+                      state: dict) -> "Tuple[int, int]":
+        """Rewrite one pack keeping exactly ``keys`` (slice-for-slice,
+        so surviving records stay byte-identical); returns
+        ``(old_size, new_size)``.  An empty keep-set unlinks the pack.
+        The rewrite is atomic (temp + replace) and bumps the shard
+        generation so every sidecar and foreign handle rescans."""
+        path = self._pack_path(shard)
+        old_size = state["size"]
+        if not keys:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self._packs.pop(shard, None)
+            self._bump_generation(shard)
+            return old_size, 0
+        slices: "List[bytes]" = []
+        with open(path, "rb") as handle:
+            for key in keys:
+                span = state["offsets"][key]
+                handle.seek(span[0])
+                slices.append(handle.read(span[1]))
+        fd, tmp_name = tempfile.mkstemp(dir=str(self.root),
+                                        prefix=".tmp-", suffix=".pack")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                for raw in slices:
+                    handle.write(raw)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        generation = self._bump_generation(shard)
+        new_state = self._fresh_state(generation)
+        offset = 0
+        for key, raw in zip(keys, slices):
+            new_state["offsets"][key] = (offset, len(raw))
+            offset += len(raw)
+        new_state["scanned"] = offset
+        new_state["size"] = offset
+        new_state["dirty"] = True
+        self._packs[shard] = new_state
+        if self.use_index:
+            self._flush_pack_index(shard, new_state)
+        return old_size, offset
+
+    def compact_shard(self, shard: str) -> int:
+        """Drop a shard's dead bytes (superseded and quarantined
+        records, healed torn tails); returns the bytes reclaimed.
+        This is the background half of hot-shard rebalancing."""
+        state = self._ensure_shard(shard)
+        if state is None or (state["dead"] == 0
+                             and state["scanned"] == state["size"]):
+            return 0
+        keys = sorted(state["offsets"])
+        old_size, new_size = self._rewrite_pack(shard, keys, state)
+        return old_size - new_size
+
+    def gc(self, live_keys: "Iterable[str]") -> "GCStats":
+        """Mark-and-sweep for the packed layout.
+
+        Packs are *rewritten* keeping only live records (byte-identical
+        slices) instead of unlinking per-entry files; a shard whose
+        records are all live and dead-byte-free is left untouched.
+        ``.quarantine`` and ``.journal`` survive, stale ``.tmp-*``
+        droppings go, and every rewritten shard gets a generation bump
+        so stale sidecars are never trusted."""
+        live = set(live_keys)
+        stats = GCStats()
+        if not self.root.is_dir():
+            return stats
+        for shard in self.shards():
+            state = self._ensure_shard(shard)
+            if state is None:
+                continue
+            offsets = state["offsets"]
+            kept_keys = sorted(key for key in offsets if key in live)
+            removed = len(offsets) - len(kept_keys)
+            kept_bytes = sum(offsets[key][1] for key in kept_keys)
+            clean = (removed == 0 and state["dead"] == 0
+                     and state["scanned"] == state["size"])
+            stats.kept += len(kept_keys)
+            stats.kept_bytes += kept_bytes
+            if clean:
+                continue
+            old_size, new_size = self._rewrite_pack(
+                shard, kept_keys, state)
+            stats.removed += removed
+            stats.reclaimed_bytes += old_size - new_size
+        for stale in self.root.glob(".tmp-*"):
+            if stale.is_file():
+                stats.reclaimed_bytes += stale.stat().st_size
+                stale.unlink()
+                stats.removed_tmp += 1
+        index_dir = self.root / ".index"
+        if index_dir.is_dir():
+            for index_file in index_dir.iterdir():
+                shard = index_file.name.split(".")[0]
+                if not shard:
+                    stats.reclaimed_bytes += index_file.stat().st_size
+                    index_file.unlink()
+                    stats.removed_tmp += 1
+                    continue
+                if not self._pack_path(shard).is_file():
+                    stats.reclaimed_bytes += index_file.stat().st_size
+                    index_file.unlink()
+                    stats.removed_index += 1
+            try:
+                index_dir.rmdir()  # only succeeds when emptied
+            except OSError:
+                pass
+        return stats
+
+
+def open_store(root: Union[str, Path], layout: str = "auto",
+               use_index: bool = True) -> CampaignStore:
+    """Open ``root`` with the right layout.
+
+    ``auto`` detects an existing packed store by its ``*.pack`` files
+    and otherwise defaults to the per-file layout (an empty directory is
+    a per-file store — the historical default, and what the one-shot CLI
+    keeps using).  ``file`` / ``packed`` force a layout; forcing
+    ``file`` on a packed root (or vice versa) simply sees an empty
+    store, it never mis-reads the other layout's bytes.
+    """
+    root = Path(root)
+    if layout == "auto":
+        layout = "packed" if any(root.glob("*.pack")) else "file"
+    if layout == "packed":
+        return PackedCampaignStore(root, use_index=use_index)
+    if layout != "file":
+        raise ValueError(f"unknown store layout: {layout!r}")
+    return CampaignStore(root, use_index=use_index)

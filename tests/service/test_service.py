@@ -1,0 +1,281 @@
+"""CampaignService: stampedes, coalescing, byte-identity, HTTP."""
+
+import json
+import threading
+
+import pytest
+
+from repro.experiments.base import Artifact, Experiment, Knob, Session, \
+    knob_mapping
+from repro.service import AdmissionError, CampaignService
+from repro.service.http import CampaignServiceServer, submit_request
+from repro.testbed.store import config_digest
+
+
+class GridExperiment(Experiment):
+    """A tiny campaign-shaped experiment for service tests.
+
+    Never registered (the registry's contract tests forbid pollution) —
+    served through the service's injectable ``lookup``.  Each planned
+    key is one deterministic "run"; executions are counted on the
+    instance so tests can assert the exactly-once invariant.
+    """
+
+    name = "grid"
+    title = "test grid"
+    knobs = (Knob("width", type=int, default=4),)
+    json_capable = True
+
+    def __init__(self):
+        self.executions = []  # keys executed (list.append is atomic)
+        self.barrier = None  # set by tests to force overlap
+
+    def _keys(self, session):
+        width = int(session.knob("width", 4))
+        return [config_digest("grid-cell", i, session.seed)
+                for i in range(width)]
+
+    def plan(self, session):
+        return iter(self._keys(session))
+
+    def execute(self, session):
+        keys = self._keys(session)
+        store = session.store
+        if self.barrier is not None:
+            self.barrier.wait()
+        found = store.get_many(keys, lambda p: p)
+        values = []
+        for i, key in enumerate(keys):
+            payload = found.get(key)
+            if payload is None:
+                self.executions.append(key)
+                payload = {"cell": i, "value": i * i + session.seed}
+                store.put(key, payload)
+            values.append(payload["value"])
+        return values
+
+    def render(self, result):
+        text = "grid: " + " ".join(str(v) for v in result) + "\n"
+        return Artifact(text=text, data=result)
+
+
+def make_service(tmp_path, experiment=None, **kwargs):
+    experiment = experiment or GridExperiment()
+    lookup = {experiment.name: experiment}.__getitem__
+    kwargs.setdefault("service_workers", 8)
+    service = CampaignService(tmp_path / "cache", lookup=lookup,
+                              **kwargs)
+    return service, experiment
+
+
+class TestStampede:
+    def test_stampede_executes_each_key_exactly_once(self, tmp_path):
+        """The headline invariant: N concurrent identical submissions,
+        coalescing OFF (so all N truly run), every key executed once."""
+        n = 6
+        service, exp = make_service(tmp_path, coalesce=False,
+                                    service_workers=n)
+        exp.barrier = threading.Barrier(n, timeout=30.0)
+        with service:
+            futures = [service.submit_async("grid", {"width": 8})
+                       for _ in range(n)]
+            results = [f.result(timeout=60.0) for f in futures]
+        assert len(exp.executions) == 8
+        assert len(set(exp.executions)) == 8
+        texts = {r.text for r in results}
+        assert len(texts) == 1  # byte-identical across the stampede
+        assert sum(r.executed for r in results) == 8
+        assert all(r.planned == 8 for r in results)
+        assert all(r.hits + r.executed == 8 for r in results)
+
+    def test_overlapping_plans_share_the_overlap(self, tmp_path):
+        """width=4 ⊂ width=8: the shared prefix executes once total."""
+        service, exp = make_service(tmp_path, coalesce=False)
+        exp.barrier = threading.Barrier(2, timeout=30.0)
+        with service:
+            wide = service.submit_async("grid", {"width": 8})
+            narrow = service.submit_async("grid", {"width": 4})
+            wide.result(timeout=60.0)
+            narrow.result(timeout=60.0)
+        assert len(exp.executions) == 8
+        assert len(set(exp.executions)) == 8
+
+    def test_warm_submission_executes_nothing(self, tmp_path):
+        service, exp = make_service(tmp_path)
+        with service:
+            cold = service.submit("grid", {"width": 5})
+            warm = service.submit("grid", {"width": 5})
+        assert cold.executed == 5 and cold.hits == 0
+        assert warm.executed == 0 and warm.hits == 5
+        assert warm.text == cold.text
+        assert len(exp.executions) == 5
+
+
+class TestCoalescing:
+    def test_identical_inflight_submissions_coalesce(self, tmp_path):
+        n = 5
+        service, exp = make_service(tmp_path, coalesce=True,
+                                    service_workers=n)
+        release = threading.Event()
+        exp.barrier = None
+
+        original_execute = exp.execute
+
+        def gated_execute(session):
+            release.wait(timeout=30.0)
+            return original_execute(session)
+
+        exp.execute = gated_execute
+        with service:
+            futures = [service.submit_async("grid", {"width": 3})
+                       for _ in range(n)]
+            release.set()
+            results = [f.result(timeout=60.0) for f in futures]
+        # Exactly one leader ran; everyone shares its artifact.
+        assert len(exp.executions) == 3
+        assert service.stats.coalesced == n - 1
+        coalesced = [r for r in results if r.coalesced]
+        assert len(coalesced) == n - 1
+        assert all(r.executed == 0 and r.hits == r.planned
+                   for r in coalesced)
+        assert len({r.text for r in results}) == 1
+        assert len({r.digest for r in results}) == 1
+
+    def test_different_knobs_do_not_coalesce(self, tmp_path):
+        service, exp = make_service(tmp_path, coalesce=True)
+        with service:
+            a = service.submit("grid", {"width": 2})
+            b = service.submit("grid", {"width": 3})
+        assert a.digest != b.digest
+        assert service.stats.coalesced == 0
+
+    def test_summary_line_shape(self, tmp_path):
+        service, _ = make_service(tmp_path)
+        with service:
+            result = service.submit("grid", {"width": 2})
+        assert result.summary() == ("planned=2 hits=0 executed=2 "
+                                    "waited=0 coalesced=false")
+
+
+class TestAdmission:
+    def test_unknown_experiment_rejected(self, tmp_path):
+        service, _ = make_service(tmp_path)
+        with service:
+            with pytest.raises(AdmissionError):
+                service.submit("nonesuch")
+        assert service.stats.rejected == 1
+        assert service.stats.submissions == 0
+
+    def test_oversized_plan_rejected(self, tmp_path):
+        service, _ = make_service(tmp_path, admission_limit=4)
+        with service:
+            with pytest.raises(AdmissionError, match="admission limit"):
+                service.submit("grid", {"width": 100})
+            service.submit("grid", {"width": 4})  # at the limit: fine
+        assert service.stats.rejected == 1
+
+    def test_undeclared_knobs_are_ignored(self, tmp_path):
+        """Same leniency as ``knob_mapping`` everywhere else."""
+        service, _ = make_service(tmp_path)
+        with service:
+            result = service.submit("grid", {"width": 2, "bogus": 9})
+        assert result.planned == 2
+        assert result.knobs == {"width": 2}
+
+    def test_closed_service_rejects(self, tmp_path):
+        service, _ = make_service(tmp_path)
+        service.close()
+        with pytest.raises(AdmissionError, match="shut down"):
+            service.submit("grid")
+
+
+class TestByteIdentity:
+    def test_served_equals_direct_run(self, tmp_path):
+        """The absolute invariant: service-served == direct run."""
+        exp = GridExperiment()
+        direct_store_exp = GridExperiment()
+        service, _ = make_service(tmp_path, experiment=exp, seed=3)
+        with service:
+            served_cold = service.submit("grid", {"width": 6})
+            served_warm = service.submit("grid", {"width": 6})
+        from repro.testbed import CampaignStore
+        direct = direct_store_exp.run(Session(
+            seed=3, store=CampaignStore(tmp_path / "direct"),
+            knobs=knob_mapping(direct_store_exp, {"width": 6})))
+        assert served_cold.text == direct.text
+        assert served_warm.text == direct.text
+        assert served_cold.data == direct.data
+
+    def test_journal_lives_in_the_store(self, tmp_path):
+        """Submissions get the same resilience bundle ``repro run``
+        builds: per-experiment journal inside the store, seeded retry
+        policy, implicit (no ``[faults]`` output)."""
+        service, _ = make_service(tmp_path, retries=2, seed=7)
+        resilience = service._resilience("grid")
+        assert (resilience.journal.path
+                == tmp_path / "cache" / ".journal" / "grid.log")
+        assert resilience.policy.retries == 2
+        assert not resilience.explicit
+        resilience.close()
+        service.close()
+
+    def test_packed_layout_is_the_default(self, tmp_path):
+        service, _ = make_service(tmp_path)
+        with service:
+            service.submit("grid", {"width": 2})
+        assert list((tmp_path / "cache").glob("*.pack"))
+
+
+class TestHTTP:
+    def test_http_round_trip(self, tmp_path):
+        service, exp = make_service(tmp_path)
+        server = CampaignServiceServer(service, port=0)
+        host, port = server.address
+        server.serve_background()
+        try:
+            payload = submit_request("grid", {"width": 4},
+                                     host=host, port=port, timeout=30)
+            assert payload["ok"] is True
+            assert payload["text"] == "grid: 0 1 4 9\n"
+            assert payload["executed"] == 4
+            assert payload["data"] == [0, 1, 4, 9]
+            warm = submit_request("grid", {"width": 4},
+                                  host=host, port=port, timeout=30)
+            assert warm["text"] == payload["text"]
+            assert warm["executed"] == 0 and warm["hits"] == 4
+        finally:
+            server.shutdown()
+            service.close()
+
+    def test_http_rejection_payload(self, tmp_path):
+        service, _ = make_service(tmp_path)
+        server = CampaignServiceServer(service, port=0)
+        host, port = server.address
+        server.serve_background()
+        try:
+            payload = submit_request("nonesuch", host=host, port=port,
+                                     timeout=30)
+            assert payload["ok"] is False
+            assert "nonesuch" in payload["error"]
+        finally:
+            server.shutdown()
+            service.close()
+
+    def test_stats_counters_flow_through(self, tmp_path):
+        from urllib.request import urlopen
+        service, _ = make_service(tmp_path)
+        server = CampaignServiceServer(service, port=0)
+        host, port = server.address
+        server.serve_background()
+        try:
+            submit_request("grid", {"width": 2}, host=host, port=port,
+                           timeout=30)
+            with urlopen(f"http://{host}:{port}/stats",
+                         timeout=30) as response:
+                stats = json.loads(response.read().decode("utf-8"))
+            assert stats["service"]["completed"] == 1
+            assert stats["service"]["keys_executed"] == 2
+            assert stats["tier"]["stores"] == 2
+        finally:
+            server.shutdown()
+            service.close()

@@ -1,0 +1,154 @@
+"""The memory tier: LRU semantics, hit accounting, hot-shard rebalance."""
+
+from repro.service import LRUCache, ShardHeat, TieredStore
+from repro.service.tiering import _MISSING
+from repro.testbed import CampaignStore, PackedCampaignStore
+
+
+def keys_in_shard(shard: str, n: int):
+    return [shard + format(i, "02x") * 31 for i in range(n)]
+
+
+class TestLRUCache:
+    def test_eviction_is_least_recently_used(self):
+        lru = LRUCache(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert lru.get("a") == 1  # refresh a
+        lru.put("c", 3)  # evicts b, the stalest
+        assert lru.get("b") is _MISSING
+        assert lru.get("a") == 1
+        assert lru.get("c") == 3
+        assert lru.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        lru = LRUCache(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.put("a", 10)  # rewrite refreshes too
+        lru.put("c", 3)  # evicts b
+        assert lru.get("a") == 10
+        assert lru.get("b") is _MISSING
+
+    def test_capacity_bound_holds(self):
+        lru = LRUCache(3)
+        for i in range(50):
+            lru.put(str(i), i)
+        assert len(lru) == 3
+        assert lru.evictions == 47
+
+    def test_zero_capacity_never_stores(self):
+        lru = LRUCache(0)
+        lru.put("a", 1)
+        assert len(lru) == 0
+        assert lru.get("a") is _MISSING
+
+
+class TestTieredReads:
+    def test_memory_hit_skips_backing(self, tmp_path):
+        backing = CampaignStore(tmp_path)
+        tier = TieredStore(backing, capacity=8)
+        key = "aa" * 32
+        tier.put(key, {"v": 1})
+        backing_hits = backing.stats.hits
+        assert tier.get(key, lambda p: p["v"]) == 1
+        assert backing.stats.hits == backing_hits  # served from memory
+        assert tier.stats.hits == 1
+
+    def test_disk_hit_promotes_into_lru(self, tmp_path):
+        backing = CampaignStore(tmp_path)
+        key = "aa" * 32
+        backing.put(key, {"v": 1})
+        tier = TieredStore(CampaignStore(tmp_path), capacity=8)
+        assert tier.get(key, lambda p: p["v"]) == 1  # disk
+        assert key in tier.lru
+        assert tier.get(key, lambda p: p["v"]) == 1  # memory
+        assert tier.lru.hits == 1
+
+    def test_hits_decode_fresh_objects(self, tmp_path):
+        """Caller-side mutation of a hit must not poison later hits."""
+        tier = TieredStore(CampaignStore(tmp_path), capacity=8)
+        key = "aa" * 32
+        tier.put(key, {"v": 1, "nested": {"deep": True}})
+        first = tier.get(key, lambda p: p)
+        first["nested"]["deep"] = "mutated"
+        second = tier.get(key, lambda p: p)
+        assert second["nested"]["deep"] is True
+
+    def test_eviction_falls_back_to_disk(self, tmp_path):
+        tier = TieredStore(CampaignStore(tmp_path), capacity=2)
+        keys = keys_in_shard("aa", 5)
+        for i, key in enumerate(keys):
+            tier.put(key, {"v": i})
+        assert len(tier.lru) == 2
+        found = tier.get_many(keys, lambda p: p["v"])
+        assert found == {key: i for i, key in enumerate(keys)}
+
+
+class TestShardHeat:
+    def test_hot_needs_floor_and_skew(self):
+        heat = ShardHeat()
+        heat.note("aa", 100)
+        heat.note("bb", 1)
+        assert heat.hot_shards(min_reads=64, skew=8.0) == ["aa"]
+        # Below the absolute floor nothing is hot, however skewed.
+        cold = ShardHeat()
+        cold.note("aa", 10)
+        assert cold.hot_shards(min_reads=64, skew=8.0) == []
+
+    def test_uniform_traffic_is_never_hot(self):
+        heat = ShardHeat()
+        for i in range(256):
+            heat.note(format(i, "02x"), 100)
+        assert heat.hot_shards(min_reads=64, skew=8.0) == []
+
+    def test_decay_halves_and_drops(self):
+        heat = ShardHeat()
+        heat.note("aa", 100)
+        heat.note("bb", 1)
+        heat.decay()
+        assert heat.counts == {"aa": 50}
+
+
+class TestRebalance:
+    def test_hot_shard_preloaded_and_compacted(self, tmp_path):
+        backing = PackedCampaignStore(tmp_path)
+        tier = TieredStore(backing, capacity=64)
+        keys = keys_in_shard("aa", 8)
+        for i, key in enumerate(keys):
+            backing.put(key, {"v": i})
+        backing.put(keys[0], {"v": 100})  # dead bytes in the pack
+        for _ in range(10):  # hot: 80 reads on one shard
+            tier.lru.clear()
+            tier.get_many(keys, lambda p: p["v"])
+        events = tier.rebalance(min_reads=64, skew=8.0)
+        assert len(events) == 1
+        event = events[0]
+        assert event.shard == "aa"
+        assert event.reclaimed_bytes > 0
+        assert backing.dead_bytes("aa") == 0
+        assert all(key in tier.lru for key in keys)
+        assert tier.heat.counts.get("aa", 0) < 80  # decayed
+
+    def test_preload_budget_caps_lru_takeover(self, tmp_path):
+        backing = CampaignStore(tmp_path)
+        tier = TieredStore(backing, capacity=8)  # budget = 2 per shard
+        keys = keys_in_shard("aa", 6)
+        for i, key in enumerate(keys):
+            backing.put(key, {"v": i})
+        tier.heat.note("aa", 1000)
+        events = tier.rebalance(min_reads=64, skew=8.0)
+        assert events[0].preloaded == 2
+        assert len(tier.lru) == 2
+
+    def test_nothing_hot_is_a_noop(self, tmp_path):
+        tier = TieredStore(CampaignStore(tmp_path), capacity=8)
+        assert tier.rebalance() == []
+
+    def test_gc_clears_memory_tier(self, tmp_path):
+        tier = TieredStore(CampaignStore(tmp_path), capacity=8)
+        key = "aa" * 32
+        tier.put(key, {"v": 1})
+        tier.gc([])
+        assert len(tier.lru) == 0
+        assert tier.get(key, lambda p: p) is None  # not resurrected

@@ -1,0 +1,209 @@
+"""The packed per-shard store: round-trip, torn tails, gc, sidecars."""
+
+import json
+
+import pytest
+
+from repro.clients import get_profile
+from repro.testbed import (CampaignStore, PackedCampaignStore, SweepSpec,
+                          TestCaseConfig, TestCaseKind, TestRunner,
+                          open_store)
+from repro.testbed.store import decode_record, encode_record
+
+
+def small_runner(seed: int = 5, store=None, **knobs) -> TestRunner:
+    return TestRunner(
+        clients=[get_profile("Chrome", "130.0"),
+                 get_profile("curl", "7.88.1")],
+        cases=[TestCaseConfig(
+            name="cad", kind=TestCaseKind.CONNECTION_ATTEMPT_DELAY,
+            sweep=SweepSpec.fixed(0, 150, 310), repetitions=2)],
+        seed=seed, store=store, **knobs)
+
+
+class TestPackedRoundTrip:
+    def test_records_round_trip_byte_identical_to_per_file(self, tmp_path):
+        """The absolute invariant: layout never changes decoded records."""
+        packed = PackedCampaignStore(tmp_path / "packed")
+        perfile = CampaignStore(tmp_path / "perfile")
+        small_runner(store=packed).run()
+        small_runner(store=perfile).run()
+        packed_keys = dict(packed.entries())
+        perfile_keys = dict(perfile.entries())
+        assert set(packed_keys) == set(perfile_keys)
+        for key in packed_keys:
+            assert packed.get_record(key) == perfile.get_record(key)
+
+    def test_many_entries_per_shard_few_files(self, tmp_path):
+        store = PackedCampaignStore(tmp_path)
+        small_runner(store=store).run()
+        entries = sum(1 for _ in store.entries())
+        packs = list(tmp_path.glob("*.pack"))
+        assert entries > 0
+        assert packs  # packed layout: *.pack files at the root
+        assert not [p for p in tmp_path.iterdir()
+                    if p.is_dir() and len(p.name) == 2]
+
+    def test_fresh_handle_warm_reads(self, tmp_path):
+        store = PackedCampaignStore(tmp_path)
+        small_runner(store=store).run()
+        keys = [key for key, _ in store.entries()]
+        warm = PackedCampaignStore(tmp_path)
+        found = warm.get_many_records(keys)
+        assert set(found) == set(keys)
+        assert warm.stats.hits == len(keys)
+
+    def test_supersede_last_write_wins(self, tmp_path):
+        store = PackedCampaignStore(tmp_path)
+        key = "ab" * 32
+        store.put(key, {"v": 1})
+        store.put(key, {"v": 2})
+        assert store.get(key, lambda p: p["v"]) == 2
+        # A fresh handle scanning the pack agrees (last occurrence wins).
+        assert PackedCampaignStore(tmp_path).get(
+            key, lambda p: p["v"]) == 2
+        assert store.dead_bytes("ab") > 0
+
+    def test_open_store_autodetects_layout(self, tmp_path):
+        packed_root = tmp_path / "packed"
+        PackedCampaignStore(packed_root).put("cd" * 32, {"v": 1})
+        assert isinstance(open_store(packed_root), PackedCampaignStore)
+        perfile_root = tmp_path / "perfile"
+        CampaignStore(perfile_root).put("cd" * 32, {"v": 1})
+        opened = open_store(perfile_root)
+        assert isinstance(opened, CampaignStore)
+        assert not isinstance(opened, PackedCampaignStore)
+        assert isinstance(open_store(tmp_path / "empty"),
+                          CampaignStore)  # empty root: per-file default
+        with pytest.raises(ValueError):
+            open_store(tmp_path, layout="bogus")
+
+
+class TestTornTail:
+    def test_torn_tail_is_invisible_and_healed(self, tmp_path):
+        store = PackedCampaignStore(tmp_path)
+        k1, k2, k3 = "ee" * 32, "ee" + "01" * 31, "ee" + "02" * 31
+        store.put(k1, {"v": 1})
+        pack = tmp_path / "ee.pack"
+        # Simulate a crash mid-append: valid line + truncated tail,
+        # no trailing newline.
+        torn = json.dumps({"key": k2, "v": 2}, sort_keys=True)[:20]
+        with pack.open("ab") as fh:
+            fh.write(torn.encode("ascii"))
+        fresh = PackedCampaignStore(tmp_path)
+        assert fresh.get(k1, lambda p: p["v"]) == 1
+        assert fresh.get(k2, lambda p: p) is None  # torn line never indexed
+        # The next append heals the tail: both old and new survive a rescan.
+        fresh.put(k3, {"v": 3})
+        rescan = PackedCampaignStore(tmp_path)
+        assert rescan.get(k1, lambda p: p["v"]) == 1
+        assert rescan.get(k3, lambda p: p["v"]) == 3
+
+    def test_unterminated_final_line_not_indexed(self, tmp_path):
+        store = PackedCampaignStore(tmp_path)
+        key = "ff" * 32
+        line = json.dumps({"complete": True, "format": 2, "key": key,
+                           "payload": {}}, sort_keys=True)
+        (tmp_path / "ff.pack").write_bytes(line.encode("ascii"))
+        assert store.get(key, lambda p: p) is None
+
+
+class TestQuarantine:
+    def test_invalid_entry_quarantined_not_served(self, tmp_path):
+        store = PackedCampaignStore(tmp_path)
+        key = "aa" * 32
+        # A complete line whose record is invalid (complete: false).
+        line = json.dumps({"complete": False, "format": 2, "key": key,
+                           "payload": {"v": 1}}, sort_keys=True) + "\n"
+        (tmp_path / "aa.pack").write_bytes(line.encode("ascii"))
+        assert store.get(key, lambda p: p) is None
+        assert store.stats.invalid == 1
+        assert store.stats.quarantined == 1
+        quarantined = list((tmp_path / ".quarantine").rglob("*.json"))
+        assert len(quarantined) == 1
+        assert json.loads(quarantined[0].read_text())["key"] == key
+        # Quarantined bytes are dead; the slot is gone from the index.
+        assert store.dead_bytes("aa") == len(line.encode("ascii"))
+        assert not store.has(key)
+
+
+class TestPackedGC:
+    def test_gc_keeps_live_drops_dead(self, tmp_path):
+        store = PackedCampaignStore(tmp_path)
+        small_runner(store=store).run()
+        keys = sorted(key for key, _ in store.entries())
+        live, dead = keys[: len(keys) // 2], keys[len(keys) // 2:]
+        stats = store.gc(live)
+        assert stats.removed == len(dead)
+        assert stats.kept == len(live)
+        fresh = PackedCampaignStore(tmp_path)
+        for key in live:
+            assert fresh.has(key)
+        for key in dead:
+            assert not fresh.has(key)
+
+    def test_gc_drops_empty_packs(self, tmp_path):
+        store = PackedCampaignStore(tmp_path)
+        store.put("ab" * 32, {"v": 1})
+        store.gc([])
+        assert not list(tmp_path.glob("*.pack"))
+
+    def test_compaction_reclaims_dead_bytes(self, tmp_path):
+        store = PackedCampaignStore(tmp_path)
+        key = "cd" * 32
+        for version in range(5):
+            store.put(key, {"v": version})
+        before = store.pack_size("cd")
+        reclaimed = store.compact_shard("cd")
+        assert reclaimed > 0
+        assert store.pack_size("cd") < before
+        assert store.dead_bytes("cd") == 0
+        assert store.get(key, lambda p: p["v"]) == 4
+
+
+class TestPackedSidecars:
+    def test_sidecar_skips_rescan(self, tmp_path):
+        store = PackedCampaignStore(tmp_path)
+        small_runner(store=store).run()
+        keys = [key for key, _ in store.entries()]
+        # Like the per-file store, dirty sidecars flush on the next
+        # batch read, not once per put.
+        store.get_many_records(keys)
+        assert list(tmp_path.glob(".index/*.json"))
+        warm = PackedCampaignStore(tmp_path)
+        warm.get_many_records(keys)
+        assert warm.index_rebuilds == 0
+
+    def test_foreign_write_forces_rescan(self, tmp_path):
+        store = PackedCampaignStore(tmp_path)
+        key1, key2 = "ab" * 32, "ab" + "11" * 31
+        store.put(key1, {"v": 1})
+        # A writer that never updates the sidecar (foreign process).
+        line = json.dumps({"complete": True, "format": 2, "key": key2,
+                           "payload": {"v": 2}}, sort_keys=True) + "\n"
+        with (tmp_path / "ab.pack").open("ab") as fh:
+            fh.write(line.encode("ascii"))
+        fresh = PackedCampaignStore(tmp_path)
+        assert fresh.get(key2, lambda p: p["v"]) == 2
+
+    def test_no_index_mode(self, tmp_path):
+        store = PackedCampaignStore(tmp_path, use_index=False)
+        key = "ef" * 32
+        store.put(key, {"v": 9})
+        assert not list(tmp_path.glob(".index/*"))
+        fresh = PackedCampaignStore(tmp_path, use_index=False)
+        assert fresh.get(key, lambda p: p["v"]) == 9
+
+    def test_shard_payloads_both_layouts(self, tmp_path):
+        packed = PackedCampaignStore(tmp_path / "p")
+        perfile = CampaignStore(tmp_path / "f")
+        runner = small_runner()
+        record = runner.run_single(runner.cases[0], runner.clients[0], 310)
+        payload = encode_record(record)
+        key = "ab" * 32
+        packed.put(key, payload)
+        perfile.put(key, payload)
+        assert packed.shard_payloads("ab") == perfile.shard_payloads("ab")
+        assert decode_record(
+            packed.shard_payloads("ab")[key]) == record
+        assert packed.shards() == perfile.shards() == ["ab"]
