@@ -1,6 +1,7 @@
-"""CI perf gate for the simulator core and the campaign store.
+"""CI perf gate for the simulator core, the campaign store, and the
+population campaign.
 
-Re-measures two headline workloads and fails when either is more than
+Re-measures three headline workloads and fails when one is more than
 30% slower than the best committed sample in
 ``results/bench_timings.json``:
 
@@ -9,7 +10,11 @@ Re-measures two headline workloads and fails when either is more than
 * the packed-store fresh-handle warm resolve of the dense synthetic
   grid — what ``bench_service.py`` records as
   ``store_packed_vs_perfile_warm`` (the measurement is imported from
-  there, so gate and bench can never drift apart).
+  there, so gate and bench can never drift apart);
+* the cold 250-user population-latency campaign — what
+  ``bench_population.py`` records as
+  ``population_samples_per_second`` (measurement imported from there
+  too).
 
 The committed samples come from the same machine class as CI, and the
 measurement takes the best of three to damp shared-runner noise, so a
@@ -29,6 +34,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 from repro.analysis import figure2_sweep  # noqa: E402
 
+from bench_population import measure_population  # noqa: E402
 from bench_service import measure_packed_vs_perfile  # noqa: E402
 
 TIMINGS_PATH = (pathlib.Path(__file__).resolve().parent
@@ -89,12 +95,43 @@ def gate_packed_store(timings) -> int:
     return 0
 
 
+def gate_population(timings) -> int:
+    """Cold population campaign vs the committed best, best of two
+    (each measurement is ~1s of simulation, so two damp runner noise
+    without doubling the gate's wall clock the way three would)."""
+    samples = timings.get("population_samples_per_second", [])
+    if not samples:
+        print("[perf-gate] no committed population_samples_per_second "
+              "baseline; skipping")
+        return 0
+    baseline = min(sample["seconds"] for sample in samples)
+
+    best = float("inf")
+    for _ in range(2):
+        with tempfile.TemporaryDirectory() as tmp:
+            cold_s, _, cold, warm, misses = measure_population(
+                pathlib.Path(tmp))
+        assert warm.text == cold.text and misses == 0
+        best = min(best, cold_s)
+
+    ratio = best / baseline
+    print(f"[perf-gate] population: measured {best:.3f}s vs committed "
+          f"best {baseline:.3f}s ({ratio:.2f}x, threshold "
+          f"{THRESHOLD:.2f}x)")
+    if ratio > THRESHOLD:
+        print("[perf-gate] FAIL: population campaign regressed by "
+              f"{(ratio - 1) * 100:.0f}% on the 250-user grid")
+        return 1
+    return 0
+
+
 def main() -> int:
     try:
         timings = json.loads(TIMINGS_PATH.read_text(encoding="utf-8"))
     except (FileNotFoundError, ValueError):
         timings = {}
-    failures = gate_simnet_core(timings) + gate_packed_store(timings)
+    failures = (gate_simnet_core(timings) + gate_packed_store(timings)
+                + gate_population(timings))
     if failures:
         return 1
     print("[perf-gate] OK")

@@ -5,8 +5,8 @@ from .figures import (Figure2Series, Figure5Series, figure2_runner,
                       figure5_runner, render_figure2, render_figure5)
 from .render import (format_ms, format_percent, render_family_strip,
                      render_mark, render_table)
-from .stats import (Summary, cad_summary, outlier_fraction, rd_summary,
-                    stall_summary, summarize, summarize_metric)
+from .stats import (StreamingCDF, Summary, cad_summary, outlier_fraction,
+                    rd_summary, stall_summary, summarize, summarize_metric)
 from .tables import (RESOLVER_DELAY_GRID, Table2Row, Table3Row, Table4Row,
                      evaluate_client_features, render_table2, render_table3,
                      render_table4, table1_parameters, table2_features,
@@ -14,7 +14,8 @@ from .tables import (RESOLVER_DELAY_GRID, Table2Row, Table3Row, Table4Row,
                      table3_store_keys, table4_inventory, table5_matrix)
 
 __all__ = [
-    "Figure2Series", "Figure5Series", "RESOLVER_DELAY_GRID", "Summary",
+    "Figure2Series", "Figure5Series", "RESOLVER_DELAY_GRID",
+    "StreamingCDF", "Summary",
     "Table2Row", "cad_summary", "outlier_fraction", "rd_summary",
     "stall_summary", "summarize", "summarize_metric",
     "Table3Row", "Table4Row", "evaluate_client_features",

@@ -10,9 +10,121 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
 
 from ..testbed.runner import ResultSet, RunRecord
+
+
+class StreamingCDF:
+    """Streaming, mergeable, deterministic CDF/quantile accumulator.
+
+    Values land in fixed-width bins kept as a sparse ``{bin: count}``
+    dict, so memory is proportional to the value *spread*, never the
+    sample count — a million-user population campaign aggregates its
+    latency distribution without materializing a record list.  Because
+    bin increments commute, the binned aggregate (counts, quantiles,
+    CDF points, extremes) is independent of insertion order, and
+    merging per-worker accumulators (:meth:`merge`) reproduces it
+    exactly — which is what keeps serial, parallel, and warm-cache
+    renderings byte-identical.  The mean is a float sum, so only it
+    may differ in the last ulp across merge groupings.
+
+    Quantiles resolve to the *upper edge* of the bin holding the
+    requested rank (a deterministic ≤ ``bin_width`` overestimate);
+    exact minimum, maximum, and mean are tracked on the side.
+    """
+
+    __slots__ = ("bin_width", "count", "total", "minimum", "maximum",
+                 "_bins")
+
+    def __init__(self, bin_width: float = 0.001) -> None:
+        if bin_width <= 0:
+            raise ValueError(f"bin_width must be positive: {bin_width!r}")
+        self.bin_width = bin_width
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self._bins: Dict[int, int] = {}
+
+    def add(self, value: float) -> None:
+        if not math.isfinite(value):
+            raise ValueError(f"non-finite sample: {value!r}")
+        index = math.floor(value / self.bin_width)
+        self._bins[index] = self._bins.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def merge(self, other: "StreamingCDF") -> None:
+        """Fold ``other`` in; identical to having added its samples here."""
+        if other.bin_width != self.bin_width:
+            raise ValueError(
+                f"bin widths differ: {self.bin_width!r} vs "
+                f"{other.bin_width!r}")
+        for index, count in other._bins.items():
+            self._bins[index] = self._bins.get(index, 0) + count
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None and (self.minimum is None
+                                          or other.minimum < self.minimum):
+            self.minimum = other.minimum
+        if other.maximum is not None and (self.maximum is None
+                                          or other.maximum > self.maximum):
+            self.maximum = other.maximum
+
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The upper edge of the bin holding rank ``ceil(q * count)``.
+
+        ``q=0`` returns the exact minimum and ``q=1`` the exact
+        maximum; None when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]: {q!r}")
+        if not self.count:
+            return None
+        if q == 0.0:
+            return self.minimum
+        if q == 1.0:
+            return self.maximum
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for index in sorted(self._bins):
+            seen += self._bins[index]
+            if seen >= rank:
+                return (index + 1) * self.bin_width
+        return self.maximum  # pragma: no cover - rank <= count
+
+    def cdf_at(self, value: float) -> Optional[float]:
+        """Fraction of samples ≤ ``value``, at bin resolution: every
+        sample is counted at its bin's *lower* edge, so the answer is
+        exact whenever ``value`` lies on a bin boundary and otherwise
+        overestimates by at most one bin's population.  None when
+        empty."""
+        if not self.count:
+            return None
+        cutoff = math.floor(value / self.bin_width)
+        below = sum(count for index, count in self._bins.items()
+                    if index <= cutoff)
+        return below / self.count
+
+    def cdf_points(self) -> "List[Tuple[float, float]]":
+        """Sorted ``(bin upper edge, cumulative fraction)`` pairs —
+        the rendered CDF curve."""
+        points = []
+        seen = 0
+        for index in sorted(self._bins):
+            seen += self._bins[index]
+            points.append(((index + 1) * self.bin_width,
+                           seen / self.count))
+        return points
 
 
 @dataclass(frozen=True)

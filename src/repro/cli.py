@@ -210,11 +210,15 @@ def _cmd_ls(args: argparse.Namespace) -> None:
                           store=store,
                           knobs=experiment.default_knobs())
         planned = experiment.planned_keys(session)
+        space = experiment.sample_space(session)
         rows.append([experiment.name, experiment.paper or None,
                      str(planned) if planned else None,
+                     (f"{space[0]} @ {space[1]}"
+                      if space is not None else None),
                      experiment.title])
     print(render_table(
-        ["Experiment", "Paper", "Planned keys", "Description"], rows,
+        ["Experiment", "Paper", "Planned keys", "Sample space",
+         "Description"], rows,
         title="Registered experiments"))
     print(f"\n{len(rows)} experiments registered")
 
@@ -226,9 +230,13 @@ def _cmd_cache_gc(args: argparse.Namespace) -> None:
     store = _store_from(args)
     if store is None:
         raise SystemExit("cache gc needs --cache-dir (or $REPRO_CACHE_DIR)")
+    population = {"samples": args.population_samples,
+                  "spec": args.population_spec}
     overrides = {
         "figure2": {"step": args.step, "stop": args.stop},
         "table3": {"repetitions": args.table3_repetitions},
+        "population-latency": population,
+        "population-family-share": population,
     }
     live: "set[str]" = set()
     for experiment in all_experiments():
@@ -536,6 +544,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="table3 share repetitions whose keys stay "
                           "live (default 160, the table3 default; "
                           "smaller campaigns are a key subset)")
+    pgc.add_argument("--population-samples", type=int, default=250,
+                     help="population sample count whose keys stay "
+                          "live (default 250, the population default; "
+                          "smaller populations are a key subset)")
+    pgc.add_argument("--population-spec", default="default",
+                     help="population spec whose sample keys stay live "
+                          "(preset name, @file, or inline JSON; "
+                          "default: the 'default' preset)")
     pgc.set_defaults(fn=_cmd_cache_gc)
     return parser
 

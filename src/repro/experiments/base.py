@@ -218,6 +218,14 @@ class Experiment:
         """Distinct planned keys under ``session`` (``repro ls``)."""
         return len(set(self.plan(session)))
 
+    def sample_space(self, session: Session
+                     ) -> "Optional[Tuple[int, str]]":
+        """``(sample-space size, distribution digest)`` for
+        sample-indexed experiments (the population family), None for
+        experiments that enumerate fixed configurations.  ``repro ls``
+        renders this next to the planned-key count."""
+        return None
+
 
 def knob_mapping(experiment: Experiment,
                  values: Mapping[str, Any]) -> Dict[str, Any]:

@@ -615,8 +615,11 @@ class FingerprintDiffExperiment(Experiment):
 
 # --------------------------------------------------------------------------
 # registration (presentation order: tables, figures, diagnostics,
-# conformance)
+# conformance, population)
 # --------------------------------------------------------------------------
+
+from ..population.experiments import (  # noqa: E402 - registration order
+    PopulationFamilyShareExperiment, PopulationLatencyExperiment)
 
 for _experiment in (Table1Experiment(), Table2Experiment(),
                     Table3Experiment(), Table4Experiment(),
@@ -626,5 +629,7 @@ for _experiment in (Table1Experiment(), Table2Experiment(),
                     FingerprintExperiment(), ConformanceExperiment(),
                     HEv3BatteryExperiment(), SvcbBatteryExperiment(),
                     SortlistBatteryExperiment(),
-                    FingerprintDiffExperiment()):
+                    FingerprintDiffExperiment(),
+                    PopulationLatencyExperiment(),
+                    PopulationFamilyShareExperiment()):
     register(_experiment)

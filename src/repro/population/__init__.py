@@ -1,0 +1,66 @@
+"""Population-mix Monte-Carlo campaigns.
+
+Sample whole client populations from declarative distributions
+(:mod:`repro.population.distributions`), map each ``(spec, seed,
+index)`` coordinate to a concrete policy stack + impairment scenario
+(:mod:`repro.population.sampler`), and stream the resulting paired
+campaign through the existing store/executor/resilience machinery
+(:mod:`repro.population.campaign`).  The registered experiments live
+in :mod:`repro.population.experiments`.
+
+Submodules import lazily so that building the experiment catalogue
+(CLI parser construction, ``repro ls``) stays light.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "Categorical": "distributions",
+    "Choice": "distributions",
+    "Fixed": "distributions",
+    "IMPAIRMENT_MIXES": "distributions",
+    "Normal": "distributions",
+    "OS_SORTLISTS": "distributions",
+    "PRESETS": "distributions",
+    "PopulationSpec": "distributions",
+    "PopulationSpecError": "distributions",
+    "RESOLVER_BEHAVIORS": "distributions",
+    "STACK_FAMILIES": "distributions",
+    "Uniform": "distributions",
+    "parse_numeric": "distributions",
+    "resolve_spec": "distributions",
+    "PopulationSampler": "sampler",
+    "SampledUser": "sampler",
+    "DEGRADATION_SPEC": "campaign",
+    "DEFAULT_DEGRADATION": "campaign",
+    "PopulationRunner": "campaign",
+    "PopulationFamilyShareExperiment": "experiments",
+    "PopulationLatencyExperiment": "experiments",
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .campaign import (DEFAULT_DEGRADATION, DEGRADATION_SPEC,
+                           PopulationRunner)
+    from .distributions import (IMPAIRMENT_MIXES, OS_SORTLISTS, PRESETS,
+                                RESOLVER_BEHAVIORS, STACK_FAMILIES,
+                                Categorical, Choice, Fixed, Normal,
+                                PopulationSpec, PopulationSpecError,
+                                Uniform, parse_numeric, resolve_spec)
+    from .experiments import (PopulationFamilyShareExperiment,
+                              PopulationLatencyExperiment)
+    from .sampler import PopulationSampler, SampledUser
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    return getattr(module, name)

@@ -1,0 +1,177 @@
+"""Seeded deterministic population sampling.
+
+:class:`PopulationSampler` maps the coordinate ``(population seed,
+sample index)`` to one concrete simulated user: a
+:class:`~repro.clients.profile.ClientProfile` whose
+:class:`~repro.core.policy.PolicyStack` is composed from the sampled
+stack family, OS sortlist, and CAD/RD parameters, plus the impairment
+stanzas of the sampled resolver behaviour and network mix.
+
+Determinism and targeted invalidation both come from the same design:
+every spec field gets its own uniform draw
+``derive_rng(seed, "population", field, index).random()`` — a pure
+function of the coordinate, *independent of the distribution's
+parameters* — which is then mapped through the distribution's inverse
+CDF.  Same coordinate → same user, across interpreters and pool
+workers; and editing one distribution remaps only the samples whose
+uniforms fall in the probability region that moved, so the campaign
+store keys of every unchanged sample survive the edit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from ..clients.profile import (ClientProfile, chromium_stack, curl_stack,
+                               gecko_stack, hev3_reference_stack,
+                               webkit_stack, wget_stack)
+from ..core.policy import PolicyStack
+from ..dns.rdata import RdataType
+from ..seeding import derive_rng
+from ..simnet.addr import Family
+from ..testbed.config import ImpairmentSpec
+from .distributions import OS_SORTLISTS, PopulationSpec
+
+#: Cosmetic OS label carried on sampled profiles (matches the
+#: registry's ``os_hint`` spellings where one exists).
+_OS_HINTS: "Mapping[str, str]" = {
+    "linux": "Linux",
+    "windows": "Windows 10",
+    "macos": "Mac OS X 10.15.7",
+    "android": "Android 10",
+}
+
+#: DNS answer-delay stanzas per resolver behaviour: a slow resolver
+#: delays both record types; a lame-AAAA delegation stalls only the
+#: AAAA answer (the §5.2 pathology, population-scaled).
+RESOLVER_IMPAIRMENTS: "Mapping[str, Tuple[ImpairmentSpec, ...]]" = {
+    "responsive": (),
+    "slow": (
+        ImpairmentSpec(dns_rtype=RdataType.A, delay_s=0.150,
+                       name="resolver-slow-a"),
+        ImpairmentSpec(dns_rtype=RdataType.AAAA, delay_s=0.150,
+                       name="resolver-slow-aaaa"),
+    ),
+    "lame-aaaa": (
+        ImpairmentSpec(dns_rtype=RdataType.AAAA, delay_s=2.5,
+                       name="resolver-lame-aaaa"),
+    ),
+}
+
+#: Netem stanzas per network-impairment mix, applied on top of the
+#: campaign's value-scaled IPv6 degradation.
+MIX_IMPAIRMENTS: "Mapping[str, Tuple[ImpairmentSpec, ...]]" = {
+    "healthy": (),
+    "jittery": (
+        ImpairmentSpec(delay_s=0.015, jitter_s=0.010,
+                       jitter_correlation=0.25, name="mix-jittery"),
+    ),
+    "v6-jittery": (
+        ImpairmentSpec(family=Family.V6, delay_s=0.030, jitter_s=0.020,
+                       jitter_correlation=0.25, name="mix-v6-jittery"),
+    ),
+    "v6-lossy": (
+        ImpairmentSpec(family=Family.V6, loss=0.05, name="mix-v6-lossy"),
+    ),
+    "congested": (
+        ImpairmentSpec(delay_s=0.010, rate_bps=5_000_000.0,
+                       name="mix-congested"),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class SampledUser:
+    """One concrete simulated user: the sample's label coordinates
+    plus the derived profile and impairment stanzas."""
+
+    index: int
+    os: str
+    stack_family: str
+    cad_ms: float
+    rd_ms: float
+    resolver: str
+    impairment: str
+    profile: ClientProfile
+    impairments: "Tuple[ImpairmentSpec, ...]"
+
+
+def _stack_for(family: str, sortlist: str, cad_s: float,
+               rd_s: float) -> PolicyStack:
+    """Compose the sampled stack: family picks the architecture, the
+    sampled CAD/RD parameterize the stages that implement them."""
+    if family == "chromium":
+        return chromium_stack(cad=cad_s, sortlist=sortlist)
+    if family == "gecko":
+        return gecko_stack(cad=cad_s, sortlist=sortlist)
+    if family == "webkit":
+        # Dynamic CAD falls back to its maximum on a pristine testbed
+        # (§5.1), so the sampled CAD parameterizes the cap — floored
+        # at the RFC's recommended 100 ms to keep min <= rec <= max.
+        return webkit_stack(maximum_cad=max(cad_s, 0.100),
+                            sortlist=sortlist).with_resolution(
+                                resolution_delay=rd_s)
+    if family == "curl":
+        return curl_stack(sortlist=sortlist).with_racing(
+            connection_attempt_delay=cad_s)
+    if family == "wget":
+        # Strictly serial, no HE: the sampled CAD/RD do not apply, and
+        # its destination ordering stays the legacy RFC 3484 table.
+        return wget_stack()
+    if family == "hev3":
+        return hev3_reference_stack().with_racing(
+            connection_attempt_delay=cad_s).with_resolution(
+                resolution_delay=rd_s)
+    raise ValueError(f"unknown stack family {family!r}")
+
+
+class PopulationSampler:
+    """Maps ``(spec, seed, index)`` to a :class:`SampledUser`."""
+
+    def __init__(self, spec: PopulationSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self.seed = seed
+
+    def _unit(self, field: str, index: int) -> float:
+        """The per-field uniform draw — a pure function of the
+        coordinate, never of the distribution parameters."""
+        return derive_rng(self.seed, "population", field, index).random()
+
+    def user(self, index: int) -> SampledUser:
+        if index < 0:
+            raise ValueError(f"sample index must be >= 0: {index}")
+        spec = self.spec
+        os = spec.os_shares.sample(self._unit("os", index))
+        family = spec.stack_shares.sample(self._unit("stack", index))
+        cad_ms = spec.cad_ms.sample(self._unit("cad", index))
+        rd_ms = spec.rd_ms.sample(self._unit("rd", index))
+        resolver = spec.resolver_shares.sample(
+            self._unit("resolver", index))
+        impairment = spec.impairment_shares.sample(
+            self._unit("impairment", index))
+
+        # Floors keep every sampled value inside the stage validators:
+        # CAD must be strictly positive, RD non-negative.
+        cad_s = max(cad_ms, 1.0) / 1000.0
+        rd_s = max(rd_ms, 0.0) / 1000.0
+        profile = ClientProfile(
+            name=f"pop-{family}",
+            version="mix",
+            released="01-2026",
+            engine_family="reference" if family == "hev3" else family,
+            kind=("browser" if family in ("chromium", "gecko", "webkit")
+                  else "cli"),
+            query_first=(RdataType.A if family in ("gecko", "wget")
+                         else RdataType.AAAA),
+            implements_happy_eyeballs=family != "wget",
+            os_hint=_OS_HINTS[os],
+            supports_web_tests=False,
+            stack=_stack_for(family, OS_SORTLISTS[os], cad_s, rd_s),
+        )
+        return SampledUser(
+            index=index, os=os, stack_family=family, cad_ms=cad_ms,
+            rd_ms=rd_ms, resolver=resolver, impairment=impairment,
+            profile=profile,
+            impairments=(RESOLVER_IMPAIRMENTS[resolver]
+                         + MIX_IMPAIRMENTS[impairment]))

@@ -11,6 +11,8 @@ which digests a canonical rendering of the coordinates instead.
 
 from __future__ import annotations
 
+import hashlib
+import random
 import zlib
 from typing import Union
 
@@ -42,6 +44,23 @@ def stable_unit(*parts: SeedPart) -> float:
     :func:`stable_run_seed`, rescaled to the unit interval.
     """
     return stable_run_seed(*parts) / float(_SEED_MASK + 1)
+
+
+def derive_rng(*parts: SeedPart) -> random.Random:
+    """An independent :class:`random.Random` derived from ``parts``.
+
+    Where :func:`stable_run_seed` hands out 31-bit seeds for whole
+    runs, sampling subsystems need a *stream* of reproducible draws per
+    coordinate — e.g. ``(population seed, field label, sample index)``
+    — with no correlation between adjacent coordinates.  The full
+    SHA-256 digest of the canonical part rendering seeds the generator,
+    so every coordinate gets its own well-mixed stream and the mapping
+    is identical across interpreters, ``PYTHONHASHSEED`` values, and
+    pool workers.
+    """
+    canonical = "\x1f".join(f"{type(p).__name__}:{p!r}" for p in parts)
+    digest = hashlib.sha256(canonical.encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest, "big"))
 
 
 def backoff_jitter(seed: int, attempt: int, base: float = 0.05,

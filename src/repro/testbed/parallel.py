@@ -50,7 +50,18 @@ class RunSpec:
 
 
 def enumerate_specs(runner: "TestRunner") -> List[RunSpec]:
-    """All run specs, in the exact order of the serial campaign loop."""
+    """All run specs, in the exact order of the serial campaign loop.
+
+    Delegates to :meth:`~repro.testbed.runner.TestRunner
+    .enumerate_specs` — the runner owns its campaign shape (cross
+    product by default; the population sampler pairs case *i* with
+    client *i*), and executor, serial stream, and key planning all
+    read the same enumeration.  Duck-typed runners without the method
+    get the historical cross product.
+    """
+    method = getattr(runner, "enumerate_specs", None)
+    if method is not None:
+        return method()
     specs: List[RunSpec] = []
     for case_index, case in enumerate(runner.cases):
         for client_index in range(len(runner.clients)):

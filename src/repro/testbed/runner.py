@@ -23,8 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from statistics import median
-from typing import (Dict, Iterable, Iterator, List, Mapping, Optional,
-                    Sequence, Tuple)
+from typing import (TYPE_CHECKING, Dict, Iterable, Iterator, List,
+                    Mapping, Optional, Sequence, Tuple)
 
 from ..clients.base import Client
 from ..clients.profile import ClientProfile
@@ -40,6 +40,9 @@ from .modules import (AddressSelectionModule, CaptureModule, ServiceModule,
 from .resilience import Resilience, execute_with_retries, failure_record
 from .store import CampaignStore, config_digest, decode_record
 from .topology import LocalTestbed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .parallel import RunSpec
 
 
 #: Placeholder sweep substituted into a case before digesting its
@@ -357,40 +360,57 @@ class TestRunner:
                 return CampaignExecutor(self, workers=workers).stream()
         return self._stream_serial()
 
+    def enumerate_specs(self) -> "List[RunSpec]":
+        """Every run's coordinates, in campaign enumeration order.
+
+        The default campaign shape is the full ``cases × clients``
+        cross product; subclasses redefine the pairing (the population
+        sampler pairs ``cases[i]`` with ``clients[i]``) and every
+        consumer — serial streaming, the parallel executor, key
+        planning, resilience — follows automatically.
+        """
+        from .parallel import RunSpec
+
+        specs: "List[RunSpec]" = []
+        for case_index, case in enumerate(self.cases):
+            for client_index in range(len(self.clients)):
+                for value_ms in case.sweep:
+                    for repetition in range(case.repetitions):
+                        specs.append(RunSpec(case_index, client_index,
+                                             value_ms, repetition))
+        return specs
+
     def _stream_serial(self) -> "Iterator[RunRecord]":
+        specs = self.enumerate_specs()
         if self.store is None:
-            for case in self.cases:
-                for profile in self.clients:
-                    for value_ms in case.sweep:
-                        for repetition in range(case.repetitions):
-                            yield self._execute_serial(case, profile,
-                                                       value_ms, repetition)
+            for spec in specs:
+                yield self._execute_serial(self.cases[spec.case_index],
+                                           self.clients[spec.client_index],
+                                           spec.value_ms, spec.repetition)
             return
         # Plan the campaign's full key universe up front and resolve
         # every hit in one batch — per-shard sidecar index reads
         # instead of one JSON stat/read per key.  Hits are popped as
         # they are yielded, so memory decays as the stream drains.
-        prefetched = self.store.get_many(self.store_keys(), decode_record)
+        from .parallel import spec_keys
+
+        keys = spec_keys(self, specs)
+        prefetched = self.store.get_many(keys, decode_record)
         res = self.resilience
-        for case in self.cases:
-            for profile in self.clients:
-                digest = self.config_digest_for(case, profile)
-                for value_ms in case.sweep:
-                    for repetition in range(case.repetitions):
-                        key = self.store_key_for(case, profile, value_ms,
-                                                 repetition,
-                                                 config_digest=digest)
-                        record = prefetched.pop(key, None)
-                        if res is not None:
-                            res.note_lookup(key, hit=record is not None)
-                        if record is None:
-                            record = self._execute_serial(
-                                case, profile, value_ms, repetition)
-                            if res is not None:
-                                res.store_fresh(self.store, key, record)
-                            else:
-                                self.store.put_record(key, record)
-                        yield record
+        for spec, key in zip(specs, keys):
+            case = self.cases[spec.case_index]
+            profile = self.clients[spec.client_index]
+            record = prefetched.pop(key, None)
+            if res is not None:
+                res.note_lookup(key, hit=record is not None)
+            if record is None:
+                record = self._execute_serial(
+                    case, profile, spec.value_ms, spec.repetition)
+                if res is not None:
+                    res.store_fresh(self.store, key, record)
+                else:
+                    self.store.put_record(key, record)
+            yield record
 
     def _execute_serial(self, case: TestCaseConfig,
                         profile: ClientProfile, value_ms: int,
@@ -433,14 +453,9 @@ class TestRunner:
         """The content address of every run in this campaign, in
         enumeration order, without executing anything.  ``repro cache
         gc`` uses this to mark a campaign's entries as live."""
-        for case in self.cases:
-            for profile in self.clients:
-                digest = self.config_digest_for(case, profile)
-                for value_ms in case.sweep:
-                    for repetition in range(case.repetitions):
-                        yield self.store_key_for(
-                            case, profile, value_ms, repetition,
-                            config_digest=digest)
+        from .parallel import spec_keys
+
+        yield from spec_keys(self, self.enumerate_specs())
 
     def run_seed_for(self, case: TestCaseConfig, profile: ClientProfile,
                      value_ms: int, repetition: int) -> int:

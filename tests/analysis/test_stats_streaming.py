@@ -1,0 +1,113 @@
+"""StreamingCDF: the mergeable, deterministic quantile accumulator."""
+
+import random
+
+import pytest
+
+from repro.analysis import StreamingCDF
+
+
+def filled(values, bin_width=1.0):
+    cdf = StreamingCDF(bin_width=bin_width)
+    for value in values:
+        cdf.add(value)
+    return cdf
+
+
+class TestAccumulation:
+    def test_tracks_exact_extremes_and_mean(self):
+        cdf = filled([10.0, 20.0, 30.0, 40.0])
+        assert cdf.count == 4
+        assert cdf.minimum == 10.0
+        assert cdf.maximum == 40.0
+        assert cdf.mean() == 25.0
+
+    def test_empty_accumulator_returns_none(self):
+        cdf = StreamingCDF()
+        assert cdf.mean() is None
+        assert cdf.quantile(0.5) is None
+        assert cdf.cdf_at(1.0) is None
+        assert cdf.cdf_points() == []
+
+    def test_quantile_edges_are_exact(self):
+        cdf = filled([3.25, 7.5, 11.0])
+        assert cdf.quantile(0.0) == 3.25
+        assert cdf.quantile(1.0) == 11.0
+
+    def test_quantile_resolves_to_bin_upper_edge(self):
+        # 100 values 0..99 in 1 ms bins: rank ceil(q*100) lands in bin
+        # floor(value), whose upper edge is value + 1.
+        cdf = filled([float(i) for i in range(100)])
+        assert cdf.quantile(0.5) == 50.0
+        assert cdf.quantile(0.9) == 90.0
+        assert cdf.quantile(0.99) == 99.0
+
+    def test_cdf_at_counts_bins_up_to_value(self):
+        cdf = filled([10.0, 20.0, 30.0, 40.0])
+        assert cdf.cdf_at(0.0) == 0.0
+        assert cdf.cdf_at(20.0) == 0.5
+        assert cdf.cdf_at(25.0) == 0.5
+        assert cdf.cdf_at(40.0) == 1.0
+
+    def test_cdf_points_are_sorted_and_cumulative(self):
+        cdf = filled([2.0, 1.0, 1.0, 5.0])
+        points = cdf.cdf_points()
+        assert points == [(2.0, 0.5), (3.0, 0.75), (6.0, 1.0)]
+
+
+class TestDeterminism:
+    def test_insertion_order_is_irrelevant(self):
+        values = [random.Random(7).uniform(0, 500) for _ in range(500)]
+        shuffled = list(values)
+        random.Random(8).shuffle(shuffled)
+        forward, backward = filled(values), filled(shuffled)
+        for q in (0.0, 0.1, 0.5, 0.9, 0.99, 1.0):
+            assert forward.quantile(q) == backward.quantile(q)
+        assert forward.cdf_points() == backward.cdf_points()
+
+    def test_merge_equals_sequential(self):
+        values = [random.Random(11).gauss(250, 80) for _ in range(400)]
+        sequential = filled(values)
+        merged = StreamingCDF(bin_width=1.0)
+        for start in range(0, len(values), 100):
+            merged.merge(filled(values[start:start + 100]))
+        assert merged.count == sequential.count
+        assert merged.minimum == sequential.minimum
+        assert merged.maximum == sequential.maximum
+        # Bin counts and extremes merge exactly; the mean is a float
+        # sum, so chunked totals may differ in the last ulp.
+        assert merged.mean() == pytest.approx(sequential.mean(),
+                                              rel=1e-12)
+        assert merged.cdf_points() == sequential.cdf_points()
+
+    def test_merge_into_empty_and_from_empty(self):
+        cdf = filled([1.0, 2.0])
+        empty = StreamingCDF(bin_width=1.0)
+        empty.merge(cdf)
+        assert empty.cdf_points() == cdf.cdf_points()
+        cdf.merge(StreamingCDF(bin_width=1.0))
+        assert cdf.count == 2
+
+
+class TestValidation:
+    def test_bin_width_must_be_positive(self):
+        with pytest.raises(ValueError, match="bin_width"):
+            StreamingCDF(bin_width=0.0)
+
+    def test_non_finite_samples_rejected(self):
+        cdf = StreamingCDF()
+        with pytest.raises(ValueError, match="non-finite"):
+            cdf.add(float("nan"))
+        with pytest.raises(ValueError, match="non-finite"):
+            cdf.add(float("inf"))
+
+    def test_mismatched_merge_widths_rejected(self):
+        with pytest.raises(ValueError, match="bin widths differ"):
+            StreamingCDF(bin_width=1.0).merge(StreamingCDF(bin_width=2.0))
+
+    def test_quantile_domain_checked(self):
+        cdf = filled([1.0])
+        with pytest.raises(ValueError, match="quantile"):
+            cdf.quantile(1.5)
+        with pytest.raises(ValueError, match="quantile"):
+            cdf.quantile(-0.1)

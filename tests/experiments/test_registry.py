@@ -27,22 +27,28 @@ FAST_KNOBS = {
     "conformance": {"stop": 100},
     "fingerprint-diff": {"client_a": "curl 7.88.1",
                          "client_b": "wget 1.21.3", "stop": 100},
+    "population-latency": {"samples": 6, "degrade_step": 200},
+    "population-family-share": {"samples": 6, "degrade_step": 200},
 }
 
 #: Experiments whose campaigns go through the store.
 STORE_BACKED = ("table2", "table3", "table5", "figure2", "figure5",
                 "fingerprint", "conformance", "fingerprint-diff",
                 "conformance-hev3", "conformance-svcb",
-                "conformance-sortlist")
+                "conformance-sortlist", "population-latency",
+                "population-family-share")
 
 #: Pairs whose plans may intentionally share keys: fingerprint
 #: defaults to 'all' local clients — exactly the conformance battery —
 #: and fingerprint-diff probes two of those clients with the same
-#: scenario cases.  Every other pair must be disjoint.
+#: scenario cases.  The two population experiments aggregate the same
+#: sampled campaign, so their plans are identical by construction.
+#: Every other pair must be disjoint.
 ALLOWED_OVERLAPS = {
     frozenset({"fingerprint", "conformance"}),
     frozenset({"fingerprint", "fingerprint-diff"}),
     frozenset({"conformance", "fingerprint-diff"}),
+    frozenset({"population-latency", "population-family-share"}),
 }
 
 
@@ -118,6 +124,13 @@ class TestPlanning:
         diff = get_experiment("fingerprint-diff")
         diff_plan = set(diff.plan(session_for(diff)))
         assert diff_plan and diff_plan <= plans["fingerprint"]
+        # The two population experiments render different aggregations
+        # of one sampled campaign — identical key spaces, and both are
+        # disjoint from every fixed-configuration experiment (checked
+        # by the generic loop above).
+        assert (plans["population-latency"]
+                == plans["population-family-share"])
+        assert plans["population-latency"]
 
     def test_default_fingerprint_diff_plans_nothing(self):
         experiment = get_experiment("fingerprint-diff")

@@ -1,0 +1,189 @@
+"""PopulationSpec: parsing, validation, digest stability."""
+
+import json
+
+import pytest
+
+from repro.population import (PRESETS, Categorical, Choice, Fixed,
+                              Normal, PopulationSpec,
+                              PopulationSpecError, Uniform,
+                              parse_numeric, resolve_spec)
+
+#: A small hand-rolled spec used throughout; dict ordering here is the
+#: "canonical" spelling the reordering tests permute.
+SPEC_DATA = {
+    "os": {"linux": 0.6, "windows": 0.4},
+    "stacks": {"chromium": 0.7, "curl": 0.3},
+    "cad_ms": {"kind": "choice", "values": [200, 250],
+               "weights": [0.5, 0.5]},
+    "rd_ms": 50,
+    "resolvers": {"responsive": 0.9, "slow": 0.1},
+    "impairments": {"healthy": 1.0},
+}
+
+
+class TestDistributions:
+    def test_categorical_inverse_cdf(self):
+        shares = Categorical((("a", 1.0), ("b", 3.0)))
+        assert shares.sample(0.0) == "a"
+        assert shares.sample(0.24) == "a"
+        assert shares.sample(0.25) == "b"
+        assert shares.sample(0.999) == "b"
+
+    def test_categorical_sorts_choices(self):
+        assert (Categorical((("b", 3.0), ("a", 1.0))).choices
+                == Categorical((("a", 1.0), ("b", 3.0))).choices)
+
+    def test_categorical_rejects_bad_weights(self):
+        with pytest.raises(PopulationSpecError, match="positive"):
+            Categorical((("a", 0.0),))
+        with pytest.raises(PopulationSpecError, match="at least one"):
+            Categorical(())
+
+    def test_fixed_ignores_the_draw(self):
+        assert Fixed(42.0).sample(0.0) == 42.0
+        assert Fixed(42.0).sample(0.999) == 42.0
+
+    def test_uniform_maps_the_interval(self):
+        dist = Uniform(100.0, 300.0)
+        assert dist.sample(0.0) == 100.0
+        assert dist.sample(0.5) == 200.0
+        with pytest.raises(PopulationSpecError, match="low <= high"):
+            Uniform(2.0, 1.0)
+
+    def test_normal_clamps_to_bounds(self):
+        dist = Normal(50.0, 15.0, 10.0, 100.0)
+        assert dist.sample(0.0) == 10.0
+        assert dist.sample(1.0) == 100.0
+        assert dist.sample(0.5) == pytest.approx(50.0)
+        with pytest.raises(PopulationSpecError, match="stddev"):
+            Normal(50.0, 0.0, 10.0, 100.0)
+        with pytest.raises(PopulationSpecError,
+                           match="minimum <= maximum"):
+            Normal(50.0, 15.0, 100.0, 10.0)
+
+    def test_choice_sorts_and_samples_values(self):
+        dist = Choice(((300.0, 1.0), (150.0, 1.0)))
+        assert dist.values == ((150.0, 1.0), (300.0, 1.0))
+        assert dist.sample(0.0) == 150.0
+        assert dist.sample(0.9) == 300.0
+
+
+class TestParseNumeric:
+    def test_bare_number_is_fixed(self):
+        assert parse_numeric(50, "rd_ms") == Fixed(50.0)
+        assert parse_numeric(12.5, "rd_ms") == Fixed(12.5)
+
+    def test_booleans_are_not_numbers(self):
+        with pytest.raises(PopulationSpecError, match="rd_ms"):
+            parse_numeric(True, "rd_ms")
+
+    def test_unknown_kind(self):
+        with pytest.raises(PopulationSpecError, match="unknown"):
+            parse_numeric({"kind": "pareto", "alpha": 2}, "cad_ms")
+
+    def test_missing_field_names_the_field(self):
+        with pytest.raises(PopulationSpecError, match="cad_ms.*missing"):
+            parse_numeric({"kind": "uniform", "low": 1}, "cad_ms")
+
+    def test_choice_weight_length_mismatch(self):
+        with pytest.raises(PopulationSpecError, match="2 values but 1"):
+            parse_numeric({"kind": "choice", "values": [1, 2],
+                           "weights": [1.0]}, "cad_ms")
+
+
+class TestSpecParsing:
+    def test_presets_all_parse(self):
+        for name, data in PRESETS.items():
+            spec = PopulationSpec.from_dict(data)
+            assert len(spec.digest()) == 64, name
+
+    def test_unknown_field_rejected(self):
+        data = dict(SPEC_DATA, browsers={"chromium": 1.0})
+        with pytest.raises(PopulationSpecError, match="browsers"):
+            PopulationSpec.from_dict(data)
+
+    def test_missing_field_rejected(self):
+        data = {k: v for k, v in SPEC_DATA.items() if k != "resolvers"}
+        with pytest.raises(PopulationSpecError, match="resolvers"):
+            PopulationSpec.from_dict(data)
+
+    def test_unknown_share_name_rejected(self):
+        data = dict(SPEC_DATA, stacks={"netscape": 1.0})
+        with pytest.raises(PopulationSpecError, match="netscape"):
+            PopulationSpec.from_dict(data)
+
+    def test_empty_shares_rejected(self):
+        data = dict(SPEC_DATA, os={})
+        with pytest.raises(PopulationSpecError, match="non-empty"):
+            PopulationSpec.from_dict(data)
+
+
+class TestDigest:
+    def test_stable_under_field_and_weight_reordering(self):
+        reordered = {
+            "impairments": {"healthy": 1.0},
+            "rd_ms": 50,
+            "cad_ms": {"weights": [0.5, 0.5], "values": [200, 250],
+                       "kind": "choice"},
+            "stacks": {"curl": 0.3, "chromium": 0.7},
+            "os": {"windows": 0.4, "linux": 0.6},
+            "resolvers": {"slow": 0.1, "responsive": 0.9},
+        }
+        assert (PopulationSpec.from_dict(SPEC_DATA).digest()
+                == PopulationSpec.from_dict(reordered).digest())
+
+    def test_content_changes_move_the_digest(self):
+        base = PopulationSpec.from_dict(SPEC_DATA).digest()
+        tweaked = dict(SPEC_DATA,
+                       os={"linux": 0.61, "windows": 0.39})
+        assert PopulationSpec.from_dict(tweaked).digest() != base
+        renumbered = dict(SPEC_DATA, rd_ms=51)
+        assert PopulationSpec.from_dict(renumbered).digest() != base
+
+    def test_short_digest_is_a_prefix(self):
+        spec = PopulationSpec.from_dict(SPEC_DATA)
+        assert spec.digest().startswith(spec.short_digest())
+        assert len(spec.short_digest()) == 12
+
+
+class TestResolveSpec:
+    def test_preset_names(self):
+        assert (resolve_spec("default").digest()
+                == PopulationSpec.from_dict(PRESETS["default"]).digest())
+        assert (resolve_spec("v6-challenged").digest()
+                != resolve_spec("default").digest())
+
+    def test_empty_falls_back_to_default(self):
+        assert (resolve_spec(None).digest()
+                == resolve_spec("default").digest())
+        assert (resolve_spec("").digest()
+                == resolve_spec("default").digest())
+
+    def test_at_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(SPEC_DATA), encoding="utf-8")
+        assert (resolve_spec(f"@{path}").digest()
+                == PopulationSpec.from_dict(SPEC_DATA).digest())
+
+    def test_at_file_missing(self, tmp_path):
+        with pytest.raises(PopulationSpecError, match="not found"):
+            resolve_spec(f"@{tmp_path / 'nope.json'}")
+
+    def test_at_file_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(PopulationSpecError, match="bad JSON"):
+            resolve_spec(f"@{path}")
+
+    def test_inline_json(self):
+        assert (resolve_spec(json.dumps(SPEC_DATA)).digest()
+                == PopulationSpec.from_dict(SPEC_DATA).digest())
+
+    def test_inline_bad_json(self):
+        with pytest.raises(PopulationSpecError, match="bad JSON"):
+            resolve_spec("{broken")
+
+    def test_unknown_name_lists_presets(self):
+        with pytest.raises(PopulationSpecError, match="v6-challenged"):
+            resolve_spec("no-such-preset")

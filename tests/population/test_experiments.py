@@ -1,0 +1,170 @@
+"""The population experiments, end to end through the CLI and the
+campaign service: cold==warm, serial==parallel, chaos-heals,
+gc-liveness, submit==run."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import Session, get_experiment, knob_mapping
+from repro.service import CampaignService
+from repro.testbed import CampaignStore
+
+#: Small but non-trivial: 8 users × 2 degradation levels = 16 runs.
+FAST = ["--samples", "8", "--degrade-step", "200"]
+
+
+def strip_runtime_lines(text):
+    return "\n".join(line for line in text.splitlines()
+                     if not line.startswith(("[cache]", "[faults]")))
+
+
+class TestByteIdentity:
+    def test_cold_warm_identical_zero_misses(self, capsys, tmp_path):
+        argv = ["--cache-dir", str(tmp_path), "run",
+                "population-latency", *FAST]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert strip_runtime_lines(warm) == strip_runtime_lines(cold)
+        assert "misses=0" in warm
+        assert "hits=16" in warm
+
+    def test_serial_equals_parallel(self, capsys, tmp_path):
+        assert main(["run", "population-family-share", *FAST]) == 0
+        serial = capsys.readouterr().out
+        assert main(["--workers", "4", "run",
+                     "population-family-share", *FAST]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_json_renders_deterministic_levels(self, capsys):
+        assert main(["run", "population-latency", *FAST,
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["experiment"] == "population-latency"
+        assert data["samples"] == 8
+        assert len(data["spec_digest"]) == 64
+        assert [level["value_ms"] for level in data["levels"]] == [0, 200]
+        for level in data["levels"]:
+            assert level["established"] + level["failed"] == 8
+
+    def test_both_experiments_share_one_campaign(self, capsys,
+                                                 tmp_path):
+        """family-share warm-replays latency's campaign byte for byte
+        from the store: same keys, different aggregation."""
+        assert main(["--cache-dir", str(tmp_path), "run",
+                     "population-latency", *FAST]) == 0
+        capsys.readouterr()
+        assert main(["--cache-dir", str(tmp_path), "run",
+                     "population-family-share", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "misses=0" in out
+        assert "hits=16" in out
+
+
+class TestChaos:
+    def test_chaos_run_heals_byte_identical(self, capsys, tmp_path):
+        assert main(["run", "population-latency", *FAST]) == 0
+        clean = capsys.readouterr().out
+        assert main(["--cache-dir", str(tmp_path), "--workers", "2",
+                     "--retries", "2", "--fault-plan",
+                     "crash:0.3,corrupt:0.5", "run",
+                     "population-latency", *FAST]) == 0
+        chaos = capsys.readouterr().out
+        assert (strip_runtime_lines(chaos)
+                == strip_runtime_lines(clean))
+        assert any(line.startswith("[faults]")
+                   for line in chaos.splitlines())
+        # Warm rerun quarantines torn entries and still matches.
+        assert main(["--cache-dir", str(tmp_path), "--retries", "2",
+                     "run", "population-latency", *FAST]) == 0
+        warm = capsys.readouterr().out
+        assert (strip_runtime_lines(warm)
+                == strip_runtime_lines(clean))
+
+    def test_resume_replays_from_the_journal(self, capsys, tmp_path):
+        argv = ["--cache-dir", str(tmp_path), "--retries", "1",
+                "run", "population-latency", *FAST]
+        assert main(argv) == 0
+        clean = capsys.readouterr().out
+        journal = tmp_path / ".journal" / "population-latency.log"
+        assert journal.is_file()
+        assert main(["--resume", *argv]) == 0
+        resumed = capsys.readouterr().out
+        assert (strip_runtime_lines(resumed)
+                == strip_runtime_lines(clean))
+        assert "resumed=" in resumed
+        assert "misses=0" in resumed
+
+
+class TestGcLiveness:
+    def test_registry_planned_gc_keeps_population_keys(self, capsys,
+                                                       tmp_path):
+        """``cache gc`` planned at matching knobs reclaims nothing a
+        population campaign stored, and the warm rerun is all hits."""
+        argv = ["--cache-dir", str(tmp_path), "run",
+                "population-latency", *FAST]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(["--cache-dir", str(tmp_path), "cache", "gc",
+                     "--population-samples", "8"]) == 0
+        gc_line = capsys.readouterr().out
+        assert "removed=0" in gc_line
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert strip_runtime_lines(warm) == strip_runtime_lines(cold)
+        assert "misses=0" in warm
+
+    def test_gc_reclaims_an_abandoned_spec(self, capsys, tmp_path):
+        """Shrinking the live population lets gc reclaim the keys that
+        fell out of the plan — and only those."""
+        assert main(["--cache-dir", str(tmp_path), "run",
+                     "population-latency", *FAST]) == 0
+        capsys.readouterr()
+        assert main(["--cache-dir", str(tmp_path), "cache", "gc",
+                     "--population-samples", "4"]) == 0
+        out = capsys.readouterr().out
+        # 4 live users × 2 levels stay; the other 4 users' keys go.
+        assert "removed=8" in out
+
+
+class TestService:
+    def test_submit_equals_direct_run(self, tmp_path):
+        knobs = {"samples": 8, "degrade_step": 200}
+        with CampaignService(tmp_path / "svc", seed=0) as service:
+            served_cold = service.submit("population-latency", knobs)
+            served_warm = service.submit("population-latency", knobs)
+        experiment = get_experiment("population-latency")
+        direct = experiment.run(Session(
+            seed=0, store=CampaignStore(tmp_path / "direct"),
+            knobs=knob_mapping(experiment, knobs)))
+        assert served_cold.text == direct.text
+        assert served_warm.text == direct.text
+        assert served_cold.data == direct.data
+
+
+class TestSpecKnob:
+    def test_unknown_spec_is_a_clean_cli_error(self):
+        with pytest.raises(SystemExit,
+                           match="unknown population spec"):
+            main(["run", "population-latency", "--spec", "bogus",
+                  *FAST])
+
+    def test_inline_spec_flows_through(self, capsys):
+        spec = json.dumps({
+            "os": {"linux": 1.0},
+            "stacks": {"curl": 1.0},
+            "cad_ms": 250,
+            "rd_ms": 50,
+            "resolvers": {"responsive": 1.0},
+            "impairments": {"healthy": 1.0},
+        })
+        assert main(["run", "population-family-share", "--samples",
+                     "4", "--degrade-step", "200", "--spec",
+                     spec]) == 0
+        out = capsys.readouterr().out
+        assert "curl" in out
+        assert "spec custom" in out
