@@ -1,7 +1,7 @@
-"""CI perf gate for the simulator core, the campaign store, and the
-population campaign.
+"""CI perf gate for the simulator core, the campaign store, the
+population campaign, and the synthesis search.
 
-Re-measures three headline workloads and fails when one is more than
+Re-measures four headline workloads and fails when one is more than
 30% slower than the best committed sample in
 ``results/bench_timings.json``:
 
@@ -14,7 +14,11 @@ Re-measures three headline workloads and fails when one is more than
 * the cold 250-user population-latency campaign — what
   ``bench_population.py`` records as
   ``population_samples_per_second`` (measurement imported from there
-  too).
+  too);
+* the cold 12-seed synthesize-scenarios search — what
+  ``bench_synthesis.py`` records as
+  ``synthesis_candidates_per_second`` (measurement imported from
+  there too).
 
 The committed samples come from the same machine class as CI, and the
 measurement takes the best of three to damp shared-runner noise, so a
@@ -36,6 +40,7 @@ from repro.analysis import figure2_sweep  # noqa: E402
 
 from bench_population import measure_population  # noqa: E402
 from bench_service import measure_packed_vs_perfile  # noqa: E402
+from bench_synthesis import measure_synthesis  # noqa: E402
 
 TIMINGS_PATH = (pathlib.Path(__file__).resolve().parent
                 / "results" / "bench_timings.json")
@@ -125,13 +130,43 @@ def gate_population(timings) -> int:
     return 0
 
 
+def gate_synthesis(timings) -> int:
+    """Cold synthesis search vs the committed best, best of two (same
+    rationale as the population gate: each measurement is real
+    simulation time, two runs damp runner noise)."""
+    samples = timings.get("synthesis_candidates_per_second", [])
+    if not samples:
+        print("[perf-gate] no committed synthesis_candidates_per_second "
+              "baseline; skipping")
+        return 0
+    baseline = min(sample["seconds"] for sample in samples)
+
+    best = float("inf")
+    for _ in range(2):
+        with tempfile.TemporaryDirectory() as tmp:
+            cold_s, _, cold, warm, misses, _ = measure_synthesis(
+                pathlib.Path(tmp))
+        assert warm.text == cold.text and misses == 0
+        best = min(best, cold_s)
+
+    ratio = best / baseline
+    print(f"[perf-gate] synthesis: measured {best:.3f}s vs committed "
+          f"best {baseline:.3f}s ({ratio:.2f}x, threshold "
+          f"{THRESHOLD:.2f}x)")
+    if ratio > THRESHOLD:
+        print("[perf-gate] FAIL: synthesis search regressed by "
+              f"{(ratio - 1) * 100:.0f}% on the 12-seed budget")
+        return 1
+    return 0
+
+
 def main() -> int:
     try:
         timings = json.loads(TIMINGS_PATH.read_text(encoding="utf-8"))
     except (FileNotFoundError, ValueError):
         timings = {}
     failures = (gate_simnet_core(timings) + gate_packed_store(timings)
-                + gate_population(timings))
+                + gate_population(timings) + gate_synthesis(timings))
     if failures:
         return 1
     print("[perf-gate] OK")

@@ -17,7 +17,7 @@ Python library:
   Session.
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "analysis", "clients", "conformance", "core", "dns", "experiments",

@@ -232,11 +232,18 @@ def _cmd_cache_gc(args: argparse.Namespace) -> None:
         raise SystemExit("cache gc needs --cache-dir (or $REPRO_CACHE_DIR)")
     population = {"samples": args.population_samples,
                   "spec": args.population_spec}
+    synthesis = {"synthesis_seeds": args.synthesis_seeds,
+                 "synthesis_rounds": args.synthesis_rounds,
+                 "synthesis_top": args.synthesis_top,
+                 "synthesis_neighbors": args.synthesis_neighbors,
+                 "clients": args.synthesis_clients}
     overrides = {
         "figure2": {"step": args.step, "stop": args.stop},
         "table3": {"repetitions": args.table3_repetitions},
         "population-latency": population,
         "population-family-share": population,
+        "synthesize-scenarios": synthesis,
+        "synthesize-report": synthesis,
     }
     live: "set[str]" = set()
     for experiment in all_experiments():
@@ -244,8 +251,9 @@ def _cmd_cache_gc(args: argparse.Namespace) -> None:
         knobs.update(overrides.get(experiment.name, {}))
         session = Session(seed=args.seed, store=store, knobs=knobs)
         live.update(experiment.plan(session))
-    stats = store.gc(live)
-    print(f"[cache gc] {stats.summary()} root={store.root}")
+    stats = store.gc(live, dry_run=args.dry_run)
+    prefix = "[cache gc] (dry run) " if args.dry_run else "[cache gc] "
+    print(f"{prefix}{stats.summary()} root={store.root}")
 
 
 def _cmd_serve(args: argparse.Namespace) -> None:
@@ -552,6 +560,26 @@ def build_parser() -> argparse.ArgumentParser:
                      help="population spec whose sample keys stay live "
                           "(preset name, @file, or inline JSON; "
                           "default: the 'default' preset)")
+    pgc.add_argument("--synthesis-seeds", type=int, default=32,
+                     help="synthesis grid budget whose keys stay live "
+                          "(default 32, the synthesis default; smaller "
+                          "budgets are a key subset)")
+    pgc.add_argument("--synthesis-rounds", type=int, default=2,
+                     help="synthesis refinement rounds planned live "
+                          "(refinement keys resolve only from a warm "
+                          "store, like the probe's fine pass)")
+    pgc.add_argument("--synthesis-top", type=int, default=6,
+                     help="synthesis refinement breadth whose keys "
+                          "stay live (default 6)")
+    pgc.add_argument("--synthesis-neighbors", type=int, default=8,
+                     help="synthesis neighbours-per-parent whose keys "
+                          "stay live (default 8)")
+    pgc.add_argument("--synthesis-clients", default="all",
+                     help="client selectors whose synthesis keys stay "
+                          "live (default 'all')")
+    pgc.add_argument("--dry-run", action="store_true",
+                     help="report what gc would keep/remove and the "
+                          "reclaimable bytes without deleting anything")
     pgc.set_defaults(fn=_cmd_cache_gc)
     return parser
 

@@ -24,14 +24,14 @@ from .probe import (ConformanceProbe, ScenarioOutcome,
 from .report import (fingerprint_to_dict, fingerprints_to_json,
                      render_battery_summary, render_conformance_summary,
                      render_fingerprint, render_scenario_catalog)
-from .scenarios import (RFC8305Parameter, Scenario, hev3_battery,
-                        scenario_battery, scenario_by_name,
+from .scenarios import (RFC8305Parameter, SYNTH_PREFIX, Scenario,
+                        hev3_battery, scenario_battery, scenario_by_name,
                         sortlist_battery, svcb_battery)
 
 __all__ = [
     "ClientFingerprint", "ConformanceProbe", "Deviation", "DriftRow",
     "FingerprintDiff", "ParameterVerdict", "RFC8305Parameter",
-    "Requirement", "Scenario", "ScenarioOutcome",
+    "Requirement", "SYNTH_PREFIX", "Scenario", "ScenarioOutcome",
     "assemble_fingerprint", "diff_fingerprints", "fingerprint_client",
     "fingerprint_diff_to_dict", "fingerprint_to_dict",
     "fingerprints_to_json", "hev3_battery", "outcomes_from_records",

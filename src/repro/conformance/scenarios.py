@@ -26,6 +26,12 @@ from ..testbed.config import (ImpairmentSpec, ServiceSpec, SweepSpec,
 #: every other campaign, so their names must not collide.
 CASE_PREFIX = "conf-"
 
+#: Case/scenario-name prefix for adversarially *synthesized* scenarios
+#: (see :mod:`repro.synthesis`): the fingerprint assembler dispatches
+#: on it, and it keeps search-probe keys disjoint from every
+#: hand-written battery.
+SYNTH_PREFIX = "synth-"
+
 
 class RFC8305Parameter(enum.Enum):
     """The RFC 8305 (and HEv3 / RFC 6724) knobs a scenario can

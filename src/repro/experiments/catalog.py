@@ -615,11 +615,13 @@ class FingerprintDiffExperiment(Experiment):
 
 # --------------------------------------------------------------------------
 # registration (presentation order: tables, figures, diagnostics,
-# conformance, population)
+# conformance, population, synthesis)
 # --------------------------------------------------------------------------
 
 from ..population.experiments import (  # noqa: E402 - registration order
     PopulationFamilyShareExperiment, PopulationLatencyExperiment)
+from ..synthesis.experiments import (  # noqa: E402 - registration order
+    SynthesizeReportExperiment, SynthesizeScenariosExperiment)
 
 for _experiment in (Table1Experiment(), Table2Experiment(),
                     Table3Experiment(), Table4Experiment(),
@@ -631,5 +633,7 @@ for _experiment in (Table1Experiment(), Table2Experiment(),
                     SortlistBatteryExperiment(),
                     FingerprintDiffExperiment(),
                     PopulationLatencyExperiment(),
-                    PopulationFamilyShareExperiment()):
+                    PopulationFamilyShareExperiment(),
+                    SynthesizeScenariosExperiment(),
+                    SynthesizeReportExperiment()):
     register(_experiment)

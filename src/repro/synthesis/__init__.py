@@ -1,0 +1,42 @@
+"""Adversarial scenario synthesis: search the impairment space.
+
+The conformance battery's scenarios are hand-written; this package
+grows it automatically.  A :class:`ScenarioSpace` declares the
+searchable dimensions (per-family shaping, resolver behaviour,
+SVCB/QUIC service knobs, dual-stage combinations) as quantized value
+sets, a seeded :class:`SearchStrategy` drives coarse grid seeding and
+local refinement, a :class:`Scorer` probes every candidate through
+the regular campaign machinery and scores fingerprint disagreement /
+new-deviation discovery / per-stage ablation drift, and a
+:class:`Promoter` emits the top discriminators as declarative battery
+scenarios with provenance.  Registered as the ``synthesize-scenarios``
+and ``synthesize-report`` experiments.
+"""
+
+from .promote import Promoter, Promotion, battery_identities
+from .score import (ABLATION_STAGES, CandidateScore, Scorer,
+                    ablation_variants, rank, signature_of)
+from .search import (RoundReport, SearchBudget, SearchResult,
+                     SearchStrategy, SynthesisSearch)
+from .space import Candidate, Dimension, ScenarioSpace, SORTLIST_SPACE
+
+__all__ = [
+    "ABLATION_STAGES",
+    "Candidate",
+    "CandidateScore",
+    "Dimension",
+    "Promoter",
+    "Promotion",
+    "RoundReport",
+    "ScenarioSpace",
+    "Scorer",
+    "SearchBudget",
+    "SearchResult",
+    "SearchStrategy",
+    "SORTLIST_SPACE",
+    "SynthesisSearch",
+    "ablation_variants",
+    "battery_identities",
+    "rank",
+    "signature_of",
+]

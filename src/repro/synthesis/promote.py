@@ -1,0 +1,121 @@
+"""Promotion: top discriminators become declarative battery scenarios.
+
+The promoter filters a ranked score list down to candidates that are
+*discriminating* (≥2 registered clients disagree) and *novel* (not a
+semantic duplicate of a hand-written battery scenario), then emits
+each survivor as a regular :class:`~repro.conformance.scenarios.Scenario`
+carrying provenance metadata — the search seed, score axes, and the
+human-readable coordinate label — in its description.  Promoted
+scenarios register into the conformance battery like any hand-written
+one, and because their case is byte-identical to the case the search
+scored, probing them replays the search's own store keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from ..conformance.scenarios import (Scenario, hev3_battery,
+                                     scenario_battery, sortlist_battery,
+                                     svcb_battery)
+from ..testbed.config import SweepSpec, TestCaseConfig
+from .score import CandidateScore, rank
+from .space import ScenarioSpace
+
+_NEUTRAL_SWEEP = SweepSpec.fixed(0)
+
+
+def _case_identity(case: TestCaseConfig) -> TestCaseConfig:
+    """A case stripped to its semantic content: names, sweep shape,
+    and repetition count removed, so a synthesized candidate that
+    reproduces a hand-written scenario's impairments byte-for-byte is
+    recognized as a duplicate whatever it is called."""
+    return replace(
+        case, name="", sweep=_NEUTRAL_SWEEP, repetitions=1,
+        impairments=tuple(replace(spec, name="")
+                          for spec in case.impairments))
+
+
+def battery_identities(extra: "Sequence[Scenario]" = ()
+                       ) -> "FrozenSet[TestCaseConfig]":
+    """Semantic identities of every hand-written battery case (plus
+    ``extra`` already-promoted scenarios) — the novelty reference."""
+    scenarios: "List[Scenario]" = []
+    scenarios.extend(scenario_battery())
+    scenarios.extend(hev3_battery())
+    scenarios.extend(svcb_battery())
+    scenarios.extend(sortlist_battery())
+    scenarios.extend(extra)
+    return frozenset(_case_identity(s.case) for s in scenarios)
+
+
+@dataclass(frozen=True)
+class Promotion:
+    """One promoted discriminator: the score it earned and the
+    declarative scenario it becomes."""
+
+    score: CandidateScore
+    scenario: Scenario
+    provenance: "Dict[str, object]"
+
+    def as_dict(self) -> "Dict[str, object]":
+        return {
+            "scenario": self.scenario.name,
+            "discriminates": self.scenario.discriminates.value,
+            "provenance": self.provenance,
+            "score": self.score.as_dict(),
+        }
+
+
+class Promoter:
+    """Filters ranked scores into registered-battery scenarios."""
+
+    def __init__(self, space: ScenarioSpace, limit: int = 6,
+                 known: "Optional[FrozenSet[TestCaseConfig]]" = None
+                 ) -> None:
+        if limit < 1:
+            raise ValueError(f"promotion limit must be >= 1: {limit!r}")
+        self.space = space
+        self.limit = limit
+        self.known = (known if known is not None
+                      else battery_identities())
+
+    def promote(self, scores: "Sequence[CandidateScore]",
+                seed: int) -> "List[Promotion]":
+        """Top ``limit`` discriminating, novel candidates as
+        scenarios, best score first (digest tie-break)."""
+        promotions: "List[Promotion]" = []
+        seen = set(self.known)
+        for score in rank(scores):
+            if len(promotions) >= self.limit:
+                break
+            if not score.discriminating:
+                continue
+            case = self.space.case_for(score.candidate)
+            identity = _case_identity(case)
+            if identity in seen:
+                continue
+            seen.add(identity)
+            label = score.candidate.label(self.space)
+            provenance = {
+                "source": "synthesis",
+                "seed": seed,
+                "digest": score.candidate.digest,
+                "label": label,
+                "disagreement": score.disagreement,
+                "failures": score.failures,
+                "ablation_drift": list(score.ablation_drift),
+                "total": score.total,
+            }
+            description = (
+                f"synthesized from seed {seed}: {label} "
+                f"(disagreement={score.disagreement}, "
+                f"failures={score.failures}, "
+                f"drift={','.join(score.ablation_drift) or 'none'})")
+            promotions.append(Promotion(
+                score=score,
+                scenario=self.space.scenario_for(score.candidate,
+                                                 description),
+                provenance=provenance))
+        return promotions

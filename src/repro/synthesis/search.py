@@ -1,0 +1,203 @@
+"""The generate-probe-score loop: seeding, refinement, promotion.
+
+Mirrors the conformance probe's coarse→fine template at search scale:
+a seeded *grid round* scatters candidates over the whole space, then
+*refinement rounds* walk one-step neighbourhoods around the current
+best scorers.  Every probe of every round is a regular campaign run
+with a regular store key, so the whole search replays from cache —
+and because seeding streams are per-dimension and per-index
+(:meth:`ScenarioSpace.sample`), a denser budget *extends* the
+candidate list instead of reshuffling it, replaying every overlapping
+key of a smaller run.
+
+``plan()`` follows the probe's plan-purity contract: the seeding
+round's keys are known statically and always yielded; refinement
+rounds depend on scores, so they are resolved from the store *only*
+when every key of the previous round is already cached — a cold plan
+is the seeding round, a warm plan is the whole search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .promote import Promoter, Promotion
+from .score import CandidateScore, Scorer, rank
+from .space import Candidate, ScenarioSpace
+
+
+@dataclass(frozen=True)
+class SearchBudget:
+    """How much of the space one search traverses."""
+
+    #: Seeded grid candidates in round 0.
+    seeds: int = 32
+    #: Local-refinement rounds after the grid round.
+    rounds: int = 2
+    #: High scorers whose neighbourhoods each refinement round walks.
+    top: int = 6
+    #: Neighbour candidates admitted per high scorer per round.
+    neighbors: int = 8
+
+    def __post_init__(self) -> None:
+        if self.seeds < 1:
+            raise ValueError(f"budget.seeds must be >= 1: {self.seeds!r}")
+        if self.rounds < 0:
+            raise ValueError(
+                f"budget.rounds must be >= 0: {self.rounds!r}")
+        if self.top < 1:
+            raise ValueError(f"budget.top must be >= 1: {self.top!r}")
+        if self.neighbors < 1:
+            raise ValueError(
+                f"budget.neighbors must be >= 1: {self.neighbors!r}")
+
+
+class SearchStrategy:
+    """Coarse grid seeding → local refinement, fully seeded."""
+
+    def __init__(self, space: ScenarioSpace, seed: int,
+                 budget: SearchBudget) -> None:
+        self.space = space
+        self.seed = seed
+        self.budget = budget
+
+    def seed_round(self) -> "List[Candidate]":
+        """Round 0: the first ``budget.seeds`` grid samples, deduped
+        preserving order (per-index streams make this prefix-stable
+        under any larger seed budget)."""
+        out: "List[Candidate]" = []
+        seen = set()
+        for index in range(self.budget.seeds):
+            candidate = self.space.sample(self.seed, index)
+            if candidate.digest not in seen:
+                seen.add(candidate.digest)
+                out.append(candidate)
+        return out
+
+    def refine(self, pool: "Dict[str, CandidateScore]"
+               ) -> "List[Candidate]":
+        """One refinement round: one-step neighbours of the current
+        ``budget.top`` best scorers, up to ``budget.neighbors`` fresh
+        candidates each, in rank × move order — purely a function of
+        the scored pool, so any execution order converges to the same
+        proposal list."""
+        proposals: "List[Candidate]" = []
+        proposed = set(pool)
+        for parent in rank(list(pool.values()))[:self.budget.top]:
+            admitted = 0
+            for neighbor in self.space.neighbors(parent.candidate):
+                if admitted >= self.budget.neighbors:
+                    break
+                if neighbor.digest in proposed:
+                    continue
+                proposed.add(neighbor.digest)
+                proposals.append(neighbor)
+                admitted += 1
+        return proposals
+
+
+@dataclass(frozen=True)
+class RoundReport:
+    """One executed round, for the rendered search log."""
+
+    index: int
+    kind: str  # "seed" | "refine"
+    evaluated: int
+    best_total: int
+    best_digest: str
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Everything a search produced, in deterministic order."""
+
+    seed: int
+    budget: SearchBudget
+    rounds: Tuple[RoundReport, ...]
+    #: All scored candidates, best first (digest tie-break).
+    ranked: Tuple[CandidateScore, ...]
+    promotions: Tuple[Promotion, ...]
+
+    @property
+    def evaluated(self) -> int:
+        return len(self.ranked)
+
+    @property
+    def discriminating(self) -> int:
+        return sum(1 for score in self.ranked if score.discriminating)
+
+
+class SynthesisSearch:
+    """Drives strategy + scorer + promoter through the full loop."""
+
+    def __init__(self, space: ScenarioSpace, strategy: SearchStrategy,
+                 scorer: Scorer, promoter: Promoter) -> None:
+        self.space = space
+        self.strategy = strategy
+        self.scorer = scorer
+        self.promoter = promoter
+
+    def _rounds(self) -> "Iterator[Tuple[int, str]]":
+        yield 0, "seed"
+        for round_index in range(1, self.strategy.budget.rounds + 1):
+            yield round_index, "refine"
+
+    def execute(self, workers: "Optional[int]" = None) -> SearchResult:
+        pool: "Dict[str, CandidateScore]" = {}
+        reports: "List[RoundReport]" = []
+        candidates = self.strategy.seed_round()
+        for round_index, kind in self._rounds():
+            fresh = [c for c in candidates if c.digest not in pool]
+            if not fresh:
+                break
+            scores = self.scorer.score_candidates(fresh, workers=workers)
+            for score in scores:
+                pool[score.candidate.digest] = score
+            best = rank(list(pool.values()))[0]
+            reports.append(RoundReport(
+                index=round_index, kind=kind, evaluated=len(fresh),
+                best_total=best.total,
+                best_digest=best.candidate.digest))
+            if round_index >= self.strategy.budget.rounds:
+                break
+            candidates = self.strategy.refine(pool)
+        ranked = tuple(rank(list(pool.values())))
+        promotions = tuple(self.promoter.promote(ranked,
+                                                 self.strategy.seed))
+        return SearchResult(seed=self.strategy.seed,
+                            budget=self.strategy.budget,
+                            rounds=tuple(reports), ranked=ranked,
+                            promotions=promotions)
+
+    def plan(self) -> "Iterator[str]":
+        """Store keys the search will touch, without executing.
+
+        Seeding-round keys are static.  Each refinement round is
+        planned only when every key of the previous round resolves
+        from the store (the probe's plan-purity template): scores are
+        then recomputed from the cached records, and the next round's
+        proposals — hence keys — follow deterministically.
+        """
+        store = self.scorer.store
+        pool: "Dict[str, CandidateScore]" = {}
+        candidates = self.strategy.seed_round()
+        for round_index, _kind in self._rounds():
+            fresh = [c for c in candidates if c.digest not in pool]
+            if not fresh:
+                break
+            runner = self.scorer.runner_for(fresh)
+            keys = list(runner.store_keys())
+            for key in keys:
+                yield key
+            if round_index >= self.strategy.budget.rounds:
+                break
+            if store is None:
+                break
+            cached = store.get_many_records(keys)
+            if len(cached) < len(keys):
+                break
+            records = [cached[key] for key in keys]
+            for score in self.scorer.score_records(fresh, records):
+                pool[score.candidate.digest] = score
+            candidates = self.strategy.refine(pool)

@@ -1,0 +1,324 @@
+"""The searchable scenario space: dimensions, candidates, quantization.
+
+Adversarial synthesis searches the impairment/service/resolver
+parameter space for scenarios that make registered clients disagree.
+The space is declared here as data: every :class:`Dimension` carries
+its *quantized* value set (bounds and step baked in), so a candidate
+is a finite coordinate tuple, digests to a stable content address, and
+maps deterministically onto one
+:class:`~repro.testbed.config.TestCaseConfig` — which is what makes
+every probe of the search a regular campaign run with a regular store
+key, nearly free on replay.
+
+The dimensions cover the ROADMAP's remaining scenario ideas: per-family
+netem shaping (delay/jitter/loss/reorder/rate), resolver behaviour
+(whole-resolver latency, per-rtype answer holds), HEv3 service knobs
+(HTTPS records, alternative ports, QUIC and its blackhole), and the
+dual-stage combinations — an SVCB hint *and* a sortlist-demoted
+destination set can land in one candidate, which no hand-written
+scenario composes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..conformance.scenarios import (RFC8305Parameter, Scenario,
+                                     SYNTH_PREFIX)
+from ..dns.rdata import RdataType
+from ..seeding import derive_rng
+from ..simnet.addr import Family
+from ..simnet.packet import Protocol
+from ..testbed.config import (ImpairmentSpec, ServiceSpec, SweepSpec,
+                              TestCaseConfig, TestCaseKind)
+
+#: Special-prefix IPv6 destinations for the sortlist dimension —
+#: distinct from the hand-written sortlist battery's addresses so a
+#: synthesized dual-stage scenario never collides with it byte-wise,
+#: while still exercising the same RFC 6724 precedence rows.
+SORTLIST_SPACE = {
+    "ula": "fd00:db8:5eed::10",          # ULA fc00::/7
+    "site-local": "fec0:db8:5eed::10",   # deprecated site-local
+    "teredo": "2001:0:5eed::10",         # Teredo 2001::/32
+}
+
+#: Service-dimension settings, keyed by the dimension value.
+_SERVICES = ("none", "https", "alt-port", "h3", "h3-blackhole")
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One searchable axis: a name and its quantized value set.
+
+    ``values[0]`` is the neutral setting (no impairment / no service),
+    so the all-defaults candidate is the pristine dual stack.  Values
+    are ordered; local refinement moves one index at a time.
+    """
+
+    name: str
+    values: Tuple[Any, ...]
+    help: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"dimension {self.name!r} needs values")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"dimension {self.name!r} repeats values")
+
+    def index_of(self, value: Any) -> int:
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise ValueError(
+                f"dimension {self.name!r} has no value {value!r} "
+                f"(quantized to {self.values!r})") from None
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the space: ``(dimension name, value)`` pairs in
+    declared dimension order.  Frozen and hashable; the digest is the
+    stable identity every store key and scenario name derives from."""
+
+    values: Tuple[Tuple[str, Any], ...]
+
+    def value(self, name: str) -> Any:
+        for dim_name, value in self.values:
+            if dim_name == name:
+                return value
+        raise KeyError(name)
+
+    @property
+    def digest(self) -> str:
+        """Stable content identity: sha256 over the canonical JSON of
+        the coordinate mapping (sorted keys, so declaration-order
+        changes that keep the same coordinates keep the key)."""
+        canonical = json.dumps(dict(self.values), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+    @property
+    def name(self) -> str:
+        """Scenario *and* case name — promoted probes replay the
+        search's own store keys because the names coincide."""
+        return SYNTH_PREFIX + self.digest
+
+    def label(self, space: "ScenarioSpace") -> str:
+        """Non-neutral coordinates only, in dimension order."""
+        parts = []
+        for dimension in space.dimensions:
+            value = self.value(dimension.name)
+            if value != dimension.values[0]:
+                parts.append(f"{dimension.name}={value}")
+        return ",".join(parts) or "pristine"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self.values)
+
+
+class ScenarioSpace:
+    """The declared search space plus the candidate→case compiler."""
+
+    def __init__(self, dimensions: "Tuple[Dimension, ...]") -> None:
+        if not dimensions:
+            raise ValueError("a scenario space needs dimensions")
+        names = [d.name for d in dimensions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate dimension names: {names!r}")
+        self.dimensions = tuple(dimensions)
+        self._by_name = {d.name: d for d in self.dimensions}
+
+    @classmethod
+    def default(cls) -> "ScenarioSpace":
+        """The standard space: ~10 axes, ~5M quantized combinations."""
+        return cls((
+            Dimension("v6_delay_ms",
+                      (0, 25, 50, 100, 150, 200, 250, 300, 350, 400),
+                      "IPv6 TCP one-way delay"),
+            Dimension("v6_jitter_ms", (0, 5, 10, 15, 20, 30),
+                      "correlated jitter on the IPv6 TCP path"),
+            Dimension("v6_loss_pct", (0, 10, 20, 30, 40, 50),
+                      "IPv6 TCP loss probability"),
+            Dimension("v6_reorder_pct", (0, 25, 50),
+                      "IPv6 TCP reordering probability"),
+            Dimension("v6_rate_kbps", (0, 1, 8, 64),
+                      "IPv6 TCP rate limit (0 = unshaped)"),
+            Dimension("dns_delay_ms", (0, 100, 200, 300),
+                      "whole-resolver answer latency (UDP path)"),
+            Dimension("aaaa_delay_ms", (0, 500, 1000, 1500),
+                      "AAAA answer hold at the authoritative"),
+            Dimension("a_delay_ms", (0, 500, 1000, 1500),
+                      "A answer hold at the authoritative"),
+            Dimension("service", _SERVICES,
+                      "HTTPS record / alt port / QUIC service knobs"),
+            Dimension("sortlist_dest", ("none",) + tuple(SORTLIST_SPACE),
+                      "special-prefix destination vs IPv4 (RFC 6724)"),
+        ))
+
+    def dimension(self, name: str) -> Dimension:
+        return self._by_name[name]
+
+    # -- candidate generation --------------------------------------------------
+
+    def sample(self, seed: int, index: int) -> Candidate:
+        """The ``index``-th seeded grid candidate.
+
+        Every dimension draws from its *own*
+        ``derive_rng(seed, "synthesis", dim, index)`` stream — the
+        population sampler's independence trick — so candidate ``i``
+        is identical under any budget that reaches ``i``.  A denser
+        seeding budget therefore extends the candidate list instead of
+        reshuffling it, and replays every overlapping probe key from
+        the store.
+        """
+        values = []
+        for dimension in self.dimensions:
+            rng = derive_rng(seed, "synthesis", dimension.name, index)
+            values.append((dimension.name,
+                           dimension.values[rng.randrange(
+                               len(dimension.values))]))
+        return Candidate(tuple(values))
+
+    def neighbors(self, candidate: Candidate) -> "List[Candidate]":
+        """All one-step moves, in deterministic dimension order
+        (−1 before +1) — the local-refinement move set."""
+        out: "List[Candidate]" = []
+        for dimension in self.dimensions:
+            index = dimension.index_of(candidate.value(dimension.name))
+            for delta in (-1, 1):
+                neighbor = index + delta
+                if not 0 <= neighbor < len(dimension.values):
+                    continue
+                values = tuple(
+                    (name, dimension.values[neighbor])
+                    if name == dimension.name else (name, value)
+                    for name, value in candidate.values)
+                out.append(Candidate(values))
+        return out
+
+    # -- candidate → test case -------------------------------------------------
+
+    def case_for(self, candidate: Candidate) -> TestCaseConfig:
+        """Compile a candidate into one declarative test case.
+
+        Pure and total: every coordinate combination yields a valid
+        case (the all-neutral candidate is the pristine dual stack),
+        and the case name is the candidate's content identity — which
+        is what keys the campaign store.
+        """
+        impairments: "List[ImpairmentSpec]" = []
+        delay = candidate.value("v6_delay_ms") / 1000.0
+        jitter = candidate.value("v6_jitter_ms") / 1000.0
+        loss = candidate.value("v6_loss_pct") / 100.0
+        reorder = candidate.value("v6_reorder_pct") / 100.0
+        rate_kbps = candidate.value("v6_rate_kbps")
+        if delay or jitter or loss or reorder or rate_kbps:
+            impairments.append(ImpairmentSpec(
+                family=Family.V6, protocol=Protocol.TCP,
+                delay_s=delay, jitter_s=jitter,
+                jitter_correlation=0.25 if jitter else 0.0,
+                loss=loss, reorder_probability=reorder,
+                rate_bps=rate_kbps * 1000.0 if rate_kbps else None,
+                name="synth-v6-path"))
+        dns_delay = candidate.value("dns_delay_ms")
+        if dns_delay:
+            impairments.append(ImpairmentSpec(
+                protocol=Protocol.UDP, delay_s=dns_delay / 1000.0,
+                name="synth-slow-resolver"))
+        aaaa_delay = candidate.value("aaaa_delay_ms")
+        if aaaa_delay:
+            impairments.append(ImpairmentSpec(
+                dns_rtype=RdataType.AAAA, delay_s=aaaa_delay / 1000.0,
+                name="synth-aaaa-hold"))
+        a_delay = candidate.value("a_delay_ms")
+        if a_delay:
+            impairments.append(ImpairmentSpec(
+                dns_rtype=RdataType.A, delay_s=a_delay / 1000.0,
+                name="synth-a-hold"))
+        service = candidate.value("service")
+        if service == "h3-blackhole":
+            impairments.append(ImpairmentSpec(
+                protocol=Protocol.QUIC, loss=1.0,
+                name="synth-quic-blackhole"))
+        return TestCaseConfig(
+            name=candidate.name,
+            kind=TestCaseKind.IMPAIRMENT,
+            sweep=SweepSpec.fixed(0),
+            impairments=tuple(impairments),
+            service=self._service_for(candidate))
+
+    def _service_for(self, candidate: Candidate
+                     ) -> Optional[ServiceSpec]:
+        service = candidate.value("service")
+        dest = candidate.value("sortlist_dest")
+        https_alpn: "Tuple[str, ...]" = ()
+        https_port = None
+        quic_listener = False
+        if service == "https":
+            https_alpn = ("http/1.1",)
+        elif service == "alt-port":
+            https_alpn = ("http/1.1",)
+            https_port = 8443
+        elif service in ("h3", "h3-blackhole"):
+            https_alpn = ("h3", "http/1.1")
+            quic_listener = True
+        addresses: "Tuple[str, ...]" = ()
+        if dest != "none":
+            from ..testbed.topology import SERVER_V4
+
+            addresses = (SORTLIST_SPACE[dest], SERVER_V4)
+        if not (https_alpn or quic_listener or addresses):
+            return None
+        return ServiceSpec(https_alpn=https_alpn, https_port=https_port,
+                           quic_listener=quic_listener,
+                           addresses=addresses)
+
+    # -- candidate → promoted scenario -----------------------------------------
+
+    def parameter_for(self, candidate: Candidate) -> RFC8305Parameter:
+        """The RFC 8305 parameter a candidate most directly stresses —
+        dominant-dimension priority, dual-stage candidates lead with
+        the sorting stage (the first wire attempt reads it off)."""
+        if candidate.value("sortlist_dest") != "none":
+            return RFC8305Parameter.DESTINATION_SORTING
+        service = candidate.value("service")
+        if service in ("h3", "h3-blackhole"):
+            return RFC8305Parameter.PROTOCOL_RACING
+        if service in ("https", "alt-port"):
+            return RFC8305Parameter.SVCB_DISCOVERY
+        if candidate.value("a_delay_ms"):
+            return RFC8305Parameter.RESOLUTION_POLICY
+        if candidate.value("aaaa_delay_ms"):
+            return RFC8305Parameter.RESOLUTION_DELAY
+        if candidate.value("dns_delay_ms"):
+            return RFC8305Parameter.FIRST_ADDRESS_FAMILY
+        if candidate.value("v6_loss_pct"):
+            return RFC8305Parameter.RETRY_ROBUSTNESS
+        if (candidate.value("v6_reorder_pct")
+                or candidate.value("v6_rate_kbps")):
+            return RFC8305Parameter.FALLBACK
+        return RFC8305Parameter.CONNECTION_ATTEMPT_DELAY
+
+    def scenario_for(self, candidate: Candidate,
+                     description: str) -> Scenario:
+        """A promoted candidate as a declarative battery scenario.
+
+        The case is byte-identical to the one the search scored, so a
+        promoted scenario's probe replays the search's own store keys;
+        ``description`` carries the provenance (seed, score, label).
+        """
+        return Scenario(
+            name=candidate.name,
+            discriminates=self.parameter_for(candidate),
+            rfc_clause="synthesized (RFC 8305 / HEv3)",
+            description=description,
+            case=self.case_for(candidate))
+
+    def __iter__(self) -> Iterator[Dimension]:
+        return iter(self.dimensions)
+
+    def __len__(self) -> int:
+        return len(self.dimensions)

@@ -9,6 +9,7 @@ repetition count.  These dataclasses are that configuration.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -59,10 +60,22 @@ class ImpairmentSpec:
     name: str = ""
 
     def __post_init__(self) -> None:
-        if self.delay_s < 0:
-            raise ValueError(f"negative delay: {self.delay_s!r}")
-        if not 0.0 <= self.loss <= 1.0:
-            raise ValueError(f"loss must be a probability: {self.loss!r}")
+        # Validate every numeric field by name up front: a NaN or
+        # out-of-range value would otherwise clamp (or misbehave)
+        # silently deep inside netem, long after the config was built.
+        self._check_seconds("delay_s", self.delay_s)
+        self._check_seconds("jitter_s", self.jitter_s)
+        self._check_seconds("reorder_gap_s", self.reorder_gap_s)
+        self._check_probability("loss", self.loss)
+        self._check_probability("reorder_probability",
+                                self.reorder_probability)
+        self._check_probability("jitter_correlation",
+                                self.jitter_correlation)
+        if self.rate_bps is not None and not (
+                math.isfinite(self.rate_bps) and self.rate_bps > 0):
+            raise ValueError(
+                f"ImpairmentSpec.rate_bps must be a finite positive "
+                f"rate (or None for unshaped): {self.rate_bps!r}")
         if self.dns_rtype is not None and (
                 self.family is not None or self.protocol is not None
                 or self.loss or self.jitter_s or self.reorder_probability
@@ -70,6 +83,20 @@ class ImpairmentSpec:
             raise ValueError(
                 "a dns_rtype impairment is a static answer delay; "
                 "netem fields do not apply to it")
+
+    @staticmethod
+    def _check_seconds(field_name: str, value: float) -> None:
+        if not (math.isfinite(value) and value >= 0):
+            raise ValueError(
+                f"ImpairmentSpec.{field_name} must be a finite "
+                f"non-negative duration in seconds: {value!r}")
+
+    @staticmethod
+    def _check_probability(field_name: str, value: float) -> None:
+        if not (math.isfinite(value) and 0.0 <= value <= 1.0):
+            raise ValueError(
+                f"ImpairmentSpec.{field_name} must be a finite "
+                f"probability in [0, 1]: {value!r}")
 
     def label(self) -> str:
         """Descriptive shaping summary (``name`` is the rule name)."""
@@ -216,8 +243,11 @@ class TestCaseConfig:
     def __post_init__(self) -> None:
         if self.repetitions < 1:
             raise ValueError("repetitions must be >= 1")
-        if self.run_timeout <= 0:
-            raise ValueError("run_timeout must be positive")
+        if not (math.isfinite(self.run_timeout)
+                and self.run_timeout > 0):
+            raise ValueError(
+                f"TestCaseConfig.run_timeout must be a finite positive "
+                f"duration in seconds: {self.run_timeout!r}")
 
 
 def cad_case(fine: bool = True, stop_ms: int = 400,

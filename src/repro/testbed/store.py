@@ -726,7 +726,8 @@ class CampaignStore:
                 if not path.name.startswith(".tmp-"):
                     yield path.stem, path
 
-    def gc(self, live_keys: "Iterable[str]") -> "GCStats":
+    def gc(self, live_keys: "Iterable[str]",
+           dry_run: bool = False) -> "GCStats":
         """Drop every entry whose key is not in ``live_keys``.
 
         Content-addressed entries accumulate forever: any sweep,
@@ -737,19 +738,28 @@ class CampaignStore:
         and stale ``.tmp-*`` droppings from crashed writers go too.
         Run it offline: a writer racing the sweep would only lose
         cache entries (and re-execute), never correctness.
+
+        ``dry_run=True`` walks the same mark phase and returns the
+        same kept/removed/reclaimable accounting without deleting
+        anything (indexes stay warm, entries stay served).  The only
+        divergence from a real sweep is ``.gen`` sidecars of shards
+        the sweep *would have* emptied — they are counted only by the
+        real pass, a few bytes of undercount.
         """
         live = set(live_keys)
         stats = GCStats()
         dirty_shards: "set[str]" = set()
-        self._mem_index.clear()
-        self._dirty_index.clear()
+        if not dry_run:
+            self._mem_index.clear()
+            self._dirty_index.clear()
         for key, path in self.entries():
             size = path.stat().st_size
             if key in live:
                 stats.kept += 1
                 stats.kept_bytes += size
                 continue
-            path.unlink()
+            if not dry_run:
+                path.unlink()
             stats.removed += 1
             stats.reclaimed_bytes += size
             dirty_shards.add(path.parent.name)
@@ -763,20 +773,23 @@ class CampaignStore:
                     continue
                 for stale in shard.glob(".tmp-*"):
                     stats.reclaimed_bytes += stale.stat().st_size
-                    stale.unlink()
+                    if not dry_run:
+                        stale.unlink()
                     stats.removed_tmp += 1
                     dirty_shards.add(shard.name)
-                try:
-                    shard.rmdir()  # only succeeds when emptied
-                except OSError:
-                    pass
+                if not dry_run:
+                    try:
+                        shard.rmdir()  # only succeeds when emptied
+                    except OSError:
+                        pass
             # Every sweep-touched shard gets a generation bump so any
             # index built before the sweep — on disk, or in another
             # handle's memory — reads as stale rather than serving
             # removed entries.
-            for shard in dirty_shards:
-                if (self.root / shard).is_dir():
-                    self._bump_generation(shard)
+            if not dry_run:
+                for shard in dirty_shards:
+                    if (self.root / shard).is_dir():
+                        self._bump_generation(shard)
             # Sidecar indexes are derived data: drop the ones whose
             # shard changed (or vanished) in this sweep — staleness
             # detection would ignore them anyway — and keep the still
@@ -791,7 +804,8 @@ class CampaignStore:
                         # .tmp-* dropping from a crashed index writer.
                         stats.reclaimed_bytes += \
                             index_file.stat().st_size
-                        index_file.unlink()
+                        if not dry_run:
+                            index_file.unlink()
                         stats.removed_tmp += 1
                         continue
                     shard_gone = not (self.root / shard).is_dir()
@@ -799,17 +813,20 @@ class CampaignStore:
                         if shard_gone:
                             stats.reclaimed_bytes += \
                                 index_file.stat().st_size
-                            index_file.unlink()
+                            if not dry_run:
+                                index_file.unlink()
                             stats.removed_index += 1
                     elif shard in dirty_shards or shard_gone:
                         stats.reclaimed_bytes += \
                             index_file.stat().st_size
-                        index_file.unlink()
+                        if not dry_run:
+                            index_file.unlink()
                         stats.removed_index += 1
-                try:
-                    index_dir.rmdir()  # only succeeds when emptied
-                except OSError:
-                    pass
+                if not dry_run:
+                    try:
+                        index_dir.rmdir()  # only succeeds when emptied
+                    except OSError:
+                        pass
         return stats
 
 
@@ -1416,7 +1433,8 @@ class PackedCampaignStore(CampaignStore):
         old_size, new_size = self._rewrite_pack(shard, keys, state)
         return old_size - new_size
 
-    def gc(self, live_keys: "Iterable[str]") -> "GCStats":
+    def gc(self, live_keys: "Iterable[str]",
+           dry_run: bool = False) -> "GCStats":
         """Mark-and-sweep for the packed layout.
 
         Packs are *rewritten* keeping only live records (byte-identical
@@ -1424,7 +1442,13 @@ class PackedCampaignStore(CampaignStore):
         records are all live and dead-byte-free is left untouched.
         ``.quarantine`` and ``.journal`` survive, stale ``.tmp-*``
         droppings go, and every rewritten shard gets a generation bump
-        so stale sidecars are never trusted."""
+        so stale sidecars are never trusted.
+
+        ``dry_run=True`` returns the same accounting without touching
+        any pack: a rewrite emits exactly the live slices, so the
+        reclaimable bytes of an unclean shard are computable as
+        ``current pack size - live slice bytes`` up front.
+        """
         live = set(live_keys)
         stats = GCStats()
         if not self.root.is_dir():
@@ -1443,6 +1467,10 @@ class PackedCampaignStore(CampaignStore):
             stats.kept_bytes += kept_bytes
             if clean:
                 continue
+            if dry_run:
+                stats.removed += removed
+                stats.reclaimed_bytes += state["size"] - kept_bytes
+                continue
             old_size, new_size = self._rewrite_pack(
                 shard, kept_keys, state)
             stats.removed += removed
@@ -1450,7 +1478,8 @@ class PackedCampaignStore(CampaignStore):
         for stale in self.root.glob(".tmp-*"):
             if stale.is_file():
                 stats.reclaimed_bytes += stale.stat().st_size
-                stale.unlink()
+                if not dry_run:
+                    stale.unlink()
                 stats.removed_tmp += 1
         index_dir = self.root / ".index"
         if index_dir.is_dir():
@@ -1458,17 +1487,20 @@ class PackedCampaignStore(CampaignStore):
                 shard = index_file.name.split(".")[0]
                 if not shard:
                     stats.reclaimed_bytes += index_file.stat().st_size
-                    index_file.unlink()
+                    if not dry_run:
+                        index_file.unlink()
                     stats.removed_tmp += 1
                     continue
                 if not self._pack_path(shard).is_file():
                     stats.reclaimed_bytes += index_file.stat().st_size
-                    index_file.unlink()
+                    if not dry_run:
+                        index_file.unlink()
                     stats.removed_index += 1
-            try:
-                index_dir.rmdir()  # only succeeds when emptied
-            except OSError:
-                pass
+            if not dry_run:
+                try:
+                    index_dir.rmdir()  # only succeeds when emptied
+                except OSError:
+                    pass
         return stats
 
 

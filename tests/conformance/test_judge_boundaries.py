@@ -1,0 +1,166 @@
+"""Judge tie and boundary cases, pinned on fabricated records.
+
+The verdict and drift code draws sharp lines — a measured delta of
+exactly the tolerance, an exact half split of family winners, a vote
+tie — and each line's side is part of the report's contract.
+"""
+
+import pytest
+
+from repro.clients import get_profile
+from repro.conformance import DriftRow, Requirement, scenario_battery
+from repro.conformance.drift import DRIFT_TOLERANCE_MS
+from repro.conformance.fingerprint import (ClientFingerprint,
+                                           ParameterVerdict,
+                                           assemble_fingerprint)
+from repro.conformance.probe import ScenarioOutcome
+from repro.conformance.scenarios import RFC8305Parameter
+from repro.simnet.addr import Family
+from repro.synthesis import ScenarioSpace
+from repro.testbed.runner import RunRecord, majority_family
+
+PROFILE = get_profile("curl", "7.88.1")
+
+
+def record_for(scenario, repetition=0, winning_family=Family.V6,
+               aaaa_first=True, duration_s=0.05):
+    return RunRecord(
+        case=scenario.case.name, kind=scenario.case.kind,
+        client=PROFILE.full_name, value_ms=0, repetition=repetition,
+        completed=True, winning_family=winning_family,
+        aaaa_first=aaaa_first, duration_s=duration_s)
+
+
+def judge_one(scenario, records):
+    fingerprint = assemble_fingerprint(
+        PROFILE, [ScenarioOutcome(scenario=scenario, records=records)])
+    assert len(fingerprint.verdicts) == 1
+    return fingerprint, fingerprint.verdicts[0]
+
+
+def scenario_named(name):
+    (scenario,) = [s for s in scenario_battery() if s.name == name]
+    return scenario
+
+
+class TestMajorityFamily:
+    def test_tie_breaks_toward_ipv4(self):
+        assert majority_family({Family.V4: 2, Family.V6: 2}) is Family.V4
+
+    def test_majority_wins(self):
+        assert majority_family({Family.V4: 1, Family.V6: 2}) is Family.V6
+        assert majority_family({Family.V4: 2, Family.V6: 1}) is Family.V4
+
+    def test_unanimous_one_family(self):
+        assert majority_family({Family.V6: 3}) is Family.V6
+
+
+class TestDriftTolerance:
+    def row(self, measured_a, measured_b):
+        def verdict(measured):
+            return ParameterVerdict(
+                parameter=RFC8305Parameter.CONNECTION_ATTEMPT_DELAY,
+                scenario="v6-delay-sweep", implemented=True,
+                measured_ms=measured)
+
+        return DriftRow(parameter="CAD", scenario="v6-delay-sweep",
+                        verdict_a=verdict(measured_a),
+                        verdict_b=verdict(measured_b))
+
+    def test_delta_exactly_at_tolerance_is_unchanged(self):
+        row = self.row(250.0, 250.0 + DRIFT_TOLERANCE_MS)
+        assert row.measured_delta_ms == pytest.approx(1.0)
+        assert not row.changed
+
+    def test_delta_just_past_tolerance_is_changed(self):
+        assert self.row(250.0, 250.0 + DRIFT_TOLERANCE_MS + 0.001).changed
+        assert self.row(250.0 + DRIFT_TOLERANCE_MS + 0.001, 250.0).changed
+
+    def test_measurement_disappearing_is_changed(self):
+        row = self.row(250.0, 250.0)
+        row.verdict_b.measured_ms = None
+        assert row.changed
+
+    def test_missing_counterpart_verdict_is_changed(self):
+        row = self.row(250.0, 250.0)
+        row.verdict_b = None
+        assert row.changed
+
+
+class TestFirstFamilyHalfSplit:
+    """`prefers_v6` holds at *exactly* half the winners — an even
+    split is ambiguous evidence and must not flag a deviation."""
+
+    def winners(self, families):
+        scenario = scenario_named("slow-resolver")
+        records = [record_for(scenario, repetition=i, winning_family=f)
+                   for i, f in enumerate(families)]
+        return judge_one(scenario, records)
+
+    def test_exact_half_v6_still_prefers_v6(self):
+        fingerprint, verdict = self.winners([Family.V6, Family.V4])
+        assert verdict.implemented is True
+        assert not fingerprint.deviations
+
+    def test_minority_v6_deviates(self):
+        fingerprint, verdict = self.winners(
+            [Family.V6, Family.V4, Family.V4])
+        assert verdict.implemented is False
+        (deviation,) = fingerprint.deviations
+        assert deviation.requirement is Requirement.SHOULD
+        assert "prefers IPv4" in deviation.description
+
+    def test_a_query_first_deviates_even_when_v6_wins(self):
+        scenario = scenario_named("slow-resolver")
+        records = [record_for(scenario, repetition=i, aaaa_first=False)
+                   for i in range(2)]
+        fingerprint, verdict = judge_one(scenario, records)
+        assert verdict.implemented is False
+        (deviation,) = fingerprint.deviations
+        assert "A query before the AAAA" in deviation.description
+
+
+class TestSynthesizedJudge:
+    """The generic reachability judge every `synth-` scenario gets."""
+
+    def synth_scenario(self):
+        space = ScenarioSpace.default()
+        candidate = space.sample(3, 0)
+        return space.scenario_for(candidate, "fabricated for the test")
+
+    def outcome(self, families):
+        scenario = self.synth_scenario()
+        records = [record_for(scenario, repetition=i, winning_family=f)
+                   for i, f in enumerate(families)]
+        return judge_one(scenario, records)
+
+    def test_full_establishment_is_clean(self):
+        fingerprint, verdict = self.outcome([Family.V6, Family.V6])
+        assert verdict.implemented is True
+        assert verdict.parameter is self.synth_scenario().discriminates
+        assert verdict.measured_ms == pytest.approx(50.0)
+        assert not fingerprint.deviations
+
+    def test_never_establishing_is_a_must_deviation(self):
+        fingerprint, verdict = self.outcome([None, None])
+        assert verdict.implemented is False
+        (deviation,) = fingerprint.deviations
+        assert deviation.requirement is Requirement.MUST
+        assert "never reached the dual-stack host" in deviation.description
+        assert self.synth_scenario().name in deviation.description
+
+    def test_partial_establishment_is_a_should_deviation(self):
+        fingerprint, verdict = self.outcome([Family.V4, None, None])
+        assert verdict.implemented is False
+        assert "1/3 established" in verdict.detail
+        (deviation,) = fingerprint.deviations
+        assert deviation.requirement is Requirement.SHOULD
+        assert "only 1/3 repetitions" in deviation.description
+
+    def test_synth_prefix_bypasses_the_handwritten_judges(self):
+        """A synth- scenario discriminating a parameter with a
+        hand-written judge still gets the generic judge: the verdict
+        carries the synthesized detail string, not the judge table's."""
+        fingerprint, verdict = self.outcome([Family.V6])
+        assert "under synthesized mix" in verdict.detail
+        assert isinstance(fingerprint, ClientFingerprint)

@@ -29,6 +29,14 @@ FAST_KNOBS = {
                          "client_b": "wget 1.21.3", "stop": 100},
     "population-latency": {"samples": 6, "degrade_step": 200},
     "population-family-share": {"samples": 6, "degrade_step": 200},
+    "synthesize-scenarios": {"synthesis_seeds": 4, "synthesis_rounds": 1,
+                             "synthesis_top": 2, "synthesis_neighbors": 2,
+                             "promote": 3,
+                             "clients": "curl,wget,hev3-reference"},
+    "synthesize-report": {"synthesis_seeds": 4, "synthesis_rounds": 1,
+                          "synthesis_top": 2, "synthesis_neighbors": 2,
+                          "promote": 3,
+                          "clients": "curl,wget,hev3-reference"},
 }
 
 #: Experiments whose campaigns go through the store.
@@ -36,7 +44,8 @@ STORE_BACKED = ("table2", "table3", "table5", "figure2", "figure5",
                 "fingerprint", "conformance", "fingerprint-diff",
                 "conformance-hev3", "conformance-svcb",
                 "conformance-sortlist", "population-latency",
-                "population-family-share")
+                "population-family-share", "synthesize-scenarios",
+                "synthesize-report")
 
 #: Pairs whose plans may intentionally share keys: fingerprint
 #: defaults to 'all' local clients — exactly the conformance battery —
@@ -49,6 +58,9 @@ ALLOWED_OVERLAPS = {
     frozenset({"fingerprint", "fingerprint-diff"}),
     frozenset({"conformance", "fingerprint-diff"}),
     frozenset({"population-latency", "population-family-share"}),
+    # The report fingerprint-probes the same search the scenario
+    # experiment scores, so their key spaces coincide by construction.
+    frozenset({"synthesize-scenarios", "synthesize-report"}),
 }
 
 
@@ -131,6 +143,12 @@ class TestPlanning:
         assert (plans["population-latency"]
                 == plans["population-family-share"])
         assert plans["population-latency"]
+        # The two synthesis experiments drive one search: identical
+        # plans, disjoint from everything hand-written (the generic
+        # loop above checks the disjointness half).
+        assert (plans["synthesize-scenarios"]
+                == plans["synthesize-report"])
+        assert plans["synthesize-scenarios"]
 
     def test_default_fingerprint_diff_plans_nothing(self):
         experiment = get_experiment("fingerprint-diff")

@@ -1,0 +1,181 @@
+"""ScenarioSpace: quantization, identity, candidate compilation."""
+
+import pytest
+
+from repro.conformance import SYNTH_PREFIX, RFC8305Parameter
+from repro.simnet.addr import Family
+from repro.simnet.packet import Protocol
+from repro.synthesis import Candidate, Dimension, ScenarioSpace
+from repro.testbed.config import TestCaseKind
+
+
+def neutral(space):
+    return Candidate(tuple((d.name, d.values[0]) for d in space))
+
+
+def with_value(space, **overrides):
+    return Candidate(tuple(
+        (d.name, overrides.get(d.name, d.values[0])) for d in space))
+
+
+class TestDimension:
+    def test_needs_values(self):
+        with pytest.raises(ValueError, match="needs values"):
+            Dimension("empty", ())
+
+    def test_rejects_duplicate_values(self):
+        with pytest.raises(ValueError, match="repeats values"):
+            Dimension("dup", (0, 25, 25))
+
+    def test_index_of_unknown_value_names_the_quantization(self):
+        dim = Dimension("v6_delay_ms", (0, 25, 50))
+        with pytest.raises(ValueError, match="quantized"):
+            dim.index_of(30)
+
+
+class TestCandidateIdentity:
+    def test_digest_stable_across_declaration_order(self):
+        a = Candidate((("x", 1), ("y", 2)))
+        b = Candidate((("y", 2), ("x", 1)))
+        assert a.digest == b.digest
+
+    def test_digest_distinguishes_coordinates(self):
+        a = Candidate((("x", 1), ("y", 2)))
+        b = Candidate((("x", 1), ("y", 3)))
+        assert a.digest != b.digest
+
+    def test_name_carries_the_synth_prefix(self):
+        space = ScenarioSpace.default()
+        candidate = space.sample(0, 0)
+        assert candidate.name.startswith(SYNTH_PREFIX)
+
+    def test_label_lists_only_non_neutral_axes(self):
+        space = ScenarioSpace.default()
+        assert neutral(space).label(space) == "pristine"
+        candidate = with_value(space, v6_delay_ms=100, service="h3")
+        assert candidate.label(space) == "v6_delay_ms=100,service=h3"
+
+
+class TestSampling:
+    def test_sample_is_deterministic(self):
+        space = ScenarioSpace.default()
+        assert space.sample(7, 3) == space.sample(7, 3)
+
+    def test_sample_prefix_stable_across_budgets(self):
+        """Candidate i is identical under any budget reaching i — the
+        denser-budget cache-replay guarantee."""
+        space = ScenarioSpace.default()
+        first = [space.sample(5, i) for i in range(4)]
+        denser = [space.sample(5, i) for i in range(16)]
+        assert denser[:4] == first
+
+    def test_seed_changes_the_candidates(self):
+        space = ScenarioSpace.default()
+        a = [space.sample(0, i) for i in range(8)]
+        b = [space.sample(1, i) for i in range(8)]
+        assert a != b
+
+
+class TestNeighbors:
+    def test_one_step_moves_in_dimension_order(self):
+        space = ScenarioSpace.default()
+        candidate = neutral(space)
+        moves = space.neighbors(candidate)
+        # Every neutral coordinate sits at index 0: one +1 move per
+        # dimension, nothing below the bound.
+        assert len(moves) == len(space.dimensions)
+        for dimension, move in zip(space.dimensions, moves):
+            assert move.value(dimension.name) == dimension.values[1]
+
+    def test_interior_point_moves_both_ways(self):
+        space = ScenarioSpace.default()
+        candidate = with_value(space, v6_delay_ms=100)
+        moves = space.neighbors(candidate)
+        delays = [m.value("v6_delay_ms") for m in moves
+                  if m.value("v6_delay_ms") != 100]
+        assert 50 in delays and 150 in delays
+
+
+class TestCaseCompilation:
+    def test_neutral_candidate_is_pristine(self):
+        space = ScenarioSpace.default()
+        case = space.case_for(neutral(space))
+        assert case.kind is TestCaseKind.IMPAIRMENT
+        assert case.impairments == ()
+        assert case.service is None
+        assert case.name.startswith(SYNTH_PREFIX)
+
+    def test_v6_path_shaping_compiles_to_one_spec(self):
+        space = ScenarioSpace.default()
+        case = space.case_for(with_value(
+            space, v6_delay_ms=100, v6_loss_pct=20, v6_rate_kbps=8))
+        (spec,) = case.impairments
+        assert spec.family is Family.V6
+        assert spec.protocol is Protocol.TCP
+        assert spec.delay_s == pytest.approx(0.100)
+        assert spec.loss == pytest.approx(0.20)
+        assert spec.rate_bps == pytest.approx(8000.0)
+
+    def test_dns_dimensions_compile_to_rtype_holds(self):
+        space = ScenarioSpace.default()
+        case = space.case_for(with_value(
+            space, aaaa_delay_ms=1000, a_delay_ms=500, dns_delay_ms=100))
+        names = {spec.name for spec in case.impairments}
+        assert names == {"synth-slow-resolver", "synth-aaaa-hold",
+                         "synth-a-hold"}
+
+    def test_dual_stage_candidate_composes_service_and_sortlist(self):
+        """The combination no hand-written scenario has: an SVCB/h3
+        service *and* a sortlist-demoted destination set."""
+        space = ScenarioSpace.default()
+        case = space.case_for(with_value(
+            space, service="h3", sortlist_dest="ula"))
+        assert case.service is not None
+        assert "h3" in case.service.https_alpn
+        assert case.service.quic_listener
+        assert len(case.service.addresses) == 2
+        assert case.service.addresses[0].startswith("fd00:")
+
+    def test_blackhole_service_adds_quic_loss(self):
+        space = ScenarioSpace.default()
+        case = space.case_for(with_value(space, service="h3-blackhole"))
+        (spec,) = case.impairments
+        assert spec.protocol is Protocol.QUIC
+        assert spec.loss == 1.0
+
+    def test_every_sampled_candidate_compiles(self):
+        """case_for is total over the space: every seeded sample
+        yields a valid (validated) case."""
+        space = ScenarioSpace.default()
+        for index in range(64):
+            candidate = space.sample(11, index)
+            case = space.case_for(candidate)
+            assert case.name == candidate.name
+
+
+class TestParameterAttribution:
+    def test_dominant_dimension_priority(self):
+        space = ScenarioSpace.default()
+        assert (space.parameter_for(with_value(space, sortlist_dest="ula"))
+                is RFC8305Parameter.DESTINATION_SORTING)
+        assert (space.parameter_for(with_value(space, service="h3"))
+                is RFC8305Parameter.PROTOCOL_RACING)
+        assert (space.parameter_for(with_value(space, service="https"))
+                is RFC8305Parameter.SVCB_DISCOVERY)
+        assert (space.parameter_for(with_value(space, a_delay_ms=500))
+                is RFC8305Parameter.RESOLUTION_POLICY)
+        assert (space.parameter_for(with_value(space, aaaa_delay_ms=500))
+                is RFC8305Parameter.RESOLUTION_DELAY)
+        assert (space.parameter_for(with_value(space, v6_loss_pct=30))
+                is RFC8305Parameter.RETRY_ROBUSTNESS)
+        assert (space.parameter_for(neutral(space))
+                is RFC8305Parameter.CONNECTION_ATTEMPT_DELAY)
+
+    def test_scenario_for_carries_provenance_description(self):
+        space = ScenarioSpace.default()
+        candidate = with_value(space, v6_delay_ms=100)
+        scenario = space.scenario_for(candidate, "from seed 3")
+        assert scenario.name == candidate.name
+        assert scenario.description == "from seed 3"
+        assert not scenario.adaptive
+        assert scenario.case == space.case_for(candidate)

@@ -1,0 +1,93 @@
+"""Configuration validation: bad numbers fail fast, by field name.
+
+A NaN or out-of-range shaping value would otherwise clamp (or
+misbehave) silently deep inside netem — every rejection must name the
+offending field so a config error is diagnosable from the message
+alone.
+"""
+
+import math
+
+import pytest
+
+from repro.dns.rdata import RdataType
+from repro.testbed import ImpairmentSpec, SweepSpec, TestCaseConfig
+from repro.testbed.config import TestCaseKind
+
+NAN = float("nan")
+INF = float("inf")
+
+
+class TestDurationFields:
+    @pytest.mark.parametrize("field_name",
+                             ["delay_s", "jitter_s", "reorder_gap_s"])
+    @pytest.mark.parametrize("value", [NAN, INF, -INF, -0.001])
+    def test_rejected_by_name(self, field_name, value):
+        with pytest.raises(ValueError) as excinfo:
+            ImpairmentSpec(**{field_name: value})
+        message = str(excinfo.value)
+        assert f"ImpairmentSpec.{field_name}" in message
+        assert "non-negative duration in seconds" in message
+        assert repr(value) in message
+
+    def test_zero_and_positive_accepted(self):
+        ImpairmentSpec(delay_s=0.0, jitter_s=0.0)
+        ImpairmentSpec(delay_s=0.4, jitter_s=0.02, reorder_gap_s=0.005)
+
+
+class TestProbabilityFields:
+    @pytest.mark.parametrize(
+        "field_name", ["loss", "reorder_probability",
+                       "jitter_correlation"])
+    @pytest.mark.parametrize("value", [NAN, INF, -0.1, 1.0001])
+    def test_rejected_by_name(self, field_name, value):
+        with pytest.raises(ValueError) as excinfo:
+            ImpairmentSpec(**{field_name: value})
+        message = str(excinfo.value)
+        assert f"ImpairmentSpec.{field_name}" in message
+        assert "probability in [0, 1]" in message
+
+    def test_boundaries_accepted(self):
+        ImpairmentSpec(loss=0.0)
+        ImpairmentSpec(loss=1.0, reorder_probability=1.0,
+                       jitter_correlation=1.0)
+
+
+class TestRateField:
+    @pytest.mark.parametrize("value", [NAN, INF, 0.0, -8000.0])
+    def test_rejected_by_name(self, value):
+        with pytest.raises(ValueError) as excinfo:
+            ImpairmentSpec(rate_bps=value)
+        message = str(excinfo.value)
+        assert "ImpairmentSpec.rate_bps" in message
+        assert "finite positive rate" in message
+
+    def test_none_means_unshaped(self):
+        assert ImpairmentSpec(rate_bps=None).rate_bps is None
+        assert ImpairmentSpec(rate_bps=8000.0).rate_bps == 8000.0
+
+
+class TestDnsRtypeExclusivity:
+    def test_netem_fields_rejected_with_dns_rtype(self):
+        with pytest.raises(ValueError, match="static answer delay"):
+            ImpairmentSpec(dns_rtype=RdataType.AAAA, loss=0.5)
+
+    def test_dns_rtype_with_delay_only_is_fine(self):
+        spec = ImpairmentSpec(dns_rtype=RdataType.AAAA, delay_s=1.0)
+        assert spec.delay_s == 1.0
+
+
+class TestRunTimeout:
+    @pytest.mark.parametrize("value", [NAN, INF, 0.0, -1.0])
+    def test_rejected_by_name(self, value):
+        with pytest.raises(ValueError) as excinfo:
+            TestCaseConfig(name="t", kind=TestCaseKind.IMPAIRMENT,
+                           sweep=SweepSpec.fixed(0), run_timeout=value)
+        message = str(excinfo.value)
+        assert "TestCaseConfig.run_timeout" in message
+        assert "finite positive duration" in message
+
+    def test_finite_positive_accepted(self):
+        case = TestCaseConfig(name="t", kind=TestCaseKind.IMPAIRMENT,
+                              sweep=SweepSpec.fixed(0), run_timeout=60.0)
+        assert math.isfinite(case.run_timeout)

@@ -164,6 +164,31 @@ class TestStoreGC:
         stats = store.gc(["anything"])
         assert stats.removed == 0 and stats.kept == 0
 
+    def test_gc_dry_run_reports_without_deleting(self, tmp_path):
+        store, live = self.populate(tmp_path)
+        stale_keys = [CampaignStore.key("stale", index)
+                      for index in range(3)]
+        for key in stale_keys:
+            store.put(key, {"orphaned": True})
+        shard = next(s for s in store.root.iterdir()
+                     if s.is_dir() and len(s.name) == 2)
+        (shard / ".tmp-crashed.json").write_text("torn")
+        before = {key for key, _ in store.entries()}
+        dry = store.gc(live, dry_run=True)
+        # Nothing was touched: every entry (and the tmp dropping)
+        # survives, and live keys still resolve from disk.
+        assert {key for key, _ in store.entries()} == before
+        assert list(shard.glob(".tmp-*"))
+        fresh = CampaignStore(tmp_path)
+        assert all(fresh.has(key) for key in live)
+        # The accounting matches the later real sweep.
+        real = store.gc(live)
+        assert (dry.kept, dry.kept_bytes) == (real.kept, real.kept_bytes)
+        assert dry.removed == real.removed == 3
+        assert dry.removed_tmp == real.removed_tmp == 1
+        assert dry.reclaimed_bytes > 0
+        assert {key for key, _ in store.entries()} == live
+
     def test_runner_store_keys_match_executed_entries(self, tmp_path):
         store, live = self.populate(tmp_path)
         assert {key for key, _ in store.entries()} == live
